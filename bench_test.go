@@ -1,0 +1,640 @@
+// Benchmarks, one per experiment in DESIGN.md's per-experiment index.
+// Each times the kernel behind the corresponding paper-claim table (the
+// tables themselves are printed by cmd/panelbench and recorded in
+// EXPERIMENTS.md) and reports the experiment's headline quantity as a
+// custom metric so `go test -bench=.` regenerates the series.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/algorithms/conv"
+	"repro/internal/algorithms/editdist"
+	"repro/internal/algorithms/fft"
+	"repro/internal/algorithms/graphs"
+	"repro/internal/algorithms/matmul"
+	"repro/internal/algorithms/stencil"
+	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/fm"
+	"repro/internal/fm/search"
+	"repro/internal/geom"
+	"repro/internal/lower"
+	"repro/internal/machine"
+	"repro/internal/pram"
+	"repro/internal/tech"
+	"repro/internal/verify"
+	"repro/internal/workspan"
+)
+
+// BenchmarkE1EnergyRatios measures the 160x / 4500x / 50,000x transport
+// ratios on the grid-machine simulator (E1).
+func BenchmarkE1EnergyRatios(b *testing.B) {
+	m := machine.New(machine.Config{
+		Grid:               geom.NewGrid(30, 1, 1.0),
+		Tech:               tech.N5(),
+		RouterDelayPS:      -1,
+		RouterEnergyPerBit: -1,
+	})
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		m.Compute(geom.Pt(0, 0), tech.OpAdd, 32, "add")
+		add := m.Metrics().TotalEnergy
+		m.Send(geom.Pt(0, 0), geom.Pt(1, 0), 1, "1mm")
+		ratio = (m.Metrics().TotalEnergy - add) / add
+	}
+	b.ReportMetric(ratio, "wire1mm/add")
+	b.ReportMetric(tech.N5().OffChipRatio(32), "offchip/add")
+}
+
+// BenchmarkE2InstructionOverhead measures the 10,000x CPU overhead (E2).
+func BenchmarkE2InstructionOverhead(b *testing.B) {
+	m := machine.New(machine.Config{Grid: geom.NewGrid(2, 2, 1.0), Tech: tech.N5(), CPUOverhead: true})
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		m.Compute(geom.Pt(0, 0), tech.OpAdd, 32, "add")
+	}
+	ratio := m.Metrics().TotalEnergy / tech.N5().OpEnergy(tech.OpAdd, 32)
+	b.ReportMetric(ratio, "cpu/add")
+}
+
+// BenchmarkE3EditDistanceMapping evaluates the paper's anti-diagonal
+// mapping across P (E3); the metric is the speedup over the serial map.
+func BenchmarkE3EditDistanceMapping(b *testing.B) {
+	const n = 64
+	r := make([]byte, n)
+	q := make([]byte, n)
+	tgt := fm.DefaultTarget(16, 1)
+	tgt.Grid.PitchMM = 0.1
+	tgt.MemWordsPerNode = 1 << 22
+	serial, err := editdist.SerialMapping(r, q, tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 16} {
+		p := p
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var c fm.Cost
+			for i := 0; i < b.N; i++ {
+				var err error
+				c, err = editdist.PaperMapping(r, q, p, tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(serial.Cycles)/float64(c.Cycles), "speedup")
+			b.ReportMetric(float64(c.BitHops)/float64(n*n), "bit-hops/cell")
+		})
+	}
+}
+
+// BenchmarkE4FFTFunctionMapping times the FFT functions and prices the
+// butterfly mappings (E4).
+func BenchmarkE4FFTFunctionMapping(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	b.Run("dit-iterative-n1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fft.DITIterative(x)
+		}
+	})
+	b.Run("dif-iterative-n1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fft.DIFIterative(x)
+		}
+	})
+	b.Run("radix4-n1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fft.Radix4Recursive(x)
+		}
+		b.ReportMetric(float64(fft.MulCount(1024, 4))/float64(fft.MulCount(1024, 2)), "mul-ratio-vs-radix2")
+	})
+	b.Run("mapping-blocked-n256", func(b *testing.B) {
+		bf := fft.BuildButterfly(256)
+		tgt := fm.DefaultTarget(8, 1)
+		tgt.MemWordsPerNode = 1 << 22
+		place := bf.BlockedPlacement(8, tgt.Grid)
+		var c fm.Cost
+		for i := 0; i < b.N; i++ {
+			var err error
+			c, err = bf.MappingCost(place, tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(c.BitHops), "bit-hops")
+	})
+	b.Run("mapping-scattered-n256", func(b *testing.B) {
+		bf := fft.BuildButterfly(256)
+		tgt := fm.DefaultTarget(8, 1)
+		tgt.MemWordsPerNode = 1 << 22
+		place := bf.CyclicPlacement(8, tgt.Grid)
+		var c fm.Cost
+		for i := 0; i < b.N; i++ {
+			var err error
+			c, err = bf.MappingCost(place, tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(c.BitHops), "bit-hops")
+	})
+}
+
+// BenchmarkE5MappingSearch times the exhaustive affine sweep and the
+// placement annealer (E5).
+func BenchmarkE5MappingSearch(b *testing.B) {
+	g, dom, err := fm.Recurrence{
+		Name: "dp", Dims: []int{12, 12},
+		Deps: [][]int{{1, 1}, {1, 0}, {0, 1}},
+		Op:   tech.OpAdd, Bits: 32,
+	}.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := fm.DefaultTarget(4, 1)
+	tgt.Grid.PitchMM = 0.1
+	tgt.MemWordsPerNode = 1 << 20
+	b.Run("exhaustive", func(b *testing.B) {
+		var nc int
+		for i := 0; i < b.N; i++ {
+			nc = len(search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{P: 4, MaxTau: 8}))
+		}
+		b.ReportMetric(float64(nc), "legal-candidates")
+	})
+	b.Run("anneal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			search.Anneal(g, tgt, search.AnnealOptions{Iters: 200, Seed: 3})
+		}
+	})
+}
+
+// BenchmarkE6Composition times aligned vs remapped composition (E6).
+func BenchmarkE6Composition(b *testing.B) {
+	r := experimentsE6Setup()
+	b.Run("aligned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := fm.ComposeAligned("a;b", r.m1, r.s1, r.tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fm.Evaluate(m.Graph, m.Sched, r.tgt, fm.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("remap", func(b *testing.B) {
+		var hops int64
+		for i := 0; i < b.N; i++ {
+			m, st, err := fm.ComposeWithRemap("a>s>b", r.m2, r.s2, r.tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fm.Evaluate(m.Graph, m.Sched, r.tgt, fm.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			hops = st.BitHops
+		}
+		b.ReportMetric(float64(hops), "shuffle-bit-hops")
+	})
+}
+
+// BenchmarkE7DefaultMapper times the default mapper on a random DAG (E7).
+func BenchmarkE7DefaultMapper(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	bld := fm.NewBuilder("dag")
+	ids := []fm.NodeID{bld.Input(32), bld.Input(32)}
+	for i := 0; i < 400; i++ {
+		ids = append(ids, bld.Op(tech.OpMul, 32, ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+	}
+	bld.MarkOutput(ids[len(ids)-1])
+	g := bld.Build()
+	tgt := fm.DefaultTarget(4, 4)
+	tgt.MemWordsPerNode = 1 << 20
+	var sched fm.Schedule
+	for i := 0; i < b.N; i++ {
+		sched = fm.ListSchedule(g, tgt)
+	}
+	c, err := fm.Evaluate(g, sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(c.Cycles), "mapped-cycles")
+}
+
+// BenchmarkE8WorkSpan measures real fork-join speedups across worker
+// counts (E8): compare ns/op across the P sub-benchmarks.
+func BenchmarkE8WorkSpan(b *testing.B) {
+	const n = 1 << 20
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	ps := []int{1, 2, 4}
+	if c := runtime.NumCPU(); c >= 8 {
+		ps = append(ps, 8)
+	}
+	for _, p := range ps {
+		p := p
+		b.Run(fmt.Sprintf("reduce/P=%d", p), func(b *testing.B) {
+			pool := workspan.NewPool(p, workspan.WorkStealing)
+			defer pool.Close()
+			for i := 0; i < b.N; i++ {
+				pool.Run(func(c *workspan.Ctx) {
+					workspan.Reduce(c, xs, 4096, 0, func(a, b int64) int64 { return a + b })
+				})
+			}
+		})
+		b.Run(fmt.Sprintf("sort/P=%d", p), func(b *testing.B) {
+			pool := workspan.NewPool(p, workspan.WorkStealing)
+			defer pool.Close()
+			data := make([]int64, 1<<18)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rng := rand.New(rand.NewSource(int64(i)))
+				for j := range data {
+					data[j] = rng.Int63()
+				}
+				b.StartTimer()
+				pool.Run(func(c *workspan.Ctx) {
+					workspan.MergeSort(c, data, 2048, func(a, b int64) bool { return a < b })
+				})
+			}
+		})
+	}
+	// Scheduler ablation A4: central queue vs work stealing.
+	b.Run("ablation-central-queue/P=4", func(b *testing.B) {
+		pool := workspan.NewPool(4, workspan.CentralQueue)
+		defer pool.Close()
+		for i := 0; i < b.N; i++ {
+			pool.Run(func(c *workspan.Ctx) {
+				workspan.Reduce(c, xs, 4096, 0, func(a, b int64) int64 { return a + b })
+			})
+		}
+	})
+}
+
+// BenchmarkE9CacheOblivious measures the miss counts behind the
+// cache-oblivious table (E9).
+func BenchmarkE9CacheOblivious(b *testing.B) {
+	const n = 128
+	level := cache.Level{MWords: 1024, BWords: 16}
+	run := func(b *testing.B, f func(s *cache.Sim, src, dst cache.Mat)) {
+		var misses int64
+		for i := 0; i < b.N; i++ {
+			s := cache.New(level)
+			ms := cache.NewMats([2]int{n, n}, [2]int{n, n})
+			f(s, ms[0], ms[1])
+			misses = s.Misses(0)
+		}
+		b.ReportMetric(float64(misses), "misses")
+		b.ReportMetric(float64(2*n*n/level.BWords), "optimal")
+	}
+	b.Run("transpose-naive", func(b *testing.B) { run(b, cache.TransposeNaive) })
+	b.Run("transpose-blocked16", func(b *testing.B) {
+		run(b, func(s *cache.Sim, x, y cache.Mat) { cache.TransposeBlocked(s, x, y, 16) })
+	})
+	b.Run("transpose-oblivious", func(b *testing.B) { run(b, cache.TransposeCO) })
+	b.Run("matmul-oblivious-n48", func(b *testing.B) {
+		var misses int64
+		for i := 0; i < b.N; i++ {
+			s := cache.New(level)
+			ms := cache.NewMats([2]int{48, 48}, [2]int{48, 48}, [2]int{48, 48})
+			cache.MatMulCO(s, ms[0], ms[1], ms[2])
+			misses = s.Misses(0)
+		}
+		b.ReportMetric(float64(misses), "misses")
+	})
+}
+
+// BenchmarkE10PRAM measures the PRAM algorithms' work-time profile (E10).
+func BenchmarkE10PRAM(b *testing.B) {
+	b.Run("prefix-sums-n4096", func(b *testing.B) {
+		in := make([]int64, 4096)
+		var mt pram.Metrics
+		for i := 0; i < b.N; i++ {
+			m := pram.New(pram.EREW, 8*4096+64)
+			if _, err := pram.PrefixSums(m, in); err != nil {
+				b.Fatal(err)
+			}
+			mt = m.Metrics()
+		}
+		b.ReportMetric(float64(mt.Work), "work")
+		b.ReportMetric(float64(mt.Steps), "steps")
+	})
+	b.Run("bfs-grid16x16", func(b *testing.B) {
+		g := graphs.Grid2D(16, 16)
+		var m *pram.Machine
+		for i := 0; i < b.N; i++ {
+			m = pram.New(pram.CRCWArbitrary, 64*g.N+4*len(g.Edges)+4096)
+			if _, err := pram.BFS(m, g.Offs, g.Edges, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(m.Metrics().Steps), "steps")
+		b.ReportMetric(float64(m.TimeOnP(1))/float64(m.TimeOnP(64)), "speedup-p64")
+	})
+}
+
+// BenchmarkE11CommAvoiding measures distributed matmul volumes (E11).
+func BenchmarkE11CommAvoiding(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 32
+	a := comm.NewDense(n, n)
+	c := comm.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		c.Data[i] = rng.Float64()
+	}
+	b.Run("summa-p64", func(b *testing.B) {
+		var words int64
+		for i := 0; i < b.N; i++ {
+			m := comm.New(64, comm.DefaultCost())
+			comm.SUMMA(m, a, c, 8)
+			words = m.Metrics().MaxRankWords
+		}
+		b.ReportMetric(float64(words), "words/rank")
+	})
+	b.Run("cannon-p64", func(b *testing.B) {
+		var words int64
+		for i := 0; i < b.N; i++ {
+			m := comm.New(64, comm.DefaultCost())
+			comm.Cannon(m, a, c, 8)
+			words = m.Metrics().MaxRankWords
+		}
+		b.ReportMetric(float64(words), "words/rank")
+	})
+	b.Run("25d-c2-p128", func(b *testing.B) {
+		var words int64
+		for i := 0; i < b.N; i++ {
+			m := comm.New(128, comm.DefaultCost())
+			comm.MatMul25D(m, a, c, 8, 2)
+			words = m.Metrics().MaxRankWords
+		}
+		b.ReportMetric(float64(words), "words/rank")
+	})
+	b.Run("allreduce-ring-p8", func(b *testing.B) {
+		vecs := make([][]float64, 8)
+		for r := range vecs {
+			vecs[r] = make([]float64, 1<<12)
+		}
+		var words int64
+		for i := 0; i < b.N; i++ {
+			m := comm.New(8, comm.DefaultCost())
+			comm.RingAllReduce(m, vecs)
+			words = m.Metrics().MaxRankWords
+		}
+		b.ReportMetric(float64(words), "words/rank")
+	})
+}
+
+// BenchmarkE12Extensions measures the many-core headroom evaluation (E12).
+func BenchmarkE12Extensions(b *testing.B) {
+	bld := fm.NewBuilder("headroom")
+	for i := 0; i < 10000; i++ {
+		bld.MarkOutput(bld.Op(tech.OpMul, 32))
+	}
+	g := bld.Build()
+	tgt := fm.DefaultTarget(100, 100)
+	sched := fm.FromFunc(g, func(nd fm.NodeID) fm.Assignment {
+		return fm.Assignment{Place: tgt.Grid.At(int(nd) % tgt.Grid.Nodes())}
+	})
+	var c fm.Cost
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = fm.Evaluate(g, sched, tgt, fm.EvalOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	serial, err := fm.Evaluate(g, fm.SerialSchedule(g, tgt, geom.Pt(0, 0)), tgt, fm.EvalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(serial.Cycles)/float64(c.Cycles), "grid-speedup")
+}
+
+// BenchmarkE13Verification times the two verification engines (E13).
+func BenchmarkE13Verification(b *testing.B) {
+	bld := fm.NewBuilder("sum4")
+	in := []fm.NodeID{bld.Input(32), bld.Input(32), bld.Input(32), bld.Input(32)}
+	l := bld.Op(tech.OpAdd, 32, in[0], in[1])
+	r := bld.Op(tech.OpAdd, 32, in[2], in[3])
+	bld.MarkOutput(bld.Op(tech.OpAdd, 32, l, r))
+	g := bld.Build()
+	sumEval := func(n fm.NodeID, deps []int64) int64 { return deps[0] + deps[1] }
+	b.Run("equiv-256-assignments", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := verify.Equiv(g, []int64{-3, 0, 1, 9}, 0, sumEval, func(xs []int64) []int64 {
+				return []int64{xs[0] + xs[1] + xs[2] + xs[3]}
+			})
+			if err != nil || !res.OK() {
+				b.Fatal(err, res)
+			}
+		}
+	})
+	b.Run("refine-antidiagonal", func(b *testing.B) {
+		rr := make([]byte, 24)
+		qq := make([]byte, 24)
+		eg, dom, err := editdist.Recurrence(rr, qq).Materialize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgt := fm.DefaultTarget(4, 1)
+		tgt.MemWordsPerNode = 1 << 20
+		stride := fm.MinAntiDiagonalStride(tgt, tech.OpAdd, 32, 24, 4)
+		sched := fm.AntiDiagonalSchedule(dom, 4, stride, geom.Pt(0, 0))
+		var res verify.RefineResult
+		for i := 0; i < b.N; i++ {
+			res = verify.Refine(eg, sched, tgt)
+			if !res.OK() {
+				b.Fatal("refinement failed")
+			}
+		}
+		b.ReportMetric(float64(res.Transfers), "transfers")
+	})
+}
+
+// BenchmarkE14ConvDataflows prices the stationary dataflows (E14).
+func BenchmarkE14ConvDataflows(b *testing.B) {
+	c := conv.Build(20, 5)
+	tgt := fm.DefaultTarget(16, 1)
+	tgt.Grid.PitchMM = 0.2
+	tgt.MemWordsPerNode = 1 << 20
+	b.Run("weight-stationary", func(b *testing.B) {
+		var tr conv.Traffic
+		for i := 0; i < b.N; i++ {
+			sched := c.WeightStationary(tgt)
+			if _, err := fm.Evaluate(c.Graph, sched, tgt, fm.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			tr = c.AttributeTraffic(sched)
+		}
+		b.ReportMetric(float64(tr.Weights), "weight-bit-hops")
+		b.ReportMetric(float64(tr.Partials), "partial-bit-hops")
+	})
+	b.Run("output-stationary", func(b *testing.B) {
+		var tr conv.Traffic
+		for i := 0; i < b.N; i++ {
+			sched := c.OutputStationary(tgt)
+			if _, err := fm.Evaluate(c.Graph, sched, tgt, fm.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			tr = c.AttributeTraffic(sched)
+		}
+		b.ReportMetric(float64(tr.Weights), "weight-bit-hops")
+		b.ReportMetric(float64(tr.Partials), "partial-bit-hops")
+	})
+}
+
+// BenchmarkE15Recompute times the replication transformation (E15).
+func BenchmarkE15Recompute(b *testing.B) {
+	tgt := fm.DefaultTarget(8, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	bld := fm.NewBuilder("chain")
+	n := bld.Op(tech.OpAdd, 32)
+	for i := 1; i < 32; i++ {
+		n = bld.Op(tech.OpAdd, 32, n)
+	}
+	var outs []fm.NodeID
+	for i := 0; i < 8; i++ {
+		o := bld.Op(tech.OpAdd, 32, n)
+		bld.MarkOutput(o)
+		outs = append(outs, o)
+	}
+	g := bld.Build()
+	place := make([]geom.Point, g.NumNodes())
+	for i, o := range outs {
+		place[o] = tgt.Grid.At(i)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		commC, err := fm.Evaluate(g, fm.ASAPSchedule(g, place, tgt), tgt, fm.EvalOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g2, place2 := fm.Recompute(g, place, func(fm.NodeID) bool { return true })
+		reC, err := fm.Evaluate(g2, fm.ASAPSchedule(g2, place2, tgt), tgt, fm.EvalOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = commC.EnergyFJ / reC.EnergyFJ
+	}
+	b.ReportMetric(ratio, "communicate/recompute-energy")
+}
+
+// BenchmarkE16Lowering times the mechanical hardware lowering (E16).
+func BenchmarkE16Lowering(b *testing.B) {
+	r := make([]byte, 16)
+	q := make([]byte, 16)
+	g, dom, err := editdist.Recurrence(r, q).Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := fm.DefaultTarget(4, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	stride := fm.MinAntiDiagonalStride(tgt, tech.OpAdd, 32, 16, 4)
+	sched := fm.AntiDiagonalSchedule(dom, 4, stride, geom.Pt(0, 0))
+	var arch *lower.Architecture
+	for i := 0; i < b.N; i++ {
+		arch, err = lower.Lower(g, sched, tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(arch.PEs)), "PEs")
+	b.ReportMetric(float64(len(arch.Channels)), "channels")
+}
+
+// BenchmarkE17SystolicMatmul prices the 2-D systolic array (E17).
+func BenchmarkE17SystolicMatmul(b *testing.B) {
+	const n = 6
+	tgt := fm.DefaultTarget(n, n)
+	tgt.Grid.PitchMM = 0.2
+	tgt.MemWordsPerNode = 1 << 20
+	b.Run("multicast", func(b *testing.B) {
+		m := matmul.Build(n)
+		var c fm.Cost
+		for i := 0; i < b.N; i++ {
+			var err error
+			c, err = fm.Evaluate(m.Graph, m.Systolic(tgt), tgt, fm.EvalOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(c.BitHops), "bit-hops")
+	})
+	b.Run("forwarded", func(b *testing.B) {
+		var c fm.Cost
+		for i := 0; i < b.N; i++ {
+			f := matmul.BuildForwarded(n, tgt)
+			var err error
+			c, err = fm.Evaluate(f.Graph, f.Sched, tgt, fm.EvalOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(c.BitHops), "bit-hops")
+	})
+}
+
+// BenchmarkE18Stencil prices the halo-exchange mappings (E18).
+func BenchmarkE18Stencil(b *testing.B) {
+	tgt := fm.DefaultTarget(4, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	g, dom, err := stencil.Recurrence(6, 64).Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("blocked", func(b *testing.B) {
+		var halo float64
+		for i := 0; i < b.N; i++ {
+			sched := stencil.BlockedSchedule(dom, 4, tgt)
+			if _, err := fm.Evaluate(g, sched, tgt, fm.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			halo = stencil.HaloTraffic(g, dom, sched)
+		}
+		b.ReportMetric(halo, "halo-bit-hops/step")
+	})
+	b.Run("cyclic", func(b *testing.B) {
+		var halo float64
+		for i := 0; i < b.N; i++ {
+			sched := stencil.CyclicSchedule(dom, 4, tgt)
+			if _, err := fm.Evaluate(g, sched, tgt, fm.EvalOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			halo = stencil.HaloTraffic(g, dom, sched)
+		}
+		b.ReportMetric(halo, "halo-bit-hops/step")
+	})
+}
+
+// experimentsE6Setup builds the composition fixtures shared by the E6
+// bench (mirrors internal/experiments.E6).
+type e6Fixture struct {
+	tgt            fm.Target
+	m1, s1, m2, s2 *fm.Module
+}
+
+func experimentsE6Setup() e6Fixture {
+	tgt := fm.DefaultTarget(16, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	const n = 16
+	lay := func(i int) geom.Point { return tgt.Grid.At(i % tgt.Grid.Nodes()) }
+	rev := func(i int) geom.Point { return tgt.Grid.At(n - 1 - i) }
+	return e6Fixture{
+		tgt: tgt,
+		m1:  idiomMap(tgt, n, lay),
+		s1:  idiomScan(tgt, n, lay),
+		m2:  idiomMap(tgt, n, lay),
+		s2:  idiomScan(tgt, n, rev),
+	}
+}

@@ -1,0 +1,149 @@
+// Command fmsim evaluates a function + mapping pair on a configurable
+// grid target and reports the explicit cost: cycles, energy breakdown,
+// bit-hops, memory footprint, and (optionally) an ASCII space-time
+// diagram. The built-in functions are the paper's edit-distance
+// recurrence and the FFT butterfly; mappings are the paper's
+// anti-diagonal, blocked/scattered placements, the default mapper, and
+// the serial projection.
+//
+// Usage:
+//
+//	fmsim -func editdist -n 64 -map antidiag -p 8 -render
+//	fmsim -func fft -n 256 -map blocked -p 8
+//	fmsim -func editdist -n 32 -map serial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algorithms/editdist"
+	"repro/internal/algorithms/fft"
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/lower"
+	"repro/internal/tech"
+	"repro/internal/trace"
+)
+
+func main() {
+	fn := flag.String("func", "editdist", "function: editdist | fft")
+	n := flag.Int("n", 64, "problem size (editdist: NxN table; fft: transform length, power of two)")
+	mapping := flag.String("map", "antidiag", "mapping: antidiag | blocked | scattered | default | serial")
+	p := flag.Int("p", 8, "processors (linear array on grid row 0)")
+	pitch := flag.Float64("pitch", 0.1, "grid pitch in mm")
+	cycle := flag.Float64("cycle", 100, "cycle time in ps")
+	render := flag.Bool("render", false, "print an ASCII space-time diagram")
+	lowerHW := flag.Bool("lower", false, "mechanically lower the mapping to a PE netlist and print it")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file to this path")
+	flag.Parse()
+
+	tgt := fm.DefaultTarget(maxInt(*p, 1), 1)
+	tgt.Grid.PitchMM = *pitch
+	tgt.CyclePS = *cycle
+	tgt.MemWordsPerNode = 1 << 22
+
+	var g *fm.Graph
+	var sched fm.Schedule
+	var err error
+	switch *fn {
+	case "editdist":
+		g, sched, err = buildEditDist(*n, *mapping, *p, tgt)
+	case "fft":
+		g, sched, err = buildFFT(*n, *mapping, *p, tgt)
+	default:
+		err = fmt.Errorf("unknown function %q", *fn)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	if *render || *chrome != "" {
+		tr = trace.New()
+	}
+	cost, err := fm.Evaluate(g, sched, tgt, fm.EvalOptions{Trace: tr})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmsim: illegal mapping: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("function: %s (n=%d, %d ops, depth %d)\n", g.Name(), *n, g.CountOps(), g.Depth())
+	fmt.Printf("mapping:  %s on %d processor(s), pitch %.2f mm, cycle %.0f ps\n",
+		*mapping, *p, *pitch, *cycle)
+	fmt.Printf("cost:     %v\n", cost)
+	fmt.Printf("comm:     %.1f%% of energy is data movement\n", 100*cost.CommFraction())
+	if *render {
+		fmt.Println(trace.Render(tr, trace.RenderOptions{Grid: tgt.Grid, Columns: 72}))
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := trace.WriteChromeTrace(f, tr, tgt.Grid); err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", *chrome)
+	}
+	if *lowerHW {
+		arch, err := lower.Lower(g, sched, tgt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n%s", arch.Summary(), arch.Verilog())
+	}
+}
+
+func buildEditDist(n int, mapping string, p int, tgt fm.Target) (*fm.Graph, fm.Schedule, error) {
+	r := make([]byte, n)
+	q := make([]byte, n)
+	g, dom, err := editdist.Recurrence(r, q).Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch mapping {
+	case "antidiag":
+		stride := fm.MinAntiDiagonalStride(tgt, tech.OpAdd, 32, n, p)
+		return g, fm.AntiDiagonalSchedule(dom, p, stride, geom.Pt(0, 0)), nil
+	case "serial":
+		return g, fm.SerialSchedule(g, tgt, geom.Pt(0, 0)), nil
+	case "default":
+		return g, fm.ListSchedule(g, tgt), nil
+	default:
+		return nil, nil, fmt.Errorf("editdist supports antidiag|serial|default, not %q", mapping)
+	}
+}
+
+func buildFFT(n int, mapping string, p int, tgt fm.Target) (*fm.Graph, fm.Schedule, error) {
+	bf := fft.BuildButterfly(n)
+	var place []geom.Point
+	switch mapping {
+	case "blocked":
+		place = bf.BlockedPlacement(p, tgt.Grid)
+	case "scattered":
+		place = bf.CyclicPlacement(p, tgt.Grid)
+	case "serial":
+		place = bf.SerialPlacement(tgt.Grid)
+	case "default":
+		return bf.Graph, fm.ListSchedule(bf.Graph, tgt), nil
+	default:
+		return nil, nil, fmt.Errorf("fft supports blocked|scattered|serial|default, not %q", mapping)
+	}
+	return bf.Graph, fm.ASAPSchedule(bf.Graph, place, tgt), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

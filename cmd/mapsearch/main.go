@@ -1,0 +1,71 @@
+// Command mapsearch searches the mapping space of a 2-D uniform
+// recurrence (the paper's edit-distance dependence structure by default)
+// and prints every legal affine candidate with its cost, the best mapping
+// under each figure of merit, and the time/energy Pareto front —
+// "one can systematically search the space of possible mappings to
+// optimize a given figure of merit".
+//
+// Usage:
+//
+//	mapsearch -n 12 -p 4
+//	mapsearch -n 16 -p 8 -tau 10 -pitch 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fm"
+	"repro/internal/fm/search"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+func main() {
+	n := flag.Int("n", 12, "domain size (n x n recurrence)")
+	p := flag.Int("p", 4, "linear-array length")
+	tau := flag.Int64("tau", 8, "max time coefficient in the affine family")
+	pitch := flag.Float64("pitch", 0.1, "grid pitch in mm")
+	flag.Parse()
+
+	g, dom, err := fm.Recurrence{
+		Name: "dp",
+		Dims: []int{*n, *n},
+		Deps: [][]int{{1, 1}, {1, 0}, {0, 1}},
+		Op:   tech.OpAdd,
+		Bits: 32,
+	}.Materialize()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+		os.Exit(2)
+	}
+	tgt := fm.DefaultTarget(*p, 1)
+	tgt.Grid.PitchMM = *pitch
+	tgt.MemWordsPerNode = 1 << 22
+
+	cands := search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{P: *p, MaxTau: *tau})
+	t := stats.NewTable(
+		fmt.Sprintf("legal affine mappings of the %dx%d recurrence on %d processors", *n, *n, *p),
+		"mapping", "cycles", "energy fJ", "bit-hops", "peak mem")
+	for _, c := range cands {
+		t.AddRow(c.Name, c.Cost.Cycles, c.Cost.EnergyFJ, c.Cost.BitHops, c.Cost.PeakWordsPerNode)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("\nbest by time:         %s  (%v)\n",
+		search.Best(cands, search.MinTime).Name, search.Best(cands, search.MinTime).Cost)
+	fmt.Printf("best by energy:       %s  (%v)\n",
+		search.Best(cands, search.MinEnergy).Name, search.Best(cands, search.MinEnergy).Cost)
+	fmt.Printf("best by energy-delay: %s  (%v)\n",
+		search.Best(cands, search.MinEDP).Name, search.Best(cands, search.MinEDP).Cost)
+
+	front := search.Pareto(cands)
+	fmt.Printf("\ntime/energy Pareto front (%d points):\n", len(front))
+	for _, c := range front {
+		fmt.Printf("  %-40s cycles=%-8d energy=%.0f fJ\n", c.Name, c.Cost.Cycles, c.Cost.EnergyFJ)
+	}
+}

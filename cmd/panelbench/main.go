@@ -1,0 +1,58 @@
+// Command panelbench runs the full paper-reproduction suite: one
+// experiment per quantitative claim in the SPAA'21 panel paper, each
+// printing a paper-vs-measured table and a PASS/FAIL verdict. Exit status
+// is nonzero if any experiment fails.
+//
+// Usage:
+//
+//	panelbench            # run everything
+//	panelbench -only E3   # run one experiment
+//	panelbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	failed := 0
+	ran := 0
+	for _, e := range all {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		ran++
+		r := e.Run()
+		if _, err := r.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
+			os.Exit(2)
+		}
+		if !r.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "panelbench: no experiment matches %q (try -list)\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d/%d experiments passed\n", ran-failed, ran)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,194 @@
+// Package conv implements 1-D convolution as an F&M function with the
+// classic accelerator dataflows the panel paper name-checks:
+// "weight-stationary dataflows for DNN accelerators, systolic arrays"
+// (Dally, section 3). The same multiply-accumulate function is mapped
+// three ways — weight-stationary (weights pinned to PEs, inputs and
+// partial sums flow), output-stationary (outputs pinned, weights and
+// inputs flow), and the serial projection — and the explicit cost model
+// attributes the traffic to each tensor, which is exactly what
+// distinguishes one dataflow from another.
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Conv is a materialized 1-D valid convolution y[i] = sum_k w[k]*x[i+k],
+// i in [0, N-K], as a dataflow graph: one MAC node per (output, tap).
+type Conv struct {
+	Graph *fm.Graph
+	// X and W are the input nodes for the signal and the taps.
+	X, W []fm.NodeID
+	// Out[i] is the node producing y[i].
+	Out []fm.NodeID
+	// mac[(i,k)] is the node accumulating tap k into output i.
+	mac [][]fm.NodeID
+	// N is the signal length, K the tap count.
+	N, K int
+}
+
+// Build constructs the convolution function for a length-n signal and k
+// taps.
+func Build(n, k int) *Conv {
+	if k <= 0 || n < k {
+		panic(fmt.Sprintf("conv: invalid sizes n=%d k=%d", n, k))
+	}
+	b := fm.NewBuilder(fmt.Sprintf("conv%dx%d", n, k))
+	c := &Conv{N: n, K: k}
+	c.X = make([]fm.NodeID, n)
+	for i := range c.X {
+		c.X[i] = b.Input(32)
+	}
+	c.W = make([]fm.NodeID, k)
+	for i := range c.W {
+		c.W[i] = b.Input(32)
+	}
+	outs := n - k + 1
+	c.mac = make([][]fm.NodeID, outs)
+	c.Out = make([]fm.NodeID, outs)
+	for i := 0; i < outs; i++ {
+		c.mac[i] = make([]fm.NodeID, k)
+		for t := 0; t < k; t++ {
+			// MAC node: multiply w[t]*x[i+t] and add the running partial.
+			deps := []fm.NodeID{c.W[t], c.X[i+t]}
+			if t > 0 {
+				deps = append(deps, c.mac[i][t-1])
+			}
+			nd := b.Op(tech.OpFMA, 32, deps...)
+			b.Label(nd, "mac(y=%d,t=%d)", i, t)
+			c.mac[i][t] = nd
+		}
+		c.Out[i] = c.mac[i][k-1]
+		b.MarkOutput(c.Out[i])
+	}
+	c.Graph = b.Build()
+	return c
+}
+
+// Outs returns the number of outputs (N-K+1).
+func (c *Conv) Outs() int { return c.N - c.K + 1 }
+
+// Interpret runs the function semantically and returns y.
+func (c *Conv) Interpret(x, w []int64) []int64 {
+	if len(x) != c.N || len(w) != c.K {
+		panic(fmt.Sprintf("conv: got %d/%d values for n=%d k=%d", len(x), len(w), c.N, c.K))
+	}
+	inputs := append(append([]int64(nil), x...), w...)
+	vals := fm.Interpret(c.Graph, inputs, func(n fm.NodeID, deps []int64) int64 {
+		// deps are [w, x] or [w, x, partial].
+		acc := deps[0] * deps[1]
+		if len(deps) == 3 {
+			acc += deps[2]
+		}
+		return acc
+	})
+	out := make([]int64, len(c.Out))
+	for i, nd := range c.Out {
+		out[i] = vals[nd]
+	}
+	return out
+}
+
+// Reference computes the convolution directly.
+func Reference(x, w []int64) []int64 {
+	outs := len(x) - len(w) + 1
+	if outs <= 0 {
+		panic(fmt.Sprintf("conv: signal %d shorter than kernel %d", len(x), len(w)))
+	}
+	y := make([]int64, outs)
+	for i := range y {
+		var acc int64
+		for t := range w {
+			acc += w[t] * x[i+t]
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// stride returns a legal unit step: every dependence in the dataflows
+// below spans at most one hop per unit step and one FMA per step.
+func stride(tgt fm.Target) int64 {
+	s := tgt.OpCycles(tech.OpFMA, 32)
+	if h := tgt.TransitCycles(1); h > s {
+		s = h
+	}
+	return s + tgt.TransitCycles(1)
+}
+
+// WeightStationary maps the convolution onto a K-PE linear array: tap t
+// is pinned at PE t forever (zero weight traffic); signal values stream
+// in from PE 0; partial sums hop right one PE per step. MAC (i,t) runs at
+// PE t at step i+2t.
+func (c *Conv) WeightStationary(tgt fm.Target) fm.Schedule {
+	if tgt.Grid.Width < c.K {
+		panic(fmt.Sprintf("conv: weight-stationary needs %d PEs, grid is %d wide", c.K, tgt.Grid.Width))
+	}
+	s := stride(tgt)
+	sched := make(fm.Schedule, c.Graph.NumNodes())
+	for j, nd := range c.X {
+		sched[nd] = fm.Assignment{Place: geom.Pt(0, 0), Time: int64(j) * s}
+	}
+	for t, nd := range c.W {
+		sched[nd] = fm.Assignment{Place: geom.Pt(t, 0), Time: 0}
+	}
+	for i := range c.mac {
+		for t, nd := range c.mac[i] {
+			sched[nd] = fm.Assignment{Place: geom.Pt(t, 0), Time: int64(i+2*t+1) * s}
+		}
+	}
+	return sched
+}
+
+// OutputStationary maps the convolution onto one PE per output: output i
+// accumulates in place at PE i (zero partial-sum traffic); weights and
+// signal values stream in from PE 0. MAC (i,t) runs at PE i at step
+// 2i+t.
+func (c *Conv) OutputStationary(tgt fm.Target) fm.Schedule {
+	outs := c.Outs()
+	if tgt.Grid.Width < outs {
+		panic(fmt.Sprintf("conv: output-stationary needs %d PEs, grid is %d wide", outs, tgt.Grid.Width))
+	}
+	s := stride(tgt)
+	sched := make(fm.Schedule, c.Graph.NumNodes())
+	for j, nd := range c.X {
+		sched[nd] = fm.Assignment{Place: geom.Pt(0, 0), Time: int64(j) * s}
+	}
+	for t, nd := range c.W {
+		sched[nd] = fm.Assignment{Place: geom.Pt(0, 0), Time: int64(t) * s}
+	}
+	for i := range c.mac {
+		for t, nd := range c.mac[i] {
+			sched[nd] = fm.Assignment{Place: geom.Pt(i, 0), Time: int64(2*i+t+1) * s}
+		}
+	}
+	return sched
+}
+
+// Traffic attributes a schedule's bit-hops to the three tensors.
+type Traffic struct {
+	Weights, Signal, Partials int64
+}
+
+// AttributeTraffic splits the mapping's communication by tensor.
+func (c *Conv) AttributeTraffic(sched fm.Schedule) Traffic {
+	isW := make(map[fm.NodeID]bool, len(c.W))
+	for _, nd := range c.W {
+		isW[nd] = true
+	}
+	isX := make(map[fm.NodeID]bool, len(c.X))
+	for _, nd := range c.X {
+		isX[nd] = true
+	}
+	return Traffic{
+		Weights: fm.TrafficFrom(c.Graph, sched, func(n fm.NodeID) bool { return isW[n] }),
+		Signal:  fm.TrafficFrom(c.Graph, sched, func(n fm.NodeID) bool { return isX[n] }),
+		Partials: fm.TrafficFrom(c.Graph, sched, func(n fm.NodeID) bool {
+			return !isW[n] && !isX[n] && !c.Graph.IsInput(n)
+		}),
+	}
+}

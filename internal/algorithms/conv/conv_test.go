@@ -1,0 +1,198 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/verify"
+)
+
+func TestReferenceKnown(t *testing.T) {
+	y := Reference([]int64{1, 2, 3, 4}, []int64{1, 1})
+	want := []int64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	c := Build(8, 3)
+	if c.Outs() != 6 {
+		t.Errorf("Outs = %d", c.Outs())
+	}
+	if got := c.Graph.CountOps(); got != 6*3 {
+		t.Errorf("ops = %d, want 18", got)
+	}
+	if got := len(c.Graph.Inputs()); got != 8+3 {
+		t.Errorf("inputs = %d", got)
+	}
+	if got := len(c.Graph.Outputs()); got != 6 {
+		t.Errorf("outputs = %d", got)
+	}
+	assertPanics(t, "bad sizes", func() { Build(2, 3) })
+	assertPanics(t, "zero taps", func() { Build(4, 0) })
+}
+
+func TestInterpretMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(12)
+		k := 1 + rng.Intn(n)
+		c := Build(n, k)
+		x := make([]int64, n)
+		w := make([]int64, k)
+		for i := range x {
+			x[i] = rng.Int63n(20) - 10
+		}
+		for i := range w {
+			w[i] = rng.Int63n(20) - 10
+		}
+		got := c.Interpret(x, w)
+		want := Reference(x, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: y[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEquivExhaustive(t *testing.T) {
+	// Bounded-exhaustive equivalence of the tiny conv over {-1,0,2}.
+	c := Build(3, 2)
+	res, err := verify.Equiv(c.Graph, []int64{-1, 0, 2}, 0,
+		func(n fm.NodeID, deps []int64) int64 {
+			acc := deps[0] * deps[1]
+			if len(deps) == 3 {
+				acc += deps[2]
+			}
+			return acc
+		},
+		func(in []int64) []int64 {
+			// Inputs arrive x..., w... in build order.
+			return Reference(in[:3], in[3:])
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("conv graph not equivalent: %v", res)
+	}
+	if res.Checked != 3*3*3*3*3 {
+		t.Errorf("Checked = %d, want 243", res.Checked)
+	}
+}
+
+func dataflowTarget(w int) fm.Target {
+	tgt := fm.DefaultTarget(w, 1)
+	tgt.Grid.PitchMM = 0.2
+	tgt.MemWordsPerNode = 1 << 20
+	return tgt
+}
+
+func TestDataflowsLegal(t *testing.T) {
+	c := Build(20, 5)
+	tgt := dataflowTarget(16)
+	for name, sched := range map[string]fm.Schedule{
+		"weight-stationary": c.WeightStationary(tgt),
+		"output-stationary": c.OutputStationary(tgt),
+	} {
+		if err := fm.Check(c.Graph, sched, tgt); err != nil {
+			t.Errorf("%s illegal: %v", name, err)
+		}
+		// Cross-verify with the operational replay.
+		if res := verify.Refine(c.Graph, sched, tgt); !res.OK() {
+			t.Errorf("%s failed refinement: %d violations", name, len(res.Violations))
+		}
+	}
+}
+
+func TestDataflowTrafficAttribution(t *testing.T) {
+	c := Build(20, 5)
+	tgt := dataflowTarget(16)
+
+	ws := c.AttributeTraffic(c.WeightStationary(tgt))
+	if ws.Weights != 0 {
+		t.Errorf("weight-stationary moves weights: %d bit-hops", ws.Weights)
+	}
+	if ws.Partials == 0 || ws.Signal == 0 {
+		t.Errorf("weight-stationary should move signal and partials: %+v", ws)
+	}
+
+	os := c.AttributeTraffic(c.OutputStationary(tgt))
+	if os.Partials != 0 {
+		t.Errorf("output-stationary moves partial sums: %d bit-hops", os.Partials)
+	}
+	if os.Weights == 0 || os.Signal == 0 {
+		t.Errorf("output-stationary should move weights and signal: %+v", os)
+	}
+}
+
+func TestDataflowCostsDiffer(t *testing.T) {
+	// Same function, same total work, different wire bills.
+	c := Build(20, 5)
+	tgt := dataflowTarget(16)
+	cws, err := fm.Evaluate(c.Graph, c.WeightStationary(tgt), tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cos, err := fm.Evaluate(c.Graph, c.OutputStationary(tgt), tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cws.ComputeEnergy != cos.ComputeEnergy {
+		t.Errorf("compute energy must be mapping-invariant: %g vs %g", cws.ComputeEnergy, cos.ComputeEnergy)
+	}
+	if cws.WireEnergy == cos.WireEnergy {
+		t.Error("the two dataflows should have different wire bills")
+	}
+	serial, err := fm.Evaluate(c.Graph, fm.SerialSchedule(c.Graph, tgt, geom.Pt(0, 0)), tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cws.Cycles >= serial.Cycles || cos.Cycles >= serial.Cycles {
+		t.Errorf("dataflows should beat serial: ws=%d os=%d serial=%d",
+			cws.Cycles, cos.Cycles, serial.Cycles)
+	}
+}
+
+func TestStationaryChoiceFollowsReuse(t *testing.T) {
+	// Few taps, many outputs: output-stationary ships the small weight
+	// vector around; weight-stationary ships every partial sum. The
+	// per-tensor attribution makes the trade quantitative.
+	tgt := dataflowTarget(32)
+	small := Build(32, 3)
+	ws := small.AttributeTraffic(small.WeightStationary(tgt))
+	os := small.AttributeTraffic(small.OutputStationary(tgt))
+	if ws.Weights+os.Partials != 0 {
+		t.Fatal("stationarity violated")
+	}
+	wsTotal := ws.Weights + ws.Signal + ws.Partials
+	osTotal := os.Weights + os.Signal + os.Partials
+	if wsTotal == osTotal {
+		t.Error("expected distinct totals for the two dataflows")
+	}
+}
+
+func TestDataflowPanics(t *testing.T) {
+	c := Build(20, 5)
+	narrow := dataflowTarget(2)
+	assertPanics(t, "ws too narrow", func() { c.WeightStationary(narrow) })
+	assertPanics(t, "os too narrow", func() { c.OutputStationary(narrow) })
+	assertPanics(t, "interpret arity", func() { c.Interpret(make([]int64, 3), make([]int64, 5)) })
+	assertPanics(t, "reference sizes", func() { Reference([]int64{1}, []int64{1, 2}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

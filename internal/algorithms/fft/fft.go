@@ -1,0 +1,220 @@
+// Package fft provides the paper's example of function multiplicity:
+// "For a given problem - there may be several functions that compute the
+// result (e.g., decimation in time vs decimation in space FFT, or
+// different radix FFT)." (Dally, section 3.)
+//
+// Four functions compute the same transform — recursive and iterative
+// decimation-in-time radix-2, decimation-in-frequency radix-2, and
+// recursive radix-4 — all verified against the O(n^2) DFT definition.
+// graph.go additionally expresses the butterfly network as an F&M
+// dataflow graph so each function/mapping pair can be priced explicitly;
+// "when comparing two FFT algorithms that are both O(NlogN)", the cost
+// model is what says which constant factors you are buying.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+func checkPow2(n int) {
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+}
+
+// NaiveDFT is the O(n^2) definition, the correctness oracle.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// DITRecursive is the textbook recursive radix-2 decimation-in-time FFT.
+func DITRecursive(x []complex128) []complex128 {
+	n := len(x)
+	checkPow2(n)
+	return ditRec(x)
+}
+
+func ditRec(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe, fo := ditRec(even), ditRec(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		t := w * fo[k]
+		out[k] = fe[k] + t
+		out[k+n/2] = fe[k] - t
+	}
+	return out
+}
+
+// bitReverse permutes x by bit-reversed index, in place.
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// DITIterative is the in-place iterative radix-2 DIT FFT: bit-reverse,
+// then log2(n) butterfly stages of increasing span.
+func DITIterative(x []complex128) []complex128 {
+	n := len(x)
+	checkPow2(n)
+	out := append([]complex128(nil), x...)
+	bitReverse(out)
+	for span := 2; span <= n; span *= 2 {
+		half := span / 2
+		wStep := cmplx.Exp(complex(0, -2*math.Pi/float64(span)))
+		for start := 0; start < n; start += span {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a, b := out[start+k], out[start+k+half]*w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return out
+}
+
+// DIFIterative is the iterative radix-2 decimation-in-frequency FFT:
+// butterfly stages of decreasing span, then a bit-reversal to restore
+// natural output order. Same flop count as DIT, mirrored dataflow.
+func DIFIterative(x []complex128) []complex128 {
+	n := len(x)
+	checkPow2(n)
+	out := append([]complex128(nil), x...)
+	for span := n; span >= 2; span /= 2 {
+		half := span / 2
+		wStep := cmplx.Exp(complex(0, -2*math.Pi/float64(span)))
+		for start := 0; start < n; start += span {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a, b := out[start+k], out[start+k+half]
+				out[start+k] = a + b
+				out[start+k+half] = (a - b) * w
+				w *= wStep
+			}
+		}
+	}
+	bitReverse(out)
+	return out
+}
+
+// Radix4Recursive is the recursive radix-4 DIT FFT; n must be a power of
+// four. Radix 4 trades twiddle multiplies for free multiplications by
+// +/-i, cutting complex multiplies by roughly 25% — the constant-factor
+// difference between functions the panel statement insists matters.
+func Radix4Recursive(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 || !isPow4(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of four", n))
+	}
+	return r4(x)
+}
+
+func isPow4(n int) bool {
+	return n&(n-1) == 0 && bits.TrailingZeros(uint(n))%2 == 0
+}
+
+func r4(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	q := n / 4
+	subs := make([][]complex128, 4)
+	for r := 0; r < 4; r++ {
+		s := make([]complex128, q)
+		for j := 0; j < q; j++ {
+			s[j] = x[4*j+r]
+		}
+		subs[r] = r4(s)
+	}
+	out := make([]complex128, n)
+	minusI := complex(0, -1)
+	for k := 0; k < q; k++ {
+		w1 := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		w2 := w1 * w1
+		w3 := w2 * w1
+		a := subs[0][k]
+		b := subs[1][k] * w1
+		c := subs[2][k] * w2
+		d := subs[3][k] * w3
+		out[k] = a + b + c + d
+		out[k+q] = a + minusI*b - c - minusI*d
+		out[k+2*q] = a - b + c - d
+		out[k+3*q] = a - minusI*b - c + minusI*d
+	}
+	return out
+}
+
+// Inverse computes the inverse FFT via conjugation: ifft(x) =
+// conj(fft(conj(x)))/n, using the iterative DIT kernel.
+func Inverse(x []complex128) []complex128 {
+	n := len(x)
+	checkPow2(n)
+	tmp := make([]complex128, n)
+	for i, v := range x {
+		tmp[i] = cmplx.Conj(v)
+	}
+	y := DITIterative(tmp)
+	for i, v := range y {
+		y[i] = cmplx.Conj(v) / complex(float64(n), 0)
+	}
+	return y
+}
+
+// MulCount returns the complex-multiply count of each function — the
+// constant factor the radix choice buys. Radix-2: (n/2)(log2 n - 1)
+// nontrivial twiddles (stage 1 twiddles are all 1). Radix-4:
+// (3n/4)(log4 n - 1) nontrivial twiddles.
+func MulCount(n int, radix int) int {
+	checkPow2(n)
+	switch radix {
+	case 2:
+		stages := bits.TrailingZeros(uint(n))
+		if stages == 0 {
+			return 0
+		}
+		return n / 2 * (stages - 1)
+	case 4:
+		if !isPow4(n) {
+			panic(fmt.Sprintf("fft: %d is not a power of four", n))
+		}
+		stages := bits.TrailingZeros(uint(n)) / 2
+		if stages == 0 {
+			return 0
+		}
+		return 3 * n / 4 * (stages - 1)
+	default:
+		panic(fmt.Sprintf("fft: unsupported radix %d", radix))
+	}
+}

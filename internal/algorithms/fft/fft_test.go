@@ -1,0 +1,157 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestAllFunctionsMatchDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomSignal(rng, n)
+		want := NaiveDFT(x)
+		impls := map[string][]complex128{
+			"dit-recursive": DITRecursive(x),
+			"dit-iterative": DITIterative(x),
+			"dif-iterative": DIFIterative(x),
+		}
+		if isPow4(n) {
+			impls["radix-4"] = Radix4Recursive(x)
+		}
+		for name, got := range impls {
+			if e := maxErr(got, want); e > 1e-9 {
+				t.Errorf("n=%d %s: max error %g", n, name, e)
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 128} {
+		x := randomSignal(rng, n)
+		if e := maxErr(Inverse(DITIterative(x)), x); e > 1e-9 {
+			t.Errorf("n=%d: roundtrip error %g", n, e)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 64
+	x := randomSignal(rng, n)
+	y := DITIterative(x)
+	var ex, ey float64
+	for i := 0; i < n; i++ {
+		ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		ey += real(y[i])*real(y[i]) + imag(y[i])*imag(y[i])
+	}
+	if math.Abs(ey-float64(n)*ex)/ey > 1e-9 {
+		t.Errorf("Parseval violated: %g vs %g", ey, float64(n)*ex)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 32
+	x, y := randomSignal(rng, n), randomSignal(rng, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*x[i] + 3i*y[i]
+	}
+	fx, fy, fs := DITIterative(x), DITIterative(y), DITIterative(sum)
+	comb := make([]complex128, n)
+	for i := range comb {
+		comb[i] = 2*fx[i] + 3i*fy[i]
+	}
+	if e := maxErr(fs, comb); e > 1e-9 {
+		t.Errorf("linearity error %g", e)
+	}
+}
+
+func TestImpulseAndConstant(t *testing.T) {
+	const n = 16
+	impulse := make([]complex128, n)
+	impulse[0] = 1
+	for i, v := range DITIterative(impulse) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse bin %d = %v", i, v)
+		}
+	}
+	ones := make([]complex128, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	f := DITIterative(ones)
+	if cmplx.Abs(f[0]-complex(n, 0)) > 1e-9 {
+		t.Errorf("DC bin = %v", f[0])
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(f[i]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0", i, f[i])
+		}
+	}
+}
+
+func TestMulCount(t *testing.T) {
+	// Radix-4 needs ~25% fewer complex multiplies than radix-2.
+	for _, n := range []int{16, 64, 256, 1024} {
+		if !isPow4(n) {
+			continue
+		}
+		r2, r4 := MulCount(n, 2), MulCount(n, 4)
+		if r4 >= r2 {
+			t.Errorf("n=%d: radix-4 multiplies %d >= radix-2 %d", n, r4, r2)
+		}
+		ratio := float64(r4) / float64(r2)
+		// Asymptotically 0.75; smaller transforms save more because the
+		// twiddle-free first stage is a bigger fraction.
+		if ratio < 0.4 || ratio > 0.95 {
+			t.Errorf("n=%d: radix-4/radix-2 multiply ratio %g out of expected band", n, ratio)
+		}
+	}
+	if MulCount(2, 2) != 0 {
+		t.Error("n=2 has no nontrivial twiddles")
+	}
+	assertPanics(t, "bad radix", func() { MulCount(8, 3) })
+	assertPanics(t, "radix4 non-pow4", func() { MulCount(8, 4) })
+	assertPanics(t, "not pow2", func() { MulCount(12, 2) })
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics(t, "dit", func() { DITIterative(make([]complex128, 3)) })
+	assertPanics(t, "dif", func() { DIFIterative(make([]complex128, 0)) })
+	assertPanics(t, "recursive", func() { DITRecursive(make([]complex128, 6)) })
+	assertPanics(t, "radix4", func() { Radix4Recursive(make([]complex128, 8)) })
+	assertPanics(t, "inverse", func() { Inverse(make([]complex128, 5)) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,151 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Butterfly is the radix-2 FFT expressed as an F&M function: log2(n)
+// stages of n nodes, node (s, i) combining stage-(s-1) values i and
+// i XOR 2^s. Out[i] is the node holding output index i (in DIT order:
+// inputs are consumed bit-reversed, outputs are natural).
+type Butterfly struct {
+	Graph *fm.Graph
+	// In holds the n input nodes in natural input order x[0..n).
+	In []fm.NodeID
+	// Out holds the n output nodes in natural frequency order.
+	Out []fm.NodeID
+	// Stage and Index give each node's (stage, line) coordinate;
+	// stage -1 marks inputs.
+	Stage map[fm.NodeID]int
+	Index map[fm.NodeID]int
+	N     int
+}
+
+// ComplexBits is the width charged per butterfly value: two float64s.
+const ComplexBits = 128
+
+// BuildButterfly constructs the radix-2 butterfly network for length n.
+func BuildButterfly(n int) *Butterfly {
+	checkPow2(n)
+	stages := bits.TrailingZeros(uint(n))
+	b := fm.NewBuilder(fmt.Sprintf("fft%d", n))
+	bf := &Butterfly{
+		Stage: make(map[fm.NodeID]int),
+		Index: make(map[fm.NodeID]int),
+		N:     n,
+	}
+
+	shift := 64 - uint(stages)
+	// cur[i] is the node currently holding butterfly line i. Line i
+	// starts from input index bitrev(i) (DIT consumes inputs reversed).
+	in := make([]fm.NodeID, n)
+	cur := make([]fm.NodeID, n)
+	for i := 0; i < n; i++ {
+		in[i] = b.Input(ComplexBits)
+		bf.Stage[in[i]] = -1
+		bf.Index[in[i]] = i
+	}
+	for i := 0; i < n; i++ {
+		if stages == 0 {
+			cur[i] = in[i]
+			continue
+		}
+		rev := int(bits.Reverse64(uint64(i)) >> shift)
+		cur[i] = in[rev]
+	}
+	for s := 0; s < stages; s++ {
+		half := 1 << s
+		next := make([]fm.NodeID, n)
+		for i := 0; i < n; i++ {
+			partner := i ^ half
+			// Each output line applies one complex multiply-add to the
+			// pair (deps ordered: own line, partner line).
+			nd := b.Op(tech.OpFMA, ComplexBits, cur[i], cur[partner])
+			b.Label(nd, "bf(s=%d,i=%d)", s, i)
+			bf.Stage[nd] = s
+			bf.Index[nd] = i
+			next[i] = nd
+		}
+		cur = next
+	}
+	for _, nd := range cur {
+		b.MarkOutput(nd)
+	}
+	bf.Graph = b.Build()
+	bf.In = in
+	bf.Out = cur
+	return bf
+}
+
+// Interpret runs the butterfly network semantically on x (natural input
+// order) and returns the transform in natural frequency order — proving
+// the graph IS the FFT before any mapping is priced.
+func (bf *Butterfly) Interpret(x []complex128) []complex128 {
+	if len(x) != bf.N {
+		panic(fmt.Sprintf("fft: %d inputs for size-%d butterfly", len(x), bf.N))
+	}
+	vals := fm.Interpret(bf.Graph, x, func(nd fm.NodeID, deps []complex128) complex128 {
+		s := bf.Stage[nd]
+		i := bf.Index[nd]
+		half := 1 << s
+		span := half * 2
+		k := i % span
+		if k < half {
+			// Top output: a + w^k * b.
+			w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(span)))
+			return deps[0] + w*deps[1]
+		}
+		// Bottom output: b_partner_top - w^(k-half) * own; deps[0] is our
+		// own line (bottom), deps[1] the partner (top).
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k-half)/float64(span)))
+		return deps[1] - w*deps[0]
+	})
+	out := make([]complex128, bf.N)
+	for i, nd := range bf.Out {
+		out[i] = vals[nd]
+	}
+	return out
+}
+
+// BlockedPlacement maps butterfly line i (and input lines) to column
+// i*P/n of the grid's row 0: contiguous blocks, so low stages are local
+// and only the top log2(P) stages cross node boundaries.
+func (bf *Butterfly) BlockedPlacement(p int, grid geom.Grid) []geom.Point {
+	return bf.placement(p, grid, func(i int) int { return i * p / bf.N })
+}
+
+// CyclicPlacement maps line i to column i mod P: the "spread it round-
+// robin, locality will take care of itself" strawman. Low stages all
+// cross node boundaries.
+func (bf *Butterfly) CyclicPlacement(p int, grid geom.Grid) []geom.Point {
+	return bf.placement(p, grid, func(i int) int { return i % p })
+}
+
+// SerialPlacement maps everything to one node.
+func (bf *Butterfly) SerialPlacement(grid geom.Grid) []geom.Point {
+	return bf.placement(1, grid, func(int) int { return 0 })
+}
+
+func (bf *Butterfly) placement(p int, grid geom.Grid, col func(i int) int) []geom.Point {
+	if p <= 0 || p > grid.Width {
+		panic(fmt.Sprintf("fft: %d processors on a grid %d wide", p, grid.Width))
+	}
+	place := make([]geom.Point, bf.Graph.NumNodes())
+	for nd := 0; nd < bf.Graph.NumNodes(); nd++ {
+		place[nd] = geom.Pt(col(bf.Index[fm.NodeID(nd)]), 0)
+	}
+	return place
+}
+
+// MappingCost prices the butterfly under a placement (ASAP times).
+func (bf *Butterfly) MappingCost(place []geom.Point, tgt fm.Target) (fm.Cost, error) {
+	sched := fm.ASAPSchedule(bf.Graph, place, tgt)
+	return fm.Evaluate(bf.Graph, sched, tgt, fm.EvalOptions{})
+}

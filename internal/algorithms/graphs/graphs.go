@@ -1,0 +1,280 @@
+// Package graphs provides the graph substrate for the irregular
+// workloads the panel keeps returning to (Vishkin's BFS-without-a-queue,
+// Blelloch's graph-processing frameworks): CSR storage, deterministic
+// generators, and both the serial queue algorithms and their work-span
+// parallel counterparts.
+package graphs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/workspan"
+)
+
+// Graph is an undirected graph in CSR form. Edges[Offs[v]:Offs[v+1]] are
+// v's neighbours; every undirected edge appears in both adjacency lists.
+type Graph struct {
+	N     int
+	Offs  []int64
+	Edges []int64
+}
+
+// FromEdges builds a CSR graph from undirected endpoint pairs.
+// Self-loops are dropped; parallel edges are kept.
+func FromEdges(n int, edges [][2]int) Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graphs: negative vertex count %d", n))
+	}
+	deg := make([]int64, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("graphs: edge (%d,%d) outside [0,%d)", u, v, n))
+		}
+		if u == v {
+			continue
+		}
+		deg[u]++
+		deg[v]++
+	}
+	offs := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offs[v+1] = offs[v] + deg[v]
+	}
+	flat := make([]int64, offs[n])
+	fill := make([]int64, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		flat[offs[u]+fill[u]] = int64(v)
+		fill[u]++
+		flat[offs[v]+fill[v]] = int64(u)
+		fill[v]++
+	}
+	return Graph{N: n, Offs: offs, Edges: flat}
+}
+
+// Degree returns vertex v's degree.
+func (g Graph) Degree(v int) int { return int(g.Offs[v+1] - g.Offs[v]) }
+
+// Neighbors returns v's adjacency slice (aliased; do not modify).
+func (g Graph) Neighbors(v int) []int64 { return g.Edges[g.Offs[v]:g.Offs[v+1]] }
+
+// NumEdges returns the number of undirected edges.
+func (g Graph) NumEdges() int { return len(g.Edges) / 2 }
+
+// Path returns the n-vertex path 0-1-...-(n-1).
+func Path(n int) Graph {
+	es := make([][2]int, 0, n)
+	for i := 0; i+1 < n; i++ {
+		es = append(es, [2]int{i, i + 1})
+	}
+	return FromEdges(n, es)
+}
+
+// Star returns the n-vertex star centred at 0.
+func Star(n int) Graph {
+	es := make([][2]int, 0, n)
+	for i := 1; i < n; i++ {
+		es = append(es, [2]int{0, i})
+	}
+	return FromEdges(n, es)
+}
+
+// Grid2D returns the w x h grid graph (vertex y*w+x).
+func Grid2D(w, h int) Graph {
+	var es [][2]int
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				es = append(es, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				es = append(es, [2]int{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	return FromEdges(w*h, es)
+}
+
+// RandomGnm returns a random graph with n vertices and m edges
+// (endpoints uniform, self-loops excluded), deterministic in seed.
+func RandomGnm(n, m int, seed int64) Graph {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([][2]int, 0, m)
+	for len(es) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			es = append(es, [2]int{u, v})
+		}
+	}
+	return FromEdges(n, es)
+}
+
+// BFSSerial is the queue-tied sequential BFS — "breadth-first search on
+// graphs had been tied to a first-in first-out queue for no good reason
+// other than enforcing serialization" (Vishkin). It returns hop
+// distances, -1 for unreachable vertices.
+func BFSSerial(g Graph, src int) []int64 {
+	checkSrc(g, src)
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int64, 0, g.N)
+	queue = append(queue, int64(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSParallel is the level-synchronous work-span BFS: each level expands
+// the whole frontier in a parallel for, claiming vertices with
+// compare-and-swap (any winner yields the same level), then compacts the
+// next frontier with a parallel filter — no FIFO anywhere. Distances are
+// identical to BFSSerial's.
+func BFSParallel(ctx *workspan.Ctx, g Graph, src, grain int) []int64 {
+	checkSrc(g, src)
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	atomic.StoreInt64(&dist[src], 0)
+	frontier := []int64{int64(src)}
+	vertices := make([]int64, g.N)
+	for i := range vertices {
+		vertices[i] = int64(i)
+	}
+	for level := int64(0); len(frontier) > 0; level++ {
+		workspan.For(ctx, 0, len(frontier), grain, func(lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				u := frontier[fi]
+				for _, v := range g.Neighbors(int(u)) {
+					if atomic.LoadInt64(&dist[v]) < 0 {
+						atomic.CompareAndSwapInt64(&dist[v], -1, level+1)
+					}
+				}
+			}
+		})
+		next := level + 1
+		frontier = workspan.Filter(ctx, vertices, grain, func(v int64) bool {
+			return atomic.LoadInt64(&dist[v]) == next
+		})
+	}
+	return dist
+}
+
+func checkSrc(g Graph, src int) {
+	if src < 0 || src >= g.N {
+		panic(fmt.Sprintf("graphs: source %d outside [0,%d)", src, g.N))
+	}
+}
+
+// ComponentsSerial labels vertices by connected component using
+// union-find with path halving; labels are the smallest vertex index in
+// the component.
+func ComponentsSerial(g Graph) []int64 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			ru, rv := find(int32(u)), find(int32(v))
+			if ru == rv {
+				continue
+			}
+			if ru < rv {
+				parent[rv] = ru
+			} else {
+				parent[ru] = rv
+			}
+		}
+	}
+	out := make([]int64, g.N)
+	for v := range out {
+		out[v] = int64(find(int32(v)))
+	}
+	return out
+}
+
+// ComponentsParallel labels components with parallel hook-to-minimum plus
+// pointer jumping (the shared-memory rendition of Shiloach-Vishkin,
+// mirroring pram.Connectivity but on real threads). Labels match
+// ComponentsSerial's.
+func ComponentsParallel(ctx *workspan.Ctx, g Graph, grain int) []int64 {
+	n := g.N
+	label := make([]int64, n)
+	for i := range label {
+		label[i] = int64(i)
+	}
+	if n == 0 {
+		return label
+	}
+	var changed atomic.Bool
+	for {
+		changed.Store(false)
+		// Hook: every edge tries to pull its larger endpoint's root down
+		// to the smaller label. Lock-free monotone minimum via CAS.
+		workspan.For(ctx, 0, n, grain, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				lu := atomic.LoadInt64(&label[u])
+				for _, v := range g.Neighbors(u) {
+					lv := atomic.LoadInt64(&label[v])
+					loL, hiL := lu, lv
+					if loL > hiL {
+						loL, hiL = hiL, loL
+					}
+					if loL == hiL {
+						continue
+					}
+					// Hook the root of the larger label if it is a root.
+					for {
+						cur := atomic.LoadInt64(&label[hiL])
+						if cur != hiL || cur <= loL {
+							break
+						}
+						if atomic.CompareAndSwapInt64(&label[hiL], cur, loL) {
+							changed.Store(true)
+							break
+						}
+					}
+				}
+			}
+		})
+		// Pointer jumping.
+		workspan.For(ctx, 0, n, grain, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				l := atomic.LoadInt64(&label[v])
+				root := atomic.LoadInt64(&label[l])
+				if root != l {
+					atomic.StoreInt64(&label[v], root)
+					changed.Store(true)
+				}
+			}
+		})
+		if !changed.Load() {
+			return label
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workspan"
+)
+
+func TestFromEdgesCSR(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 2}}) // self-loop dropped
+	if g.N != 4 || g.NumEdges() != 2 {
+		t.Errorf("N=%d edges=%d", g.N, g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 || g.Degree(2) != 1 {
+		t.Errorf("degrees = %d %d %d", g.Degree(1), g.Degree(3), g.Degree(2))
+	}
+	ns := g.Neighbors(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Errorf("neighbors(1) = %v", ns)
+	}
+	assertPanics(t, "edge range", func() { FromEdges(2, [][2]int{{0, 2}}) })
+	assertPanics(t, "negative n", func() { FromEdges(-1, nil) })
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Path(5); g.NumEdges() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Error("Path wrong")
+	}
+	if g := Star(6); g.Degree(0) != 5 || g.Degree(3) != 1 {
+		t.Error("Star wrong")
+	}
+	g := Grid2D(3, 4)
+	if g.N != 12 || g.NumEdges() != 3*3+2*4 {
+		t.Errorf("Grid2D: N=%d edges=%d", g.N, g.NumEdges())
+	}
+	// Corner degree 2, edge degree 3, interior degree 4.
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(4) != 4 {
+		t.Error("Grid2D degrees wrong")
+	}
+	r := RandomGnm(50, 120, 7)
+	if r.N != 50 || r.NumEdges() != 120 {
+		t.Errorf("RandomGnm: N=%d edges=%d", r.N, r.NumEdges())
+	}
+	// Determinism.
+	r2 := RandomGnm(50, 120, 7)
+	for i := range r.Edges {
+		if r.Edges[i] != r2.Edges[i] {
+			t.Fatal("RandomGnm not deterministic")
+		}
+	}
+}
+
+func TestBFSSerialKnown(t *testing.T) {
+	g := Path(5)
+	d := BFSSerial(g, 2)
+	want := []int64{2, 1, 0, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist = %v", d)
+			break
+		}
+	}
+	// Disconnected vertex.
+	g2 := FromEdges(3, [][2]int{{0, 1}})
+	d2 := BFSSerial(g2, 0)
+	if d2[2] != -1 {
+		t.Errorf("unreachable dist = %d", d2[2])
+	}
+	assertPanics(t, "bad src", func() { BFSSerial(g, 9) })
+}
+
+func TestBFSGridDistances(t *testing.T) {
+	g := Grid2D(7, 5)
+	d := BFSSerial(g, 0)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			if want := int64(x + y); d[y*7+x] != want {
+				t.Errorf("dist(%d,%d) = %d, want %d", x, y, d[y*7+x], want)
+			}
+		}
+	}
+}
+
+func TestBFSParallelMatchesSerial(t *testing.T) {
+	pool := workspan.NewPool(4, workspan.WorkStealing)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(200)
+		g := RandomGnm(n, 3*n, int64(trial))
+		src := rng.Intn(n)
+		want := BFSSerial(g, src)
+		var got []int64
+		pool.Run(func(c *workspan.Ctx) {
+			got = BFSParallel(c, g, src, 16)
+		})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: dist[%d] = %d, want %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestComponentsSerial(t *testing.T) {
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}, {5, 5}})
+	lbl := ComponentsSerial(g)
+	want := []int64{0, 0, 0, 3, 3, 5, 6}
+	for i := range want {
+		if lbl[i] != want[i] {
+			t.Errorf("labels = %v, want %v", lbl, want)
+			break
+		}
+	}
+}
+
+func TestComponentsParallelMatchesSerial(t *testing.T) {
+	pool := workspan.NewPool(4, workspan.WorkStealing)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(150)
+		// Sparse: many components.
+		g := RandomGnm(n, n/2, int64(trial+100))
+		want := ComponentsSerial(g)
+		var got []int64
+		pool.Run(func(c *workspan.Ctx) {
+			got = ComponentsParallel(c, g, 8)
+		})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: label[%d] = %d, want %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestComponentsPathWorstCase(t *testing.T) {
+	pool := workspan.NewPool(4, workspan.WorkStealing)
+	defer pool.Close()
+	g := Path(512)
+	var got []int64
+	pool.Run(func(c *workspan.Ctx) {
+		got = ComponentsParallel(c, g, 32)
+	})
+	for v, l := range got {
+		if l != 0 {
+			t.Fatalf("label[%d] = %d on a connected path", v, l)
+		}
+	}
+}
+
+func TestComponentsEmptyAndSingleton(t *testing.T) {
+	pool := workspan.NewPool(2, workspan.WorkStealing)
+	defer pool.Close()
+	empty := FromEdges(0, nil)
+	pool.Run(func(c *workspan.Ctx) {
+		if got := ComponentsParallel(c, empty, 4); len(got) != 0 {
+			t.Errorf("empty graph labels = %v", got)
+		}
+	})
+	if got := ComponentsSerial(FromEdges(1, nil)); got[0] != 0 {
+		t.Errorf("singleton label = %v", got)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,147 @@
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Forwarded is the physically honest systolic array: operand values are
+// passed PE-to-PE through explicit forwarding (shift-register) nodes
+// instead of being multicast from the edge, so operand traffic is linear
+// in distance travelled rather than quadratic in consumers. This is the
+// structure real systolic silicon has, and exactly the paper's "a mapping
+// may compute [or carry] the same element at multiple points in space".
+type Forwarded struct {
+	Graph *fm.Graph
+	Sched fm.Schedule
+	// Out[i*n+j] produces C[i][j].
+	Out []fm.NodeID
+	N   int
+	// Stride is the wavefront step in cycles.
+	Stride int64
+}
+
+// BuildForwarded constructs the forwarded n x n systolic array on tgt:
+// graph and schedule together, since the forwarding structure IS the
+// mapping. The target grid must be at least n x n.
+func BuildForwarded(n int, tgt fm.Target) *Forwarded {
+	if n <= 0 {
+		panic(fmt.Sprintf("matmul: invalid size %d", n))
+	}
+	if tgt.Grid.Width < n || tgt.Grid.Height < n {
+		panic(fmt.Sprintf("matmul: forwarded systolic needs %dx%d grid, have %dx%d",
+			n, n, tgt.Grid.Width, tgt.Grid.Height))
+	}
+	// One wavefront step must cover a forward (copy + one hop) and a MAC;
+	// the three per-PE event families are offset by 0/1/2 cycles inside a
+	// step, so the step must also be >= 3 cycles.
+	s := tgt.OpCycles(tech.OpFMA, 32)
+	if v := tgt.OpCycles(tech.OpLogic, 32) + tgt.TransitCycles(1); v > s {
+		s = v
+	}
+	if s < 3 {
+		s = 3
+	}
+
+	b := fm.NewBuilder(fmt.Sprintf("matmul%d-systolic", n))
+	var sched fm.Schedule
+	at := func(id fm.NodeID, p geom.Point, t int64) {
+		for int(id) >= len(sched) {
+			sched = append(sched, fm.Assignment{})
+		}
+		sched[id] = fm.Assignment{Place: p, Time: t}
+	}
+
+	// Inputs on the west (A) and north (B) edges.
+	aIn := make([]fm.NodeID, n*n)
+	bIn := make([]fm.NodeID, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aIn[i*n+k] = b.Input(32)
+			at(aIn[i*n+k], geom.Pt(0, i), int64(i+k)*s)
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			bIn[k*n+j] = b.Input(32)
+			at(bIn[k*n+j], geom.Pt(j, 0), int64(k+j)*s)
+		}
+	}
+
+	// Forwarding registers: fa[i][k][j] holds A[i][k] at PE (j,i);
+	// fb[k][j][i] holds B[k][j] at PE (j,i).
+	fa := make([]fm.NodeID, n*n*n)
+	fb := make([]fm.NodeID, n*n*n)
+	faIdx := func(i, k, j int) int { return (i*n+k)*n + j }
+	fbIdx := func(k, j, i int) int { return (k*n+j)*n + i }
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			fa[faIdx(i, k, 0)] = aIn[i*n+k]
+			for j := 1; j < n; j++ {
+				nd := b.Op(tech.OpLogic, 32, fa[faIdx(i, k, j-1)])
+				at(nd, geom.Pt(j, i), int64(i+k+j)*s)
+				fa[faIdx(i, k, j)] = nd
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			fb[fbIdx(k, j, 0)] = bIn[k*n+j]
+			for i := 1; i < n; i++ {
+				nd := b.Op(tech.OpLogic, 32, fb[fbIdx(k, j, i-1)])
+				at(nd, geom.Pt(j, i), int64(k+j+i)*s+1)
+				fb[fbIdx(k, j, i)] = nd
+			}
+		}
+	}
+
+	// MACs, output-stationary at PE (j,i).
+	f := &Forwarded{N: n, Stride: s}
+	f.Out = make([]fm.NodeID, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var prev fm.NodeID = -1
+			for k := 0; k < n; k++ {
+				deps := []fm.NodeID{fa[faIdx(i, k, j)], fb[fbIdx(k, j, i)]}
+				if prev >= 0 {
+					deps = append(deps, prev)
+				}
+				nd := b.Op(tech.OpFMA, 32, deps...)
+				at(nd, geom.Pt(j, i), int64(i+j+k+1)*s+2)
+				prev = nd
+			}
+			f.Out[i*n+j] = prev
+			b.MarkOutput(prev)
+		}
+	}
+	f.Graph = b.Build()
+	f.Sched = sched
+	return f
+}
+
+// Interpret runs the forwarded array semantically.
+func (f *Forwarded) Interpret(a, bm []int64) []int64 {
+	n := f.N
+	if len(a) != n*n || len(bm) != n*n {
+		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(bm), n))
+	}
+	inputs := append(append([]int64(nil), a...), bm...)
+	vals := fm.Interpret(f.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
+		if len(deps) == 1 {
+			return deps[0] // forwarding register
+		}
+		acc := deps[0] * deps[1]
+		if len(deps) == 3 {
+			acc += deps[2]
+		}
+		return acc
+	})
+	out := make([]int64, n*n)
+	for i, nd := range f.Out {
+		out[i] = vals[nd]
+	}
+	return out
+}

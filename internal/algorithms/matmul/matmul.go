@@ -1,0 +1,177 @@
+// Package matmul expresses dense matrix multiplication as an F&M
+// function and maps it onto the archetypal 2-D systolic array — the
+// design the panel paper reaches for when it says algorithms expressed
+// as function + mapping lower directly to hardware ("systolic arrays"
+// among the communication-conscious designs Dally lists). Output element
+// (i,j) accumulates in place at PE (i,j); A streams in from the west
+// edge, B from the north edge; the wavefront time i+j+k makes every
+// dependence nearest-neighbour or in-place.
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// MatMul is the materialized function C = A*B for n x n matrices: one
+// multiply-accumulate node per (i,j,k).
+type MatMul struct {
+	Graph *fm.Graph
+	// A[i*n+k] and B[k*n+j] are the input nodes.
+	A, B []fm.NodeID
+	// Out[i*n+j] produces C[i][j].
+	Out []fm.NodeID
+	mac [][]fm.NodeID // mac[i*n+j][k]
+	N   int
+}
+
+// Build constructs the function for n x n matrices.
+func Build(n int) *MatMul {
+	if n <= 0 {
+		panic(fmt.Sprintf("matmul: invalid size %d", n))
+	}
+	b := fm.NewBuilder(fmt.Sprintf("matmul%d", n))
+	m := &MatMul{N: n}
+	m.A = make([]fm.NodeID, n*n)
+	m.B = make([]fm.NodeID, n*n)
+	for i := range m.A {
+		m.A[i] = b.Input(32)
+	}
+	for i := range m.B {
+		m.B[i] = b.Input(32)
+	}
+	m.mac = make([][]fm.NodeID, n*n)
+	m.Out = make([]fm.NodeID, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cell := make([]fm.NodeID, n)
+			for k := 0; k < n; k++ {
+				deps := []fm.NodeID{m.A[i*n+k], m.B[k*n+j]}
+				if k > 0 {
+					deps = append(deps, cell[k-1])
+				}
+				nd := b.Op(tech.OpFMA, 32, deps...)
+				b.Label(nd, "mac(%d,%d,%d)", i, j, k)
+				cell[k] = nd
+			}
+			m.mac[i*n+j] = cell
+			m.Out[i*n+j] = cell[n-1]
+			b.MarkOutput(cell[n-1])
+		}
+	}
+	m.Graph = b.Build()
+	return m
+}
+
+// Interpret runs the function semantically: a and b are row-major n x n
+// int64 matrices; the result is row-major C = A*B.
+func (m *MatMul) Interpret(a, b []int64) []int64 {
+	n := m.N
+	if len(a) != n*n || len(b) != n*n {
+		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(b), n))
+	}
+	inputs := append(append([]int64(nil), a...), b...)
+	vals := fm.Interpret(m.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
+		acc := deps[0] * deps[1]
+		if len(deps) == 3 {
+			acc += deps[2]
+		}
+		return acc
+	})
+	out := make([]int64, n*n)
+	for i, nd := range m.Out {
+		out[i] = vals[nd]
+	}
+	return out
+}
+
+// Reference computes C = A*B directly.
+func Reference(a, b []int64, n int) []int64 {
+	if len(a) != n*n || len(b) != n*n {
+		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(b), n))
+	}
+	c := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+// Systolic maps the function onto an n x n output-stationary array:
+// mac(i,j,k) runs at PE (j,i) [grid x = column j, y = row i] at wavefront
+// step i+j+k; A[i][k] enters at the west edge of row i at step i+k,
+// B[k][j] at the north edge of column j at step k+j. Every dependence is
+// in-place or rides the wavefront, so one step of slack per hop suffices.
+func (m *MatMul) Systolic(tgt fm.Target) fm.Schedule {
+	n := m.N
+	if tgt.Grid.Width < n || tgt.Grid.Height < n {
+		panic(fmt.Sprintf("matmul: systolic needs an %dx%d grid, have %dx%d",
+			n, n, tgt.Grid.Width, tgt.Grid.Height))
+	}
+	s := tgt.OpCycles(tech.OpFMA, 32)
+	if h := tgt.TransitCycles(1); h > s {
+		s = h
+	}
+	sched := make(fm.Schedule, m.Graph.NumNodes())
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			sched[m.A[i*n+k]] = fm.Assignment{Place: geom.Pt(0, i), Time: int64(i+k) * s}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			sched[m.B[k*n+j]] = fm.Assignment{Place: geom.Pt(j, 0), Time: int64(k+j) * s}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				sched[m.mac[i*n+j][k]] = fm.Assignment{
+					Place: geom.Pt(j, i),
+					Time:  int64(i+j+k+1) * s,
+				}
+			}
+		}
+	}
+	return sched
+}
+
+// Serial maps the function onto one node.
+func (m *MatMul) Serial(tgt fm.Target) fm.Schedule {
+	return fm.SerialSchedule(m.Graph, tgt, geom.Pt(0, 0))
+}
+
+// Traffic attributes a schedule's bit-hops to the three tensors.
+type Traffic struct {
+	A, B, Partials int64
+}
+
+// AttributeTraffic splits a mapping's communication by tensor.
+func (m *MatMul) AttributeTraffic(sched fm.Schedule) Traffic {
+	inA := make(map[fm.NodeID]bool, len(m.A))
+	for _, nd := range m.A {
+		inA[nd] = true
+	}
+	inB := make(map[fm.NodeID]bool, len(m.B))
+	for _, nd := range m.B {
+		inB[nd] = true
+	}
+	return Traffic{
+		A: fm.TrafficFrom(m.Graph, sched, func(n fm.NodeID) bool { return inA[n] }),
+		B: fm.TrafficFrom(m.Graph, sched, func(n fm.NodeID) bool { return inB[n] }),
+		Partials: fm.TrafficFrom(m.Graph, sched, func(n fm.NodeID) bool {
+			return !m.Graph.IsInput(n)
+		}),
+	}
+}

@@ -1,0 +1,215 @@
+package matmul
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/lower"
+	"repro/internal/verify"
+)
+
+func randMat(rng *rand.Rand, n int) []int64 {
+	m := make([]int64, n*n)
+	for i := range m {
+		m[i] = rng.Int63n(20) - 10
+	}
+	return m
+}
+
+func TestReferenceIdentity(t *testing.T) {
+	n := 4
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, n)
+	id := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	got := Reference(a, id, n)
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	m := Build(3)
+	if m.Graph.CountOps() != 27 {
+		t.Errorf("ops = %d, want 27", m.Graph.CountOps())
+	}
+	if len(m.Graph.Inputs()) != 18 {
+		t.Errorf("inputs = %d", len(m.Graph.Inputs()))
+	}
+	if len(m.Graph.Outputs()) != 9 {
+		t.Errorf("outputs = %d", len(m.Graph.Outputs()))
+	}
+	assertPanics(t, "bad n", func() { Build(0) })
+}
+
+func TestInterpretMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		m := Build(n)
+		a, b := randMat(rng, n), randMat(rng, n)
+		got := m.Interpret(a, b)
+		want := Reference(a, b, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: C[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func systolicTarget(n int) fm.Target {
+	tgt := fm.DefaultTarget(n, n)
+	tgt.Grid.PitchMM = 0.2
+	tgt.MemWordsPerNode = 1 << 20
+	return tgt
+}
+
+func TestSystolicLegalAndOutputStationary(t *testing.T) {
+	const n = 6
+	m := Build(n)
+	tgt := systolicTarget(n)
+	sched := m.Systolic(tgt)
+	if err := fm.Check(m.Graph, sched, tgt); err != nil {
+		t.Fatalf("systolic mapping illegal: %v", err)
+	}
+	if res := verify.Refine(m.Graph, sched, tgt); !res.OK() {
+		t.Fatalf("refinement failed: %d violations", len(res.Violations))
+	}
+	tr := m.AttributeTraffic(sched)
+	if tr.Partials != 0 {
+		t.Errorf("output-stationary array moves partials: %d", tr.Partials)
+	}
+	if tr.A == 0 || tr.B == 0 {
+		t.Errorf("operands should flow: %+v", tr)
+	}
+}
+
+func TestSystolicBeatsSerial(t *testing.T) {
+	const n = 6
+	m := Build(n)
+	tgt := systolicTarget(n)
+	sys, err := fm.Evaluate(m.Graph, m.Systolic(tgt), tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := fm.Evaluate(m.Graph, m.Serial(tgt), tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n^2 PEs vs 1: the wavefront finishes in O(n) steps vs n^3 ops.
+	if sys.Cycles*4 > ser.Cycles {
+		t.Errorf("systolic %d cycles vs serial %d: expected >=4x", sys.Cycles, ser.Cycles)
+	}
+	if sys.PlacesUsed != n*n {
+		t.Errorf("PlacesUsed = %d, want %d", sys.PlacesUsed, n*n)
+	}
+	if sys.ComputeEnergy != ser.ComputeEnergy {
+		t.Error("compute energy must be mapping-invariant")
+	}
+}
+
+func TestForwardedComputesProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 6} {
+		tgt := systolicTarget(n)
+		f := BuildForwarded(n, tgt)
+		a, b := randMat(rng, n), randMat(rng, n)
+		got := f.Interpret(a, b)
+		want := Reference(a, b, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: C[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForwardedLegal(t *testing.T) {
+	const n = 6
+	tgt := systolicTarget(n)
+	f := BuildForwarded(n, tgt)
+	if err := fm.Check(f.Graph, f.Sched, tgt); err != nil {
+		t.Fatalf("forwarded systolic illegal: %v", err)
+	}
+	if res := verify.Refine(f.Graph, f.Sched, tgt); !res.OK() {
+		t.Fatalf("refinement failed: %d violations", len(res.Violations))
+	}
+}
+
+func TestForwardedTrafficIsNearestNeighbour(t *testing.T) {
+	// Every transfer in the forwarded array is exactly one hop: operand
+	// traffic is linear, unlike the multicast accounting of Systolic.
+	const n = 6
+	tgt := systolicTarget(n)
+	f := BuildForwarded(n, tgt)
+	cost, err := fm.Evaluate(f.Graph, f.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfers: each forward covers 1 hop of 32 bits. fa: n^2 values x
+	// (n-1) hops; fb likewise. MAC consumption is co-located.
+	want := int64(2 * n * n * (n - 1) * 32)
+	if cost.BitHops != want {
+		t.Errorf("BitHops = %d, want %d (pure nearest-neighbour)", cost.BitHops, want)
+	}
+
+	m := Build(n)
+	direct, err := fm.Evaluate(m.Graph, m.Systolic(tgt), tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multicast accounting pays quadratic distance: sum of j over
+	// consumers. Forwarding must be strictly cheaper in bit-hops.
+	if cost.BitHops >= direct.BitHops {
+		t.Errorf("forwarded %d bit-hops should beat multicast %d", cost.BitHops, direct.BitHops)
+	}
+}
+
+func TestForwardedLowersTo2DArray(t *testing.T) {
+	const n = 4
+	tgt := systolicTarget(n)
+	f := BuildForwarded(n, tgt)
+	arch, err := lower.Lower(f.Graph, f.Sched, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arch.PEs) != n*n {
+		t.Fatalf("PEs = %d, want %d", len(arch.PEs), n*n)
+	}
+	for _, ch := range arch.Channels {
+		if ch.From.Manhattan(ch.To) != 1 {
+			t.Errorf("non-unit channel %v -> %v", ch.From, ch.To)
+		}
+		// Forwarding flows east (A) and south (B) only.
+		dx, dy := ch.To.X-ch.From.X, ch.To.Y-ch.From.Y
+		if !(dx == 1 && dy == 0 || dx == 0 && dy == 1) {
+			t.Errorf("backwards channel %v -> %v", ch.From, ch.To)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := Build(4)
+	assertPanics(t, "systolic grid", func() { m.Systolic(fm.DefaultTarget(2, 2)) })
+	assertPanics(t, "interpret arity", func() { m.Interpret(make([]int64, 4), make([]int64, 16)) })
+	assertPanics(t, "reference arity", func() { Reference(make([]int64, 4), make([]int64, 4), 3) })
+	assertPanics(t, "forwarded grid", func() { BuildForwarded(4, fm.DefaultTarget(2, 2)) })
+	assertPanics(t, "forwarded n", func() { BuildForwarded(0, fm.DefaultTarget(2, 2)) })
+	f := BuildForwarded(2, systolicTarget(2))
+	assertPanics(t, "forwarded interpret arity", func() { f.Interpret(nil, nil) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

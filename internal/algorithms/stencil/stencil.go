@@ -1,0 +1,176 @@
+// Package stencil implements the iterative 1-D Jacobi stencil — the
+// canonical halo-exchange workload behind the panel's locality arguments
+// (Yelick: "algorithms must treat communication avoidance as a
+// first-class optimization target, reducing both data movement volume
+// and number of distinct events"; Dally's grid model prices exactly this
+// surface-to-volume effect).
+//
+// The function is the 2-D (time x space) uniform recurrence
+//
+//	u(t, x) = f(u(t-1, x-1), u(t-1, x), u(t-1, x+1))
+//
+// materialized through fm.Recurrence (the offset (1,-1) is
+// lexicographically positive, so the dependence structure is legal by
+// construction). Mappings: BLOCKED gives each processor a contiguous
+// slab of x, so per step only the two halo cells cross a boundary —
+// communication scales with the surface while compute scales with the
+// volume; CYCLIC deals x round-robin, making every neighbour remote.
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Recurrence returns the steps x width Jacobi dataflow.
+func Recurrence(steps, width int) fm.Recurrence {
+	if steps <= 0 || width <= 2 {
+		panic(fmt.Sprintf("stencil: invalid size %dx%d", steps, width))
+	}
+	return fm.Recurrence{
+		Name: fmt.Sprintf("jacobi%dx%d", steps, width),
+		Dims: []int{steps, width},
+		Deps: [][]int{{1, 1}, {1, 0}, {1, -1}},
+		Op:   tech.OpAdd, // a Jacobi cell is adds and a scale
+		Bits: 32,
+	}
+}
+
+// Interpret runs the recurrence semantically with the standard Jacobi
+// average u(t,x) = (left + mid + right) / 3, boundary cells clamped (a
+// missing neighbour contributes the cell's own previous value). init is
+// the t = -1 state of length width; the returned slice is the state
+// after the final step. Integer division keeps semantics exact.
+func Interpret(g *fm.Graph, dom *fm.Domain, initial []int64) []int64 {
+	steps, width := dom.Dims()[0], dom.Dims()[1]
+	if len(initial) != width {
+		panic(fmt.Sprintf("stencil: %d initial values for width %d", len(initial), width))
+	}
+	idx := make([]int, 2)
+	vals := fm.Interpret(g, nil, func(n fm.NodeID, deps []int64) int64 {
+		dom.Index(n, idx)
+		t, x := idx[0], idx[1]
+		// Deps arrive in offset order (1,1), (1,0), (1,-1) filtered to the
+		// domain; missing values come from the initial state or clamping.
+		k := 0
+		take := func(inDomain bool, px int) int64 {
+			if inDomain {
+				v := deps[k]
+				k++
+				return v
+			}
+			if t == 0 {
+				if px < 0 {
+					px = 0
+				}
+				if px >= width {
+					px = width - 1
+				}
+				return initial[px]
+			}
+			// Off the spatial edge at t > 0: clamp is handled below by
+			// reusing the middle value; signal with a sentinel.
+			return clampSentinel
+		}
+		left := take(t > 0 && x > 0, x-1)
+		mid := take(t > 0, x)
+		right := take(t > 0 && x < width-1, x+1)
+		if left == clampSentinel {
+			left = mid
+		}
+		if right == clampSentinel {
+			right = mid
+		}
+		return (left + mid + right) / 3
+	})
+	out := make([]int64, width)
+	for x := 0; x < width; x++ {
+		out[x] = vals[dom.Node(steps-1, x)]
+	}
+	return out
+}
+
+const clampSentinel = int64(-1) << 62
+
+// Reference computes the same iteration directly.
+func Reference(initial []int64, steps int) []int64 {
+	width := len(initial)
+	cur := append([]int64(nil), initial...)
+	next := make([]int64, width)
+	for t := 0; t < steps; t++ {
+		for x := 0; x < width; x++ {
+			l, m, r := x-1, x, x+1
+			if l < 0 {
+				l = x
+			}
+			if r >= width {
+				r = x
+			}
+			next[x] = (cur[l] + cur[m] + cur[r]) / 3
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// BlockedSchedule maps cell (t, x) to the processor owning x's slab,
+// time-stepped so one stencil step costs one stride (which must cover
+// the op plus one halo hop). Processors are the first p nodes of row 0.
+func BlockedSchedule(dom *fm.Domain, p int, tgt fm.Target) fm.Schedule {
+	steps, width := dom.Dims()[0], dom.Dims()[1]
+	if p <= 0 || p > tgt.Grid.Width {
+		panic(fmt.Sprintf("stencil: %d processors on grid width %d", p, tgt.Grid.Width))
+	}
+	_ = steps
+	s := stride(tgt)
+	block := (width + p - 1) / p
+	return fm.ScheduleByIndex(dom, func(idx []int) fm.Assignment {
+		t, x := idx[0], idx[1]
+		owner := x / block
+		// Within a step, cells issue in per-processor slots: local offset
+		// keeps issue slots distinct.
+		local := x % block
+		return fm.Assignment{
+			Place: geom.Pt(owner, 0),
+			Time:  int64(t)*int64(block)*s + int64(local)*s + s,
+		}
+	})
+}
+
+// CyclicSchedule deals x round-robin across processors: every neighbour
+// remote, the locality-blind strawman.
+func CyclicSchedule(dom *fm.Domain, p int, tgt fm.Target) fm.Schedule {
+	width := dom.Dims()[1]
+	if p <= 0 || p > tgt.Grid.Width {
+		panic(fmt.Sprintf("stencil: %d processors on grid width %d", p, tgt.Grid.Width))
+	}
+	s := stride(tgt)
+	perProc := (width + p - 1) / p
+	return fm.ScheduleByIndex(dom, func(idx []int) fm.Assignment {
+		t, x := idx[0], idx[1]
+		owner := x % p
+		local := x / p
+		return fm.Assignment{
+			Place: geom.Pt(owner, 0),
+			Time:  int64(t)*int64(perProc)*s + int64(local)*s + s,
+		}
+	})
+}
+
+// stride is one cell-issue slot. The tight dependence is the halo: the
+// first cell of a slab consumes the last cell of the left neighbour's
+// slab computed one slot earlier, so a slot must cover the op latency
+// plus one hop of transit.
+func stride(tgt fm.Target) int64 {
+	return tgt.OpCycles(tech.OpAdd, 32) + tgt.TransitCycles(1)
+}
+
+// HaloTraffic returns the bit-hops a schedule spends on values crossing
+// processor boundaries, per time step on average.
+func HaloTraffic(g *fm.Graph, dom *fm.Domain, sched fm.Schedule) float64 {
+	total := fm.TrafficFrom(g, sched, func(fm.NodeID) bool { return true })
+	return float64(total) / float64(dom.Dims()[0])
+}

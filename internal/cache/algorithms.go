@@ -1,0 +1,240 @@
+package cache
+
+import "fmt"
+
+// Mat describes a row-major matrix in the simulated address space; the
+// algorithms below drive its access pattern through a Sim without storing
+// any data (the ideal-cache model prices movement, not arithmetic).
+type Mat struct {
+	Base       int64
+	Rows, Cols int
+}
+
+// Addr returns the address of element (i, j).
+func (m Mat) Addr(i, j int) int64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("cache: index (%d,%d) outside %dx%d matrix", i, j, m.Rows, m.Cols))
+	}
+	return m.Base + int64(i)*int64(m.Cols) + int64(j)
+}
+
+// Words returns the footprint of the matrix.
+func (m Mat) Words() int64 { return int64(m.Rows) * int64(m.Cols) }
+
+// NewMats lays out matrices consecutively from address 0 with the given
+// shapes, returning one Mat per (rows, cols) pair.
+func NewMats(shapes ...[2]int) []Mat {
+	var out []Mat
+	var base int64
+	for _, s := range shapes {
+		m := Mat{Base: base, Rows: s[0], Cols: s[1]}
+		out = append(out, m)
+		base += m.Words()
+	}
+	return out
+}
+
+// TransposeNaive writes dst = src^T with the doubly nested loop: src is
+// scanned by rows (good) but dst by columns (one miss per element once
+// the matrix exceeds the cache): Q = Theta(n^2).
+func TransposeNaive(s *Sim, src, dst Mat) {
+	checkTranspose(src, dst)
+	for i := 0; i < src.Rows; i++ {
+		for j := 0; j < src.Cols; j++ {
+			s.Access(src.Addr(i, j))
+			s.Access(dst.Addr(j, i))
+		}
+	}
+}
+
+// TransposeBlocked tiles the transpose with blk x blk blocks, the
+// cache-AWARE version: optimal Q = Theta(n^2/B) only when blk is tuned so
+// two blocks fit the target level.
+func TransposeBlocked(s *Sim, src, dst Mat, blk int) {
+	checkTranspose(src, dst)
+	if blk <= 0 {
+		panic(fmt.Sprintf("cache: invalid block size %d", blk))
+	}
+	for bi := 0; bi < src.Rows; bi += blk {
+		for bj := 0; bj < src.Cols; bj += blk {
+			for i := bi; i < min(bi+blk, src.Rows); i++ {
+				for j := bj; j < min(bj+blk, src.Cols); j++ {
+					s.Access(src.Addr(i, j))
+					s.Access(dst.Addr(j, i))
+				}
+			}
+		}
+	}
+}
+
+// TransposeCO is the cache-OBLIVIOUS transpose: recursively split the
+// larger dimension until the tile is tiny, giving Q = Theta(n^2/B) at
+// every cache level simultaneously, with no tuning parameter.
+func TransposeCO(s *Sim, src, dst Mat) {
+	checkTranspose(src, dst)
+	var rec func(i0, i1, j0, j1 int)
+	rec = func(i0, i1, j0, j1 int) {
+		di, dj := i1-i0, j1-j0
+		if di <= 8 && dj <= 8 {
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					s.Access(src.Addr(i, j))
+					s.Access(dst.Addr(j, i))
+				}
+			}
+			return
+		}
+		if di >= dj {
+			mid := i0 + di/2
+			rec(i0, mid, j0, j1)
+			rec(mid, i1, j0, j1)
+		} else {
+			mid := j0 + dj/2
+			rec(i0, i1, j0, mid)
+			rec(i0, i1, mid, j1)
+		}
+	}
+	rec(0, src.Rows, 0, src.Cols)
+}
+
+func checkTranspose(src, dst Mat) {
+	if src.Rows != dst.Cols || src.Cols != dst.Rows {
+		panic(fmt.Sprintf("cache: transpose shape mismatch %dx%d -> %dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+}
+
+// MatMulIJK drives C += A*B with the classic triple loop: B is walked by
+// columns, missing on essentially every inner access once B exceeds the
+// cache: Q = Theta(n^3).
+func MatMulIJK(s *Sim, a, b, c Mat) {
+	checkMatMul(a, b, c)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s.Access(c.Addr(i, j))
+			for k := 0; k < a.Cols; k++ {
+				s.Access(a.Addr(i, k))
+				s.Access(b.Addr(k, j))
+			}
+			s.Access(c.Addr(i, j))
+		}
+	}
+}
+
+// MatMulBlocked tiles all three loops with blk x blk blocks (cache-aware):
+// Q = Theta(n^3 / (B*sqrt(M))) when blk ~ sqrt(M/3) for the target level.
+func MatMulBlocked(s *Sim, a, b, c Mat, blk int) {
+	checkMatMul(a, b, c)
+	if blk <= 0 {
+		panic(fmt.Sprintf("cache: invalid block size %d", blk))
+	}
+	n, m, p := a.Rows, a.Cols, b.Cols
+	for bi := 0; bi < n; bi += blk {
+		for bj := 0; bj < p; bj += blk {
+			for bk := 0; bk < m; bk += blk {
+				for i := bi; i < min(bi+blk, n); i++ {
+					for j := bj; j < min(bj+blk, p); j++ {
+						s.Access(c.Addr(i, j))
+						for k := bk; k < min(bk+blk, m); k++ {
+							s.Access(a.Addr(i, k))
+							s.Access(b.Addr(k, j))
+						}
+						s.Access(c.Addr(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulCO is the cache-oblivious recursive matrix multiply: split the
+// largest of the three dimensions in half until the subproblem is tiny.
+// Q = Theta(n^3/(B*sqrt(M))) at every level, no tuning.
+func MatMulCO(s *Sim, a, b, c Mat) {
+	checkMatMul(a, b, c)
+	var rec func(i0, i1, j0, j1, k0, k1 int)
+	rec = func(i0, i1, j0, j1, k0, k1 int) {
+		di, dj, dk := i1-i0, j1-j0, k1-k0
+		if di <= 8 && dj <= 8 && dk <= 8 {
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					s.Access(c.Addr(i, j))
+					for k := k0; k < k1; k++ {
+						s.Access(a.Addr(i, k))
+						s.Access(b.Addr(k, j))
+					}
+					s.Access(c.Addr(i, j))
+				}
+			}
+			return
+		}
+		switch {
+		case di >= dj && di >= dk:
+			mid := i0 + di/2
+			rec(i0, mid, j0, j1, k0, k1)
+			rec(mid, i1, j0, j1, k0, k1)
+		case dj >= dk:
+			mid := j0 + dj/2
+			rec(i0, i1, j0, mid, k0, k1)
+			rec(i0, i1, mid, j1, k0, k1)
+		default:
+			mid := k0 + dk/2
+			rec(i0, i1, j0, j1, k0, mid)
+			rec(i0, i1, j0, j1, mid, k1)
+		}
+	}
+	rec(0, a.Rows, 0, b.Cols, 0, a.Cols)
+}
+
+func checkMatMul(a, b, c Mat) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("cache: matmul shape mismatch %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+}
+
+// MergeSortTrace drives the access pattern of a (cache-oblivious)
+// top-down merge sort of n words at base, using a temp buffer right after
+// the array: Q = Theta((n/B) log(n/M)).
+func MergeSortTrace(s *Sim, base int64, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("cache: invalid sort length %d", n))
+	}
+	tmp := base + int64(n)
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= 1 {
+			if hi-lo == 1 {
+				s.Access(base + int64(lo))
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		rec(lo, mid)
+		rec(mid, hi)
+		// Merge: read both runs sequentially, write to tmp, copy back.
+		i, j := lo, mid
+		for k := lo; k < hi; k++ {
+			if j >= hi || (i < mid && (k%2 == 0 || j >= hi)) {
+				s.Access(base + int64(i))
+				i++
+			} else {
+				s.Access(base + int64(j))
+				j++
+			}
+			s.Access(tmp + int64(k))
+		}
+		for k := lo; k < hi; k++ {
+			s.Access(tmp + int64(k))
+			s.Access(base + int64(k))
+		}
+	}
+	rec(0, n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+)
+
+// l2ish is a cache comfortably smaller than the test matrices.
+func l2ish() Level { return Level{MWords: 4096, BWords: 16} }
+
+func TestMatAddressing(t *testing.T) {
+	ms := NewMats([2]int{4, 8}, [2]int{8, 4})
+	a, b := ms[0], ms[1]
+	if a.Addr(0, 0) != 0 || a.Addr(1, 0) != 8 || a.Addr(3, 7) != 31 {
+		t.Error("row-major addressing wrong")
+	}
+	if b.Base != 32 {
+		t.Errorf("second matrix base = %d", b.Base)
+	}
+	if a.Words() != 32 {
+		t.Errorf("Words = %d", a.Words())
+	}
+	assertPanics(t, "row OOB", func() { a.Addr(4, 0) })
+	assertPanics(t, "col OOB", func() { a.Addr(0, 8) })
+}
+
+func TestTransposeVariantsSameAccesses(t *testing.T) {
+	// All three transposes touch exactly the same multiset of addresses;
+	// only the ORDER differs — which is the whole point of the model.
+	const n = 64
+	run := func(f func(s *Sim, src, dst Mat)) (accesses, misses int64) {
+		s := New(l2ish())
+		ms := NewMats([2]int{n, n}, [2]int{n, n})
+		f(s, ms[0], ms[1])
+		return s.Accesses(), s.Misses(0)
+	}
+	an, _ := run(TransposeNaive)
+	ab, _ := run(func(s *Sim, a, b Mat) { TransposeBlocked(s, a, b, 16) })
+	ac, _ := run(TransposeCO)
+	if an != 2*n*n || ab != an || ac != an {
+		t.Errorf("access counts differ: naive=%d blocked=%d co=%d", an, ab, ac)
+	}
+}
+
+func TestTransposeMissOrdering(t *testing.T) {
+	// n=128, cache 1024 words in 64 lines of 16: one matrix column spans
+	// 128 lines, twice the cache, so the naive column walk misses on
+	// essentially every dst element while blocked/oblivious stay near
+	// 2*n^2/B.
+	const n = 128
+	miss := func(f func(s *Sim, src, dst Mat)) int64 {
+		s := New(Level{MWords: 1024, BWords: 16})
+		ms := NewMats([2]int{n, n}, [2]int{n, n})
+		f(s, ms[0], ms[1])
+		return s.Misses(0)
+	}
+	naive := miss(TransposeNaive)
+	blocked := miss(func(s *Sim, a, b Mat) { TransposeBlocked(s, a, b, 16) })
+	co := miss(TransposeCO)
+
+	optimal := int64(2 * n * n / 16) // every word moved once, 16 words/line
+	if naive < 4*optimal {
+		t.Errorf("naive misses = %d, should be far above optimal %d", naive, optimal)
+	}
+	if blocked > 2*optimal {
+		t.Errorf("blocked misses = %d, want near optimal %d", blocked, optimal)
+	}
+	if co > 2*optimal {
+		t.Errorf("cache-oblivious misses = %d, want near optimal %d", co, optimal)
+	}
+}
+
+func TestTransposeCOOptimalAtAllLevelsAtOnce(t *testing.T) {
+	// The cache-oblivious claim: near-optimal at EVERY level of a
+	// hierarchy in a single run, with no tuning parameter.
+	const n = 128
+	levels := []Level{
+		{MWords: 512, BWords: 8},
+		{MWords: 4096, BWords: 16},
+		{MWords: 32768, BWords: 32},
+	}
+	co := New(levels...)
+	ms := NewMats([2]int{n, n}, [2]int{n, n})
+	TransposeCO(co, ms[0], ms[1])
+	for i, l := range levels {
+		optimal := int64(2 * n * n / l.BWords)
+		if co.Misses(i) > 3*optimal {
+			t.Errorf("level %d: CO misses = %d, want <= 3x optimal %d", i, co.Misses(i), optimal)
+		}
+	}
+	// A block size tuned for the big level is poor at the small level: a
+	// 64-wide destination block spans 64 lines of 8 words, the whole
+	// small cache, so interleaved source traffic evicts them cyclically.
+	bl := New(levels...)
+	ms2 := NewMats([2]int{n, n}, [2]int{n, n})
+	TransposeBlocked(bl, ms2[0], ms2[1], 64)
+	optimal0 := int64(2 * n * n / levels[0].BWords)
+	if bl.Misses(0) < 2*optimal0 {
+		t.Errorf("mistuned blocked should thrash the small level: %d vs optimal %d",
+			bl.Misses(0), optimal0)
+	}
+}
+
+func TestMatMulMissOrdering(t *testing.T) {
+	const n = 48 // keep the n^3 trace fast
+	level := Level{MWords: 1024, BWords: 8}
+	miss := func(f func(s *Sim, a, b, c Mat)) int64 {
+		s := New(level)
+		ms := NewMats([2]int{n, n}, [2]int{n, n}, [2]int{n, n})
+		f(s, ms[0], ms[1], ms[2])
+		return s.Misses(0)
+	}
+	naive := miss(MatMulIJK)
+	blocked := miss(func(s *Sim, a, b, c Mat) { MatMulBlocked(s, a, b, c, 16) })
+	co := miss(MatMulCO)
+	if blocked >= naive || co >= naive {
+		t.Errorf("locality should beat ijk: naive=%d blocked=%d co=%d", naive, blocked, co)
+	}
+	// Both locality versions should be within a small factor of each other.
+	if co > 3*blocked || blocked > 3*co {
+		t.Errorf("blocked (%d) and CO (%d) should be comparable", blocked, co)
+	}
+}
+
+func TestMatMulAccessCountsAgree(t *testing.T) {
+	const n = 16
+	count := func(f func(s *Sim, a, b, c Mat)) int64 {
+		s := New(l2ish())
+		ms := NewMats([2]int{n, n}, [2]int{n, n}, [2]int{n, n})
+		f(s, ms[0], ms[1], ms[2])
+		return s.Accesses()
+	}
+	want := int64(2*n*n*n + 2*n*n) // 2 reads per inner iter + C read/write per (i,j)
+	if got := count(MatMulIJK); got != want {
+		t.Errorf("ijk accesses = %d, want %d", got, want)
+	}
+	// Blocked and CO re-touch C once per k-block/leaf: same asymptotics,
+	// at most an extra 2*n^2 per k-split level.
+	slack := int64(2 * n * n * (n / 8))
+	for name, f := range map[string]func(s *Sim, a, b, c Mat){
+		"co":      MatMulCO,
+		"blocked": func(s *Sim, a, b, c Mat) { MatMulBlocked(s, a, b, c, 8) },
+	} {
+		if got := count(f); got < want || got > want+slack {
+			t.Errorf("%s accesses = %d, want in [%d, %d]", name, got, want, want+slack)
+		}
+	}
+}
+
+func TestMergeSortTraceMisses(t *testing.T) {
+	// Q = Theta((n/B) log(n/M)): halving M adds about n/B misses per
+	// extra level; a sort fitting in cache has only cold misses.
+	const n = 1 << 14
+	small := New(Level{MWords: 1 << 8, BWords: 8})
+	big := New(Level{MWords: 1 << 16, BWords: 8})
+	MergeSortTrace(small, 0, n)
+	MergeSortTrace(big, 0, n)
+	// Fits entirely in the big cache (array + temp = 2n = 2^15 < 2^16):
+	// only cold misses on 2n words.
+	coldOnly := int64(2 * n / 8)
+	if big.Misses(0) > coldOnly+4 {
+		t.Errorf("in-cache sort misses = %d, want ~%d", big.Misses(0), coldOnly)
+	}
+	if small.Misses(0) < 4*big.Misses(0) {
+		t.Errorf("out-of-cache sort should miss much more: %d vs %d", small.Misses(0), big.Misses(0))
+	}
+}
+
+func TestAlgorithmPanics(t *testing.T) {
+	s := New(l2ish())
+	ms := NewMats([2]int{4, 4}, [2]int{4, 8})
+	assertPanics(t, "transpose shape", func() { TransposeNaive(s, ms[0], ms[1]) })
+	assertPanics(t, "blocked blk", func() { TransposeBlocked(s, ms[0], ms[0], 0) })
+	assertPanics(t, "matmul shape", func() { MatMulIJK(s, ms[0], ms[1], ms[0]) })
+	assertPanics(t, "matmul blk", func() { MatMulBlocked(s, ms[0], ms[0], ms[0], -1) })
+	assertPanics(t, "sort n", func() { MergeSortTrace(s, 0, -1) })
+}

@@ -1,0 +1,144 @@
+// Package cache simulates the ideal-cache model behind Blelloch's point
+// that "it is easy to add a one level cache to the RAM model, and
+// hundreds of algorithms have been developed in such a model. When
+// algorithms developed in this model satisfy a property of being cache
+// oblivious, they will also work effectively on a multilevel cache."
+//
+// A Sim is a stack of fully-associative LRU caches with parameters
+// (M words of capacity, B words per line). Algorithms are driven as
+// address traces; the simulator counts misses at every level at once, so
+// a cache-oblivious algorithm can be shown near-optimal at all levels
+// from one run while a tuned-blocked algorithm is optimal only at the
+// level it was tuned for.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Level parameterizes one cache level in the ideal-cache model.
+type Level struct {
+	// MWords is the capacity in words; BWords the line size in words.
+	MWords, BWords int
+}
+
+// Lines returns the number of lines the level holds.
+func (l Level) Lines() int { return l.MWords / l.BWords }
+
+// Validate reports an error for inconsistent parameters (the ideal-cache
+// model requires a "tall cache": at least a few lines).
+func (l Level) Validate() error {
+	if l.BWords <= 0 || l.MWords <= 0 {
+		return fmt.Errorf("cache: non-positive level %+v", l)
+	}
+	if l.Lines() < 2 {
+		return fmt.Errorf("cache: level %+v holds %d lines; need >= 2", l, l.Lines())
+	}
+	return nil
+}
+
+// lru is one fully-associative LRU cache over line addresses.
+type lru struct {
+	level Level
+	elems map[int64]*list.Element
+	order *list.List // front = most recent
+}
+
+func newLRU(l Level) *lru {
+	return &lru{level: l, elems: make(map[int64]*list.Element), order: list.New()}
+}
+
+// access returns true on a hit.
+func (c *lru) access(line int64) bool {
+	if e, ok := c.elems[line]; ok {
+		c.order.MoveToFront(e)
+		return true
+	}
+	c.elems[line] = c.order.PushFront(line)
+	if c.order.Len() > c.level.Lines() {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.elems, last.Value.(int64))
+	}
+	return false
+}
+
+// Sim drives an address trace through a set of cache levels.
+type Sim struct {
+	levels   []*lru
+	misses   []int64
+	accesses int64
+}
+
+// New returns a simulator with the given levels. At least one level is
+// required; each is validated.
+func New(levels ...Level) *Sim {
+	if len(levels) == 0 {
+		panic("cache: simulator needs at least one level")
+	}
+	s := &Sim{}
+	for _, l := range levels {
+		if err := l.Validate(); err != nil {
+			panic(err.Error())
+		}
+		s.levels = append(s.levels, newLRU(l))
+	}
+	s.misses = make([]int64, len(levels))
+	return s
+}
+
+// Access touches the word at addr (reads and writes cost the same in the
+// ideal-cache model). Every level observes every access — the levels are
+// independent models of the same trace, not an inclusive hierarchy.
+func (s *Sim) Access(addr int64) {
+	if addr < 0 {
+		panic(fmt.Sprintf("cache: negative address %d", addr))
+	}
+	s.accesses++
+	for i, c := range s.levels {
+		if !c.access(addr / int64(c.level.BWords)) {
+			s.misses[i]++
+		}
+	}
+}
+
+// AccessRange touches n consecutive words starting at addr (a sequential
+// scan), the pattern every cache rewards.
+func (s *Sim) AccessRange(addr int64, n int) {
+	for i := 0; i < n; i++ {
+		s.Access(addr + int64(i))
+	}
+}
+
+// Accesses returns the total number of word accesses.
+func (s *Sim) Accesses() int64 { return s.accesses }
+
+// Misses returns the miss count at level i.
+func (s *Sim) Misses(i int) int64 { return s.misses[i] }
+
+// Levels returns the configured levels.
+func (s *Sim) Levels() []Level {
+	out := make([]Level, len(s.levels))
+	for i, c := range s.levels {
+		out[i] = c.level
+	}
+	return out
+}
+
+// Reset clears contents and counters.
+func (s *Sim) Reset() {
+	for i, c := range s.levels {
+		s.levels[i] = newLRU(c.level)
+		s.misses[i] = 0
+	}
+	s.accesses = 0
+}
+
+// MissRate returns misses/accesses at level i (0 for an empty trace).
+func (s *Sim) MissRate(i int) float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.misses[i]) / float64(s.accesses)
+}

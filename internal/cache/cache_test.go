@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"testing"
+)
+
+func TestLevelValidate(t *testing.T) {
+	if err := (Level{MWords: 1024, BWords: 16}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []Level{
+		{MWords: 0, BWords: 8},
+		{MWords: 64, BWords: 0},
+		{MWords: 8, BWords: 8}, // one line
+	} {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%+v should not validate", l)
+		}
+	}
+	if (Level{MWords: 1024, BWords: 16}).Lines() != 64 {
+		t.Error("Lines wrong")
+	}
+}
+
+func TestColdMissesOncePerLine(t *testing.T) {
+	s := New(Level{MWords: 1024, BWords: 16})
+	s.AccessRange(0, 256) // 16 lines, all fit
+	if got := s.Misses(0); got != 16 {
+		t.Errorf("cold misses = %d, want 16", got)
+	}
+	// Re-scan hits entirely.
+	before := s.Misses(0)
+	s.AccessRange(0, 256)
+	if got := s.Misses(0) - before; got != 0 {
+		t.Errorf("warm misses = %d, want 0", got)
+	}
+	if s.Accesses() != 512 {
+		t.Errorf("accesses = %d", s.Accesses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-line cache, lines of 1 word: classic LRU behaviour.
+	s := New(Level{MWords: 2, BWords: 1})
+	s.Access(0) // miss
+	s.Access(1) // miss
+	s.Access(0) // hit, 0 now MRU
+	s.Access(2) // miss, evicts 1 (LRU)
+	s.Access(0) // hit
+	s.Access(1) // miss (was evicted)
+	if got := s.Misses(0); got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+}
+
+func TestCapacityMissesOnBigScan(t *testing.T) {
+	// Scanning twice an array bigger than the cache misses both times.
+	s := New(Level{MWords: 64, BWords: 8})
+	s.AccessRange(0, 1024)
+	first := s.Misses(0)
+	s.AccessRange(0, 1024)
+	if second := s.Misses(0) - first; second != first {
+		t.Errorf("second scan misses = %d, want %d (no reuse possible)", second, first)
+	}
+	if first != 128 { // 1024/8 lines
+		t.Errorf("scan misses = %d, want 128", first)
+	}
+}
+
+func TestMultiLevelIndependence(t *testing.T) {
+	s := New(Level{MWords: 16, BWords: 4}, Level{MWords: 4096, BWords: 16})
+	s.AccessRange(0, 64)
+	s.AccessRange(0, 64)
+	// Small level thrashes on the second scan; big level hits.
+	if s.Misses(0) != 16+16 {
+		t.Errorf("L1 misses = %d, want 32", s.Misses(0))
+	}
+	if s.Misses(1) != 4 {
+		t.Errorf("L2 misses = %d, want 4 (cold only)", s.Misses(1))
+	}
+	if len(s.Levels()) != 2 {
+		t.Error("Levels() wrong")
+	}
+}
+
+func TestMissRateAndReset(t *testing.T) {
+	s := New(Level{MWords: 64, BWords: 8})
+	if s.MissRate(0) != 0 {
+		t.Error("empty miss rate")
+	}
+	s.AccessRange(0, 64)
+	if r := s.MissRate(0); r != 8.0/64 {
+		t.Errorf("miss rate = %g", r)
+	}
+	s.Reset()
+	if s.Accesses() != 0 || s.Misses(0) != 0 {
+		t.Error("reset incomplete")
+	}
+	// Contents cleared too: previously hot line misses again.
+	s.Access(0)
+	if s.Misses(0) != 1 {
+		t.Error("contents survived reset")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics(t, "no levels", func() { New() })
+	assertPanics(t, "bad level", func() { New(Level{MWords: 1, BWords: 1}) })
+	s := New(Level{MWords: 64, BWords: 8})
+	assertPanics(t, "negative addr", func() { s.Access(-1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

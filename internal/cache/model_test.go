@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is a deliberately naive reference model: a slice of line
+// addresses ordered most-recent-first, searched linearly.
+type refLRU struct {
+	lines []int64
+	cap   int
+	b     int64
+}
+
+func (r *refLRU) access(addr int64) bool {
+	line := addr / r.b
+	for i, l := range r.lines {
+		if l == line {
+			copy(r.lines[1:i+1], r.lines[:i])
+			r.lines[0] = line
+			return true
+		}
+	}
+	r.lines = append([]int64{line}, r.lines...)
+	if len(r.lines) > r.cap {
+		r.lines = r.lines[:r.cap]
+	}
+	return false
+}
+
+// TestSimMatchesReferenceModel drives random traces through the
+// production simulator and the naive reference in lockstep: every access
+// must agree hit/miss — a model-checking-flavoured test of the LRU
+// machinery (set behaviour, move-to-front, eviction order).
+func TestSimMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		level := Level{
+			MWords: (2 + rng.Intn(14)) * 8,
+			BWords: 8,
+		}
+		s := New(level)
+		ref := &refLRU{cap: level.Lines(), b: int64(level.BWords)}
+		addrSpace := int64(1 + rng.Intn(400))
+		var misses int64
+		for i := 0; i < 2000; i++ {
+			addr := rng.Int63n(addrSpace)
+			refMiss := !ref.access(addr)
+			before := s.Misses(0)
+			s.Access(addr)
+			simMiss := s.Misses(0) > before
+			if simMiss != refMiss {
+				t.Fatalf("trial %d access %d (addr %d): sim miss=%v, reference miss=%v",
+					trial, i, addr, simMiss, refMiss)
+			}
+			if simMiss {
+				misses++
+			}
+		}
+		if s.Misses(0) != misses {
+			t.Fatalf("trial %d: miss counter drifted", trial)
+		}
+	}
+}
+
+// TestInclusionProperty checks the LRU stack property with testing/quick:
+// for the same trace, a larger cache never misses where a smaller one
+// hits (LRU is a stack algorithm; no Belady anomaly).
+func TestInclusionProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		small := New(Level{MWords: 4 * 4, BWords: 4})
+		big := New(Level{MWords: 16 * 4, BWords: 4})
+		smallMisses, bigMisses := 0, 0
+		for _, r := range raw {
+			addr := int64(r)
+			sb, bb := small.Misses(0), big.Misses(0)
+			small.Access(addr)
+			big.Access(addr)
+			sMiss := small.Misses(0) > sb
+			bMiss := big.Misses(0) > bb
+			if bMiss && !sMiss {
+				return false // larger cache missed where smaller hit
+			}
+			if sMiss {
+				smallMisses++
+			}
+			if bMiss {
+				bigMisses++
+			}
+		}
+		return bigMisses <= smallMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

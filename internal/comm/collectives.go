@@ -1,0 +1,115 @@
+package comm
+
+import "fmt"
+
+// The collectives implement Yelick's "simpler set of data movement and
+// synchronization primitives" point with the textbook latency/bandwidth
+// trade-off: ring allreduce minimizes per-rank volume (2*(p-1)/p words
+// per element slot) at the cost of 2*(p-1) message rounds; recursive
+// doubling uses only log2(p) rounds but ships the whole vector each time.
+
+// RingAllReduce sums the per-rank vectors elementwise so every rank ends
+// with the total, using the bandwidth-optimal ring: a reduce-scatter pass
+// followed by an allgather pass, each of p-1 rounds moving one segment.
+// All vectors must have equal length >= p. It returns the per-rank
+// results (all equal).
+func RingAllReduce(m *Machine, vecs [][]float64) [][]float64 {
+	p := m.P()
+	if len(vecs) != p {
+		panic(fmt.Sprintf("comm: %d vectors for %d ranks", len(vecs), p))
+	}
+	n := len(vecs[0])
+	for r, v := range vecs {
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: rank %d vector length %d != %d", r, len(v), n))
+		}
+	}
+	if p == 1 {
+		return [][]float64{append([]float64(nil), vecs[0]...)}
+	}
+	if n < p {
+		panic(fmt.Sprintf("comm: ring allreduce needs length >= ranks (%d < %d)", n, p))
+	}
+	// Segment s covers [bounds[s], bounds[s+1]).
+	bounds := make([]int, p+1)
+	for s := 0; s <= p; s++ {
+		bounds[s] = s * n / p
+	}
+	seg := func(v []float64, s int) []float64 { return v[bounds[s]:bounds[s+1]] }
+
+	work := make([][]float64, p)
+	for r := range work {
+		work[r] = append([]float64(nil), vecs[r]...)
+	}
+	// Reduce-scatter: after p-1 rounds, rank r owns the full sum of
+	// segment (r+1) mod p.
+	for round := 0; round < p-1; round++ {
+		for r := 0; r < p; r++ {
+			s := (r - round + p) % p
+			m.Send(r, (r+1)%p, "ring", seg(work[r], s))
+		}
+		m.EndRound()
+		for r := 0; r < p; r++ {
+			s := (r - 1 - round + p) % p
+			in := m.Recv(r, (r-1+p)%p, "ring")
+			dst := seg(work[r], s)
+			for i := range dst {
+				dst[i] += in[i]
+			}
+			m.Flops(r, int64(len(dst)))
+		}
+		m.EndRound()
+	}
+	// Allgather: circulate the finished segments.
+	for round := 0; round < p-1; round++ {
+		for r := 0; r < p; r++ {
+			s := (r + 1 - round + p) % p
+			m.Send(r, (r+1)%p, "gather", seg(work[r], s))
+		}
+		m.EndRound()
+		for r := 0; r < p; r++ {
+			s := (r - round + p) % p
+			in := m.Recv(r, (r-1+p)%p, "gather")
+			copy(seg(work[r], s), in)
+		}
+		m.EndRound()
+	}
+	return work
+}
+
+// DoublingAllReduce sums the per-rank vectors with recursive doubling:
+// log2(p) exchange rounds of the full vector. p must be a power of two.
+func DoublingAllReduce(m *Machine, vecs [][]float64) [][]float64 {
+	p := m.P()
+	if len(vecs) != p {
+		panic(fmt.Sprintf("comm: %d vectors for %d ranks", len(vecs), p))
+	}
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("comm: recursive doubling needs a power-of-two rank count, got %d", p))
+	}
+	n := len(vecs[0])
+	for r, v := range vecs {
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: rank %d vector length %d != %d", r, len(v), n))
+		}
+	}
+	work := make([][]float64, p)
+	for r := range work {
+		work[r] = append([]float64(nil), vecs[r]...)
+	}
+	for d := 1; d < p; d *= 2 {
+		for r := 0; r < p; r++ {
+			m.Send(r, r^d, "dbl", work[r])
+		}
+		m.EndRound()
+		for r := 0; r < p; r++ {
+			in := m.Recv(r, r^d, "dbl")
+			for i := range work[r] {
+				work[r][i] += in[i]
+			}
+			m.Flops(r, int64(n))
+		}
+		m.EndRound()
+	}
+	return work
+}

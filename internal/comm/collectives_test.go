@@ -1,0 +1,124 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomVecs(rng *rand.Rand, p, n int) ([][]float64, []float64) {
+	vecs := make([][]float64, p)
+	sum := make([]float64, n)
+	for r := range vecs {
+		vecs[r] = make([]float64, n)
+		for i := range vecs[r] {
+			vecs[r][i] = rng.Float64()
+			sum[i] += vecs[r][i]
+		}
+	}
+	return vecs, sum
+}
+
+func checkAllEqual(t *testing.T, name string, got [][]float64, want []float64) {
+	t.Helper()
+	for r := range got {
+		for i := range want {
+			if math.Abs(got[r][i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: rank %d element %d = %g, want %g", name, r, i, got[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestRingAllReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, cfg := range []struct{ p, n int }{{1, 4}, {2, 8}, {4, 16}, {5, 23}, {8, 64}} {
+		vecs, want := randomVecs(rng, cfg.p, cfg.n)
+		m := New(cfg.p, DefaultCost())
+		got := RingAllReduce(m, vecs)
+		checkAllEqual(t, "ring", got, want)
+		if left := m.UndeliveredMessages(); len(left) != 0 {
+			t.Errorf("p=%d: leftover %v", cfg.p, left)
+		}
+	}
+}
+
+func TestDoublingAllReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, cfg := range []struct{ p, n int }{{1, 4}, {2, 8}, {4, 16}, {8, 64}} {
+		vecs, want := randomVecs(rng, cfg.p, cfg.n)
+		m := New(cfg.p, DefaultCost())
+		got := DoublingAllReduce(m, vecs)
+		checkAllEqual(t, "doubling", got, want)
+	}
+}
+
+func TestAllReduceDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	vecs, _ := randomVecs(rng, 4, 8)
+	orig := vecs[2][3]
+	RingAllReduce(New(4, DefaultCost()), vecs)
+	if vecs[2][3] != orig {
+		t.Error("ring mutated input")
+	}
+	DoublingAllReduce(New(4, DefaultCost()), vecs)
+	if vecs[2][3] != orig {
+		t.Error("doubling mutated input")
+	}
+}
+
+func TestLatencyBandwidthTradeoff(t *testing.T) {
+	// Ring: fewer words per rank; doubling: fewer messages per rank.
+	rng := rand.New(rand.NewSource(11))
+	const p, n = 8, 1 << 12
+	vecs, _ := randomVecs(rng, p, n)
+
+	ring := New(p, DefaultCost())
+	RingAllReduce(ring, vecs)
+	dbl := New(p, DefaultCost())
+	DoublingAllReduce(dbl, vecs)
+
+	rm, dm := ring.Metrics(), dbl.Metrics()
+	// Per-rank words: ring 2n(p-1)/p ~ 2n; doubling n log2 p = 3n.
+	if rm.MaxRankWords >= dm.MaxRankWords {
+		t.Errorf("ring words %d should be below doubling %d", rm.MaxRankWords, dm.MaxRankWords)
+	}
+	// Messages per rank: ring 2(p-1) = 14; doubling log2 p = 3.
+	if rm.TotalMsgs <= dm.TotalMsgs {
+		t.Errorf("ring msgs %d should exceed doubling %d", rm.TotalMsgs, dm.TotalMsgs)
+	}
+	// With a latency-dominated cost model, doubling is faster...
+	latency := Cost{Alpha: 1, Beta: 1e-9, Gamma: 1e-12}
+	rl, dl := New(p, latency), New(p, latency)
+	RingAllReduce(rl, vecs)
+	DoublingAllReduce(dl, vecs)
+	if dl.Metrics().Time >= rl.Metrics().Time {
+		t.Errorf("latency regime: doubling %g should beat ring %g", dl.Metrics().Time, rl.Metrics().Time)
+	}
+	// ...and with a bandwidth-dominated model, the ring wins.
+	bandwidth := Cost{Alpha: 1e-12, Beta: 1, Gamma: 1e-12}
+	rb, db := New(p, bandwidth), New(p, bandwidth)
+	RingAllReduce(rb, vecs)
+	DoublingAllReduce(db, vecs)
+	if rb.Metrics().Time >= db.Metrics().Time {
+		t.Errorf("bandwidth regime: ring %g should beat doubling %g", rb.Metrics().Time, db.Metrics().Time)
+	}
+}
+
+func TestCollectivePanics(t *testing.T) {
+	m := New(3, DefaultCost())
+	assertPanics(t, "vec count", func() { RingAllReduce(m, make([][]float64, 2)) })
+	assertPanics(t, "ragged", func() {
+		RingAllReduce(New(2, DefaultCost()), [][]float64{make([]float64, 3), make([]float64, 4)})
+	})
+	assertPanics(t, "too short", func() {
+		RingAllReduce(New(4, DefaultCost()), [][]float64{{1}, {2}, {3}, {4}})
+	})
+	assertPanics(t, "not pow2", func() {
+		DoublingAllReduce(New(3, DefaultCost()), make([][]float64, 3))
+	})
+	assertPanics(t, "dbl count", func() { DoublingAllReduce(New(2, DefaultCost()), nil) })
+	assertPanics(t, "dbl ragged", func() {
+		DoublingAllReduce(New(2, DefaultCost()), [][]float64{{1}, {1, 2}})
+	})
+}

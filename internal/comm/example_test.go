@@ -1,0 +1,49 @@
+package comm_test
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Example multiplies two matrices with SUMMA on 16 simulated ranks and
+// verifies against the serial product, reporting the per-rank bandwidth
+// the communication-avoiding analysis cares about.
+func Example() {
+	const n, q = 16, 4
+	a := comm.NewDense(n, n)
+	b := comm.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+		for j := 0; j < n; j++ {
+			b.Set(i, j, float64(i+j))
+		}
+	}
+	m := comm.New(q*q, comm.DefaultCost())
+	c := comm.SUMMA(m, a, b, q)
+	fmt.Printf("correct: %v\n", c.Equal(comm.SerialMatMul(a, b), 1e-12))
+	fmt.Printf("max words received per rank: %d\n", m.Metrics().MaxRankWords)
+	fmt.Printf("closed form: %.0f\n", comm.SUMMAWordsPerRank(n, q*q))
+	// Output:
+	// correct: true
+	// max words received per rank: 96
+	// closed form: 96
+}
+
+// ExampleRingAllReduce shows the bandwidth-optimal collective: every rank
+// ends with the elementwise total.
+func ExampleRingAllReduce() {
+	m := comm.New(4, comm.DefaultCost())
+	vecs := [][]float64{
+		{1, 0, 0, 0},
+		{0, 2, 0, 0},
+		{0, 0, 3, 0},
+		{0, 0, 0, 4},
+	}
+	out := comm.RingAllReduce(m, vecs)
+	fmt.Println(out[0])
+	fmt.Println(out[3])
+	// Output:
+	// [1 2 3 4]
+	// [1 2 3 4]
+}

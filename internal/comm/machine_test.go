@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	m := New(2, DefaultCost())
+	m.Send(0, 1, "x", []float64{1, 2, 3})
+	m.EndRound()
+	got := m.Recv(1, 0, "x")
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("payload = %v", got)
+	}
+	m.EndRound()
+	mt := m.Metrics()
+	if mt.TotalWords != 3 || mt.TotalMsgs != 1 || mt.Rounds != 2 {
+		t.Errorf("metrics = %+v", mt)
+	}
+	if mt.MaxRankWords != 3 {
+		t.Errorf("MaxRankWords = %d", mt.MaxRankWords)
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	m := New(2, DefaultCost())
+	buf := []float64{7}
+	m.Send(0, 1, "x", buf)
+	buf[0] = 99
+	m.EndRound()
+	if got := m.Recv(1, 0, "x"); got[0] != 7 {
+		t.Errorf("payload aliased sender buffer: %v", got)
+	}
+}
+
+func TestMessagesDeliverAtRoundBoundary(t *testing.T) {
+	m := New(2, DefaultCost())
+	m.Send(0, 1, "x", []float64{1})
+	assertPanics(t, "early recv", func() { m.Recv(1, 0, "x") })
+	m.EndRound()
+	m.Recv(1, 0, "x")
+}
+
+func TestFIFOPerChannel(t *testing.T) {
+	m := New(2, DefaultCost())
+	m.Send(0, 1, "x", []float64{1})
+	m.Send(0, 1, "x", []float64{2})
+	m.EndRound()
+	if m.Recv(1, 0, "x")[0] != 1 || m.Recv(1, 0, "x")[0] != 2 {
+		t.Error("channel not FIFO")
+	}
+}
+
+func TestTimeModelChargesSlowestRank(t *testing.T) {
+	cost := Cost{Alpha: 1, Beta: 10, Gamma: 100}
+	m := New(3, cost)
+	m.Send(0, 1, "x", make([]float64, 5))
+	m.Send(0, 2, "x", make([]float64, 2))
+	m.EndRound() // no receives yet: free round
+	m.Recv(1, 0, "x")
+	m.Recv(2, 0, "x")
+	m.Flops(2, 7)
+	m.EndRound()
+	// Round 2: max recv words = 5 (rank 1), max msgs = 1, max flops = 7.
+	want := 1.0*1 + 10.0*5 + 100.0*7
+	if got := m.Metrics().Time; math.Abs(got-want) > 1e-12 {
+		t.Errorf("time = %g, want %g", got, want)
+	}
+}
+
+func TestUndeliveredMessages(t *testing.T) {
+	m := New(2, DefaultCost())
+	if got := m.UndeliveredMessages(); len(got) != 0 {
+		t.Errorf("fresh machine: %v", got)
+	}
+	m.Send(0, 1, "a", []float64{1})
+	if got := m.UndeliveredMessages(); len(got) != 1 {
+		t.Errorf("pending: %v", got)
+	}
+	m.EndRound()
+	if got := m.UndeliveredMessages(); len(got) != 1 {
+		t.Errorf("unreceived: %v", got)
+	}
+	m.Recv(1, 0, "a")
+	if got := m.UndeliveredMessages(); len(got) != 0 {
+		t.Errorf("drained: %v", got)
+	}
+}
+
+func TestMachinePanics(t *testing.T) {
+	m := New(2, DefaultCost())
+	assertPanics(t, "bad p", func() { New(0, DefaultCost()) })
+	assertPanics(t, "self send", func() { m.Send(1, 1, "x", nil) })
+	assertPanics(t, "bad rank", func() { m.Send(0, 5, "x", nil) })
+	assertPanics(t, "missing msg", func() { m.Recv(0, 1, "nope") })
+	assertPanics(t, "negative flops", func() { m.Flops(0, -1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

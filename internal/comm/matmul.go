@@ -1,0 +1,421 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major n x m matrix of float64.
+type Dense struct {
+	R, C int
+	Data []float64
+}
+
+// NewDense allocates a zero matrix.
+func NewDense(r, c int) Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("comm: invalid matrix %dx%d", r, c))
+	}
+	return Dense{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (d Dense) At(i, j int) float64 { return d.Data[i*d.C+j] }
+
+// Set assigns element (i, j).
+func (d Dense) Set(i, j int, v float64) { d.Data[i*d.C+j] = v }
+
+// Equal reports elementwise equality within tol.
+func (d Dense) Equal(o Dense, tol float64) bool {
+	if d.R != o.R || d.C != o.C {
+		return false
+	}
+	for i := range d.Data {
+		if math.Abs(d.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SerialMatMul is the reference product c = a*b.
+func SerialMatMul(a, b Dense) Dense {
+	if a.C != b.R {
+		panic(fmt.Sprintf("comm: matmul shape %dx%d * %dx%d", a.R, a.C, b.R, b.C))
+	}
+	c := NewDense(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.C; j++ {
+				c.Data[i*c.C+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return c
+}
+
+// block extracts the (bi, bj) block of an n x n matrix cut into q x q tiles.
+func block(a Dense, bi, bj, q int) []float64 {
+	nb := a.R / q
+	out := make([]float64, nb*nb)
+	for i := 0; i < nb; i++ {
+		copy(out[i*nb:(i+1)*nb], a.Data[(bi*nb+i)*a.C+bj*nb:(bi*nb+i)*a.C+bj*nb+nb])
+	}
+	return out
+}
+
+// placeBlock writes a tile back into the assembled matrix.
+func placeBlock(dst Dense, blk []float64, bi, bj, q int) {
+	nb := dst.R / q
+	for i := 0; i < nb; i++ {
+		copy(dst.Data[(bi*nb+i)*dst.C+bj*nb:(bi*nb+i)*dst.C+bj*nb+nb], blk[i*nb:(i+1)*nb])
+	}
+}
+
+// mulAdd computes c += a*b for nb x nb tiles.
+func mulAdd(c, a, b []float64, nb int) {
+	for i := 0; i < nb; i++ {
+		for k := 0; k < nb; k++ {
+			aik := a[i*nb+k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*nb:]
+			ci := c[i*nb:]
+			for j := 0; j < nb; j++ {
+				ci[j] += aik * row[j]
+			}
+		}
+	}
+}
+
+func checkSquare(a, b Dense, q int) int {
+	if a.R != a.C || b.R != b.C || a.R != b.R {
+		panic(fmt.Sprintf("comm: need equal square matrices, got %dx%d and %dx%d", a.R, a.C, b.R, b.C))
+	}
+	if q <= 0 || a.R%q != 0 {
+		panic(fmt.Sprintf("comm: matrix size %d not divisible into %d tiles", a.R, q))
+	}
+	return a.R / q
+}
+
+// SUMMA multiplies a*b on a q x q rank grid (m.P() must equal q*q) by
+// the broadcast-based algorithm: q steps, each broadcasting a block
+// column of A along rows and a block row of B along columns. Per-rank
+// received volume: 2*(q-1)/q * n^2/q ~ 2n^2/sqrt(P).
+func SUMMA(m *Machine, a, b Dense, q int) Dense {
+	nb := checkSquare(a, b, q)
+	if m.P() != q*q {
+		panic(fmt.Sprintf("comm: SUMMA on %d ranks needs q^2 = %d", m.P(), q*q))
+	}
+	rank := func(i, j int) int { return i*q + j }
+
+	ablk := make([][]float64, m.P())
+	bblk := make([][]float64, m.P())
+	cblk := make([][]float64, m.P())
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			ablk[rank(i, j)] = block(a, i, j, q)
+			bblk[rank(i, j)] = block(b, i, j, q)
+			cblk[rank(i, j)] = make([]float64, nb*nb)
+		}
+	}
+
+	for k := 0; k < q; k++ {
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				if j != k {
+					m.Send(rank(i, k), rank(i, j), "A", ablk[rank(i, k)])
+				}
+				if i != k {
+					m.Send(rank(k, j), rank(i, j), "B", bblk[rank(k, j)])
+				}
+			}
+		}
+		m.EndRound()
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				r := rank(i, j)
+				aik := ablk[r]
+				if j != k {
+					aik = m.Recv(r, rank(i, k), "A")
+				}
+				bkj := bblk[r]
+				if i != k {
+					bkj = m.Recv(r, rank(k, j), "B")
+				}
+				mulAdd(cblk[r], aik, bkj, nb)
+				m.Flops(r, 2*int64(nb)*int64(nb)*int64(nb))
+			}
+		}
+		m.EndRound()
+	}
+
+	c := NewDense(a.R, a.R)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			placeBlock(c, cblk[rank(i, j)], i, j, q)
+		}
+	}
+	return c
+}
+
+// Cannon multiplies a*b on a q x q rank grid with the shift-based
+// algorithm: one skew round, then q multiply-shift steps. Same asymptotic
+// volume as SUMMA but point-to-point only (each rank receives exactly two
+// blocks per step — no broadcasts).
+func Cannon(m *Machine, a, b Dense, q int) Dense {
+	nb := checkSquare(a, b, q)
+	if m.P() != q*q {
+		panic(fmt.Sprintf("comm: Cannon on %d ranks needs q^2 = %d", m.P(), q*q))
+	}
+	rank := func(i, j int) int { return ((i%q+q)%q)*q + ((j%q + q) % q) }
+
+	ablk := make([][]float64, m.P())
+	bblk := make([][]float64, m.P())
+	cblk := make([][]float64, m.P())
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			ablk[rank(i, j)] = block(a, i, j, q)
+			bblk[rank(i, j)] = block(b, i, j, q)
+			cblk[rank(i, j)] = make([]float64, nb*nb)
+		}
+	}
+
+	// Skew: A(i,j) moves left by i, B(i,j) moves up by j.
+	if q > 1 {
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				if rank(i, j-i) != rank(i, j) {
+					m.Send(rank(i, j), rank(i, j-i), "A", ablk[rank(i, j)])
+				}
+				if rank(i-j, j) != rank(i, j) {
+					m.Send(rank(i, j), rank(i-j, j), "B", bblk[rank(i, j)])
+				}
+			}
+		}
+		m.EndRound()
+		nextA := make([][]float64, m.P())
+		nextB := make([][]float64, m.P())
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				r := rank(i, j)
+				if rank(i, j+i) != r {
+					nextA[r] = m.Recv(r, rank(i, j+i), "A")
+				} else {
+					nextA[r] = ablk[r]
+				}
+				if rank(i+j, j) != r {
+					nextB[r] = m.Recv(r, rank(i+j, j), "B")
+				} else {
+					nextB[r] = bblk[r]
+				}
+			}
+		}
+		ablk, bblk = nextA, nextB
+	}
+
+	for step := 0; step < q; step++ {
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				r := rank(i, j)
+				mulAdd(cblk[r], ablk[r], bblk[r], nb)
+				m.Flops(r, 2*int64(nb)*int64(nb)*int64(nb))
+			}
+		}
+		if step == q-1 || q == 1 {
+			m.EndRound()
+			break
+		}
+		// Shift A left, B up by one.
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				m.Send(rank(i, j), rank(i, j-1), "A", ablk[rank(i, j)])
+				m.Send(rank(i, j), rank(i-1, j), "B", bblk[rank(i, j)])
+			}
+		}
+		m.EndRound()
+		nextA := make([][]float64, m.P())
+		nextB := make([][]float64, m.P())
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				r := rank(i, j)
+				nextA[r] = m.Recv(r, rank(i, j+1), "A")
+				nextB[r] = m.Recv(r, rank(i+1, j), "B")
+			}
+		}
+		ablk, bblk = nextA, nextB
+	}
+
+	c := NewDense(a.R, a.R)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			placeBlock(c, cblk[rank(i, j)], i, j, q)
+		}
+	}
+	return c
+}
+
+// MatMul25D is the communication-avoiding 2.5D algorithm (Solomonik &
+// Demmel; "Demmel's communication avoiding algorithms" in Dally's
+// statement, Yelick's communication-avoidance agenda): c copies of the
+// q x q SUMMA grid each compute 1/c of the inner-product dimension, then
+// the partial results are combined with a binomial reduction over layers.
+// m.P() must equal c*q*q, q must be divisible by c, and c must be a power
+// of two. Per-rank received volume shrinks toward 2n^2/sqrt(c*P) as the
+// replication factor grows (memory permitting) — communication traded for
+// memory.
+func MatMul25D(m *Machine, a, b Dense, q, c int) Dense {
+	nb := checkSquare(a, b, q)
+	if c <= 0 || c&(c-1) != 0 {
+		panic(fmt.Sprintf("comm: replication factor %d must be a power of two", c))
+	}
+	if q%c != 0 {
+		panic(fmt.Sprintf("comm: q=%d must be divisible by c=%d", q, c))
+	}
+	if m.P() != c*q*q {
+		panic(fmt.Sprintf("comm: 2.5D on %d ranks needs c*q^2 = %d", m.P(), c*q*q))
+	}
+	rank := func(l, i, j int) int { return l*q*q + i*q + j }
+
+	ablk := make([][]float64, m.P())
+	bblk := make([][]float64, m.P())
+	cblk := make([][]float64, m.P())
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			ablk[rank(0, i, j)] = block(a, i, j, q)
+			bblk[rank(0, i, j)] = block(b, i, j, q)
+		}
+	}
+	for r := range cblk {
+		cblk[r] = make([]float64, nb*nb)
+	}
+
+	// Replicate inputs to all layers.
+	if c > 1 {
+		for l := 1; l < c; l++ {
+			for i := 0; i < q; i++ {
+				for j := 0; j < q; j++ {
+					m.Send(rank(0, i, j), rank(l, i, j), "A", ablk[rank(0, i, j)])
+					m.Send(rank(0, i, j), rank(l, i, j), "B", bblk[rank(0, i, j)])
+				}
+			}
+		}
+		m.EndRound()
+		for l := 1; l < c; l++ {
+			for i := 0; i < q; i++ {
+				for j := 0; j < q; j++ {
+					r := rank(l, i, j)
+					ablk[r] = m.Recv(r, rank(0, i, j), "A")
+					bblk[r] = m.Recv(r, rank(0, i, j), "B")
+				}
+			}
+		}
+	}
+
+	// Each layer runs SUMMA over its slice of the k dimension.
+	per := q / c
+	for s := 0; s < per; s++ {
+		for l := 0; l < c; l++ {
+			k := l*per + s
+			for i := 0; i < q; i++ {
+				for j := 0; j < q; j++ {
+					if j != k {
+						m.Send(rank(l, i, k), rank(l, i, j), "A2", ablk[rank(l, i, k)])
+					}
+					if i != k {
+						m.Send(rank(l, k, j), rank(l, i, j), "B2", bblk[rank(l, k, j)])
+					}
+				}
+			}
+		}
+		m.EndRound()
+		for l := 0; l < c; l++ {
+			k := l*per + s
+			for i := 0; i < q; i++ {
+				for j := 0; j < q; j++ {
+					r := rank(l, i, j)
+					aik := ablk[r]
+					if j != k {
+						aik = m.Recv(r, rank(l, i, k), "A2")
+					}
+					bkj := bblk[r]
+					if i != k {
+						bkj = m.Recv(r, rank(l, k, j), "B2")
+					}
+					mulAdd(cblk[r], aik, bkj, nb)
+					m.Flops(r, 2*int64(nb)*int64(nb)*int64(nb))
+				}
+			}
+		}
+		m.EndRound()
+	}
+
+	// Binomial reduction of partial C over layers.
+	for s := c / 2; s >= 1; s /= 2 {
+		for l := s; l < 2*s; l++ {
+			for i := 0; i < q; i++ {
+				for j := 0; j < q; j++ {
+					m.Send(rank(l, i, j), rank(l-s, i, j), "C", cblk[rank(l, i, j)])
+				}
+			}
+		}
+		m.EndRound()
+		for l := 0; l < s; l++ {
+			for i := 0; i < q; i++ {
+				for j := 0; j < q; j++ {
+					r := rank(l, i, j)
+					part := m.Recv(r, rank(l+s, i, j), "C")
+					for x := range part {
+						cblk[r][x] += part[x]
+					}
+					m.Flops(r, int64(len(part)))
+				}
+			}
+		}
+		m.EndRound()
+	}
+
+	out := NewDense(a.R, a.R)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			placeBlock(out, cblk[rank(0, i, j)], i, j, q)
+		}
+	}
+	return out
+}
+
+// SUMMAWordsPerRank is the closed-form per-rank received volume of SUMMA:
+// 2 blocks per step for q-1 of q steps.
+func SUMMAWordsPerRank(n, p int) float64 {
+	q := int(math.Round(math.Sqrt(float64(p))))
+	nb := float64(n) / float64(q)
+	return 2 * nb * nb * float64(q-1)
+}
+
+// Words25DPerRank is the closed-form per-rank received volume of the 2.5D
+// algorithm: replication (2 blocks) + SUMMA steps over q/c of the k range
+// + the binomial C reduction (log2(c) blocks at layer 0).
+func Words25DPerRank(n, p, c int) float64 {
+	q := int(math.Round(math.Sqrt(float64(p / c))))
+	nb := float64(n) / float64(q)
+	blk := nb * nb
+	repl := 0.0
+	if c > 1 {
+		repl = 2 * blk
+	}
+	steps := float64(q/c) * 2 * blk * float64(q-1) / float64(q)
+	reduce := math.Log2(float64(c)) * blk
+	return repl + steps + reduce
+}
+
+// BandwidthLowerBound is the Irony-Toledo-Tiskin memory-dependent lower
+// bound on per-rank communication for classic matmul with M words of
+// memory per rank: Omega(n^3 / (P * sqrt(M))).
+func BandwidthLowerBound(n, p int, memWords float64) float64 {
+	return float64(n) * float64(n) * float64(n) / (float64(p) * math.Sqrt(memWords))
+}

@@ -1,0 +1,196 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDense(rng *rand.Rand, n int) Dense {
+	d := NewDense(n, n)
+	for i := range d.Data {
+		d.Data[i] = rng.Float64()*2 - 1
+	}
+	return d
+}
+
+func TestSerialMatMulIdentity(t *testing.T) {
+	n := 8
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, n)
+	id := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	if got := SerialMatMul(a, id); !got.Equal(a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	if got := SerialMatMul(id, a); !got.Equal(a, 1e-12) {
+		t.Error("I*A != A")
+	}
+	assertPanics(t, "shape", func() { SerialMatMul(NewDense(2, 3), NewDense(2, 3)) })
+}
+
+func TestSUMMACorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, cfg := range []struct{ n, q int }{{8, 2}, {12, 4}, {16, 4}, {9, 3}} {
+		a, b := randomDense(rng, cfg.n), randomDense(rng, cfg.n)
+		want := SerialMatMul(a, b)
+		m := New(cfg.q*cfg.q, DefaultCost())
+		got := SUMMA(m, a, b, cfg.q)
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("n=%d q=%d: SUMMA wrong", cfg.n, cfg.q)
+		}
+		if left := m.UndeliveredMessages(); len(left) != 0 {
+			t.Errorf("n=%d q=%d: leftover traffic %v", cfg.n, cfg.q, left)
+		}
+	}
+}
+
+func TestCannonCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, cfg := range []struct{ n, q int }{{8, 1}, {8, 2}, {12, 3}, {16, 4}} {
+		a, b := randomDense(rng, cfg.n), randomDense(rng, cfg.n)
+		want := SerialMatMul(a, b)
+		m := New(cfg.q*cfg.q, DefaultCost())
+		got := Cannon(m, a, b, cfg.q)
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("n=%d q=%d: Cannon wrong", cfg.n, cfg.q)
+		}
+		if left := m.UndeliveredMessages(); len(left) != 0 {
+			t.Errorf("n=%d q=%d: leftover traffic %v", cfg.n, cfg.q, left)
+		}
+	}
+}
+
+func TestMatMul25DCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, cfg := range []struct{ n, q, c int }{{8, 2, 1}, {8, 2, 2}, {16, 4, 2}, {16, 4, 4}} {
+		a, b := randomDense(rng, cfg.n), randomDense(rng, cfg.n)
+		want := SerialMatMul(a, b)
+		m := New(cfg.c*cfg.q*cfg.q, DefaultCost())
+		got := MatMul25D(m, a, b, cfg.q, cfg.c)
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("n=%d q=%d c=%d: 2.5D wrong", cfg.n, cfg.q, cfg.c)
+		}
+		if left := m.UndeliveredMessages(); len(left) != 0 {
+			t.Errorf("n=%d q=%d c=%d: leftover traffic %v", cfg.n, cfg.q, cfg.c, left)
+		}
+	}
+}
+
+func TestFlopsConserved(t *testing.T) {
+	// Every variant performs exactly 2n^3 multiply-add flops (2.5D adds
+	// the reduction's n^2-scale additions on top).
+	rng := rand.New(rand.NewSource(5))
+	const n, q = 16, 4
+	a, b := randomDense(rng, n), randomDense(rng, n)
+	want := int64(2 * n * n * n)
+
+	ms := New(q*q, DefaultCost())
+	SUMMA(ms, a, b, q)
+	if got := ms.Metrics().TotalFlops; got != want {
+		t.Errorf("SUMMA flops = %d, want %d", got, want)
+	}
+	mc := New(q*q, DefaultCost())
+	Cannon(mc, a, b, q)
+	if got := mc.Metrics().TotalFlops; got != want {
+		t.Errorf("Cannon flops = %d, want %d", got, want)
+	}
+	m25 := New(2*q*q, DefaultCost())
+	MatMul25D(m25, a, b, q, 2)
+	if got := m25.Metrics().TotalFlops; got < want || got > want+int64(2*n*n) {
+		t.Errorf("2.5D flops = %d, want %d + reduction", got, want)
+	}
+}
+
+func TestSUMMAVolumeMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n, q = 32, 4
+	a, b := randomDense(rng, n), randomDense(rng, n)
+	m := New(q*q, DefaultCost())
+	SUMMA(m, a, b, q)
+	got := float64(m.Metrics().MaxRankWords)
+	want := SUMMAWordsPerRank(n, q*q)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("measured volume %g, closed form %g", got, want)
+	}
+}
+
+func Test25DReducesVolume(t *testing.T) {
+	// The communication-avoidance claim: at equal P, replication cuts the
+	// per-rank received volume, approaching sqrt(c) as P grows.
+	rng := rand.New(rand.NewSource(7))
+	const n = 32
+	const p = 256
+	a, b := randomDense(rng, n), randomDense(rng, n)
+
+	m2d := New(p, DefaultCost())
+	SUMMA(m2d, a, b, 16)
+	w2d := m2d.Metrics().MaxRankWords
+
+	m25 := New(p, DefaultCost())
+	MatMul25D(m25, a, b, 8, 4)
+	w25 := m25.Metrics().MaxRankWords
+
+	if w25 >= w2d {
+		t.Errorf("2.5D volume %d should be below 2D %d", w25, w2d)
+	}
+	// The closed form approximates the measured max rank (it averages the
+	// owner discount and the reduction-tree asymmetry across layers).
+	if cf := Words25DPerRank(n, p, 4); math.Abs(float64(w25)-cf)/cf > 0.15 {
+		t.Errorf("2.5D measured %d, closed form %g", w25, cf)
+	}
+}
+
+func Test25DVolumeShrinksWithC(t *testing.T) {
+	// Within the practical replication range (c well below P^(1/3) the
+	// gains saturate as the replication and reduction terms take over),
+	// more memory means less communication, and the advantage over 2D
+	// grows with P.
+	for _, p := range []int{1024, 4096} {
+		prev := math.Inf(1)
+		for _, c := range []int{1, 4} {
+			w := Words25DPerRank(64, p, c)
+			if w >= prev {
+				t.Errorf("p=%d c=%d: volume %g did not shrink from %g", p, c, w, prev)
+			}
+			prev = w
+		}
+	}
+	gain := func(p int) float64 {
+		return Words25DPerRank(64, p, 1) / Words25DPerRank(64, p, 4)
+	}
+	if gain(4096) <= gain(1024) {
+		t.Errorf("replication gain should grow with P: %g at 4096 vs %g at 1024", gain(4096), gain(1024))
+	}
+}
+
+func TestBandwidthLowerBound(t *testing.T) {
+	// The closed forms respect the Irony-Toledo-Tiskin bound with the
+	// memory each algorithm actually uses (M ~ c * 3n^2/P per rank).
+	const n, p = 64, 64
+	for _, c := range []int{1, 4} {
+		mem := float64(c) * 3 * float64(n*n) / float64(p)
+		lb := BandwidthLowerBound(n, p, mem)
+		var w float64
+		if c == 1 {
+			w = SUMMAWordsPerRank(n, p)
+		} else {
+			w = Words25DPerRank(n, p, c)
+		}
+		if w < lb {
+			t.Errorf("c=%d: volume %g below the lower bound %g", c, w, lb)
+		}
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	m := New(4, DefaultCost())
+	a := NewDense(8, 8)
+	assertPanics(t, "P mismatch", func() { SUMMA(m, a, a, 3) })
+	assertPanics(t, "indivisible", func() { SUMMA(New(9, DefaultCost()), a, a, 3) })
+	assertPanics(t, "c not pow2", func() { MatMul25D(New(12, DefaultCost()), a, a, 2, 3) })
+	assertPanics(t, "q % c", func() { MatMul25D(New(32, DefaultCost()), a, a, 2, 8) })
+	assertPanics(t, "bad dense", func() { NewDense(0, 1) })
+}

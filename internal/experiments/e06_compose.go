@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/idioms"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+// E6 reproduces "the output of module A must have the same mapping as the
+// input of module B for the two to be composed in series, or a remapping
+// module must be inserted between the two to shuffle the data": an
+// elementwise map composed with a scan, first with aligned layouts (the
+// connection is free) and then with a reversed layout (a shuffle stage is
+// inserted and its wire cost shows up in the composed evaluation).
+func E6() Result {
+	const n = 16
+	tgt := fm.DefaultTarget(16, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	lay := idioms.BlockCyclic(tgt.Grid)
+	rev := func(i int) geom.Point { return tgt.Grid.At(n - 1 - i) }
+
+	// Aligned: map -> scan on the same layout.
+	m1 := idioms.Map(tgt, n, tech.OpAdd, 32, lay)
+	s1 := idioms.ScanKoggeStone(tgt, n, tech.OpAdd, 32, lay)
+	aligned, err := fm.ComposeAligned("map;scan", m1, s1, tgt)
+	if err != nil {
+		return failure("E6", err)
+	}
+	ca, err := fm.Evaluate(aligned.Graph, aligned.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		return failure("E6", err)
+	}
+
+	// Misaligned: map -> scan-on-reversed-layout needs a remap stage.
+	m2 := idioms.Map(tgt, n, tech.OpAdd, 32, lay)
+	s2 := idioms.ScanKoggeStone(tgt, n, tech.OpAdd, 32, rev)
+	if err := fm.CheckAligned(m2, s2); err == nil {
+		return failure("E6", errMisalignExpected)
+	}
+	remapped, st, err := fm.ComposeWithRemap("map>shuffle>scan", m2, s2, tgt)
+	if err != nil {
+		return failure("E6", err)
+	}
+	cr, err := fm.Evaluate(remapped.Graph, remapped.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		return failure("E6", err)
+	}
+
+	t := stats.NewTable("E6: composing map -> scan (16 elements, 16 nodes)",
+		"composition", "boundary moves", "shuffle bit-hops", "cycles", "energy fJ")
+	t.AddRow("aligned", 0, 0, ca.Cycles, ca.EnergyFJ)
+	t.AddRow("misaligned + remap", st.Moves, st.BitHops, cr.Cycles, cr.EnergyFJ)
+	t.AddNote("remap inserted %d copy ops; composition is rejected without one", st.CopyOps)
+
+	pass := st.Moves == n &&
+		cr.EnergyFJ > ca.EnergyFJ &&
+		cr.Cycles > ca.Cycles &&
+		fm.Check(remapped.Graph, remapped.Sched, tgt) == nil &&
+		fm.Check(aligned.Graph, aligned.Sched, tgt) == nil
+
+	return Result{
+		ID:    "E6",
+		Claim: "aligned mappings compose free; misaligned compositions require an explicit, costed shuffle stage",
+		Table: t,
+		Pass:  pass,
+	}
+}
+
+type constError string
+
+func (e constError) Error() string { return string(e) }
+
+const errMisalignExpected = constError("expected the reversed layout to misalign")

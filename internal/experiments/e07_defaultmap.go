@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/tech"
+)
+
+// E7 reproduces "programmers that don't want to bother with mapping can
+// use a default mapper – with results no worse than with today's
+// abstractions": the greedy list scheduler is compared against the serial
+// projection (what today's abstraction compiles to) across a spread of
+// dataflow shapes; it must never be slower and should win when
+// parallelism exists and grain is coarse enough to beat wire latency.
+func E7() Result {
+	tgt := fm.DefaultTarget(4, 4)
+	tgt.Grid.PitchMM = 0.25
+	tgt.MemWordsPerNode = 1 << 20
+
+	shapes := []struct {
+		name string
+		g    *fm.Graph
+	}{
+		{"chain (no parallelism)", chainGraph(64)},
+		{"wide map (embarrassing)", wideGraph(64)},
+		{"reduction tree", treeGraph(64)},
+		{"random DAG", randomGraph(7, 96)},
+		{"diamond ladders", laddersGraph(8, 12)},
+	}
+
+	t := stats.NewTable("E7: default mapper vs serial projection (4x4 grid)",
+		"graph", "serial cycles", "default cycles", "no worse", "speedup")
+	pass := true
+	sawSpeedup := false
+	for _, s := range shapes {
+		cs, err := fm.Evaluate(s.g, fm.SerialSchedule(s.g, tgt, geom.Pt(0, 0)), tgt, fm.EvalOptions{})
+		if err != nil {
+			return failure("E7", err)
+		}
+		cd, err := fm.Evaluate(s.g, fm.ListSchedule(s.g, tgt), tgt, fm.EvalOptions{})
+		if err != nil {
+			return failure("E7", err)
+		}
+		ok := cd.Cycles <= cs.Cycles
+		pass = pass && ok
+		speedup := float64(cs.Cycles) / float64(cd.Cycles)
+		if speedup > 1.5 {
+			sawSpeedup = true
+		}
+		t.AddRow(s.name, cs.Cycles, cd.Cycles, verdict(ok), speedup)
+	}
+	t.AddNote("'no worse' is the paper's promise; speedup beyond it depends on available parallelism and grain")
+
+	return Result{
+		ID:    "E7",
+		Claim: "a default mapper is no worse than today's (serial) abstraction",
+		Table: t,
+		Pass:  pass && sawSpeedup,
+	}
+}
+
+func chainGraph(n int) *fm.Graph {
+	b := fm.NewBuilder("chain")
+	nd := b.Op(tech.OpMul, 32)
+	for i := 1; i < n; i++ {
+		nd = b.Op(tech.OpMul, 32, nd)
+	}
+	b.MarkOutput(nd)
+	return b.Build()
+}
+
+func wideGraph(n int) *fm.Graph {
+	b := fm.NewBuilder("wide")
+	for i := 0; i < n; i++ {
+		x := b.Op(tech.OpMul, 32)
+		for j := 0; j < 8; j++ {
+			x = b.Op(tech.OpMul, 32, x)
+		}
+		b.MarkOutput(x)
+	}
+	return b.Build()
+}
+
+func treeGraph(leaves int) *fm.Graph {
+	b := fm.NewBuilder("tree")
+	level := make([]fm.NodeID, leaves)
+	for i := range level {
+		level[i] = b.Op(tech.OpMul, 32)
+	}
+	for len(level) > 1 {
+		var next []fm.NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Op(tech.OpMul, 32, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	b.MarkOutput(level[0])
+	return b.Build()
+}
+
+func randomGraph(seed int64, ops int) *fm.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := fm.NewBuilder(fmt.Sprintf("rand%d", seed))
+	ids := []fm.NodeID{b.Input(32), b.Input(32), b.Input(32)}
+	for i := 0; i < ops; i++ {
+		ids = append(ids, b.Op(tech.OpMul, 32, ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+	}
+	b.MarkOutput(ids[len(ids)-1])
+	return b.Build()
+}
+
+func laddersGraph(ladders, rungs int) *fm.Graph {
+	b := fm.NewBuilder("ladders")
+	for l := 0; l < ladders; l++ {
+		a := b.Op(tech.OpMul, 32)
+		c := b.Op(tech.OpMul, 32)
+		for r := 0; r < rungs; r++ {
+			a2 := b.Op(tech.OpMul, 32, a, c)
+			c2 := b.Op(tech.OpMul, 32, c, a)
+			a, c = a2, c2
+		}
+		b.MarkOutput(a)
+	}
+	return b.Build()
+}

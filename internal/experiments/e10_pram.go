@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/algorithms/graphs"
+	"repro/internal/pram"
+	"repro/internal/stats"
+)
+
+// E10 reproduces Vishkin's position: work-efficient PRAM algorithms in
+// the work-time framework, the XMT prefix-sum primitive, and BFS freed
+// from the FIFO queue. Prefix sums must hit O(n) work and O(log n) steps;
+// BFS level count must track the graph diameter rather than the vertex
+// count; Brent's theorem (TimeOnP) must show near-linear simulated
+// speedups while the serial queue offers none.
+func E10() Result {
+	t := stats.NewTable("E10: PRAM work-time framework",
+		"algorithm", "n", "work", "steps", "bound", "within")
+	pass := true
+
+	// Work-efficient prefix sums.
+	const n = 4096
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	m := pram.New(pram.EREW, 8*n+64)
+	sums, err := pram.PrefixSums(m, in)
+	if err != nil {
+		return failure("E10", err)
+	}
+	if sums[n-1] != int64(n*(n-1)/2) {
+		return failure("E10", constError("prefix sums wrong"))
+	}
+	mt := m.Metrics()
+	logN := math.Log2(float64(n))
+	okPS := float64(mt.Work) <= 6*n && float64(mt.Steps) <= 3*logN+6
+	pass = pass && okPS
+	t.AddRow("prefix sums (EREW)", n, mt.Work, mt.Steps,
+		"W=O(n), T=O(log n)", verdict(okPS))
+
+	// List ranking by pointer jumping.
+	next := make([]int, 1024)
+	for i := range next {
+		next[i] = i + 1
+	}
+	next[len(next)-1] = -1
+	lr := pram.New(pram.CREW, 8*1024+64)
+	if _, err := pram.ListRank(lr, next); err != nil {
+		return failure("E10", err)
+	}
+	lrm := lr.Metrics()
+	okLR := float64(lrm.Steps) <= math.Log2(1024)+3
+	pass = pass && okLR
+	t.AddRow("list ranking (CREW)", 1024, lrm.Work, lrm.Steps,
+		"T=O(log n), W=O(n log n)", verdict(okLR))
+
+	// BFS without the queue: steps ~ diameter, not n.
+	g := graphs.Grid2D(16, 16) // diameter 30
+	bfs := pram.New(pram.CRCWArbitrary, 64*g.N+4*len(g.Edges)+4096)
+	dist, err := pram.BFS(bfs, g.Offs, g.Edges, 0)
+	if err != nil {
+		return failure("E10", err)
+	}
+	if dist[g.N-1] != 30 {
+		return failure("E10", constError("BFS distance wrong"))
+	}
+	bm := bfs.Metrics()
+	// Per level: a constant number of machine steps plus a log-sized
+	// prefix-sum sweep over the frontier.
+	levels := 31.0
+	okBFS := float64(bm.Steps) <= levels*(6+math.Log2(32))
+	pass = pass && okBFS
+	t.AddRow("BFS (CRCW + PS primitive)", g.N, bm.Work, bm.Steps,
+		"T=O(diameter * log)", verdict(okBFS))
+
+	// Simulated speedup via Brent: the parallel BFS scales; the serial
+	// queue does not benefit from processors at all.
+	t2 := stats.NewTable("E10b: simulated time on p processors (Brent), BFS on 16x16 grid",
+		"p", "parallel T_p", "speedup", "serial queue")
+	serialWork := int64(g.N + len(g.Edges)) // queue pops + edge scans
+	base := bfs.TimeOnP(1)
+	prevT := int64(1 << 62)
+	okScale := true
+	for _, p := range []int{1, 4, 16, 64} {
+		tp := bfs.TimeOnP(p)
+		if tp > prevT {
+			okScale = false
+		}
+		prevT = tp
+		t2.AddRow(p, tp, float64(base)/float64(tp), serialWork)
+	}
+	sp64 := float64(base) / float64(bfs.TimeOnP(64))
+	okSpeed := sp64 > 8 // strong scaling well past the serial model
+	pass = pass && okScale && okSpeed
+
+	// Connectivity in the style of Shiloach-Vishkin.
+	path := graphs.Path(256)
+	us := make([]int64, 0, 255)
+	vs := make([]int64, 0, 255)
+	for i := 0; i+1 < 256; i++ {
+		us = append(us, int64(i))
+		vs = append(vs, int64(i+1))
+	}
+	cc := pram.New(pram.CRCWArbitrary, 16*256+4*len(us)+64)
+	lbl, err := pram.Connectivity(cc, 256, us, vs)
+	if err != nil {
+		return failure("E10", err)
+	}
+	for _, l := range lbl {
+		if l != 0 {
+			return failure("E10", constError("connectivity wrong"))
+		}
+	}
+	okCC := float64(cc.Metrics().Steps) <= 3*3*math.Log2(256)+9
+	pass = pass && okCC
+	t.AddRow("connectivity (CRCW)", 256, cc.Metrics().Work, cc.Metrics().Steps,
+		"T=O(log n) hook+jump rounds", verdict(okCC))
+	_ = path
+
+	t.AddNote("%s", t2.String())
+	t.AddNote("BFS speedup on 64 simulated processors: %.1fx (%s)", sp64, verdict(okSpeed))
+
+	return Result{
+		ID:    "E10",
+		Claim: "work-efficient PRAM algorithms (prefix sums, list ranking, queue-free BFS, connectivity) with Brent-scaled simulated speedups",
+		Table: t,
+		Pass:  pass,
+		Notes: []string{"the XMT platform is simulated (no FPGA): the PS primitive serializes deterministically within a step, work/time charged per the work-time framework"},
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/stats"
+)
+
+// E11 reproduces the communication-avoidance position (Yelick, and
+// Dally's nod to "Demmel's communication avoiding algorithms"): on a
+// distributed alpha-beta machine, the 2.5D matmul trades a factor-c
+// memory replication for communication volume, beating 2D SUMMA/Cannon;
+// and the ring-vs-recursive-doubling allreduce pair shows volume and
+// message count are separate targets ("reducing both data movement
+// volume and number of distinct events").
+func E11() Result {
+	const n = 32
+	rng := rand.New(rand.NewSource(11))
+	a, b := randDense(rng, n), randDense(rng, n)
+	want := comm.SerialMatMul(a, b)
+
+	t := stats.NewTable("E11: distributed matmul, per-rank received words (n=32)",
+		"algorithm", "P", "c", "max words/rank", "time (alpha-beta)", "correct")
+	pass := true
+
+	type cfg struct {
+		name string
+		p    int
+		run  func(m *comm.Machine) comm.Dense
+		c    int
+	}
+	cfgs := []cfg{
+		{"SUMMA 2D", 64, func(m *comm.Machine) comm.Dense { return comm.SUMMA(m, a, b, 8) }, 1},
+		{"Cannon 2D", 64, func(m *comm.Machine) comm.Dense { return comm.Cannon(m, a, b, 8) }, 1},
+		{"2.5D c=2", 128, func(m *comm.Machine) comm.Dense { return comm.MatMul25D(m, a, b, 8, 2) }, 2},
+		{"2.5D c=4 (P=256)", 256, func(m *comm.Machine) comm.Dense { return comm.MatMul25D(m, a, b, 8, 4) }, 4},
+	}
+	words := map[string]int64{}
+	for _, c := range cfgs {
+		m := comm.New(c.p, comm.DefaultCost())
+		got := c.run(m)
+		ok := got.Equal(want, 1e-9) && len(m.UndeliveredMessages()) == 0
+		pass = pass && ok
+		mt := m.Metrics()
+		words[c.name] = mt.MaxRankWords
+		t.AddRow(c.name, c.p, c.c, mt.MaxRankWords, mt.Time, verdict(ok))
+	}
+	// Replication reduces per-rank volume relative to 2D at the same grid.
+	okVol := words["2.5D c=2"] < words["SUMMA 2D"]
+	pass = pass && okVol
+	t.AddNote("2.5D(c=2) volume vs SUMMA: %d vs %d words/rank (%s)",
+		words["2.5D c=2"], words["SUMMA 2D"], verdict(okVol))
+
+	// Closed-form trend at scale: the win grows with P.
+	g1 := comm.SUMMAWordsPerRank(4096, 1024) / comm.Words25DPerRank(4096, 1024, 4)
+	g2 := comm.SUMMAWordsPerRank(4096, 4096) / comm.Words25DPerRank(4096, 4096, 4)
+	okTrend := g2 > g1 && g1 > 1
+	pass = pass && okTrend
+	t.AddNote("closed-form 2D/2.5D(c=4) volume ratio: %.2fx at P=1024, %.2fx at P=4096 (%s; sqrt(c)=2 asymptotically)",
+		g1, g2, verdict(okTrend))
+
+	// Collectives: latency/bandwidth trade-off.
+	const p, L = 8, 1 << 12
+	vecs := make([][]float64, p)
+	for r := range vecs {
+		vecs[r] = make([]float64, L)
+		for i := range vecs[r] {
+			vecs[r][i] = rng.Float64()
+		}
+	}
+	ring := comm.New(p, comm.DefaultCost())
+	comm.RingAllReduce(ring, vecs)
+	dbl := comm.New(p, comm.DefaultCost())
+	comm.DoublingAllReduce(dbl, vecs)
+	rm, dm := ring.Metrics(), dbl.Metrics()
+	okColl := rm.MaxRankWords < dm.MaxRankWords && rm.TotalMsgs > dm.TotalMsgs
+	pass = pass && okColl
+	t.AddNote("allreduce (p=%d, %d words): ring %d words/rank in %d msgs vs doubling %d words/rank in %d msgs (%s)",
+		p, L, rm.MaxRankWords, rm.TotalMsgs, dm.MaxRankWords, dm.TotalMsgs, verdict(okColl))
+
+	return Result{
+		ID:    "E11",
+		Claim: "communication-avoiding 2.5D matmul trades memory for bandwidth and beats 2D; volume and message count are independent optimization targets",
+		Table: t,
+		Pass:  pass,
+		Notes: []string{"all distributed products verified against the serial reference; volumes are received words, the standard bandwidth metric"},
+	}
+}
+
+func randDense(rng *rand.Rand, n int) comm.Dense {
+	d := comm.NewDense(n, n)
+	for i := range d.Data {
+		d.Data[i] = rng.Float64()*2 - 1
+	}
+	return d
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/algorithms/conv"
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// E14 reproduces the paper's nod to accelerator dataflows —
+// "weight-stationary dataflows for DNN accelerators, systolic arrays" —
+// as an F&M mapping choice: the same convolution function mapped
+// weight-stationary (weights pinned, zero weight traffic) and
+// output-stationary (outputs pinned, zero partial-sum traffic), with the
+// cost model attributing every bit-hop to its tensor. "Stationary" stops
+// being a slogan and becomes a measurable zero in a traffic matrix.
+func E14() Result {
+	const n, k = 20, 5
+	c := conv.Build(n, k)
+	tgt := fm.DefaultTarget(16, 1)
+	tgt.Grid.PitchMM = 0.2
+	tgt.MemWordsPerNode = 1 << 20
+
+	// Semantics first: the function computes the convolution.
+	rng := rand.New(rand.NewSource(14))
+	x := make([]int64, n)
+	w := make([]int64, k)
+	for i := range x {
+		x[i] = rng.Int63n(10) - 5
+	}
+	for i := range w {
+		w[i] = rng.Int63n(10) - 5
+	}
+	got := c.Interpret(x, w)
+	want := conv.Reference(x, w)
+	okSem := true
+	for i := range want {
+		if got[i] != want[i] {
+			okSem = false
+		}
+	}
+
+	wsSched := c.WeightStationary(tgt)
+	osSched := c.OutputStationary(tgt)
+	serial := fm.SerialSchedule(c.Graph, tgt, geom.Pt(0, 0))
+
+	wsT := c.AttributeTraffic(wsSched)
+	osT := c.AttributeTraffic(osSched)
+
+	wsC, err := fm.Evaluate(c.Graph, wsSched, tgt, fm.EvalOptions{})
+	if err != nil {
+		return failure("E14", err)
+	}
+	osC, err := fm.Evaluate(c.Graph, osSched, tgt, fm.EvalOptions{})
+	if err != nil {
+		return failure("E14", err)
+	}
+	seC, err := fm.Evaluate(c.Graph, serial, tgt, fm.EvalOptions{})
+	if err != nil {
+		return failure("E14", err)
+	}
+
+	t := stats.NewTable("E14: convolution dataflows (n=20, k=5), bit-hops by tensor",
+		"dataflow", "weights", "signal", "partials", "cycles", "wire fJ")
+	t.AddRow("weight-stationary", wsT.Weights, wsT.Signal, wsT.Partials, wsC.Cycles, wsC.WireEnergy)
+	t.AddRow("output-stationary", osT.Weights, osT.Signal, osT.Partials, osC.Cycles, osC.WireEnergy)
+	t.AddRow("serial projection", 0, 0, 0, seC.Cycles, seC.WireEnergy)
+	t.AddNote("the pinned tensor's traffic is exactly zero in each dataflow — that is what 'stationary' means, made measurable")
+
+	okWS := wsT.Weights == 0 && wsT.Partials > 0 && wsT.Signal > 0
+	okOS := osT.Partials == 0 && osT.Weights > 0 && osT.Signal > 0
+	okWork := wsC.ComputeEnergy == osC.ComputeEnergy && osC.ComputeEnergy == seC.ComputeEnergy
+	okSpeed := wsC.Cycles < seC.Cycles && osC.Cycles < seC.Cycles
+	okDiff := wsC.WireEnergy != osC.WireEnergy
+
+	return Result{
+		ID:    "E14",
+		Claim: "accelerator dataflows (weight- vs output-stationary) are mapping choices of one function; the pinned tensor's traffic is zero by construction",
+		Table: t,
+		Pass:  okSem && okWS && okOS && okWork && okSpeed && okDiff,
+		Notes: []string{"both dataflows verified legal by fm.Check and certified by the operational replay in the conv package's tests"},
+	}
+}

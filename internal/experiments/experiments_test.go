@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the full reproduction suite: every
+// experiment must regenerate its claim within tolerance. This is the
+// repository's headline integration test.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run()
+			if r.ID != e.ID {
+				t.Errorf("result ID %q != registered %q", r.ID, e.ID)
+			}
+			if !r.Pass {
+				var b strings.Builder
+				if _, err := r.WriteTo(&b); err != nil {
+					t.Fatal(err)
+				}
+				t.Errorf("experiment failed:\n%s", b.String())
+			}
+			if r.Table == nil || r.Table.Rows() == 0 {
+				t.Error("experiment produced no table rows")
+			}
+			if r.Claim == "" {
+				t.Error("experiment has no claim")
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	es := All()
+	if len(es) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(es))
+	}
+	seen := map[string]bool{}
+	for i, e := range es {
+		if e.ID == "" || e.Name == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := All()[0].Run()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E1", "verdict:", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFailureHelper(t *testing.T) {
+	r := failure("EX", constError("boom"))
+	if r.Pass || r.ID != "EX" || r.Table.Rows() != 1 {
+		t.Errorf("failure helper wrong: %+v", r)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Every experiment except the wall-clock E8 must render identically
+	// across runs.
+	for _, e := range All() {
+		if e.ID == "E8" {
+			continue
+		}
+		a := render(t, e)
+		b := render(t, e)
+		if a != b {
+			t.Errorf("%s is nondeterministic", e.ID)
+		}
+	}
+}
+
+func render(t *testing.T, e Experiment) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := e.Run().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

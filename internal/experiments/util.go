@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"repro/internal/geom"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/tech"
+)
+
+// newStripMachine builds a 10x1 strip machine with the given NoC mode
+// (0 = cut-through, 1 = store-and-forward) for the switching ablation.
+func newStripMachine(mode int) *machine.Machine {
+	return machine.New(machine.Config{
+		Grid:    geom.NewGrid(10, 1, 1.0),
+		Tech:    tech.N5(),
+		NoCMode: noc.Mode(mode),
+	})
+}

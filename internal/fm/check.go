@@ -1,0 +1,227 @@
+package fm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// CausalityError reports a consumer scheduled before its input could
+// arrive. "A legal mapping is one that preserves causality - scheduling
+// element computations after their inputs have been computed, [and]
+// allows time for elements to move from definition to use."
+type CausalityError struct {
+	Producer, Consumer NodeID
+	// Ready is the earliest cycle the value can be at the consumer;
+	// Scheduled is when the consumer actually starts.
+	Ready, Scheduled int64
+	// Hops is the routed distance the value must travel.
+	Hops int
+}
+
+// Error implements error.
+func (e *CausalityError) Error() string {
+	return fmt.Sprintf("fm: causality violated: node %d starts at cycle %d but its input from node %d (%d hops away) is only ready at cycle %d",
+		e.Consumer, e.Scheduled, e.Producer, e.Hops, e.Ready)
+}
+
+// OccupancyError reports more operations starting at one node in one
+// cycle than the target's issue width allows.
+type OccupancyError struct {
+	Place        geom.Point
+	Time         int64
+	Count, Width int
+}
+
+// Error implements error.
+func (e *OccupancyError) Error() string {
+	return fmt.Sprintf("fm: occupancy violated: %d ops start at %v in cycle %d (issue width %d)",
+		e.Count, e.Place, e.Time, e.Width)
+}
+
+// StorageError reports a node whose resident values exceed its memory
+// tile: the mapping "does not exceed storage bounds for elements in
+// transit" (values are charged to their producer until last use).
+type StorageError struct {
+	Place geom.Point
+	// PeakWords is the largest resident footprint; CapWords the tile size.
+	PeakWords, CapWords int
+	// Time is a cycle at which the peak occurs.
+	Time int64
+}
+
+// Error implements error.
+func (e *StorageError) Error() string {
+	return fmt.Sprintf("fm: storage violated: %d words live at %v around cycle %d (capacity %d)",
+		e.PeakWords, e.Place, e.Time, e.CapWords)
+}
+
+// OffGridError reports an assignment outside the target grid.
+type OffGridError struct {
+	Node  NodeID
+	Place geom.Point
+}
+
+// Error implements error.
+func (e *OffGridError) Error() string {
+	return fmt.Sprintf("fm: node %d mapped to %v, outside the target grid", e.Node, e.Place)
+}
+
+// Check verifies that sched is a legal mapping of g onto tgt: every
+// assignment is on the grid with a non-negative time, causality holds
+// (with transit time for every producer-consumer displacement), at most
+// IssueWidth operations start per node per cycle, and no memory tile ever
+// holds more than MemWordsPerNode words. It returns the first violation
+// found (deterministically, in node order), or nil.
+func Check(g *Graph, sched Schedule, tgt Target) error {
+	tgt = tgt.withDefaults()
+	if err := tgt.Validate(); err != nil {
+		return err
+	}
+	if err := sched.validateLen(g); err != nil {
+		return err
+	}
+	if err := checkPlacesAndCausality(g, sched, tgt); err != nil {
+		return err
+	}
+	if err := checkOccupancy(g, sched, tgt); err != nil {
+		return err
+	}
+	return checkStorage(g, sched, tgt)
+}
+
+// finishTime returns the cycle at which node n's value exists at its
+// place: inputs are available at their assigned time, compute nodes
+// finish OpCycles after they start.
+func finishTime(g *Graph, sched Schedule, tgt Target, n NodeID) int64 {
+	a := sched[n]
+	if g.IsInput(n) {
+		return a.Time
+	}
+	return a.Time + tgt.OpCycles(g.Op(n), g.Bits(n))
+}
+
+func checkPlacesAndCausality(g *Graph, sched Schedule, tgt Target) error {
+	for n := 0; n < g.NumNodes(); n++ {
+		a := sched[n]
+		if !tgt.Grid.Contains(a.Place) {
+			return &OffGridError{Node: NodeID(n), Place: a.Place}
+		}
+		if a.Time < 0 {
+			return fmt.Errorf("fm: node %d scheduled at negative cycle %d", n, a.Time)
+		}
+		if g.IsInput(NodeID(n)) {
+			continue
+		}
+		for _, p := range g.Deps(NodeID(n)) {
+			hops := sched[p].Place.Manhattan(a.Place)
+			ready := finishTime(g, sched, tgt, p) + tgt.TransitCycles(hops)
+			if a.Time < ready {
+				return &CausalityError{
+					Producer: p, Consumer: NodeID(n),
+					Ready: ready, Scheduled: a.Time, Hops: hops,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkOccupancy(g *Graph, sched Schedule, tgt Target) error {
+	type slot struct {
+		place geom.Point
+		time  int64
+	}
+	counts := make(map[slot]int)
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.IsInput(NodeID(n)) {
+			continue
+		}
+		s := slot{sched[n].Place, sched[n].Time}
+		counts[s]++
+		if counts[s] > tgt.IssueWidth {
+			return &OccupancyError{Place: s.place, Time: s.time, Count: counts[s], Width: tgt.IssueWidth}
+		}
+	}
+	return nil
+}
+
+// storageEvents builds the +alloc/-free event list for resident values:
+// each value occupies its producer's tile from its finish time until the
+// start of its last consumer (outputs live to the end of the schedule).
+func storageEvents(g *Graph, sched Schedule, tgt Target) map[geom.Point][]storageEvent {
+	lastUse := make([]int64, g.NumNodes())
+	for n := range lastUse {
+		lastUse[n] = -1
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.IsInput(NodeID(n)) {
+			continue
+		}
+		for _, p := range g.Deps(NodeID(n)) {
+			if sched[n].Time > lastUse[p] {
+				lastUse[p] = sched[n].Time
+			}
+		}
+	}
+	end := sched.Makespan()
+	for _, o := range g.Outputs() {
+		lastUse[o] = end
+	}
+
+	events := make(map[geom.Point][]storageEvent)
+	for n := 0; n < g.NumNodes(); n++ {
+		free := lastUse[n]
+		if free < 0 {
+			// Dead value: occupies storage only instantaneously; still
+			// charge its production cycle so pure sinks are accounted.
+			free = finishTime(g, sched, tgt, NodeID(n))
+		}
+		born := finishTime(g, sched, tgt, NodeID(n))
+		if g.IsInput(NodeID(n)) {
+			born = sched[n].Time
+		}
+		w := tgt.Words(g.Bits(NodeID(n)))
+		p := sched[n].Place
+		events[p] = append(events[p],
+			storageEvent{time: born, delta: w},
+			storageEvent{time: free + 1, delta: -w})
+	}
+	return events
+}
+
+type storageEvent struct {
+	time  int64
+	delta int
+}
+
+func checkStorage(g *Graph, sched Schedule, tgt Target) error {
+	for place, evs := range storageEvents(g, sched, tgt) {
+		peak, at := sweepPeak(evs)
+		if peak > tgt.MemWordsPerNode {
+			return &StorageError{Place: place, PeakWords: peak, CapWords: tgt.MemWordsPerNode, Time: at}
+		}
+	}
+	return nil
+}
+
+// sweepPeak returns the maximum running sum of deltas in time order
+// (frees applied before allocations at the same instant) and a time at
+// which it occurs.
+func sweepPeak(evs []storageEvent) (peak int, at int64) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].time != evs[j].time {
+			return evs[i].time < evs[j].time
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur := 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak, at = cur, e.time
+		}
+	}
+	return peak, at
+}

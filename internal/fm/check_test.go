@@ -1,0 +1,175 @@
+package fm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// pair builds in -> op, the smallest graph with one dependency.
+func pair(t *testing.T) (*Graph, NodeID, NodeID) {
+	t.Helper()
+	b := NewBuilder("pair")
+	in := b.Input(32)
+	op := b.Op(tech.OpAdd, 32, in)
+	b.MarkOutput(op)
+	return b.Build(), in, op
+}
+
+func TestCheckLegalColocated(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(4, 4)
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(0, 0), Time: 0}
+	sched[op] = Assignment{Place: geom.Pt(0, 0), Time: 0} // input ready at 0, same place
+	if err := Check(g, sched, tgt); err != nil {
+		t.Fatalf("co-located schedule should be legal: %v", err)
+	}
+}
+
+func TestCheckCausalityNeedsTransit(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(4, 4)
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(0, 0), Time: 0}
+	// 3 hops away: value needs 27 cycles of transit.
+	sched[op] = Assignment{Place: geom.Pt(3, 0), Time: 26}
+	err := Check(g, sched, tgt)
+	var ce *CausalityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CausalityError, got %v", err)
+	}
+	if ce.Hops != 3 || ce.Ready != 27 || ce.Scheduled != 26 {
+		t.Errorf("error detail = %+v", ce)
+	}
+	// One cycle later it is legal.
+	sched[op].Time = 27
+	if err := Check(g, sched, tgt); err != nil {
+		t.Fatalf("should be legal at exactly the arrival cycle: %v", err)
+	}
+}
+
+func TestCheckCausalityIncludesOpLatency(t *testing.T) {
+	b := NewBuilder("chain")
+	x := b.Op(tech.OpMul, 32) // source op, 6 cycles
+	y := b.Op(tech.OpAdd, 32, x)
+	g := b.Build()
+	tgt := DefaultTarget(2, 2)
+	sched := Schedule{
+		{Place: geom.Pt(0, 0), Time: 0},
+		{Place: geom.Pt(0, 0), Time: 5}, // mul finishes at 6
+	}
+	var ce *CausalityError
+	if err := Check(g, sched, tgt); !errors.As(err, &ce) {
+		t.Fatalf("want CausalityError, got %v", err)
+	}
+	sched[y].Time = 6
+	if err := Check(g, sched, tgt); err != nil {
+		t.Fatalf("start at producer finish should be legal: %v", err)
+	}
+}
+
+func TestCheckOccupancy(t *testing.T) {
+	b := NewBuilder("two")
+	b.Op(tech.OpAdd, 32)
+	b.Op(tech.OpAdd, 32)
+	g := b.Build()
+	tgt := DefaultTarget(2, 2)
+	sched := Schedule{
+		{Place: geom.Pt(1, 1), Time: 3},
+		{Place: geom.Pt(1, 1), Time: 3},
+	}
+	var oe *OccupancyError
+	if err := Check(g, sched, tgt); !errors.As(err, &oe) {
+		t.Fatalf("want OccupancyError, got %v", err)
+	}
+	if oe.Count != 2 || oe.Width != 1 || oe.Place != geom.Pt(1, 1) {
+		t.Errorf("error detail = %+v", oe)
+	}
+	// Wider issue accepts it.
+	tgt.IssueWidth = 2
+	if err := Check(g, sched, tgt); err != nil {
+		t.Fatalf("issue width 2 should accept: %v", err)
+	}
+	// Inputs do not occupy issue slots.
+	b2 := NewBuilder("ins")
+	b2.Input(32)
+	b2.Input(32)
+	g2 := b2.Build()
+	tgt2 := DefaultTarget(2, 2)
+	s2 := Schedule{{Place: geom.Pt(0, 0)}, {Place: geom.Pt(0, 0)}}
+	if err := Check(g2, s2, tgt2); err != nil {
+		t.Fatalf("inputs should not conflict: %v", err)
+	}
+}
+
+func TestCheckStorage(t *testing.T) {
+	// Many long-lived values at one tiny node.
+	b := NewBuilder("mem")
+	var vals []NodeID
+	for i := 0; i < 8; i++ {
+		vals = append(vals, b.Op(tech.OpAdd, 32))
+	}
+	sink := b.Op(tech.OpAdd, 32, vals...)
+	b.MarkOutput(sink)
+	g := b.Build()
+
+	tgt := DefaultTarget(2, 2)
+	tgt.MemWordsPerNode = 4
+	sched := make(Schedule, g.NumNodes())
+	for i := range vals {
+		sched[vals[i]] = Assignment{Place: geom.Pt(0, 0), Time: int64(2 * i)}
+	}
+	sched[sink] = Assignment{Place: geom.Pt(0, 0), Time: 100}
+	var se *StorageError
+	if err := Check(g, sched, tgt); !errors.As(err, &se) {
+		t.Fatalf("want StorageError, got %v", err)
+	}
+	if se.CapWords != 4 || se.PeakWords <= 4 {
+		t.Errorf("error detail = %+v", se)
+	}
+	// A big enough tile accepts the same schedule.
+	tgt.MemWordsPerNode = 16
+	if err := Check(g, sched, tgt); err != nil {
+		t.Fatalf("should fit in 16 words: %v", err)
+	}
+}
+
+func TestCheckOffGridAndNegativeTime(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(2, 2)
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(5, 0), Time: 0}
+	sched[op] = Assignment{Place: geom.Pt(0, 0), Time: 100}
+	var oge *OffGridError
+	if err := Check(g, sched, tgt); !errors.As(err, &oge) {
+		t.Fatalf("want OffGridError, got %v", err)
+	}
+	sched[in] = Assignment{Place: geom.Pt(0, 0), Time: -1}
+	if err := Check(g, sched, tgt); err == nil {
+		t.Fatal("want error for negative time")
+	}
+}
+
+func TestCheckScheduleLength(t *testing.T) {
+	g, _, _ := pair(t)
+	if err := Check(g, Schedule{}, DefaultTarget(2, 2)); err == nil {
+		t.Fatal("want error for short schedule")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	es := []error{
+		&CausalityError{Producer: 1, Consumer: 2, Ready: 10, Scheduled: 5, Hops: 3},
+		&OccupancyError{Place: geom.Pt(1, 2), Time: 7, Count: 3, Width: 1},
+		&StorageError{Place: geom.Pt(0, 0), PeakWords: 20, CapWords: 10, Time: 5},
+		&OffGridError{Node: 4, Place: geom.Pt(-1, 0)},
+	}
+	for _, e := range es {
+		if e.Error() == "" {
+			t.Errorf("%T has empty message", e)
+		}
+	}
+}

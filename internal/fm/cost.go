@@ -1,0 +1,227 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// Cost prices a mapped computation. "This model makes it possible to
+// write algorithms (function + mapping) with predictable execution time
+// and energy because communication — the major source of delay and
+// energy consumption — is made explicit."
+type Cost struct {
+	// Cycles is the makespan in target cycles: the cycle after the last
+	// value (including in-flight messages to consumers) exists.
+	Cycles int64
+	// TimePS is Cycles converted to picoseconds.
+	TimePS float64
+	// EnergyFJ is the total energy: compute + wire + off-chip input load.
+	EnergyFJ float64
+	// ComputeEnergy, WireEnergy, OffChipEnergy break EnergyFJ down.
+	ComputeEnergy, WireEnergy, OffChipEnergy float64
+	// BitHops is total payload bits weighted by hops travelled.
+	BitHops int64
+	// Messages is the number of distinct value movements (one per
+	// producer/destination pair): the on-chip analog of the alpha term in
+	// distributed cost models. Yelick: communication avoidance means
+	// "reducing both data movement volume and number of distinct events".
+	Messages int64
+	// PeakWordsPerNode is the largest memory-tile footprint of any node.
+	PeakWordsPerNode int
+	// PlacesUsed is the number of distinct grid points touched.
+	PlacesUsed int
+	// Ops is the number of operations executed.
+	Ops int
+}
+
+// CommFraction returns the fraction of energy spent moving data.
+func (c Cost) CommFraction() float64 {
+	if c.EnergyFJ == 0 {
+		return 0
+	}
+	return (c.WireEnergy + c.OffChipEnergy) / c.EnergyFJ
+}
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("cycles=%d time=%.0fps energy=%.0ffJ (compute=%.0f wire=%.0f offchip=%.0f) bit-hops=%d msgs=%d peak-mem=%dw places=%d",
+		c.Cycles, c.TimePS, c.EnergyFJ, c.ComputeEnergy, c.WireEnergy, c.OffChipEnergy,
+		c.BitHops, c.Messages, c.PeakWordsPerNode, c.PlacesUsed)
+}
+
+// TrafficFrom returns the bit-hops of all transfers whose PRODUCER
+// satisfies from, with the same per-distinct-(producer, destination)
+// dedup rule Evaluate charges. It attributes a mapping's communication
+// to tensors: e.g. in a weight-stationary convolution the weight inputs
+// contribute zero, in an output-stationary one the partial sums do.
+func TrafficFrom(g *Graph, sched Schedule, from func(NodeID) bool) int64 {
+	if len(sched) != g.NumNodes() {
+		panic(fmt.Sprintf("fm: schedule has %d assignments for %d nodes", len(sched), g.NumNodes()))
+	}
+	type flow struct {
+		producer NodeID
+		dst      geom.Point
+	}
+	seen := make(map[flow]struct{})
+	var total int64
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			continue
+		}
+		dst := sched[id].Place
+		for _, p := range g.Deps(id) {
+			if !from(p) {
+				continue
+			}
+			hops := sched[p].Place.Manhattan(dst)
+			if hops == 0 {
+				continue
+			}
+			f := flow{p, dst}
+			if _, dup := seen[f]; dup {
+				continue
+			}
+			seen[f] = struct{}{}
+			total += int64(g.Bits(p)) * int64(hops)
+		}
+	}
+	return total
+}
+
+// EvalOptions tunes Evaluate.
+type EvalOptions struct {
+	// ChargeInputLoad charges each input node one off-chip access (the
+	// data has to come from somewhere) and requires inputs to be
+	// available no earlier than the off-chip latency.
+	ChargeInputLoad bool
+	// Trace, if non-nil, receives one event per op and per value movement
+	// (times in ps, converted from cycles).
+	Trace *trace.Trace
+	// SkipCheck evaluates cost without re-verifying legality. Search uses
+	// this after checking candidates once.
+	SkipCheck bool
+}
+
+// Evaluate checks legality (unless opts.SkipCheck) and prices the mapped
+// computation g+sched on tgt.
+//
+// Communication is charged per distinct (producer, consumer-place) pair:
+// a value consumed by several ops at the same place travels there once;
+// consumers at distinct places each get their own copy. A consumer
+// co-located with the producer is free — locality optimization is exactly
+// the art of making this term vanish.
+func Evaluate(g *Graph, sched Schedule, tgt Target, opts EvalOptions) (Cost, error) {
+	tgt = tgt.withDefaults()
+	if !opts.SkipCheck {
+		if err := Check(g, sched, tgt); err != nil {
+			return Cost{}, err
+		}
+	} else if err := sched.validateLen(g); err != nil {
+		return Cost{}, err
+	}
+
+	var c Cost
+	var makespan int64
+
+	if opts.ChargeInputLoad {
+		offCycles := tgt.OffChipCycles()
+		for _, in := range g.Inputs() {
+			if sched[in].Time < offCycles {
+				return Cost{}, fmt.Errorf("fm: input node %d available at cycle %d, before off-chip load completes at %d",
+					in, sched[in].Time, offCycles)
+			}
+			bits := g.Bits(in)
+			c.OffChipEnergy += tgt.Tech.OffChipEnergy(bits)
+			if opts.Trace.Enabled() {
+				opts.Trace.Add(trace.Event{
+					Kind:  trace.KindOffChip,
+					Start: float64(sched[in].Time-offCycles) * tgt.CyclePS,
+					End:   float64(sched[in].Time) * tgt.CyclePS,
+					Place: sched[in].Place, Energy: tgt.Tech.OffChipEnergy(bits), Bits: bits,
+				})
+			}
+		}
+	}
+
+	// Compute energy and completion times.
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		fin := finishTime(g, sched, tgt, id)
+		if fin > makespan {
+			makespan = fin
+		}
+		if g.IsInput(id) {
+			continue
+		}
+		c.Ops++
+		e := tgt.Tech.OpEnergy(g.Op(id), g.Bits(id))
+		c.ComputeEnergy += e
+		if opts.Trace.Enabled() {
+			opts.Trace.Add(trace.Event{
+				Kind:  trace.KindCompute,
+				Start: float64(sched[id].Time) * tgt.CyclePS,
+				End:   float64(fin) * tgt.CyclePS,
+				Place: sched[id].Place, Energy: e, Bits: g.Bits(id), Tag: g.Label(id),
+			})
+		}
+	}
+
+	// Wire energy: one transfer per distinct (producer, destination place).
+	type flow struct {
+		producer NodeID
+		dst      geom.Point
+	}
+	seen := make(map[flow]struct{})
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			continue
+		}
+		dst := sched[id].Place
+		for _, p := range g.Deps(id) {
+			hops := sched[p].Place.Manhattan(dst)
+			if hops == 0 {
+				continue
+			}
+			f := flow{p, dst}
+			if _, dup := seen[f]; dup {
+				continue
+			}
+			seen[f] = struct{}{}
+			bits := g.Bits(p)
+			e := tgt.WireEnergy(bits, hops)
+			c.WireEnergy += e
+			c.BitHops += int64(bits) * int64(hops)
+			c.Messages++
+			depart := finishTime(g, sched, tgt, p)
+			arrive := depart + tgt.TransitCycles(hops)
+			if arrive > makespan {
+				makespan = arrive
+			}
+			if opts.Trace.Enabled() {
+				opts.Trace.Add(trace.Event{
+					Kind:  trace.KindWire,
+					Start: float64(depart) * tgt.CyclePS,
+					End:   float64(arrive) * tgt.CyclePS,
+					Place: sched[p].Place, Dst: dst, Energy: e, Bits: bits,
+				})
+			}
+		}
+	}
+
+	// Peak per-node storage (same accounting as the legality check).
+	for _, evs := range storageEvents(g, sched, tgt) {
+		if peak, _ := sweepPeak(evs); peak > c.PeakWordsPerNode {
+			c.PeakWordsPerNode = peak
+		}
+	}
+
+	c.Cycles = makespan
+	c.TimePS = float64(makespan) * tgt.CyclePS
+	c.EnergyFJ = c.ComputeEnergy + c.WireEnergy + c.OffChipEnergy
+	c.PlacesUsed = sched.PlacesUsed()
+	return c, nil
+}

@@ -1,0 +1,241 @@
+package fm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+	"repro/internal/trace"
+)
+
+func TestEvaluateColocatedChain(t *testing.T) {
+	b := NewBuilder("chain")
+	in := b.Input(32)
+	x := b.Op(tech.OpAdd, 32, in)
+	y := b.Op(tech.OpAdd, 32, x)
+	b.MarkOutput(y)
+	g := b.Build()
+
+	tgt := DefaultTarget(4, 4)
+	p := geom.Pt(0, 0)
+	sched := Schedule{
+		{Place: p, Time: 0},
+		{Place: p, Time: 0},
+		{Place: p, Time: 2},
+	}
+	c, err := Evaluate(g, sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 4 { // second add finishes at 2+2
+		t.Errorf("Cycles = %d, want 4", c.Cycles)
+	}
+	if c.TimePS != 400 {
+		t.Errorf("TimePS = %g", c.TimePS)
+	}
+	if c.ComputeEnergy != 32 { // two 16 fJ adds
+		t.Errorf("ComputeEnergy = %g", c.ComputeEnergy)
+	}
+	if c.WireEnergy != 0 || c.BitHops != 0 || c.Messages != 0 {
+		t.Errorf("co-located chain should move nothing: wire=%g bithops=%d msgs=%d", c.WireEnergy, c.BitHops, c.Messages)
+	}
+	if c.Ops != 2 || c.PlacesUsed != 1 {
+		t.Errorf("ops/places = %d/%d", c.Ops, c.PlacesUsed)
+	}
+	if c.EnergyFJ != c.ComputeEnergy {
+		t.Errorf("EnergyFJ = %g", c.EnergyFJ)
+	}
+	if c.CommFraction() != 0 {
+		t.Errorf("CommFraction = %g", c.CommFraction())
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestEvaluateChargesWirePerDistinctDestination(t *testing.T) {
+	// One producer, three consumers: two at the same remote place, one
+	// co-located. Wire charged once for the remote place.
+	b := NewBuilder("fanout")
+	src := b.Op(tech.OpAdd, 32)
+	c1 := b.Op(tech.OpAdd, 32, src)
+	c2 := b.Op(tech.OpAdd, 32, src)
+	c3 := b.Op(tech.OpAdd, 32, src)
+	b.MarkOutput(c1)
+	b.MarkOutput(c2)
+	b.MarkOutput(c3)
+	g := b.Build()
+
+	tgt := DefaultTarget(4, 1)
+	home, remote := geom.Pt(0, 0), geom.Pt(2, 0)
+	sched := Schedule{
+		{Place: home, Time: 0},
+		{Place: remote, Time: 20}, // 2 finish + 18 transit
+		{Place: remote, Time: 21},
+		{Place: home, Time: 2},
+	}
+	c, err := Evaluate(g, sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWire := tgt.WireEnergy(32, 2)
+	if math.Abs(c.WireEnergy-wantWire) > 1e-9 {
+		t.Errorf("WireEnergy = %g, want one transfer %g", c.WireEnergy, wantWire)
+	}
+	if c.BitHops != 64 {
+		t.Errorf("BitHops = %d, want 64", c.BitHops)
+	}
+	if c.Messages != 1 {
+		t.Errorf("Messages = %d, want one distinct flow", c.Messages)
+	}
+}
+
+func TestEvaluateMakespanIncludesTransitToConsumers(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(4, 1)
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(3, 0), Time: 0}
+	sched[op] = Assignment{Place: geom.Pt(0, 0), Time: 27}
+	c, err := Evaluate(g, sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// op starts at 27, finishes at 29.
+	if c.Cycles != 29 {
+		t.Errorf("Cycles = %d, want 29", c.Cycles)
+	}
+}
+
+func TestEvaluateRejectsIllegal(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(4, 4)
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(3, 0), Time: 0}
+	sched[op] = Assignment{Place: geom.Pt(0, 0), Time: 0}
+	if _, err := Evaluate(g, sched, tgt, EvalOptions{}); err == nil {
+		t.Fatal("want legality error")
+	}
+	// SkipCheck prices it anyway (search uses this after one Check).
+	if _, err := Evaluate(g, sched, tgt, EvalOptions{SkipCheck: true}); err != nil {
+		t.Fatalf("SkipCheck should not re-verify: %v", err)
+	}
+}
+
+func TestEvaluateChargeInputLoad(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(2, 2)
+	off := tgt.OffChipCycles()
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(0, 0), Time: off}
+	sched[op] = Assignment{Place: geom.Pt(0, 0), Time: off}
+	c, err := Evaluate(g, sched, tgt, EvalOptions{ChargeInputLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tgt.Tech.OffChipEnergy(32); c.OffChipEnergy != want {
+		t.Errorf("OffChipEnergy = %g, want %g", c.OffChipEnergy, want)
+	}
+	// Off-chip dominates: the 50,000x claim shows up as a comm fraction
+	// near 1 even for this one-add function.
+	if c.CommFraction() < 0.99 {
+		t.Errorf("CommFraction = %g", c.CommFraction())
+	}
+	// Input available before the load completes is an error.
+	sched[in].Time = off - 1
+	sched[op].Time = off - 1
+	if _, err := Evaluate(g, sched, tgt, EvalOptions{ChargeInputLoad: true}); err == nil {
+		t.Fatal("want error for input before off-chip latency")
+	}
+}
+
+func TestEvaluatePeakStorage(t *testing.T) {
+	// Two values overlap at one node: 2 words peak.
+	b := NewBuilder("s")
+	v1 := b.Op(tech.OpAdd, 32)
+	v2 := b.Op(tech.OpAdd, 32)
+	s := b.Op(tech.OpAdd, 32, v1, v2)
+	b.MarkOutput(s)
+	g := b.Build()
+	tgt := DefaultTarget(2, 2)
+	p := geom.Pt(0, 0)
+	sched := Schedule{{Place: p, Time: 0}, {Place: p, Time: 2}, {Place: p, Time: 4}}
+	c, err := Evaluate(g, sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PeakWordsPerNode < 2 {
+		t.Errorf("PeakWordsPerNode = %d, want >= 2", c.PeakWordsPerNode)
+	}
+}
+
+func TestEvaluateTrace(t *testing.T) {
+	g, in, op := pair(t)
+	tgt := DefaultTarget(4, 1)
+	sched := make(Schedule, g.NumNodes())
+	sched[in] = Assignment{Place: geom.Pt(1, 0), Time: 0}
+	sched[op] = Assignment{Place: geom.Pt(0, 0), Time: 9}
+	tr := trace.New()
+	c, err := Evaluate(g, sched, tgt, EvalOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summarize()
+	if sum.CountByKind[trace.KindCompute] != 1 || sum.CountByKind[trace.KindWire] != 1 {
+		t.Errorf("trace counts = %v", sum.CountByKind)
+	}
+	if math.Abs(sum.TotalEnergy-c.EnergyFJ) > 1e-9 {
+		t.Errorf("trace energy %g != cost %g", sum.TotalEnergy, c.EnergyFJ)
+	}
+	if math.Abs(sum.Makespan-c.TimePS) > 1e-9 {
+		t.Errorf("trace makespan %g != cost %g", sum.Makespan, c.TimePS)
+	}
+}
+
+// TestParallelBeatsSerialOnTime is the model's raison d'etre: the same
+// function mapped onto more space finishes sooner but pays wire energy,
+// while the serial mapping is slow but moves nothing. The grain must be
+// coarse enough for compute to beat transit — with tiny adds at 1 mm
+// pitch the serial mapping genuinely wins, which is exactly the paper's
+// communication-dominance argument — so this test uses multiplies on a
+// fine-pitch grid.
+func TestParallelBeatsSerialOnTime(t *testing.T) {
+	// A reduction tree of 64 leaves.
+	b := NewBuilder("reduce")
+	level := make([]NodeID, 64)
+	for i := range level {
+		level[i] = b.Op(tech.OpMul, 32)
+	}
+	for len(level) > 1 {
+		var next []NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Op(tech.OpMul, 32, level[i], level[i+1]))
+		}
+		level = next
+	}
+	b.MarkOutput(level[0])
+	g := b.Build()
+
+	tgt := DefaultTarget(16, 1)
+	tgt.Grid.PitchMM = 0.25
+	serial := SerialSchedule(g, tgt, geom.Pt(0, 0))
+	parallel := ListSchedule(g, tgt)
+
+	cs, err := Evaluate(g, serial, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	cp, err := Evaluate(g, parallel, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if cp.Cycles >= cs.Cycles {
+		t.Errorf("parallel (%d cycles) should beat serial (%d)", cp.Cycles, cs.Cycles)
+	}
+	if cs.WireEnergy != 0 {
+		t.Errorf("serial mapping should move nothing, wire = %g", cs.WireEnergy)
+	}
+	if cs.ComputeEnergy != cp.ComputeEnergy {
+		t.Errorf("function work is mapping-invariant: %g vs %g", cs.ComputeEnergy, cp.ComputeEnergy)
+	}
+}

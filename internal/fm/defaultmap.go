@@ -1,0 +1,124 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// SerialSchedule maps the whole graph onto one grid node, executing
+// operations one after another in dependency order: the projection of a
+// potentially parallel computation into one serial in time, which is what
+// a conventional serial processor does implicitly. Inputs are available
+// at cycle 0 at the same node, so no communication is ever charged.
+func SerialSchedule(g *Graph, tgt Target, at geom.Point) Schedule {
+	tgt = tgt.withDefaults()
+	sched := make(Schedule, g.NumNodes())
+	var clock int64
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			sched[n] = Assignment{Place: at, Time: 0}
+			continue
+		}
+		start := clock
+		for _, p := range g.Deps(id) {
+			if f := finishTime(g, sched, tgt, p); f > start {
+				start = f
+			}
+		}
+		sched[n] = Assignment{Place: at, Time: start}
+		clock = start + tgt.OpCycles(g.Op(id), g.Bits(id))
+	}
+	return sched
+}
+
+// ListSchedule is the default mapper: a greedy earliest-finish list
+// scheduler over the whole grid. Nodes are visited in topological (ID)
+// order; each is placed where it can finish soonest given its inputs'
+// placements, transit times, and each node's issue calendar. "Programmers
+// that don't want to bother with mapping can use a default mapper – with
+// results no worse than with today's abstractions."
+//
+// Inputs are scattered round-robin across the grid at cycle 0.
+func ListSchedule(g *Graph, tgt Target) Schedule {
+	tgt = tgt.withDefaults()
+	places := gridPoints(tgt.Grid)
+	sched := make(Schedule, g.NumNodes())
+	// nextIssue[i] is the first cycle with a free issue slot at places[i].
+	// One start per cycle per node is legal for any IssueWidth >= 1.
+	nextIssue := make([]int64, len(places))
+
+	inputIdx := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			sched[n] = Assignment{Place: places[inputIdx%len(places)], Time: 0}
+			inputIdx++
+			continue
+		}
+		opc := tgt.OpCycles(g.Op(id), g.Bits(id))
+		bestPlace := 0
+		var bestFinish int64 = -1
+		var bestStart int64
+		for pi, q := range places {
+			start := nextIssue[pi]
+			for _, p := range g.Deps(id) {
+				ready := finishTime(g, sched, tgt, p) + tgt.TransitCycles(sched[p].Place.Manhattan(q))
+				if ready > start {
+					start = ready
+				}
+			}
+			finish := start + opc
+			if bestFinish < 0 || finish < bestFinish {
+				bestFinish, bestStart, bestPlace = finish, start, pi
+			}
+		}
+		sched[n] = Assignment{Place: places[bestPlace], Time: bestStart}
+		if next := bestStart + 1; next > nextIssue[bestPlace] {
+			nextIssue[bestPlace] = next
+		}
+	}
+	return sched
+}
+
+// ASAPSchedule derives the earliest legal start times for a fixed
+// placement: every node starts as soon as its inputs have arrived and an
+// issue slot at its node is free. Causality and occupancy hold by
+// construction; storage bounds are the placement's problem (Check
+// verifies them for callers that care).
+func ASAPSchedule(g *Graph, place []geom.Point, tgt Target) Schedule {
+	if len(place) != g.NumNodes() {
+		panic(fmt.Sprintf("fm: %d placements for %d nodes", len(place), g.NumNodes()))
+	}
+	tgt = tgt.withDefaults()
+	sched := make(Schedule, g.NumNodes())
+	nextIssue := make(map[geom.Point]int64)
+	finish := make([]int64, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			sched[n] = Assignment{Place: place[n], Time: 0}
+			continue
+		}
+		start := nextIssue[place[n]]
+		for _, p := range g.Deps(id) {
+			ready := finish[p] + tgt.TransitCycles(place[p].Manhattan(place[n]))
+			if ready > start {
+				start = ready
+			}
+		}
+		sched[n] = Assignment{Place: place[n], Time: start}
+		nextIssue[place[n]] = start + 1
+		finish[n] = start + tgt.OpCycles(g.Op(id), g.Bits(id))
+	}
+	return sched
+}
+
+func gridPoints(g geom.Grid) []geom.Point {
+	pts := make([]geom.Point, 0, g.Nodes())
+	for id := 0; id < g.Nodes(); id++ {
+		pts = append(pts, g.At(id))
+	}
+	return pts
+}

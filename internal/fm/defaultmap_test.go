@@ -1,0 +1,154 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// randomDAG builds a random layered DAG for property-style checks.
+func randomDAG(rng *rand.Rand, nodes int) *Graph {
+	b := NewBuilder("rand")
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, b.Input(32))
+	}
+	for i := 0; i < nodes; i++ {
+		nd := 1 + rng.Intn(3)
+		deps := make([]NodeID, 0, nd)
+		for j := 0; j < nd; j++ {
+			deps = append(deps, ids[rng.Intn(len(ids))])
+		}
+		class := tech.OpAdd
+		if rng.Intn(3) == 0 {
+			class = tech.OpMul
+		}
+		ids = append(ids, b.Op(class, 32, deps...))
+	}
+	b.MarkOutput(ids[len(ids)-1])
+	return b.Build()
+}
+
+func TestSerialScheduleAlwaysLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tgt := DefaultTarget(4, 4)
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 30+rng.Intn(50))
+		sched := SerialSchedule(g, tgt, geom.Pt(1, 1))
+		if err := Check(g, sched, tgt); err != nil {
+			t.Fatalf("trial %d: serial schedule illegal: %v", trial, err)
+		}
+		if sched.PlacesUsed() != 1 {
+			t.Fatalf("trial %d: serial schedule uses %d places", trial, sched.PlacesUsed())
+		}
+	}
+}
+
+func TestSerialScheduleZeroWire(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(2)), 40)
+	tgt := DefaultTarget(4, 4)
+	c, err := Evaluate(g, SerialSchedule(g, tgt, geom.Pt(0, 0)), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireEnergy != 0 || c.BitHops != 0 {
+		t.Errorf("serial schedule moved data: %v", c)
+	}
+}
+
+func TestSerialScheduleIsSequential(t *testing.T) {
+	// Ops never overlap: total cycles >= sum of op latencies.
+	b := NewBuilder("seq")
+	x := b.Op(tech.OpMul, 32) // 6 cycles
+	y := b.Op(tech.OpMul, 32) // independent, but serial anyway
+	z := b.Op(tech.OpAdd, 32, x, y)
+	b.MarkOutput(z)
+	g := b.Build()
+	tgt := DefaultTarget(4, 4)
+	c, err := Evaluate(g, SerialSchedule(g, tgt, geom.Pt(0, 0)), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 6+6+2 {
+		t.Errorf("Cycles = %d, want 14 (fully serialized)", c.Cycles)
+	}
+}
+
+func TestListScheduleAlwaysLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		w, h := 1+rng.Intn(4), 1+rng.Intn(4)
+		tgt := DefaultTarget(w, h)
+		g := randomDAG(rng, 30+rng.Intn(50))
+		sched := ListSchedule(g, tgt)
+		if err := Check(g, sched, tgt); err != nil {
+			t.Fatalf("trial %d (%dx%d): list schedule illegal: %v", trial, w, h, err)
+		}
+	}
+}
+
+func TestListScheduleNoWorseThanSerial(t *testing.T) {
+	// The paper's default-mapper promise: "results no worse than with
+	// today's abstractions" — i.e. than the serial projection.
+	rng := rand.New(rand.NewSource(13))
+	tgt := DefaultTarget(4, 4)
+	for trial := 0; trial < 15; trial++ {
+		g := randomDAG(rng, 60)
+		cs, err := Evaluate(g, SerialSchedule(g, tgt, geom.Pt(0, 0)), tgt, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := Evaluate(g, ListSchedule(g, tgt), tgt, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.Cycles > cs.Cycles {
+			t.Errorf("trial %d: default mapper (%d cycles) worse than serial (%d)",
+				trial, cl.Cycles, cs.Cycles)
+		}
+	}
+}
+
+func TestListScheduleOnUnitGridEqualsPipelinedSerial(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(3)), 30)
+	tgt := DefaultTarget(1, 1)
+	sched := ListSchedule(g, tgt)
+	if err := Check(g, sched, tgt); err != nil {
+		t.Fatal(err)
+	}
+	if sched.PlacesUsed() != 1 {
+		t.Errorf("unit grid uses %d places", sched.PlacesUsed())
+	}
+}
+
+func TestListScheduleParallelizesIndependentWork(t *testing.T) {
+	// 8 independent chains on an 8-node grid should run concurrently.
+	b := NewBuilder("chains")
+	const chains, length = 8, 10
+	for c := 0; c < chains; c++ {
+		n := b.Op(tech.OpAdd, 32)
+		for i := 1; i < length; i++ {
+			n = b.Op(tech.OpAdd, 32, n)
+		}
+		b.MarkOutput(n)
+	}
+	g := b.Build()
+	tgt := DefaultTarget(8, 1)
+	cl, err := Evaluate(g, ListSchedule(g, tgt), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Evaluate(g, SerialSchedule(g, tgt, geom.Pt(0, 0)), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial: 8*10 adds * 2 cycles = 160. Parallel chains: 20 each.
+	if cl.Cycles*4 > cs.Cycles {
+		t.Errorf("independent chains barely sped up: %d vs serial %d", cl.Cycles, cs.Cycles)
+	}
+	if cl.PlacesUsed < chains/2 {
+		t.Errorf("list schedule used only %d places", cl.PlacesUsed)
+	}
+}

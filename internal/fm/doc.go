@@ -1,0 +1,37 @@
+// Package fm implements the Function & Mapping (F&M) model, the panel
+// paper's primary contribution (Dally, section 3).
+//
+// The model separates a computation into two independent artifacts:
+//
+//   - The FUNCTION describes how each element of a computation is computed
+//     from earlier elements. No ordering other than data dependence is
+//     specified, so a function exposes all available parallelism. Here a
+//     function is a dataflow graph (Graph), built either directly with a
+//     Builder or from a uniform Recurrence such as the paper's
+//     edit-distance example.
+//
+//   - The MAPPING assigns every element a place on a discretized grid and
+//     a time in discretized cycles, and thereby a path for every value
+//     from definition to use. Here a mapping is a Schedule: one
+//     Assignment (place, time) per graph node.
+//
+// A LEGAL mapping preserves causality — every element is scheduled after
+// its inputs have been computed and have had time to travel — and does
+// not exceed per-node issue or storage bounds. Check verifies legality;
+// Evaluate additionally prices the mapped computation in cycles, energy,
+// bit-hops, and memory footprint against a Target (grid + technology
+// constants), making communication cost explicit exactly as the model
+// prescribes.
+//
+// Mappings compose: two Modules connect output-port to input-port. If the
+// port placements agree the composition is free (ComposeAligned);
+// otherwise a remapping stage that shuffles the data between placements
+// must be inserted (ComposeWithRemap), and its cost is charged like any
+// other communication.
+//
+// A default mapper (ListSchedule) gives programmers who do not want to
+// reason about mappings a greedy space-time assignment "no worse than
+// with today's abstractions"; SerialSchedule projects the whole graph
+// onto one node, which is what a conventional serial machine does
+// implicitly.
+package fm

@@ -1,0 +1,235 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense, start at zero, and
+// are assigned in construction order; because every dependency must
+// already exist when a node is added, ascending ID order is always a
+// topological order.
+type NodeID int32
+
+// Graph is a function in the F&M sense: an immutable dataflow graph in
+// which each node computes one element from earlier elements. Inputs are
+// nodes with no operation; every other node applies one primitive
+// operation to its dependencies. The representation is flat arrays so
+// million-node functions (e.g. a 1024x1024 DP table) stay compact.
+type Graph struct {
+	name string
+
+	op     []tech.OpClass // per node; meaningless for inputs
+	bits   []uint32       // per node result width
+	input  []bool         // true for input nodes
+	dep    []NodeID       // flattened dependency lists
+	depOff []int32        // node n's deps are dep[depOff[n]:depOff[n+1]]
+
+	outputs []NodeID
+	labels  map[NodeID]string
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.bits) }
+
+// NumEdges returns the total number of dependencies.
+func (g *Graph) NumEdges() int { return len(g.dep) }
+
+// IsInput reports whether n is an input node.
+func (g *Graph) IsInput(n NodeID) bool { return g.input[n] }
+
+// Op returns node n's operation class. Inputs have no operation.
+func (g *Graph) Op(n NodeID) tech.OpClass { return g.op[n] }
+
+// Bits returns the width of node n's result.
+func (g *Graph) Bits(n NodeID) int { return int(g.bits[n]) }
+
+// Deps returns node n's dependencies. The slice aliases graph storage and
+// must not be modified.
+func (g *Graph) Deps(n NodeID) []NodeID {
+	return g.dep[g.depOff[n]:g.depOff[n+1]]
+}
+
+// Outputs returns the declared output nodes in declaration order. The
+// slice aliases graph storage and must not be modified.
+func (g *Graph) Outputs() []NodeID { return g.outputs }
+
+// Label returns the debug label of n, or its numeric form.
+func (g *Graph) Label(n NodeID) string {
+	if s, ok := g.labels[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("n%d", n)
+}
+
+// Inputs returns all input node IDs in ascending order.
+func (g *Graph) Inputs() []NodeID {
+	var in []NodeID
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.input[n] {
+			in = append(in, NodeID(n))
+		}
+	}
+	return in
+}
+
+// CountOps returns the number of non-input nodes: the function's total
+// work in primitive operations.
+func (g *Graph) CountOps() int {
+	ops := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		if !g.input[n] {
+			ops++
+		}
+	}
+	return ops
+}
+
+// Depth returns the length of the longest dependency chain measured in
+// operations (inputs contribute zero): the function's span, and therefore
+// the minimum depth of any mapping. This is the quantity a
+// "minimum-depth parallel" mapping achieves.
+func (g *Graph) Depth() int {
+	depth := make([]int32, g.NumNodes())
+	var maxD int32
+	for n := 0; n < g.NumNodes(); n++ {
+		var d int32
+		for _, p := range g.Deps(NodeID(n)) {
+			if depth[p] > d {
+				d = depth[p]
+			}
+		}
+		if !g.input[n] {
+			d++
+		}
+		depth[n] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return int(maxD)
+}
+
+// Builder constructs a Graph. Dependencies must already exist when a node
+// is added, which makes cycles unrepresentable and IDs topologically
+// ordered by construction.
+type Builder struct {
+	g     Graph
+	built bool
+}
+
+// NewBuilder returns a builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: Graph{name: name, labels: make(map[NodeID]string)}}
+}
+
+func (b *Builder) checkBuilt() {
+	if b.built {
+		panic("fm: builder used after Build")
+	}
+}
+
+func (b *Builder) add(op tech.OpClass, bits int, isInput bool, deps []NodeID) NodeID {
+	b.checkBuilt()
+	if bits <= 0 || bits > 1<<20 {
+		panic(fmt.Sprintf("fm: invalid node width %d", bits))
+	}
+	id := NodeID(len(b.g.bits))
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("fm: node %d depends on nonexistent node %d", id, d))
+		}
+	}
+	b.g.op = append(b.g.op, op)
+	b.g.bits = append(b.g.bits, uint32(bits))
+	b.g.input = append(b.g.input, isInput)
+	if b.g.depOff == nil {
+		b.g.depOff = append(b.g.depOff, 0)
+	}
+	b.g.dep = append(b.g.dep, deps...)
+	b.g.depOff = append(b.g.depOff, int32(len(b.g.dep)))
+	return id
+}
+
+// Input declares an input element of the given width and returns its node.
+func (b *Builder) Input(bits int) NodeID {
+	return b.add(tech.OpAdd, bits, true, nil)
+}
+
+// Op adds a compute node applying class to deps and returns its node.
+// A node with no dependencies is a source computation (e.g. a DP boundary
+// cell computed from constants).
+func (b *Builder) Op(class tech.OpClass, bits int, deps ...NodeID) NodeID {
+	return b.add(class, bits, false, deps)
+}
+
+// Label attaches a debug label to a node.
+func (b *Builder) Label(n NodeID, format string, args ...any) {
+	b.checkBuilt()
+	b.g.labels[n] = fmt.Sprintf(format, args...)
+}
+
+// MarkOutput declares n as an output of the function.
+func (b *Builder) MarkOutput(n NodeID) {
+	b.checkBuilt()
+	if n < 0 || int(n) >= len(b.g.bits) {
+		panic(fmt.Sprintf("fm: output of nonexistent node %d", n))
+	}
+	b.g.outputs = append(b.g.outputs, n)
+}
+
+// Import copies all non-input nodes of src into the graph under
+// construction, substituting replaceInputs (in src.Inputs() order) for
+// src's input nodes. It returns a mapping from src node IDs to new IDs.
+// This is the graph-surgery primitive behind module composition.
+func (b *Builder) Import(src *Graph, replaceInputs []NodeID) []NodeID {
+	b.checkBuilt()
+	srcInputs := src.Inputs()
+	if len(replaceInputs) != len(srcInputs) {
+		panic(fmt.Sprintf("fm: Import needs %d replacement inputs, got %d",
+			len(srcInputs), len(replaceInputs)))
+	}
+	remap := make([]NodeID, src.NumNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, in := range srcInputs {
+		if replaceInputs[i] < 0 || int(replaceInputs[i]) >= len(b.g.bits) {
+			panic(fmt.Sprintf("fm: Import replacement %d does not exist", replaceInputs[i]))
+		}
+		remap[in] = replaceInputs[i]
+	}
+	deps := make([]NodeID, 0, 8)
+	for n := 0; n < src.NumNodes(); n++ {
+		if src.IsInput(NodeID(n)) {
+			continue
+		}
+		deps = deps[:0]
+		for _, d := range src.Deps(NodeID(n)) {
+			nd := remap[d]
+			if nd < 0 {
+				panic(fmt.Sprintf("fm: Import of %q hit unmapped dep %d", src.Name(), d))
+			}
+			deps = append(deps, nd)
+		}
+		remap[n] = b.Op(src.Op(NodeID(n)), src.Bits(NodeID(n)), deps...)
+		if lbl, ok := src.labels[NodeID(n)]; ok {
+			b.g.labels[remap[n]] = lbl
+		}
+	}
+	return remap
+}
+
+// Build finalizes and returns the graph. The builder cannot be reused.
+func (b *Builder) Build() *Graph {
+	b.checkBuilt()
+	b.built = true
+	if b.g.depOff == nil {
+		b.g.depOff = []int32{0}
+	}
+	return &b.g
+}

@@ -1,0 +1,188 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// diamond builds the classic diamond: two inputs, two middle ops, one sink.
+func diamond(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	b := NewBuilder("diamond")
+	a := b.Input(32)
+	c := b.Input(32)
+	m1 := b.Op(tech.OpAdd, 32, a, c)
+	m2 := b.Op(tech.OpMul, 32, a, c)
+	s := b.Op(tech.OpAdd, 32, m1, m2)
+	b.MarkOutput(s)
+	return b.Build(), []NodeID{a, c, m1, m2, s}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g, ids := diamond(t)
+	if g.Name() != "diamond" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 6 {
+		t.Errorf("nodes/edges = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.IsInput(ids[0]) || !g.IsInput(ids[1]) || g.IsInput(ids[2]) {
+		t.Error("input flags wrong")
+	}
+	if g.Op(ids[3]) != tech.OpMul {
+		t.Errorf("op = %v", g.Op(ids[3]))
+	}
+	if g.Bits(ids[4]) != 32 {
+		t.Errorf("bits = %d", g.Bits(ids[4]))
+	}
+	deps := g.Deps(ids[4])
+	if len(deps) != 2 || deps[0] != ids[2] || deps[1] != ids[3] {
+		t.Errorf("deps = %v", deps)
+	}
+	if outs := g.Outputs(); len(outs) != 1 || outs[0] != ids[4] {
+		t.Errorf("outputs = %v", outs)
+	}
+	if ins := g.Inputs(); len(ins) != 2 {
+		t.Errorf("inputs = %v", ins)
+	}
+	if g.CountOps() != 3 {
+		t.Errorf("CountOps = %d", g.CountOps())
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g, _ := diamond(t)
+	if d := g.Depth(); d != 2 {
+		t.Errorf("diamond depth = %d, want 2", d)
+	}
+	// A chain of k ops has depth k.
+	b := NewBuilder("chain")
+	n := b.Input(32)
+	for i := 0; i < 7; i++ {
+		n = b.Op(tech.OpAdd, 32, n)
+	}
+	if d := b.Build().Depth(); d != 7 {
+		t.Errorf("chain depth = %d, want 7", d)
+	}
+	// Inputs alone have depth 0.
+	b2 := NewBuilder("in")
+	b2.Input(32)
+	if d := b2.Build().Depth(); d != 0 {
+		t.Errorf("input-only depth = %d", d)
+	}
+}
+
+func TestIDsAreTopological(t *testing.T) {
+	g, _ := diamond(t)
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, d := range g.Deps(NodeID(n)) {
+			if d >= NodeID(n) {
+				t.Fatalf("node %d depends on later node %d", n, d)
+			}
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder("l")
+	n := b.Op(tech.OpAdd, 32)
+	b.Label(n, "H(%d,%d)", 3, 4)
+	g := b.Build()
+	if got := g.Label(n); got != "H(3,4)" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := g.Label(NodeID(0)); got != "H(3,4)" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestLabelDefault(t *testing.T) {
+	b := NewBuilder("l")
+	n := b.Op(tech.OpAdd, 32)
+	g := b.Build()
+	if got := g.Label(n); got != "n0" {
+		t.Errorf("default label = %q", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics(t, "forward dep", func() {
+		b := NewBuilder("x")
+		b.Op(tech.OpAdd, 32, NodeID(5))
+	})
+	assertPanics(t, "zero bits", func() {
+		b := NewBuilder("x")
+		b.Input(0)
+	})
+	assertPanics(t, "bad output", func() {
+		b := NewBuilder("x")
+		b.MarkOutput(NodeID(0))
+	})
+	assertPanics(t, "use after build", func() {
+		b := NewBuilder("x")
+		b.Build()
+		b.Input(32)
+	})
+	assertPanics(t, "double build", func() {
+		b := NewBuilder("x")
+		b.Build()
+		b.Build()
+	})
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder("empty").Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 || g.Depth() != 0 || g.CountOps() != 0 {
+		t.Errorf("empty graph not empty: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestImport(t *testing.T) {
+	inner, ids := diamond(t)
+	b := NewBuilder("outer")
+	x := b.Input(32)
+	y := b.Op(tech.OpAdd, 32, x)
+	remap := b.Import(inner, []NodeID{x, y})
+	g := b.Build()
+
+	// Inner's three ops were imported; inputs were substituted.
+	if g.CountOps() != 1+3 {
+		t.Errorf("CountOps = %d", g.CountOps())
+	}
+	sink := remap[ids[4]]
+	deps := g.Deps(sink)
+	if len(deps) != 2 {
+		t.Fatalf("sink deps = %v", deps)
+	}
+	m1 := remap[ids[2]]
+	if deps[0] != m1 {
+		t.Errorf("sink dep 0 = %d, want %d", deps[0], m1)
+	}
+	// The imported m1 must depend on the replacement inputs x and y.
+	d := g.Deps(m1)
+	if d[0] != x || d[1] != y {
+		t.Errorf("imported deps = %v, want [%d %d]", d, x, y)
+	}
+	// Input nodes map to their replacements.
+	if remap[ids[0]] != x || remap[ids[1]] != y {
+		t.Errorf("input remap = %d,%d", remap[ids[0]], remap[ids[1]])
+	}
+}
+
+func TestImportArityPanics(t *testing.T) {
+	inner, _ := diamond(t)
+	b := NewBuilder("outer")
+	x := b.Input(32)
+	assertPanics(t, "arity", func() { b.Import(inner, []NodeID{x}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

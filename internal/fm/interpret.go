@@ -1,0 +1,37 @@
+package fm
+
+import "fmt"
+
+// Interpret executes the function semantically: it evaluates every node
+// in dependency order, calling eval with the node and its dependencies'
+// values, and returns all node values. Input nodes take their value from
+// inputs (indexed by position in g.Inputs() order).
+//
+// The F&M model separates what is computed from where/when; Interpret is
+// the "what", independent of any mapping — used by tests to prove that a
+// function graph (a scan tree, a DP table, an FFT butterfly network)
+// computes what it claims before its mappings are priced. The value type
+// is generic: int64 for DP tables, complex128 for FFTs.
+func Interpret[T any](g *Graph, inputs []T, eval func(n NodeID, deps []T) T) []T {
+	ins := g.Inputs()
+	if len(inputs) != len(ins) {
+		panic(fmt.Sprintf("fm: Interpret got %d inputs for %d input nodes", len(inputs), len(ins)))
+	}
+	vals := make([]T, g.NumNodes())
+	next := 0
+	buf := make([]T, 0, 8)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			vals[n] = inputs[next]
+			next++
+			continue
+		}
+		buf = buf[:0]
+		for _, d := range g.Deps(id) {
+			buf = append(buf, vals[d])
+		}
+		vals[n] = eval(id, buf)
+	}
+	return vals
+}

@@ -1,0 +1,298 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Port is an ordered set of graph nodes forming a module boundary: the
+// elements a module consumes or produces, in a fixed order that
+// composition matches positionally.
+type Port struct {
+	Name  string
+	Nodes []NodeID
+}
+
+// Module is a mapped computation with a composition interface: a
+// function, a mapping, and input/output ports. "The F&M model supports
+// modular program composition, but with constraints on mappings of input
+// and output data structures... The output of module A must have the same
+// mapping as the input of module B for the two to be composed in series,
+// or a remapping module must be inserted between the two to shuffle the
+// data."
+type Module struct {
+	Name  string
+	Graph *Graph
+	Sched Schedule
+	// In lists every input node of Graph, partitioned into ports.
+	In []Port
+	// Out lists the produced elements downstream modules may consume.
+	Out []Port
+}
+
+// NewModule validates and assembles a module. Every node referenced by a
+// port must exist; input ports must cover exactly the graph's input
+// nodes; the schedule must cover the graph.
+func NewModule(name string, g *Graph, sched Schedule, in, out []Port) (*Module, error) {
+	if err := sched.validateLen(g); err != nil {
+		return nil, err
+	}
+	covered := make(map[NodeID]bool)
+	for _, p := range in {
+		for _, n := range p.Nodes {
+			if n < 0 || int(n) >= g.NumNodes() {
+				return nil, fmt.Errorf("fm: module %q: input port %q references node %d", name, p.Name, n)
+			}
+			if !g.IsInput(n) {
+				return nil, fmt.Errorf("fm: module %q: input port %q references non-input node %d", name, p.Name, n)
+			}
+			if covered[n] {
+				return nil, fmt.Errorf("fm: module %q: input node %d appears in two ports", name, n)
+			}
+			covered[n] = true
+		}
+	}
+	for _, n := range g.Inputs() {
+		if !covered[n] {
+			return nil, fmt.Errorf("fm: module %q: input node %d not covered by any port", name, n)
+		}
+	}
+	for _, p := range out {
+		for _, n := range p.Nodes {
+			if n < 0 || int(n) >= g.NumNodes() {
+				return nil, fmt.Errorf("fm: module %q: output port %q references node %d", name, p.Name, n)
+			}
+		}
+	}
+	return &Module{Name: name, Graph: g, Sched: sched, In: in, Out: out}, nil
+}
+
+// boundary flattens ports in order.
+func boundary(ports []Port) []NodeID {
+	var ns []NodeID
+	for _, p := range ports {
+		ns = append(ns, p.Nodes...)
+	}
+	return ns
+}
+
+// AlignmentError reports a composition whose boundary placements differ,
+// element by element.
+type AlignmentError struct {
+	// Index is the first misaligned boundary element.
+	Index int
+	// ProducerPlace and ConsumerPlace are the two placements.
+	ProducerPlace, ConsumerPlace geom.Point
+}
+
+// Error implements error.
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("fm: mappings misaligned at boundary element %d: producer at %v, consumer expects %v (insert a remapping module)",
+		e.Index, e.ProducerPlace, e.ConsumerPlace)
+}
+
+// CheckAligned reports whether a's outputs and b's inputs have identical
+// placements, element by element, returning an AlignmentError for the
+// first mismatch.
+func CheckAligned(a, b *Module) error {
+	aOut, bIn := boundary(a.Out), boundary(b.In)
+	if len(aOut) != len(bIn) {
+		return fmt.Errorf("fm: boundary arity mismatch: %q produces %d elements, %q consumes %d",
+			a.Name, len(aOut), b.Name, len(bIn))
+	}
+	for i := range aOut {
+		pa := a.Sched[aOut[i]].Place
+		pb := b.Sched[bIn[i]].Place
+		if pa != pb {
+			return &AlignmentError{Index: i, ProducerPlace: pa, ConsumerPlace: pb}
+		}
+	}
+	return nil
+}
+
+// ComposeAligned composes a then b, requiring aligned boundary mappings
+// so the connection is free: b's cells read a's results in place. b's
+// schedule is shifted by the minimum delay that preserves causality.
+func ComposeAligned(name string, a, b *Module, tgt Target) (*Module, error) {
+	if err := CheckAligned(a, b); err != nil {
+		return nil, err
+	}
+	return compose(name, a, b, tgt, false)
+}
+
+// RemapStats describes the shuffle a misaligned composition inserted.
+type RemapStats struct {
+	// Moves is the number of boundary elements that changed place.
+	Moves int
+	// BitHops is the payload volume of the shuffle.
+	BitHops int64
+	// CopyOps is the number of inserted copy operations (== Moves).
+	CopyOps int
+}
+
+// ComposeWithRemap composes a then b even when their boundary mappings
+// disagree, inserting an explicit remapping stage: one copy operation per
+// misaligned element at the place b expects, fed by a wire transfer from
+// where a produced it. The shuffle's cost then shows up in the composed
+// module's evaluation like any other computation and communication.
+func ComposeWithRemap(name string, a, b *Module, tgt Target) (*Module, RemapStats, error) {
+	m, err := compose(name, a, b, tgt, true)
+	if err != nil {
+		return nil, RemapStats{}, err
+	}
+	var st RemapStats
+	aOut, bIn := boundary(a.Out), boundary(b.In)
+	for i := range aOut {
+		pa := a.Sched[aOut[i]].Place
+		pb := b.Sched[bIn[i]].Place
+		if pa != pb {
+			st.Moves++
+			st.CopyOps++
+			st.BitHops += int64(a.Graph.Bits(aOut[i])) * int64(pa.Manhattan(pb))
+		}
+	}
+	return m, st, nil
+}
+
+// compose builds the combined graph and schedule. When remap is true,
+// misaligned boundary elements get copy nodes at the consumer's place;
+// otherwise boundaries are assumed aligned (checked by the caller).
+func compose(name string, a, b *Module, tgt Target, remap bool) (*Module, error) {
+	tgt = tgt.withDefaults()
+	aOut, bIn := boundary(a.Out), boundary(b.In)
+	if len(aOut) != len(bIn) {
+		return nil, fmt.Errorf("fm: boundary arity mismatch: %q produces %d elements, %q consumes %d",
+			a.Name, len(aOut), b.Name, len(bIn))
+	}
+
+	bld := NewBuilder(name)
+	// Copy a wholesale: a's inputs stay inputs of the composition.
+	aInputs := a.Graph.Inputs()
+	aMap := make([]NodeID, a.Graph.NumNodes())
+	for i := range aMap {
+		aMap[i] = -1
+	}
+	newIn := make([]NodeID, len(aInputs))
+	for i, n := range aInputs {
+		newIn[i] = bld.Input(a.Graph.Bits(n))
+		aMap[n] = newIn[i]
+	}
+	imported := bld.Import(a.Graph, newIn)
+	for n := range imported {
+		if imported[n] >= 0 {
+			aMap[n] = imported[n]
+		}
+	}
+
+	sched := make(Schedule, 0, a.Graph.NumNodes()+b.Graph.NumNodes())
+	grow := func(id NodeID, as Assignment) {
+		for int(id) >= len(sched) {
+			sched = append(sched, Assignment{})
+		}
+		sched[id] = as
+	}
+	for n := 0; n < a.Graph.NumNodes(); n++ {
+		grow(aMap[n], a.Sched[n])
+	}
+
+	// Boundary: the node feeding b's i-th input, its place, and the cycle
+	// it is ready there.
+	feed := make([]NodeID, len(aOut))
+	ready := make([]int64, len(aOut))
+	occupied := make(map[Assignment]bool)
+	for _, as := range sched {
+		occupied[as] = true
+	}
+	for i, out := range aOut {
+		src := aMap[out]
+		fa := finishTime(a.Graph, a.Sched, tgt, out)
+		pa := a.Sched[out].Place
+		pb := b.Sched[bIn[i]].Place
+		if pa == pb {
+			feed[i], ready[i] = src, fa
+			continue
+		}
+		if !remap {
+			return nil, &AlignmentError{Index: i, ProducerPlace: pa, ConsumerPlace: pb}
+		}
+		bits := a.Graph.Bits(out)
+		cp := bld.Op(tech.OpLogic, bits, src)
+		bld.Label(cp, "remap[%d]", i)
+		t := fa + tgt.TransitCycles(pa.Manhattan(pb))
+		for occupied[Assignment{Place: pb, Time: t}] {
+			t++
+		}
+		as := Assignment{Place: pb, Time: t}
+		occupied[as] = true
+		grow(cp, as)
+		feed[i], ready[i] = cp, t+tgt.OpCycles(tech.OpLogic, bits)
+	}
+
+	// b's schedule assumed its inputs available at their assigned times;
+	// shift b so every boundary element is genuinely ready.
+	var delta int64
+	for i := range bIn {
+		if d := ready[i] - b.Sched[bIn[i]].Time; d > delta {
+			delta = d
+		}
+	}
+	// Avoid issue-slot collisions between shifted b ops and everything
+	// already scheduled (deterministic: bump delta until clean).
+	for {
+		collision := false
+		for n := 0; n < b.Graph.NumNodes(); n++ {
+			if b.Graph.IsInput(NodeID(n)) {
+				continue
+			}
+			as := Assignment{Place: b.Sched[n].Place, Time: b.Sched[n].Time + delta}
+			if occupied[as] {
+				collision = true
+				break
+			}
+		}
+		if !collision {
+			break
+		}
+		delta++
+	}
+
+	bMap := bld.Import(b.Graph, feed)
+	g := bld.Build()
+	full := make(Schedule, g.NumNodes())
+	copy(full, sched)
+	for n := 0; n < b.Graph.NumNodes(); n++ {
+		if b.Graph.IsInput(NodeID(n)) {
+			continue
+		}
+		full[bMap[n]] = Assignment{Place: b.Sched[n].Place, Time: b.Sched[n].Time + delta}
+	}
+
+	// Ports: a's inputs in, b's outputs out (remapped IDs).
+	ins := make([]Port, len(a.In))
+	for i, p := range a.In {
+		ns := make([]NodeID, len(p.Nodes))
+		for j, n := range p.Nodes {
+			ns[j] = aMap[n]
+		}
+		ins[i] = Port{Name: p.Name, Nodes: ns}
+	}
+	outs := make([]Port, len(b.Out))
+	for i, p := range b.Out {
+		ns := make([]NodeID, len(p.Nodes))
+		for j, n := range p.Nodes {
+			ns[j] = bMap[n]
+		}
+		outs[i] = Port{Name: p.Name, Nodes: ns}
+	}
+	for _, p := range outs {
+		for _, n := range p.Nodes {
+			// Composition must expose real nodes downstream.
+			if n < 0 {
+				return nil, fmt.Errorf("fm: compose %q: output references an unmapped node", name)
+			}
+		}
+	}
+	return NewModule(name, g, full, ins, outs)
+}

@@ -1,0 +1,257 @@
+package fm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// mapStage builds a 4-element elementwise module whose element i sits at
+// place(i). Inputs available at time 0, ops issue immediately.
+func mapStage(t *testing.T, name string, place func(i int) geom.Point) *Module {
+	t.Helper()
+	b := NewBuilder(name)
+	ins := make([]NodeID, 4)
+	outs := make([]NodeID, 4)
+	for i := range ins {
+		ins[i] = b.Input(32)
+	}
+	for i := range outs {
+		outs[i] = b.Op(tech.OpAdd, 32, ins[i])
+		b.MarkOutput(outs[i])
+	}
+	g := b.Build()
+	sched := make(Schedule, g.NumNodes())
+	for i := range ins {
+		sched[ins[i]] = Assignment{Place: place(i), Time: 0}
+		sched[outs[i]] = Assignment{Place: place(i), Time: 0}
+	}
+	m, err := NewModule(name, g, sched, []Port{{Name: "in", Nodes: ins}}, []Port{{Name: "out", Nodes: outs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func rowPlace(i int) geom.Point      { return geom.Pt(i, 0) }
+func reversedPlace(i int) geom.Point { return geom.Pt(3-i, 0) }
+
+func TestNewModuleValidation(t *testing.T) {
+	b := NewBuilder("m")
+	in := b.Input(32)
+	op := b.Op(tech.OpAdd, 32, in)
+	g := b.Build()
+	sched := Schedule{{Place: geom.Pt(0, 0)}, {Place: geom.Pt(0, 0)}}
+
+	// Input not covered by any port.
+	if _, err := NewModule("m", g, sched, nil, nil); err == nil {
+		t.Error("want error for uncovered input")
+	}
+	// Non-input in input port.
+	if _, err := NewModule("m", g, sched, []Port{{Nodes: []NodeID{op}}}, nil); err == nil {
+		t.Error("want error for non-input in port")
+	}
+	// Duplicate coverage.
+	if _, err := NewModule("m", g, sched, []Port{{Nodes: []NodeID{in, in}}}, nil); err == nil {
+		t.Error("want error for duplicate input")
+	}
+	// Bad output reference.
+	if _, err := NewModule("m", g, sched, []Port{{Nodes: []NodeID{in}}}, []Port{{Nodes: []NodeID{99}}}); err == nil {
+		t.Error("want error for bad output node")
+	}
+	// Short schedule.
+	if _, err := NewModule("m", g, Schedule{}, []Port{{Nodes: []NodeID{in}}}, nil); err == nil {
+		t.Error("want error for short schedule")
+	}
+	// Valid.
+	if _, err := NewModule("m", g, sched, []Port{{Nodes: []NodeID{in}}}, []Port{{Nodes: []NodeID{op}}}); err != nil {
+		t.Errorf("valid module rejected: %v", err)
+	}
+}
+
+func TestCheckAligned(t *testing.T) {
+	a := mapStage(t, "a", rowPlace)
+	b := mapStage(t, "b", rowPlace)
+	if err := CheckAligned(a, b); err != nil {
+		t.Fatalf("identical placements should align: %v", err)
+	}
+	c := mapStage(t, "c", reversedPlace)
+	err := CheckAligned(a, c)
+	var ae *AlignmentError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want AlignmentError, got %v", err)
+	}
+	if ae.Index != 0 || ae.ProducerPlace != geom.Pt(0, 0) || ae.ConsumerPlace != geom.Pt(3, 0) {
+		t.Errorf("detail = %+v", ae)
+	}
+	if ae.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestComposeAligned(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	a := mapStage(t, "a", rowPlace)
+	b := mapStage(t, "b", rowPlace)
+	m, err := ComposeAligned("a;b", a, b, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(m.Graph, m.Sched, tgt); err != nil {
+		t.Fatalf("composed schedule illegal: %v", err)
+	}
+	c, err := Evaluate(m.Graph, m.Sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireEnergy != 0 {
+		t.Errorf("aligned composition should move nothing, wire = %g", c.WireEnergy)
+	}
+	if c.Ops != 8 {
+		t.Errorf("Ops = %d, want 8", c.Ops)
+	}
+	if got := len(boundary(m.In)); got != 4 {
+		t.Errorf("composed inputs = %d", got)
+	}
+	if got := len(boundary(m.Out)); got != 4 {
+		t.Errorf("composed outputs = %d", got)
+	}
+}
+
+func TestComposeAlignedRejectsMisaligned(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	a := mapStage(t, "a", rowPlace)
+	c := mapStage(t, "c", reversedPlace)
+	var ae *AlignmentError
+	if _, err := ComposeAligned("a;c", a, c, tgt); !errors.As(err, &ae) {
+		t.Fatalf("want AlignmentError, got %v", err)
+	}
+}
+
+func TestComposeWithRemap(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	a := mapStage(t, "a", rowPlace)
+	c := mapStage(t, "c", reversedPlace)
+	m, st, err := ComposeWithRemap("a>shuffle>c", a, c, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(m.Graph, m.Sched, tgt); err != nil {
+		t.Fatalf("remapped composition illegal: %v", err)
+	}
+	if st.Moves != 4 || st.CopyOps != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Element 0 moves 3 hops, 1 moves 1, 2 moves 1, 3 moves 3: 8 hops x 32 bits.
+	if st.BitHops != 8*32 {
+		t.Errorf("BitHops = %d, want 256", st.BitHops)
+	}
+	cost, err := Evaluate(m.Graph, m.Sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.WireEnergy <= 0 {
+		t.Error("shuffle must pay wire energy")
+	}
+	if cost.Ops != 8+4 { // two stages + four copies
+		t.Errorf("Ops = %d, want 12", cost.Ops)
+	}
+}
+
+func TestComposeRemapCostExceedsAligned(t *testing.T) {
+	// The paper: composing misaligned modules inserts a shuffle whose
+	// cost the aligned composition avoids.
+	tgt := DefaultTarget(4, 1)
+	a1 := mapStage(t, "a1", rowPlace)
+	b1 := mapStage(t, "b1", rowPlace)
+	aligned, err := ComposeAligned("al", a1, b1, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := mapStage(t, "a2", rowPlace)
+	c2 := mapStage(t, "c2", reversedPlace)
+	remapped, _, err := ComposeWithRemap("rm", a2, c2, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := Evaluate(aligned.Graph, aligned.Sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Evaluate(remapped.Graph, remapped.Sched, tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.EnergyFJ <= ca.EnergyFJ {
+		t.Errorf("remap (%g fJ) should cost more than aligned (%g fJ)", cr.EnergyFJ, ca.EnergyFJ)
+	}
+	if cr.Cycles <= ca.Cycles {
+		t.Errorf("remap (%d cycles) should be slower than aligned (%d)", cr.Cycles, ca.Cycles)
+	}
+}
+
+func TestComposeWithRemapAlignedIsNoop(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	a := mapStage(t, "a", rowPlace)
+	b := mapStage(t, "b", rowPlace)
+	m, st, err := ComposeWithRemap("ab", a, b, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves != 0 || st.BitHops != 0 || st.CopyOps != 0 {
+		t.Errorf("aligned remap stats = %+v", st)
+	}
+	if m.Graph.CountOps() != 8 {
+		t.Errorf("no copies expected, ops = %d", m.Graph.CountOps())
+	}
+}
+
+func TestComposeArityMismatch(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	a := mapStage(t, "a", rowPlace)
+	// A consumer with 2 inputs only.
+	bld := NewBuilder("narrow")
+	i1, i2 := bld.Input(32), bld.Input(32)
+	o := bld.Op(tech.OpAdd, 32, i1, i2)
+	bld.MarkOutput(o)
+	g := bld.Build()
+	sched := Schedule{
+		{Place: geom.Pt(0, 0)}, {Place: geom.Pt(1, 0)}, {Place: geom.Pt(0, 0), Time: 100},
+	}
+	narrow, err := NewModule("narrow", g, sched, []Port{{Nodes: []NodeID{i1, i2}}}, []Port{{Nodes: []NodeID{o}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComposeAligned("x", a, narrow, tgt); err == nil {
+		t.Error("want arity error")
+	}
+	if _, _, err := ComposeWithRemap("x", a, narrow, tgt); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestComposeChainsThreeModules(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	m1 := mapStage(t, "s1", rowPlace)
+	m2 := mapStage(t, "s2", rowPlace)
+	m3 := mapStage(t, "s3", reversedPlace)
+	m12, err := ComposeAligned("s1;s2", m1, m2, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, st, err := ComposeWithRemap("s1;s2>s3", m12, m3, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves != 4 {
+		t.Errorf("moves = %d", st.Moves)
+	}
+	if err := Check(full.Graph, full.Sched, tgt); err != nil {
+		t.Fatalf("three-stage composition illegal: %v", err)
+	}
+	if full.Graph.CountOps() != 12+4 {
+		t.Errorf("ops = %d, want 16", full.Graph.CountOps())
+	}
+}

@@ -1,0 +1,164 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// chainFanout builds a length-l chain of source adds whose result feeds
+// one consumer op at each of p places.
+func chainFanout(l, p int) (*Graph, func(tgt Target) []geom.Point) {
+	b := NewBuilder("chain-fanout")
+	n := b.Op(tech.OpAdd, 32)
+	chain := []NodeID{n}
+	for i := 1; i < l; i++ {
+		n = b.Op(tech.OpAdd, 32, n)
+		chain = append(chain, n)
+	}
+	consumers := make([]NodeID, p)
+	for i := range consumers {
+		consumers[i] = b.Op(tech.OpAdd, 32, n)
+		b.MarkOutput(consumers[i])
+	}
+	g := b.Build()
+	place := func(tgt Target) []geom.Point {
+		pl := make([]geom.Point, g.NumNodes())
+		for _, c := range chain {
+			pl[c] = geom.Pt(0, 0)
+		}
+		for i, c := range consumers {
+			pl[c] = tgt.Grid.At(i % tgt.Grid.Nodes())
+		}
+		return pl
+	}
+	return g, place
+}
+
+func TestRecomputeEliminatesWire(t *testing.T) {
+	tgt := DefaultTarget(8, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	g, placeOf := chainFanout(6, 8)
+	place := placeOf(tgt)
+
+	orig, err := Evaluate(g, ASAPSchedule(g, place, tgt), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.WireEnergy == 0 {
+		t.Fatal("original mapping should communicate")
+	}
+
+	g2, place2 := Recompute(g, place, func(NodeID) bool { return true })
+	re, err := Evaluate(g2, ASAPSchedule(g2, place2, tgt), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.WireEnergy != 0 {
+		t.Errorf("fully recomputed mapping still moves %g fJ", re.WireEnergy)
+	}
+	if re.ComputeEnergy <= orig.ComputeEnergy {
+		t.Error("recomputation must add compute energy")
+	}
+	// At 5nm the wire is so expensive that recomputing a 6-op chain for
+	// 7 remote consumers is a large net win.
+	if re.EnergyFJ >= orig.EnergyFJ {
+		t.Errorf("recompute (%g fJ) should beat communicate (%g fJ)", re.EnergyFJ, orig.EnergyFJ)
+	}
+}
+
+func TestRecomputePreservesSemantics(t *testing.T) {
+	b := NewBuilder("mix")
+	in1 := b.Input(32)
+	in2 := b.Input(32)
+	base := b.Op(tech.OpAdd, 32, in1, in2)
+	d1 := b.Op(tech.OpAdd, 32, base)
+	d2 := b.Op(tech.OpAdd, 32, base, in1)
+	b.MarkOutput(d1)
+	b.MarkOutput(d2)
+	g := b.Build()
+	place := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+
+	g2, place2 := Recompute(g, place, func(n NodeID) bool { return n == base })
+	if len(place2) != g2.NumNodes() {
+		t.Fatalf("placement length %d for %d nodes", len(place2), g2.NumNodes())
+	}
+
+	sum := func(n NodeID, deps []int64) int64 {
+		var s int64
+		for _, d := range deps {
+			s += d
+		}
+		return s
+	}
+	inputs := []int64{5, 7}
+	vOrig := Interpret(g, inputs, sum)
+	vNew := Interpret(g2, inputs, sum)
+	for i, o := range g.Outputs() {
+		if vOrig[o] != vNew[g2.Outputs()[i]] {
+			t.Fatalf("output %d: %d != %d", i, vOrig[o], vNew[g2.Outputs()[i]])
+		}
+	}
+	// base was consumed at 3 distinct places (its own, d1's, d2's);
+	// recomputation gives d1 and d2 private copies but base's canonical
+	// copy vanishes (no non-recomputable consumer at its own place).
+	if g2.CountOps() != 2+2 { // two copies of base + d1 + d2
+		t.Errorf("ops = %d, want 4", g2.CountOps())
+	}
+	// Inputs are never duplicated.
+	if got := len(g2.Inputs()); got != 2 {
+		t.Errorf("inputs = %d", got)
+	}
+}
+
+func TestRecomputeKeepsInputTraffic(t *testing.T) {
+	// A recomputable node that reads an input still needs the input
+	// delivered to every copy: recomputation cannot conjure data.
+	tgt := DefaultTarget(4, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	b := NewBuilder("inputfed")
+	in := b.Input(32)
+	mid := b.Op(tech.OpAdd, 32, in)
+	c1 := b.Op(tech.OpAdd, 32, mid)
+	c2 := b.Op(tech.OpAdd, 32, mid)
+	b.MarkOutput(c1)
+	b.MarkOutput(c2)
+	g := b.Build()
+	place := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+	g2, place2 := Recompute(g, place, func(n NodeID) bool { return n == mid })
+	c, err := Evaluate(g2, ASAPSchedule(g2, place2, tgt), tgt, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireEnergy == 0 {
+		t.Error("input must still travel to the recomputed copies")
+	}
+	// The input's traffic now goes to places 2 and 3.
+	hops := TrafficFrom(g2, ASAPSchedule(g2, place2, tgt), func(n NodeID) bool {
+		return g2.IsInput(n)
+	})
+	if hops != 32*(2+3) {
+		t.Errorf("input bit-hops = %d, want 160", hops)
+	}
+}
+
+func TestRecomputeNoopWhenNothingSelected(t *testing.T) {
+	tgt := DefaultTarget(4, 1)
+	g, placeOf := chainFanout(3, 4)
+	place := placeOf(tgt)
+	g2, place2 := Recompute(g, place, func(NodeID) bool { return false })
+	if g2.CountOps() != g.CountOps() {
+		t.Errorf("ops changed: %d vs %d", g2.CountOps(), g.CountOps())
+	}
+	if len(place2) != g2.NumNodes() {
+		t.Error("placement length mismatch")
+	}
+}
+
+func TestRecomputePanicsOnBadPlacement(t *testing.T) {
+	g, _ := chainFanout(2, 2)
+	assertPanics(t, "short placement", func() {
+		Recompute(g, nil, func(NodeID) bool { return true })
+	})
+}

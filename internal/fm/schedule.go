@@ -1,0 +1,69 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Assignment places one element in space and time: the mapping's answer
+// for a single node. Time is in target cycles. For an input node the
+// assignment states where the value initially resides and from which
+// cycle it is available; for a compute node it states where and when the
+// operation starts.
+type Assignment struct {
+	Place geom.Point
+	Time  int64
+}
+
+// Schedule is a complete mapping: one assignment per graph node, indexed
+// by NodeID.
+type Schedule []Assignment
+
+// FromFunc materializes a schedule by evaluating f on every node of g.
+func FromFunc(g *Graph, f func(n NodeID) Assignment) Schedule {
+	s := make(Schedule, g.NumNodes())
+	for n := range s {
+		s[n] = f(NodeID(n))
+	}
+	return s
+}
+
+// ShiftTime returns a copy of s with every assignment delayed by delta
+// cycles. Shifting preserves legality for delta >= 0 when inputs shift too.
+func (s Schedule) ShiftTime(delta int64) Schedule {
+	out := make(Schedule, len(s))
+	for i, a := range s {
+		out[i] = Assignment{Place: a.Place, Time: a.Time + delta}
+	}
+	return out
+}
+
+// Makespan returns the last start time in the schedule plus one, a quick
+// lower bound on completion used by search heuristics. (Evaluate computes
+// the exact completion including op latency and message arrival.)
+func (s Schedule) Makespan() int64 {
+	var m int64
+	for _, a := range s {
+		if a.Time+1 > m {
+			m = a.Time + 1
+		}
+	}
+	return m
+}
+
+// PlacesUsed returns the number of distinct grid points the schedule uses.
+func (s Schedule) PlacesUsed() int {
+	seen := make(map[geom.Point]struct{})
+	for _, a := range s {
+		seen[a.Place] = struct{}{}
+	}
+	return len(seen)
+}
+
+func (s Schedule) validateLen(g *Graph) error {
+	if len(s) != g.NumNodes() {
+		return fmt.Errorf("fm: schedule has %d assignments for %d nodes", len(s), g.NumNodes())
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package search optimizes mappings. "For each function there are many
+// possible mappings that range from completely serial to minimum-depth
+// parallel with many points between. One can systematically search the
+// space of possible mappings to optimize a given figure of merit:
+// execution time, energy per op, memory footprint, or some combination."
+// (Dally, section 3.)
+//
+// Two searchers are provided. Exhaustive2D enumerates an affine mapping
+// family for 2-D uniform recurrences — place (a1*i+a2*j) mod P on a
+// linear array, time t1*i+t2*j — keeping every legal candidate and its
+// cost, from which Pareto returns the time/energy frontier. Anneal
+// improves the mapping of an arbitrary dataflow graph by local search
+// over placements only; start times are always re-derived by an ASAP
+// (as-soon-as-possible) pass, so every candidate is legal by
+// construction and the search space is pure space, never space-time.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+)
+
+// Objective is a figure of merit over mapping costs.
+type Objective int
+
+const (
+	// MinTime minimizes makespan cycles.
+	MinTime Objective = iota
+	// MinEnergy minimizes total energy.
+	MinEnergy
+	// MinEDP minimizes the energy-delay product.
+	MinEDP
+	// MinFootprint minimizes peak per-node memory, tie-broken by time.
+	MinFootprint
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinTime:
+		return "time"
+	case MinEnergy:
+		return "energy"
+	case MinEDP:
+		return "energy-delay"
+	case MinFootprint:
+		return "footprint"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Value returns the scalar the objective minimizes.
+func (o Objective) Value(c fm.Cost) float64 {
+	switch o {
+	case MinTime:
+		return float64(c.Cycles)
+	case MinEnergy:
+		return c.EnergyFJ
+	case MinEDP:
+		return c.EnergyFJ * float64(c.Cycles)
+	case MinFootprint:
+		return float64(c.PeakWordsPerNode)*1e12 + float64(c.Cycles)
+	default:
+		panic(fmt.Sprintf("search: unknown objective %d", int(o)))
+	}
+}
+
+// Candidate is one legal mapping with its evaluated cost.
+type Candidate struct {
+	Name  string
+	Sched fm.Schedule
+	Cost  fm.Cost
+}
+
+// ASAP derives the earliest legal start times for a fixed placement; it
+// is fm.ASAPSchedule, re-exported because the annealer's whole search
+// space is placements repaired by this pass.
+func ASAP(g *fm.Graph, place []geom.Point, tgt fm.Target) fm.Schedule {
+	return fm.ASAPSchedule(g, place, tgt)
+}
+
+// AnnealOptions tunes the placement annealer.
+type AnnealOptions struct {
+	// Iters is the number of proposals. Defaults to 2000.
+	Iters int
+	// Seed makes the search deterministic.
+	Seed int64
+	// Objective is the figure of merit. Defaults to MinTime.
+	Objective Objective
+	// InitTemp is the starting temperature as a fraction of the initial
+	// objective value. Defaults to 0.05.
+	InitTemp float64
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	if o.Iters == 0 {
+		o.Iters = 2000
+	}
+	if o.InitTemp == 0 {
+		o.InitTemp = 0.05
+	}
+	return o
+}
+
+// Anneal searches placements of g on tgt by simulated annealing, starting
+// from the default mapper's placement. Moves relocate one node to a
+// random grid point; times are re-derived by ASAP so every candidate is
+// legal. It returns the best schedule found and its cost.
+func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cost) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	place := make([]geom.Point, g.NumNodes())
+	init := fm.ListSchedule(g, tgt)
+	for n := range place {
+		place[n] = init[n].Place
+	}
+	cur := ASAP(g, place, tgt)
+	curCost := mustEval(g, cur, tgt)
+	best, bestCost := cur, curCost
+
+	temp := opts.InitTemp * math.Max(opts.Objective.Value(curCost), 1)
+	cool := math.Pow(1e-3, 1/float64(opts.Iters)) // decay to 0.1% of initial
+
+	for it := 0; it < opts.Iters; it++ {
+		n := rng.Intn(g.NumNodes())
+		old := place[n]
+		place[n] = tgt.Grid.At(rng.Intn(tgt.Grid.Nodes()))
+		cand := ASAP(g, place, tgt)
+		candCost := mustEval(g, cand, tgt)
+		delta := opts.Objective.Value(candCost) - opts.Objective.Value(curCost)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
+			cur, curCost = cand, candCost
+			if opts.Objective.Value(curCost) < opts.Objective.Value(bestCost) {
+				best, bestCost = cur, curCost
+			}
+		} else {
+			place[n] = old
+		}
+		temp *= cool
+	}
+	return best, bestCost
+}
+
+func mustEval(g *fm.Graph, s fm.Schedule, tgt fm.Target) fm.Cost {
+	c, err := fm.Evaluate(g, s, tgt, fm.EvalOptions{SkipCheck: true})
+	if err != nil {
+		panic(fmt.Sprintf("search: evaluate: %v", err))
+	}
+	return c
+}
+
+// Affine2DOptions bounds the exhaustive affine enumeration.
+type Affine2DOptions struct {
+	// P is the linear-array length (placed along row 0 of the grid).
+	P int
+	// MaxCoeff bounds the place coefficients a1, a2 in [0, MaxCoeff].
+	// Defaults to 1.
+	MaxCoeff int
+	// MaxTau bounds the time coefficients t1, t2 in [0, MaxTau] (not both
+	// zero). Defaults to the target's hop+op latency so nearest-neighbour
+	// skews are representable.
+	MaxTau int64
+}
+
+// Exhaustive2D enumerates affine mappings of a materialized 2-D
+// recurrence graph: place ((a1*i + a2*j) mod P, 0), time t1*i + t2*j.
+// Illegal mappings are discarded; every legal one is returned with its
+// cost, sorted by time then energy. The serial projection (everything at
+// node 0, ASAP times) is always included as the "serial" candidate.
+func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptions) []Candidate {
+	if len(dom.Dims()) != 2 {
+		panic(fmt.Sprintf("search: Exhaustive2D needs rank 2, got %d", len(dom.Dims())))
+	}
+	if opts.P <= 0 || opts.P > tgt.Grid.Width {
+		panic(fmt.Sprintf("search: invalid P=%d for grid width %d", opts.P, tgt.Grid.Width))
+	}
+	if opts.MaxCoeff == 0 {
+		opts.MaxCoeff = 1
+	}
+	if opts.MaxTau == 0 {
+		opts.MaxTau = tgt.OpCycles(g.Op(g.Outputs()[0]), g.Bits(g.Outputs()[0])) + tgt.TransitCycles(1)
+	}
+
+	var out []Candidate
+	for a1 := 0; a1 <= opts.MaxCoeff; a1++ {
+		for a2 := 0; a2 <= opts.MaxCoeff; a2++ {
+			for t1 := int64(0); t1 <= opts.MaxTau; t1++ {
+				for t2 := int64(0); t2 <= opts.MaxTau; t2++ {
+					if t1 == 0 && t2 == 0 {
+						continue
+					}
+					sched := fm.ScheduleByIndex(dom, func(idx []int) fm.Assignment {
+						return fm.Assignment{
+							Place: geom.Pt(((a1*idx[0]+a2*idx[1])%opts.P+opts.P)%opts.P, 0),
+							Time:  t1*int64(idx[0]) + t2*int64(idx[1]),
+						}
+					})
+					if fm.Check(g, sched, tgt) != nil {
+						continue
+					}
+					out = append(out, Candidate{
+						Name:  fmt.Sprintf("place=(%d*i+%d*j)%%%d time=%d*i+%d*j", a1, a2, opts.P, t1, t2),
+						Sched: sched,
+						Cost:  mustEval(g, sched, tgt),
+					})
+				}
+			}
+		}
+	}
+	serial := fm.SerialSchedule(g, tgt, geom.Pt(0, 0))
+	out = append(out, Candidate{Name: "serial", Sched: serial, Cost: mustEval(g, serial, tgt)})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost.Cycles != out[j].Cost.Cycles {
+			return out[i].Cost.Cycles < out[j].Cost.Cycles
+		}
+		return out[i].Cost.EnergyFJ < out[j].Cost.EnergyFJ
+	})
+	return out
+}
+
+// Best returns the candidate minimizing the objective. It panics on an
+// empty slice.
+func Best(cands []Candidate, obj Objective) Candidate {
+	if len(cands) == 0 {
+		panic("search: Best of no candidates")
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if obj.Value(c.Cost) < obj.Value(best.Cost) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Pareto returns the time/energy Pareto front of cands: candidates not
+// dominated (<= on both axes, < on one) by any other, sorted by time.
+func Pareto(cands []Candidate) []Candidate {
+	var front []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, d := range cands {
+			if i == j {
+				continue
+			}
+			if d.Cost.Cycles <= c.Cost.Cycles && d.Cost.EnergyFJ <= c.Cost.EnergyFJ &&
+				(d.Cost.Cycles < c.Cost.Cycles || d.Cost.EnergyFJ < c.Cost.EnergyFJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Cost.Cycles != front[j].Cost.Cycles {
+			return front[i].Cost.Cycles < front[j].Cost.Cycles
+		}
+		return front[i].Cost.EnergyFJ < front[j].Cost.EnergyFJ
+	})
+	return front
+}

@@ -1,0 +1,130 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Target is the machine a mapping is evaluated against: a processor grid
+// with technology constants and a discretized time axis. "The time axis
+// can be discretized into cycles. Location can be discretized onto a grid
+// of two or more dimensions." (Dally, section 3.)
+type Target struct {
+	// Grid is the processor grid and physical pitch.
+	Grid geom.Grid
+	// Tech supplies the energy/delay constants.
+	Tech tech.Params
+	// CyclePS is the duration of one discrete time step, ps. Defaults to
+	// 100 ps (a 10 GHz grid clock at 5 nm).
+	CyclePS float64
+	// WordBits is the machine word width. Defaults to 32.
+	WordBits int
+	// IssueWidth is how many operations may START at one node in one
+	// cycle (nodes are fully pipelined, so long-latency ops do not block
+	// later issues). Defaults to 1.
+	IssueWidth int
+	// MemWordsPerNode bounds the values resident at a node at any time.
+	// Defaults to 16384. This is the storage bound a legal mapping must
+	// respect.
+	MemWordsPerNode int
+	// RouterDelayPS and RouterEnergyPerBit match the NoC model so graph
+	// evaluation and imperative machine simulation price communication
+	// identically. Defaults: 100 ps, 8 fJ/bit per hop.
+	RouterDelayPS      float64
+	RouterEnergyPerBit float64
+}
+
+// DefaultTarget returns a 5 nm target with a w x h grid at 1 mm pitch.
+func DefaultTarget(w, h int) Target {
+	return Target{Grid: geom.NewGrid(w, h, 1.0), Tech: tech.N5()}.withDefaults()
+}
+
+func (t Target) withDefaults() Target {
+	if t.CyclePS == 0 {
+		t.CyclePS = 100
+	}
+	if t.WordBits == 0 {
+		t.WordBits = 32
+	}
+	if t.IssueWidth == 0 {
+		t.IssueWidth = 1
+	}
+	if t.MemWordsPerNode == 0 {
+		t.MemWordsPerNode = 16384
+	}
+	// A negative router delay or energy means "explicitly zero" (an ideal
+	// router); zero itself requests the default, as in noc.Config.
+	if t.RouterDelayPS == 0 {
+		t.RouterDelayPS = 100
+	} else if t.RouterDelayPS < 0 {
+		t.RouterDelayPS = 0
+	}
+	if t.RouterEnergyPerBit == 0 {
+		t.RouterEnergyPerBit = 8
+	} else if t.RouterEnergyPerBit < 0 {
+		t.RouterEnergyPerBit = 0
+	}
+	return t
+}
+
+// Validate reports an error for inconsistent targets.
+func (t Target) Validate() error {
+	if err := t.Tech.Validate(); err != nil {
+		return fmt.Errorf("fm: target: %w", err)
+	}
+	if t.CyclePS <= 0 || t.WordBits <= 0 || t.IssueWidth <= 0 || t.MemWordsPerNode <= 0 {
+		return fmt.Errorf("fm: target has non-positive parameter: %+v", t)
+	}
+	return nil
+}
+
+// OpCycles returns the latency of an operation in whole cycles (at least 1).
+func (t Target) OpCycles(class tech.OpClass, bits int) int64 {
+	return ceilDiv(t.Tech.OpDelay(class, bits), t.CyclePS)
+}
+
+// HopCycles returns the per-hop message latency in whole cycles: wire
+// flight over one pitch plus the router pipeline.
+func (t Target) HopCycles() int64 {
+	return ceilDiv(t.Tech.WireDelay(t.Grid.PitchMM)+t.RouterDelayPS, t.CyclePS)
+}
+
+// TransitCycles returns the travel time for a value over the given number
+// of hops. Zero hops is free: the value is already in place.
+func (t Target) TransitCycles(hops int) int64 {
+	if hops <= 0 {
+		return 0
+	}
+	return int64(hops) * t.HopCycles()
+}
+
+// WireEnergy returns the energy of moving bits over hops grid hops:
+// wire over the routed distance plus router switching per hop.
+func (t Target) WireEnergy(bits, hops int) float64 {
+	if hops <= 0 {
+		return 0
+	}
+	mm := float64(hops) * t.Grid.PitchMM
+	return t.Tech.WireEnergy(bits, mm) + t.RouterEnergyPerBit*float64(bits)*float64(hops)
+}
+
+// OffChipCycles returns the latency of an off-chip access in whole cycles.
+func (t Target) OffChipCycles() int64 {
+	return ceilDiv(t.Tech.OffChipDelay, t.CyclePS)
+}
+
+// Words returns the number of machine words needed to hold bits.
+func (t Target) Words(bits int) int {
+	return (bits + t.WordBits - 1) / t.WordBits
+}
+
+func ceilDiv(x, cycle float64) int64 {
+	c := int64(math.Ceil(x / cycle))
+	if c < 1 {
+		return 1
+	}
+	return c
+}

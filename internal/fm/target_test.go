@@ -1,0 +1,93 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestDefaultTarget(t *testing.T) {
+	tgt := DefaultTarget(8, 1)
+	if tgt.Grid.Nodes() != 8 || tgt.Grid.PitchMM != 1.0 {
+		t.Errorf("grid = %+v", tgt.Grid)
+	}
+	if tgt.CyclePS != 100 || tgt.WordBits != 32 || tgt.IssueWidth != 1 {
+		t.Errorf("defaults = %+v", tgt)
+	}
+	if err := tgt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCycles(t *testing.T) {
+	tgt := DefaultTarget(4, 4)
+	if c := tgt.OpCycles(tech.OpAdd, 32); c != 2 { // 200ps / 100ps
+		t.Errorf("add cycles = %d, want 2", c)
+	}
+	if c := tgt.OpCycles(tech.OpMul, 32); c != 6 { // 600ps / 100ps
+		t.Errorf("mul cycles = %d, want 6", c)
+	}
+	// Never below one cycle.
+	tgt.CyclePS = 1e6
+	if c := tgt.OpCycles(tech.OpAdd, 32); c != 1 {
+		t.Errorf("clamped cycles = %d, want 1", c)
+	}
+}
+
+func TestHopAndTransitCycles(t *testing.T) {
+	tgt := DefaultTarget(4, 4)
+	if h := tgt.HopCycles(); h != 9 { // (800 wire + 100 router) / 100
+		t.Errorf("hop cycles = %d, want 9", h)
+	}
+	if tr := tgt.TransitCycles(3); tr != 27 {
+		t.Errorf("transit(3) = %d", tr)
+	}
+	if tr := tgt.TransitCycles(0); tr != 0 {
+		t.Errorf("transit(0) = %d", tr)
+	}
+	if tr := tgt.TransitCycles(-1); tr != 0 {
+		t.Errorf("transit(-1) = %d", tr)
+	}
+}
+
+func TestWireEnergy(t *testing.T) {
+	tgt := DefaultTarget(4, 4)
+	// 32 bits over 2 hops at 1mm pitch: 80*32*2 wire + 8*32*2 router.
+	want := 80.0*32*2 + 8*32*2
+	if e := tgt.WireEnergy(32, 2); e != want {
+		t.Errorf("WireEnergy = %g, want %g", e, want)
+	}
+	if e := tgt.WireEnergy(32, 0); e != 0 {
+		t.Errorf("zero hops = %g", e)
+	}
+}
+
+func TestOffChipCycles(t *testing.T) {
+	tgt := DefaultTarget(4, 4)
+	if c := tgt.OffChipCycles(); c != 300 { // 30,000 ps / 100
+		t.Errorf("off-chip cycles = %d", c)
+	}
+}
+
+func TestWords(t *testing.T) {
+	tgt := DefaultTarget(2, 2)
+	cases := map[int]int{1: 1, 32: 1, 33: 2, 64: 2, 65: 3}
+	for bits, want := range cases {
+		if got := tgt.Words(bits); got != want {
+			t.Errorf("Words(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestTargetValidate(t *testing.T) {
+	tgt := DefaultTarget(2, 2)
+	tgt.CyclePS = -1
+	if err := tgt.Validate(); err == nil {
+		t.Error("expected error for negative cycle")
+	}
+	tgt = DefaultTarget(2, 2)
+	tgt.Tech.AddEnergyPerBit = 0
+	if err := tgt.Validate(); err == nil {
+		t.Error("expected error for bad tech")
+	}
+}

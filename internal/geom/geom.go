@@ -1,0 +1,180 @@
+// Package geom provides the spatial vocabulary for the space-time mapping
+// model: points on a processor grid, rectangles, and the distance metrics
+// that determine communication cost.
+//
+// The Function & Mapping (F&M) model discretizes location onto a grid of
+// two or more dimensions; every operation is assigned a grid point and
+// every value a path between grid points. Wire energy and delay are linear
+// in routed distance, so the metric chosen here (Manhattan for XY-routed
+// meshes) feeds directly into the cost model.
+package geom
+
+import "fmt"
+
+// Point is a location on the processor grid.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns p+q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p-q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 distance between p and q, in grid hops.
+// XY dimension-ordered routing on a mesh routes exactly this many hops.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// Chebyshev returns the L-infinity distance between p and q.
+func (p Point) Chebyshev(q Point) int {
+	dx, dy := abs(p.X-q.X), abs(p.Y-q.Y)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// In reports whether p lies inside r.
+func (p Point) In(r Rect) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Rect is a half-open rectangle [Min.X,Max.X) x [Min.Y,Max.Y) on the grid.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle with the given corner and size.
+func NewRect(x, y, w, h int) Rect {
+	return Rect{Min: Pt(x, y), Max: Pt(x+w, y+h)}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v-%v)", r.Min, r.Max) }
+
+// W returns the rectangle's width.
+func (r Rect) W() int { return r.Max.X - r.Min.X }
+
+// H returns the rectangle's height.
+func (r Rect) H() int { return r.Max.Y - r.Min.Y }
+
+// Area returns the number of grid points inside r.
+func (r Rect) Area() int {
+	if r.W() <= 0 || r.H() <= 0 {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Empty reports whether r contains no grid points.
+func (r Rect) Empty() bool { return r.Area() == 0 }
+
+// Intersect returns the largest rectangle contained in both r and s.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Min: Pt(max(r.Min.X, s.Min.X), max(r.Min.Y, s.Min.Y)),
+		Max: Pt(min(r.Max.X, s.Max.X), min(r.Max.Y, s.Max.Y)),
+	}
+	if out.W() <= 0 || out.H() <= 0 {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Pt(min(r.Min.X, s.Min.X), min(r.Min.Y, s.Min.Y)),
+		Max: Pt(max(r.Max.X, s.Max.X), max(r.Max.Y, s.Max.Y)),
+	}
+}
+
+// Grid describes a W x H processor grid with a fixed physical pitch
+// between adjacent nodes. It converts between linear node IDs (row-major)
+// and grid coordinates, and exposes physical distances in millimetres.
+type Grid struct {
+	Width, Height int
+	// PitchMM is the physical distance between adjacent grid nodes in
+	// millimetres. Wire cost between nodes is PitchMM * hop count.
+	PitchMM float64
+}
+
+// NewGrid returns a grid with the given dimensions and node pitch.
+func NewGrid(w, h int, pitchMM float64) Grid {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid %dx%d", w, h))
+	}
+	if pitchMM <= 0 {
+		panic(fmt.Sprintf("geom: invalid pitch %g", pitchMM))
+	}
+	return Grid{Width: w, Height: h, PitchMM: pitchMM}
+}
+
+// Nodes returns the number of grid nodes.
+func (g Grid) Nodes() int { return g.Width * g.Height }
+
+// Bounds returns the rectangle covering the whole grid.
+func (g Grid) Bounds() Rect { return NewRect(0, 0, g.Width, g.Height) }
+
+// Contains reports whether p is a valid node of the grid.
+func (g Grid) Contains(p Point) bool { return p.In(g.Bounds()) }
+
+// ID returns the row-major linear ID of p. It panics if p is outside the
+// grid, because a silently wrapped ID would corrupt cost accounting.
+func (g Grid) ID(p Point) int {
+	if !g.Contains(p) {
+		panic(fmt.Sprintf("geom: point %v outside grid %dx%d", p, g.Width, g.Height))
+	}
+	return p.Y*g.Width + p.X
+}
+
+// At returns the point with linear ID id.
+func (g Grid) At(id int) Point {
+	if id < 0 || id >= g.Nodes() {
+		panic(fmt.Sprintf("geom: node id %d outside grid %dx%d", id, g.Width, g.Height))
+	}
+	return Pt(id%g.Width, id/g.Width)
+}
+
+// DistMM returns the physical routed distance between p and q in
+// millimetres, assuming dimension-ordered (Manhattan) routing.
+func (g Grid) DistMM(p, q Point) float64 {
+	return float64(p.Manhattan(q)) * g.PitchMM
+}
+
+// DiagonalMM returns the physical Manhattan distance from corner to corner
+// of the grid: the longest route any on-chip message can take.
+func (g Grid) DiagonalMM() float64 {
+	return g.DistMM(Pt(0, 0), Pt(g.Width-1, g.Height-1))
+}
+
+// SideMM returns the physical extent of the grid's longer side.
+func (g Grid) SideMM() float64 {
+	side := g.Width
+	if g.Height > side {
+		side = g.Height
+	}
+	return float64(side-1) * g.PitchMM
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,184 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 5), Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 7) {
+		t.Errorf("Add = %v, want (2,7)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 3) {
+		t.Errorf("Sub = %v, want (4,3)", got)
+	}
+	if got := p.String(); got != "(3,5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want int
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(1, 0), 1},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(2, 2), Pt(-1, -2), 7},
+		{Pt(5, 1), Pt(1, 5), 8},
+	}
+	for _, c := range cases {
+		if got := c.p.Manhattan(c.q); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	if got := Pt(0, 0).Chebyshev(Pt(3, 4)); got != 4 {
+		t.Errorf("Chebyshev = %d, want 4", got)
+	}
+	if got := Pt(1, 1).Chebyshev(Pt(1, 1)); got != 0 {
+		t.Errorf("Chebyshev = %d, want 0", got)
+	}
+}
+
+func TestManhattanMetricProperties(t *testing.T) {
+	// Symmetry, non-negativity, identity, triangle inequality.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Pt(int(ax), int(ay)), Pt(int(bx), int(by)), Pt(int(cx), int(cy))
+		if a.Manhattan(b) != b.Manhattan(a) {
+			return false
+		}
+		if a.Manhattan(b) < 0 {
+			return false
+		}
+		if a.Manhattan(a) != 0 {
+			return false
+		}
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChebyshevLEManhattan(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		return a.Chebyshev(b) <= a.Manhattan(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(1, 2, 3, 4)
+	if r.W() != 3 || r.H() != 4 || r.Area() != 12 {
+		t.Errorf("rect dims = %d x %d area %d", r.W(), r.H(), r.Area())
+	}
+	if !Pt(1, 2).In(r) {
+		t.Error("Min corner should be in rect")
+	}
+	if Pt(4, 2).In(r) {
+		t.Error("Max.X should be excluded")
+	}
+	if Pt(1, 6).In(r) {
+		t.Error("Max.Y should be excluded")
+	}
+	if (Rect{}).Empty() != true {
+		t.Error("zero rect should be empty")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	b := NewRect(2, 2, 4, 4)
+	got := a.Intersect(b)
+	if got != NewRect(2, 2, 2, 2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != NewRect(0, 0, 6, 6) {
+		t.Errorf("Union = %v", u)
+	}
+	// Disjoint rectangles intersect to empty.
+	c := NewRect(10, 10, 2, 2)
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+	// Union with empty is identity.
+	if u := a.Union(Rect{}); u != a {
+		t.Errorf("Union with empty = %v, want %v", u, a)
+	}
+	if u := (Rect{}).Union(a); u != a {
+		t.Errorf("empty Union = %v, want %v", u, a)
+	}
+}
+
+func TestRectIntersectSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := NewRect(rng.Intn(10)-5, rng.Intn(10)-5, rng.Intn(8)+1, rng.Intn(8)+1)
+		b := NewRect(rng.Intn(10)-5, rng.Intn(10)-5, rng.Intn(8)+1, rng.Intn(8)+1)
+		in := a.Intersect(b)
+		if in.Area() > a.Area() || in.Area() > b.Area() {
+			t.Fatalf("intersection %v larger than operand (%v, %v)", in, a, b)
+		}
+		u := a.Union(b)
+		if u.Area() < a.Area() || u.Area() < b.Area() {
+			t.Fatalf("union %v smaller than operand (%v, %v)", u, a, b)
+		}
+	}
+}
+
+func TestGridIDRoundTrip(t *testing.T) {
+	g := NewGrid(7, 5, 1.0)
+	if g.Nodes() != 35 {
+		t.Fatalf("Nodes = %d", g.Nodes())
+	}
+	for id := 0; id < g.Nodes(); id++ {
+		p := g.At(id)
+		if got := g.ID(p); got != id {
+			t.Errorf("ID(At(%d)) = %d", id, got)
+		}
+		if !g.Contains(p) {
+			t.Errorf("grid should contain %v", p)
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	g := NewGrid(4, 4, 1.0)
+	assertPanics(t, "ID outside", func() { g.ID(Pt(4, 0)) })
+	assertPanics(t, "At negative", func() { g.At(-1) })
+	assertPanics(t, "At too large", func() { g.At(16) })
+	assertPanics(t, "zero-width grid", func() { NewGrid(0, 3, 1) })
+	assertPanics(t, "bad pitch", func() { NewGrid(2, 2, 0) })
+}
+
+func TestGridDistances(t *testing.T) {
+	g := NewGrid(8, 8, 0.5)
+	if d := g.DistMM(Pt(0, 0), Pt(1, 0)); d != 0.5 {
+		t.Errorf("DistMM adjacent = %g", d)
+	}
+	if d := g.DiagonalMM(); d != 7.0 { // 14 hops * 0.5mm
+		t.Errorf("DiagonalMM = %g", d)
+	}
+	if d := g.SideMM(); d != 3.5 {
+		t.Errorf("SideMM = %g", d)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

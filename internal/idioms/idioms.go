@@ -1,0 +1,277 @@
+// Package idioms provides the common communication patterns the paper
+// lists as reusable mapped modules: "Common idioms such as map, reduce,
+// gather, scatter, and shuffle can be used by many programs to realize
+// common communication patterns." (Dally, section 3.)
+//
+// Every constructor returns an fm.Module: a function (dataflow graph), a
+// mapping (elements block-cyclic across the target grid, ASAP times), and
+// input/output ports, so idioms compose with ComposeAligned /
+// ComposeWithRemap like any other module. Two scan functions are provided
+// for the same problem — Kogge-Stone (depth log n, work n log n) and the
+// Blelloch two-phase sweep (depth 2 log n, work 2n) — precisely the
+// "several functions that compute the result" situation the F&M model is
+// built to compare.
+package idioms
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Layout places element i of an n-element collection on the grid.
+type Layout func(i int) geom.Point
+
+// BlockCyclic returns the default layout: element i at grid node
+// i mod nodes, row-major.
+func BlockCyclic(g geom.Grid) Layout {
+	nodes := g.Nodes()
+	return func(i int) geom.Point { return g.At(i % nodes) }
+}
+
+// AllAt returns a layout putting every element at one node (the serial
+// projection of any idiom).
+func AllAt(p geom.Point) Layout {
+	return func(int) geom.Point { return p }
+}
+
+func checkN(name string, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("idioms: %s of %d elements", name, n))
+	}
+}
+
+// build finalizes a module: ASAP times for the given placement.
+func build(name string, b *fm.Builder, tgt fm.Target, place []geom.Point, ins, outs []fm.NodeID) *fm.Module {
+	g := b.Build()
+	sched := fm.ASAPSchedule(g, place, tgt)
+	m, err := fm.NewModule(name, g, sched,
+		[]fm.Port{{Name: "in", Nodes: ins}},
+		[]fm.Port{{Name: "out", Nodes: outs}})
+	if err != nil {
+		panic(fmt.Sprintf("idioms: %s: %v", name, err))
+	}
+	return m
+}
+
+// Map builds the elementwise idiom: out[i] = op(in[i]), computed in place
+// so the mapping moves nothing.
+func Map(tgt fm.Target, n int, op tech.OpClass, bits int, lay Layout) *fm.Module {
+	checkN("map", n)
+	b := fm.NewBuilder(fmt.Sprintf("map%d", n))
+	place := make([]geom.Point, 0, 2*n)
+	ins := make([]fm.NodeID, n)
+	outs := make([]fm.NodeID, n)
+	for i := 0; i < n; i++ {
+		ins[i] = b.Input(bits)
+		place = append(place, lay(i))
+	}
+	for i := 0; i < n; i++ {
+		outs[i] = b.Op(op, bits, ins[i])
+		place = append(place, lay(i))
+	}
+	return build(fmt.Sprintf("map%d", n), b, tgt, place, ins, outs)
+}
+
+// Reduce builds the tree-reduction idiom: out = op(in[0], ..., in[n-1])
+// combined pairwise in a binary tree whose internal nodes live at the
+// place of their left child, so each level halves the live values and
+// traffic follows the tree edges.
+func Reduce(tgt fm.Target, n int, op tech.OpClass, bits int, lay Layout) *fm.Module {
+	checkN("reduce", n)
+	b := fm.NewBuilder(fmt.Sprintf("reduce%d", n))
+	var place []geom.Point
+	ins := make([]fm.NodeID, n)
+	for i := 0; i < n; i++ {
+		ins[i] = b.Input(bits)
+		place = append(place, lay(i))
+	}
+	level := append([]fm.NodeID(nil), ins...)
+	pos := make([]int, n) // element index whose place each tree node uses
+	for i := range pos {
+		pos[i] = i
+	}
+	for len(level) > 1 {
+		var next []fm.NodeID
+		var nextPos []int
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				nextPos = append(nextPos, pos[i])
+				continue
+			}
+			nd := b.Op(op, bits, level[i], level[i+1])
+			place = append(place, lay(pos[i]))
+			next = append(next, nd)
+			nextPos = append(nextPos, pos[i])
+		}
+		level, pos = next, nextPos
+	}
+	b.MarkOutput(level[0])
+	return build(fmt.Sprintf("reduce%d", n), b, tgt, place, ins, level)
+}
+
+// Broadcast builds the one-to-all idiom as a copy tree from element 0's
+// place: out[i] receives the single input, in log n levels of doubling.
+func Broadcast(tgt fm.Target, n, bits int, lay Layout) *fm.Module {
+	checkN("broadcast", n)
+	b := fm.NewBuilder(fmt.Sprintf("bcast%d", n))
+	in := b.Input(bits)
+	place := []geom.Point{lay(0)}
+	outs := make([]fm.NodeID, n)
+	// have[i] is a node holding the value destined for element i.
+	have := make([]fm.NodeID, n)
+	have[0] = in
+	reach := 1
+	for reach < n {
+		for i := 0; i < reach && reach+i < n; i++ {
+			cp := b.Op(tech.OpLogic, bits, have[i])
+			place = append(place, lay(reach+i))
+			have[reach+i] = cp
+		}
+		reach *= 2
+	}
+	for i := 0; i < n; i++ {
+		// Terminal copy so every output is a distinct node at its place
+		// (element 0 included, keeping ports uniform).
+		cp := b.Op(tech.OpLogic, bits, have[i])
+		place = append(place, lay(i))
+		outs[i] = cp
+		b.MarkOutput(cp)
+	}
+	return build(fmt.Sprintf("bcast%d", n), b, tgt, place, []fm.NodeID{in}, outs)
+}
+
+// Gather builds out[i] = in[idx[i]]: each output element copies the
+// selected input to its own place. Arbitrary fan-out and distance — this
+// is the idiom whose cost exposes an irregular access pattern.
+func Gather(tgt fm.Target, bits int, nIn int, idx []int, lay Layout) *fm.Module {
+	checkN("gather", nIn)
+	b := fm.NewBuilder(fmt.Sprintf("gather%d", len(idx)))
+	var place []geom.Point
+	ins := make([]fm.NodeID, nIn)
+	for i := 0; i < nIn; i++ {
+		ins[i] = b.Input(bits)
+		place = append(place, lay(i))
+	}
+	outs := make([]fm.NodeID, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= nIn {
+			panic(fmt.Sprintf("idioms: gather index %d out of range [0,%d)", j, nIn))
+		}
+		outs[i] = b.Op(tech.OpLogic, bits, ins[j])
+		place = append(place, lay(i))
+		b.MarkOutput(outs[i])
+	}
+	return build(fmt.Sprintf("gather%d", len(idx)), b, tgt, place, ins, outs)
+}
+
+// Shuffle builds the permutation idiom: out[perm[i]] = in[i]. perm must
+// be a permutation of [0,n).
+func Shuffle(tgt fm.Target, bits int, perm []int, lay Layout) *fm.Module {
+	n := len(perm)
+	checkN("shuffle", n)
+	seen := make([]bool, n)
+	inv := make([]int, n)
+	for i, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("idioms: perm is not a permutation at %d -> %d", i, p))
+		}
+		seen[p] = true
+		inv[p] = i
+	}
+	return Gather(tgt, bits, n, inv, lay)
+}
+
+// Transpose builds the r x c matrix transpose idiom: element (i, j) of
+// the row-major input becomes element (j, i) of the row-major output.
+// This is the remapping module the paper says compositions insert when a
+// row-distributed producer feeds a column-distributed consumer.
+func Transpose(tgt fm.Target, r, c, bits int, lay Layout) *fm.Module {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("idioms: transpose of %dx%d", r, c))
+	}
+	perm := make([]int, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			perm[i*c+j] = j*r + i
+		}
+	}
+	return Shuffle(tgt, bits, perm, lay)
+}
+
+// ScanKoggeStone builds the inclusive-scan idiom with the Kogge-Stone
+// function: log2(n) levels, out[i] = op(in[i-2^s], in[i]) per level.
+// Depth-optimal but does n*log n work.
+func ScanKoggeStone(tgt fm.Target, n int, op tech.OpClass, bits int, lay Layout) *fm.Module {
+	checkN("scan", n)
+	b := fm.NewBuilder(fmt.Sprintf("scan-ks%d", n))
+	var place []geom.Point
+	ins := make([]fm.NodeID, n)
+	for i := 0; i < n; i++ {
+		ins[i] = b.Input(bits)
+		place = append(place, lay(i))
+	}
+	cur := append([]fm.NodeID(nil), ins...)
+	for s := 1; s < n; s *= 2 {
+		next := make([]fm.NodeID, n)
+		for i := 0; i < n; i++ {
+			if i >= s {
+				next[i] = b.Op(op, bits, cur[i-s], cur[i])
+			} else {
+				next[i] = b.Op(tech.OpLogic, bits, cur[i]) // pass-through copy
+			}
+			place = append(place, lay(i))
+		}
+		cur = next
+	}
+	for _, o := range cur {
+		b.MarkOutput(o)
+	}
+	return build(fmt.Sprintf("scan-ks%d", n), b, tgt, place, ins, cur)
+}
+
+// ScanBlelloch builds the inclusive-scan idiom with the work-efficient
+// two-phase sweep (Blelloch's up-sweep/down-sweep): ~2n operations at
+// depth ~2 log2(n). n must be a power of two.
+func ScanBlelloch(tgt fm.Target, n int, op tech.OpClass, bits int, lay Layout) *fm.Module {
+	checkN("scan", n)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("idioms: Blelloch scan needs a power-of-two length, got %d", n))
+	}
+	b := fm.NewBuilder(fmt.Sprintf("scan-bl%d", n))
+	var place []geom.Point
+	ins := make([]fm.NodeID, n)
+	for i := 0; i < n; i++ {
+		ins[i] = b.Input(bits)
+		place = append(place, lay(i))
+	}
+	// Up-sweep: tree[i] accumulates op over its subtree; node kept at the
+	// place of the subtree's last element.
+	val := append([]fm.NodeID(nil), ins...)
+	for d := 1; d < n; d *= 2 {
+		for i := 2*d - 1; i < n; i += 2 * d {
+			nd := b.Op(op, bits, val[i-d], val[i])
+			place = append(place, lay(i))
+			val[i] = nd
+		}
+	}
+	// Down-sweep for the INCLUSIVE scan: walk back down combining each
+	// left-subtree total into right subtrees.
+	for d := n / 2; d >= 1; d /= 2 {
+		for i := 2*d - 1; i+d < n; i += 2 * d {
+			nd := b.Op(op, bits, val[i], val[i+d])
+			place = append(place, lay(i+d))
+			val[i+d] = nd
+		}
+	}
+	outs := make([]fm.NodeID, n)
+	for i := 0; i < n; i++ {
+		outs[i] = b.Op(tech.OpLogic, bits, val[i]) // uniform output copies
+		place = append(place, lay(i))
+		b.MarkOutput(outs[i])
+	}
+	return build(fmt.Sprintf("scan-bl%d", n), b, tgt, place, ins, outs)
+}

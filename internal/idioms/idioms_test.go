@@ -1,0 +1,339 @@
+package idioms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// sumEval interprets every multi-dep node as addition and single-dep
+// nodes as identity (the copy ops idioms insert).
+func sumEval(g *fm.Graph) func(fm.NodeID, []int64) int64 {
+	return func(n fm.NodeID, deps []int64) int64 {
+		if len(deps) == 1 {
+			return deps[0]
+		}
+		var s int64
+		for _, d := range deps {
+			s += d
+		}
+		return s
+	}
+}
+
+// run interprets a module on the given inputs and returns its output
+// port's values.
+func run(t *testing.T, m *fm.Module, inputs []int64) []int64 {
+	t.Helper()
+	vals := fm.Interpret(m.Graph, inputs, sumEval(m.Graph))
+	var out []int64
+	for _, p := range m.Out {
+		for _, n := range p.Nodes {
+			out = append(out, vals[n])
+		}
+	}
+	return out
+}
+
+// checkLegal asserts the module's own schedule is legal on tgt.
+func checkLegal(t *testing.T, m *fm.Module, tgt fm.Target) {
+	t.Helper()
+	if err := fm.Check(m.Graph, m.Sched, tgt); err != nil {
+		t.Fatalf("%s: schedule illegal: %v", m.Name, err)
+	}
+}
+
+func bigTarget(w int) fm.Target {
+	tgt := fm.DefaultTarget(w, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	return tgt
+}
+
+func seq(n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i + 1)
+	}
+	return xs
+}
+
+func TestMap(t *testing.T) {
+	tgt := bigTarget(8)
+	m := Map(tgt, 8, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	checkLegal(t, m, tgt)
+	out := run(t, m, seq(8))
+	for i, v := range out {
+		if v != int64(i+1) {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+	// Elementwise in place: zero wire.
+	c, err := fm.Evaluate(m.Graph, m.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireEnergy != 0 {
+		t.Errorf("map moved data: %g fJ", c.WireEnergy)
+	}
+}
+
+func TestReduceValues(t *testing.T) {
+	tgt := bigTarget(8)
+	for _, n := range []int{1, 2, 3, 7, 8, 16} {
+		m := Reduce(tgt, n, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+		checkLegal(t, m, tgt)
+		out := run(t, m, seq(n))
+		want := int64(n * (n + 1) / 2)
+		if len(out) != 1 || out[0] != want {
+			t.Errorf("n=%d: reduce = %v, want %d", n, out, want)
+		}
+	}
+}
+
+func TestReduceDepthLogarithmic(t *testing.T) {
+	tgt := bigTarget(8)
+	m := Reduce(tgt, 64, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	if d := m.Graph.Depth(); d != 6 {
+		t.Errorf("reduce(64) depth = %d, want 6", d)
+	}
+	if ops := m.Graph.CountOps(); ops != 63 {
+		t.Errorf("reduce(64) ops = %d, want 63", ops)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	tgt := bigTarget(8)
+	for _, n := range []int{1, 2, 5, 8, 16} {
+		m := Broadcast(tgt, n, 32, BlockCyclic(tgt.Grid))
+		checkLegal(t, m, tgt)
+		out := run(t, m, []int64{42})
+		if len(out) != n {
+			t.Fatalf("n=%d: %d outputs", n, len(out))
+		}
+		for i, v := range out {
+			if v != 42 {
+				t.Errorf("n=%d: out[%d] = %d", n, i, v)
+			}
+		}
+	}
+}
+
+func TestBroadcastTreeBeatsStarOnDepth(t *testing.T) {
+	// The copy tree doubles reach each level: depth O(log n) + terminal copy.
+	tgt := bigTarget(8)
+	m := Broadcast(tgt, 64, 32, BlockCyclic(tgt.Grid))
+	if d := m.Graph.Depth(); d > 8 { // log2(64)=6 levels + terminal copies
+		t.Errorf("broadcast(64) depth = %d", d)
+	}
+}
+
+func TestGather(t *testing.T) {
+	tgt := bigTarget(4)
+	idx := []int{3, 3, 0, 1}
+	m := Gather(tgt, 32, 4, idx, BlockCyclic(tgt.Grid))
+	checkLegal(t, m, tgt)
+	out := run(t, m, []int64{10, 20, 30, 40})
+	want := []int64{40, 40, 10, 20}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out = %v, want %v", out, want)
+			break
+		}
+	}
+	assertPanics(t, "bad index", func() { Gather(tgt, 32, 4, []int{4}, BlockCyclic(tgt.Grid)) })
+}
+
+func TestShuffle(t *testing.T) {
+	tgt := bigTarget(4)
+	perm := []int{2, 0, 3, 1} // out[perm[i]] = in[i]
+	m := Shuffle(tgt, 32, perm, BlockCyclic(tgt.Grid))
+	checkLegal(t, m, tgt)
+	out := run(t, m, []int64{10, 20, 30, 40})
+	want := []int64{20, 40, 10, 30}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out = %v, want %v", out, want)
+			break
+		}
+	}
+	assertPanics(t, "not a permutation", func() { Shuffle(tgt, 32, []int{0, 0}, BlockCyclic(tgt.Grid)) })
+}
+
+func TestShuffleRandomPermutations(t *testing.T) {
+	tgt := bigTarget(8)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(14)
+		perm := rng.Perm(n)
+		m := Shuffle(tgt, 32, perm, BlockCyclic(tgt.Grid))
+		checkLegal(t, m, tgt)
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = rng.Int63n(1000)
+		}
+		out := run(t, m, in)
+		for i := range in {
+			if out[perm[i]] != in[i] {
+				t.Fatalf("trial %d: out[perm[%d]] = %d, want %d", trial, i, out[perm[i]], in[i])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	tgt := bigTarget(8)
+	// 2x3 input [[1,2,3],[4,5,6]] -> 3x2 output [[1,4],[2,5],[3,6]].
+	m := Transpose(tgt, 2, 3, 32, BlockCyclic(tgt.Grid))
+	checkLegal(t, m, tgt)
+	out := run(t, m, []int64{1, 2, 3, 4, 5, 6})
+	want := []int64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	// Transposing twice is the identity.
+	back := Transpose(tgt, 3, 2, 32, BlockCyclic(tgt.Grid))
+	comp, err := fm.ComposeAligned("t;t", m, back, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := run(t, comp, []int64{1, 2, 3, 4, 5, 6})
+	for i, v := range []int64{1, 2, 3, 4, 5, 6} {
+		if out2[i] != v {
+			t.Fatalf("double transpose = %v", out2)
+		}
+	}
+	assertPanics(t, "bad dims", func() { Transpose(tgt, 0, 3, 32, BlockCyclic(tgt.Grid)) })
+}
+
+func TestScansComputePrefixSums(t *testing.T) {
+	tgt := bigTarget(8)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		for name, m := range map[string]*fm.Module{
+			"kogge-stone": ScanKoggeStone(tgt, n, tech.OpAdd, 32, BlockCyclic(tgt.Grid)),
+			"blelloch":    ScanBlelloch(tgt, n, tech.OpAdd, 32, BlockCyclic(tgt.Grid)),
+		} {
+			checkLegal(t, m, tgt)
+			out := run(t, m, seq(n))
+			for i := 0; i < n; i++ {
+				want := int64((i + 1) * (i + 2) / 2)
+				if out[i] != want {
+					t.Errorf("%s n=%d: out[%d] = %d, want %d", name, n, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestScanKoggeStoneHandlesNonPowerOfTwo(t *testing.T) {
+	tgt := bigTarget(8)
+	m := ScanKoggeStone(tgt, 5, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	out := run(t, m, seq(5))
+	want := []int64{1, 3, 6, 10, 15}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out = %v, want %v", out, want)
+			break
+		}
+	}
+}
+
+func TestBlellochScanIsWorkEfficient(t *testing.T) {
+	// The two functions solve the same problem; Blelloch does O(n) adds,
+	// Kogge-Stone O(n log n). The model exposes this as compute energy.
+	tgt := bigTarget(8)
+	const n = 64
+	ks := ScanKoggeStone(tgt, n, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	bl := ScanBlelloch(tgt, n, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	cks, err := fm.Evaluate(ks.Graph, ks.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbl, err := fm.Evaluate(bl.Graph, bl.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbl.Ops >= cks.Ops {
+		t.Errorf("Blelloch ops (%d) should be below Kogge-Stone (%d)", cbl.Ops, cks.Ops)
+	}
+	if cbl.EnergyFJ >= cks.EnergyFJ {
+		t.Errorf("Blelloch energy (%g) should be below Kogge-Stone (%g)", cbl.EnergyFJ, cks.EnergyFJ)
+	}
+	assertPanics(t, "non power of two", func() {
+		ScanBlelloch(tgt, 6, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	})
+}
+
+func TestIdiomsCompose(t *testing.T) {
+	// map -> scan -> reduce, all on the same layout: aligned composition.
+	tgt := bigTarget(8)
+	lay := BlockCyclic(tgt.Grid)
+	const n = 8
+	mp := Map(tgt, n, tech.OpAdd, 32, lay)
+	sc := ScanKoggeStone(tgt, n, tech.OpAdd, 32, lay)
+	comp, err := fm.ComposeAligned("map;scan", mp, sc, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, comp, tgt)
+	out := run(t, comp, seq(n))
+	for i := 0; i < n; i++ {
+		want := int64((i + 1) * (i + 2) / 2)
+		if out[i] != want {
+			t.Errorf("composed out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestIdiomsComposeMisalignedNeedsRemap(t *testing.T) {
+	tgt := bigTarget(8)
+	const n = 8
+	a := Map(tgt, n, tech.OpAdd, 32, BlockCyclic(tgt.Grid))
+	rev := func(i int) geom.Point { return tgt.Grid.At(n - 1 - i) }
+	b := Map(tgt, n, tech.OpAdd, 32, rev)
+	if err := fm.CheckAligned(a, b); err == nil {
+		t.Fatal("reversed layouts should misalign")
+	}
+	comp, st, err := fm.ComposeWithRemap("map>rev", a, b, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves != n {
+		t.Errorf("moves = %d, want %d", st.Moves, n)
+	}
+	checkLegal(t, comp, tgt)
+}
+
+func TestAllAtLayoutSerializes(t *testing.T) {
+	tgt := bigTarget(4)
+	m := Reduce(tgt, 8, tech.OpAdd, 32, AllAt(geom.Pt(0, 0)))
+	checkLegal(t, m, tgt)
+	c, err := fm.Evaluate(m.Graph, m.Sched, tgt, fm.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireEnergy != 0 || c.PlacesUsed != 1 {
+		t.Errorf("AllAt should be local: %v", c)
+	}
+}
+
+func TestCheckNPanics(t *testing.T) {
+	tgt := bigTarget(2)
+	assertPanics(t, "zero map", func() { Map(tgt, 0, tech.OpAdd, 32, BlockCyclic(tgt.Grid)) })
+	assertPanics(t, "zero reduce", func() { Reduce(tgt, 0, tech.OpAdd, 32, BlockCyclic(tgt.Grid)) })
+	assertPanics(t, "zero bcast", func() { Broadcast(tgt, 0, 32, BlockCyclic(tgt.Grid)) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,322 @@
+// Package lower turns a mapped computation into a domain-specific
+// architecture description: "An algorithm expressed in this model also
+// directly specifies a domain-specific architecture. Given a definition
+// and mapping, lowering the specification to hardware (e.g., in Verilog
+// or Chisel) is a mechanical process." (Dally, section 3.)
+//
+// The lowering is exactly that mechanical process: every grid point the
+// mapping uses becomes a processing element (PE) whose ALU set is the
+// union of op classes scheduled there; every producer-consumer
+// displacement is decomposed into unit-hop channels; register files are
+// sized from the mapping's peak live storage. The output is an
+// Architecture — an inspectable netlist — plus a toy structural Verilog
+// rendering, so tests can assert, e.g., that the paper's anti-diagonal
+// mapping lowers to a P-PE linear systolic array with nearest-neighbour
+// channels only.
+package lower
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// PE is one processing element of the lowered architecture.
+type PE struct {
+	// Place is the grid point the PE occupies.
+	Place geom.Point
+	// Ops counts scheduled operations by class.
+	Ops map[tech.OpClass]int
+	// RegisterWords is the register file size: the mapping's peak live
+	// storage at this point.
+	RegisterWords int
+	// Utilization is ops issued divided by the makespan in cycles.
+	Utilization float64
+}
+
+// ALUs returns the PE's ALU classes in deterministic order.
+func (pe PE) ALUs() []tech.OpClass {
+	var out []tech.OpClass
+	for c := range pe.Ops {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Channel is a directed unit-hop link between adjacent PEs.
+type Channel struct {
+	From, To geom.Point
+	// Bits is the total payload routed over this link by the mapping.
+	Bits int64
+}
+
+// Architecture is the lowered design.
+type Architecture struct {
+	Name string
+	// PEs are the used grid points, sorted row-major.
+	PEs []PE
+	// Channels are the used unit-hop links, sorted by endpoints.
+	Channels []Channel
+	// Cycles is the design's schedule length.
+	Cycles int64
+}
+
+// Lower derives the architecture a mapping specifies. The schedule must
+// be legal (it is re-checked; an illegal mapping specifies no hardware).
+func Lower(g *fm.Graph, sched fm.Schedule, tgt fm.Target) (*Architecture, error) {
+	if err := fm.Check(g, sched, tgt); err != nil {
+		return nil, fmt.Errorf("lower: mapping is illegal: %w", err)
+	}
+	cost, err := fm.Evaluate(g, sched, tgt, fm.EvalOptions{SkipCheck: true})
+	if err != nil {
+		return nil, err
+	}
+
+	pes := make(map[geom.Point]*PE)
+	getPE := func(p geom.Point) *PE {
+		if pe, ok := pes[p]; ok {
+			return pe
+		}
+		pe := &PE{Place: p, Ops: make(map[tech.OpClass]int)}
+		pes[p] = pe
+		return pe
+	}
+	// Ops per PE.
+	for n := 0; n < g.NumNodes(); n++ {
+		id := fm.NodeID(n)
+		pe := getPE(sched[id].Place)
+		if !g.IsInput(id) {
+			pe.Ops[g.Op(id)]++
+		}
+	}
+	// Channels: decompose every distinct producer->consumer-place flow
+	// into XY unit hops (the same dedup rule the cost model charges).
+	type flowKey struct {
+		p   fm.NodeID
+		dst geom.Point
+	}
+	seen := make(map[flowKey]struct{})
+	channels := make(map[[2]geom.Point]int64)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := fm.NodeID(n)
+		if g.IsInput(id) {
+			continue
+		}
+		dst := sched[id].Place
+		for _, p := range g.Deps(id) {
+			src := sched[p].Place
+			if src == dst {
+				continue
+			}
+			k := flowKey{p, dst}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			cur := src
+			for cur != dst {
+				next := cur
+				switch {
+				case cur.X < dst.X:
+					next.X++
+				case cur.X > dst.X:
+					next.X--
+				case cur.Y < dst.Y:
+					next.Y++
+				default:
+					next.Y--
+				}
+				channels[[2]geom.Point{cur, next}] += int64(g.Bits(p))
+				getPE(next) // routed-through points exist as PEs too
+				cur = next
+			}
+		}
+	}
+	// Register files and utilization from the evaluated cost and
+	// per-place storage accounting.
+	regs := peakStoragePerPlace(g, sched, tgt)
+	arch := &Architecture{Name: g.Name(), Cycles: cost.Cycles}
+	for p, pe := range pes {
+		pe.RegisterWords = regs[p]
+		total := 0
+		for _, c := range pe.Ops {
+			total += c
+		}
+		if cost.Cycles > 0 {
+			pe.Utilization = float64(total) / float64(cost.Cycles)
+		}
+	}
+	for _, pe := range pes {
+		arch.PEs = append(arch.PEs, *pe)
+	}
+	sort.Slice(arch.PEs, func(i, j int) bool {
+		a, b := arch.PEs[i].Place, arch.PEs[j].Place
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	for k, bits := range channels {
+		arch.Channels = append(arch.Channels, Channel{From: k[0], To: k[1], Bits: bits})
+	}
+	sort.Slice(arch.Channels, func(i, j int) bool {
+		a, b := arch.Channels[i], arch.Channels[j]
+		if a.From != b.From {
+			if a.From.Y != b.From.Y {
+				return a.From.Y < b.From.Y
+			}
+			return a.From.X < b.From.X
+		}
+		if a.To.Y != b.To.Y {
+			return a.To.Y < b.To.Y
+		}
+		return a.To.X < b.To.X
+	})
+	return arch, nil
+}
+
+// peakStoragePerPlace recomputes the per-place register requirement with
+// the same liveness rule the legality checker uses: a value occupies its
+// producer's PE from production to last consumption.
+func peakStoragePerPlace(g *fm.Graph, sched fm.Schedule, tgt fm.Target) map[geom.Point]int {
+	lastUse := make([]int64, g.NumNodes())
+	for n := range lastUse {
+		lastUse[n] = -1
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, p := range g.Deps(fm.NodeID(n)) {
+			if sched[n].Time > lastUse[p] {
+				lastUse[p] = sched[n].Time
+			}
+		}
+	}
+	end := sched.Makespan()
+	for _, o := range g.Outputs() {
+		lastUse[o] = end
+	}
+	type ev struct {
+		t     int64
+		delta int
+	}
+	events := make(map[geom.Point][]ev)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := fm.NodeID(n)
+		born := sched[n].Time
+		if !g.IsInput(id) {
+			born += tgt.OpCycles(g.Op(id), g.Bits(id))
+		}
+		free := lastUse[n]
+		if free < born {
+			free = born
+		}
+		w := tgt.Words(g.Bits(id))
+		events[sched[n].Place] = append(events[sched[n].Place],
+			ev{born, w}, ev{free + 1, -w})
+	}
+	out := make(map[geom.Point]int)
+	for p, evs := range events {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].delta < evs[j].delta
+		})
+		cur, peak := 0, 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > peak {
+				peak = cur
+			}
+		}
+		out[p] = peak
+	}
+	return out
+}
+
+// IsLinearArray reports whether the architecture is a 1-D array with
+// nearest-neighbour channels only — the shape a systolic mapping should
+// lower to.
+func (a *Architecture) IsLinearArray() bool {
+	for _, pe := range a.PEs {
+		if pe.Place.Y != a.PEs[0].Place.Y {
+			return false
+		}
+	}
+	for _, ch := range a.Channels {
+		if ch.From.Manhattan(ch.To) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a human-readable design report.
+func (a *Architecture) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "architecture %q: %d PEs, %d channels, %d-cycle schedule\n",
+		a.Name, len(a.PEs), len(a.Channels), a.Cycles)
+	for _, pe := range a.PEs {
+		fmt.Fprintf(&b, "  PE%v: alus=%v regs=%dw util=%.1f%%\n",
+			pe.Place, pe.ALUs(), pe.RegisterWords, 100*pe.Utilization)
+	}
+	for _, ch := range a.Channels {
+		fmt.Fprintf(&b, "  chan %v -> %v: %d bits routed\n", ch.From, ch.To, ch.Bits)
+	}
+	return b.String()
+}
+
+// Verilog emits a toy structural netlist: one module per distinct PE
+// configuration, a top module instantiating every PE and wiring every
+// channel. It is illustrative of the "mechanical process", not
+// synthesizable RTL.
+func (a *Architecture) Verilog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// lowered mechanically from function %q and its mapping\n", a.Name)
+	// One module per ALU-set signature.
+	sigs := map[string]bool{}
+	for _, pe := range a.PEs {
+		sig := peSignature(pe)
+		if sigs[sig] {
+			continue
+		}
+		sigs[sig] = true
+		fmt.Fprintf(&b, "module pe_%s(input clk, input [31:0] in_n, in_s, in_e, in_w, output [31:0] out_n, out_s, out_e, out_w);\n", sig)
+		for _, alu := range pe.ALUs() {
+			fmt.Fprintf(&b, "  // %s ALU\n", alu)
+		}
+		fmt.Fprintf(&b, "  reg [31:0] regfile [0:%d];\n", maxInt(pe.RegisterWords-1, 0))
+		fmt.Fprintf(&b, "endmodule\n\n")
+	}
+	fmt.Fprintf(&b, "module top(input clk);\n")
+	for _, pe := range a.PEs {
+		fmt.Fprintf(&b, "  pe_%s pe_%d_%d(.clk(clk));\n", peSignature(pe), pe.Place.X, pe.Place.Y)
+	}
+	for i, ch := range a.Channels {
+		fmt.Fprintf(&b, "  wire [31:0] ch%d; // %v -> %v (%d bits routed)\n", i, ch.From, ch.To, ch.Bits)
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String()
+}
+
+func peSignature(pe PE) string {
+	var parts []string
+	for _, alu := range pe.ALUs() {
+		parts = append(parts, alu.String())
+	}
+	if len(parts) == 0 {
+		return "passthrough"
+	}
+	return strings.Join(parts, "_")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,334 @@
+package pram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// nextPow2 returns the smallest power of two >= n (and at least 1).
+func nextPow2(n int) int {
+	m := 1
+	for m < n {
+		m *= 2
+	}
+	return m
+}
+
+// PrefixSums computes the inclusive prefix sums of in on the machine with
+// the work-efficient balanced-tree algorithm: O(n) work, O(log n) steps.
+// It allocates machine memory, runs, and returns the sums.
+func PrefixSums(m *Machine, in []int64) ([]int64, error) {
+	n := len(in)
+	if n == 0 {
+		return nil, nil
+	}
+	p2 := nextPow2(n)
+	a := m.Alloc(n)
+	t := m.Alloc(p2)
+	out := m.Alloc(n)
+	m.Load(a, in)
+
+	// Copy (and implicitly zero-pad) into the tree array.
+	if err := m.Step(p2, func(p *Proc) {
+		i := p.ID()
+		if i < n {
+			p.Write(t+i, p.Read(a+i))
+		} else {
+			p.Write(t+i, 0)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// Up-sweep.
+	for d := 1; d < p2; d *= 2 {
+		d := d
+		if err := m.Step(p2/(2*d), func(p *Proc) {
+			i := (p.ID()+1)*2*d - 1
+			p.Write(t+i, p.Read(t+i)+p.Read(t+i-d))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Down-sweep for the inclusive scan.
+	for d := p2 / 2; d >= 1; d /= 2 {
+		d := d
+		active := 0
+		for i := 2*d - 1; i+d < p2; i += 2 * d {
+			active++
+		}
+		if active == 0 {
+			continue
+		}
+		if err := m.Step(active, func(p *Proc) {
+			i := (2*p.ID()+2)*d - 1
+			p.Write(t+i+d, p.Read(t+i+d)+p.Read(t+i))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Step(n, func(p *Proc) {
+		p.Write(out+p.ID(), p.Read(t+p.ID()))
+	}); err != nil {
+		return nil, err
+	}
+	return m.Dump(out, n), nil
+}
+
+// ListRank computes, for each element of a linked list, its distance to
+// the end, by Wyllie's pointer jumping: O(log n) steps, O(n log n) work.
+// next[i] is the successor index, or -1 at the tail. The synchronous PRAM
+// semantics (reads see the old state) are exactly what pointer jumping
+// assumes. Runs on CREW or CRCW (concurrent reads of shared successors).
+func ListRank(m *Machine, next []int) ([]int64, error) {
+	if m.Model() == EREW {
+		return nil, fmt.Errorf("pram: ListRank requires concurrent reads (CREW or CRCW), machine is %v", m.Model())
+	}
+	n := len(next)
+	if n == 0 {
+		return nil, nil
+	}
+	nxt := m.Alloc(n)
+	rnk := m.Alloc(n)
+	hostNext := make([]int64, n)
+	for i, s := range next {
+		if s == i || s >= n {
+			return nil, fmt.Errorf("pram: invalid successor next[%d] = %d", i, s)
+		}
+		if s < 0 {
+			hostNext[i] = -1
+		} else {
+			hostNext[i] = int64(s)
+		}
+	}
+	m.Load(nxt, hostNext)
+	if err := m.Step(n, func(p *Proc) {
+		if p.Read(nxt+p.ID()) < 0 {
+			p.Write(rnk+p.ID(), 0)
+		} else {
+			p.Write(rnk+p.ID(), 1)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	rounds := 0
+	for p2 := 1; p2 < n; p2 *= 2 {
+		rounds++
+	}
+	for r := 0; r < rounds; r++ {
+		if err := m.Step(n, func(p *Proc) {
+			i := p.ID()
+			s := p.Read(nxt + i)
+			if s < 0 {
+				return
+			}
+			p.Write(rnk+i, p.Read(rnk+i)+p.Read(rnk+int(s)))
+			p.Write(nxt+i, p.Read(nxt+int(s)))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return m.Dump(rnk, n), nil
+}
+
+// BFS computes single-source shortest hop counts on an unweighted graph
+// in CSR form (offs has n+1 entries; edges[offs[u]:offs[u+1]] are u's
+// neighbours) — Vishkin's flagship irregular workload: "breadth-first
+// search on graphs had been tied to a first-in first-out queue for no
+// good reason other than enforcing serialization". Here each level is
+// processed edge-parallel: degrees of the frontier are prefix-summed on
+// the machine (work-efficient), every frontier edge gets a processor,
+// discovery races are resolved by CRCW-arbitrary ownership, and the next
+// frontier is compacted with the XMT prefix-sum primitive instead of a
+// queue. Requires CRCWArbitrary. Unreached vertices get -1.
+func BFS(m *Machine, offs, edges []int64, src int) ([]int64, error) {
+	if m.Model() != CRCWArbitrary {
+		return nil, fmt.Errorf("pram: BFS requires CRCW-arbitrary, machine is %v", m.Model())
+	}
+	n := len(offs) - 1
+	if n <= 0 || src < 0 || src >= n {
+		return nil, fmt.Errorf("pram: BFS source %d outside graph of %d vertices", src, n)
+	}
+	offsB := m.Alloc(n + 1)
+	edgesB := m.Alloc(len(edges))
+	dist := m.Alloc(n)
+	owner := m.Alloc(n)
+	cur := m.Alloc(n)
+	nxt := m.Alloc(n)
+	deg := m.Alloc(n + 1) // prefix-summed frontier degrees (1-based)
+	counter := m.Alloc(1)
+	m.Load(offsB, offs)
+	m.Load(edgesB, edges)
+
+	if err := m.Step(n, func(p *Proc) {
+		p.Write(dist+p.ID(), -1)
+		p.Write(owner+p.ID(), -1)
+	}); err != nil {
+		return nil, err
+	}
+	if err := m.Step(1, func(p *Proc) {
+		p.Write(dist+src, 0)
+		p.Write(cur, int64(src))
+	}); err != nil {
+		return nil, err
+	}
+
+	frontier := 1
+	for level := int64(0); frontier > 0; level++ {
+		// Degrees of the frontier, inclusive-prefix-summed so edge e maps
+		// to the frontier vertex k with deg[k] <= e < deg[k+1].
+		f := frontier
+		if err := m.Step(f, func(p *Proc) {
+			u := p.Read(cur + p.ID())
+			d := p.Read(offsB+int(u)+1) - p.Read(offsB+int(u))
+			p.Write(deg+1+p.ID(), d)
+		}); err != nil {
+			return nil, err
+		}
+		// Host-visible prefix sum over f values via a logarithmic sweep
+		// (Kogge-Stone in machine memory; O(f log f) work, O(log f) steps).
+		for d := 1; d < f; d *= 2 {
+			d := d
+			if err := m.Step(f-d, func(p *Proc) {
+				i := deg + 1 + d + p.ID()
+				p.Write(i, p.Read(i)+p.Read(i-d))
+			}); err != nil {
+				return nil, err
+			}
+		}
+		totalEdges := int(m.Peek(deg + f))
+		if totalEdges > 0 {
+			// Ownership pass: every frontier edge probes its endpoint.
+			if err := m.Step(totalEdges, func(p *Proc) {
+				_, j := frontierEdge(p, cur, deg, offsB, f)
+				v := p.Read(edgesB + int(j))
+				if p.Read(dist+int(v)) < 0 {
+					p.Write(owner+int(v), j) // edge address as unique claim token
+				}
+			}); err != nil {
+				return nil, err
+			}
+			// Winner pass: the arbitration winner records distance and
+			// claims a slot in the next frontier with the PS primitive.
+			if err := m.Step(totalEdges, func(p *Proc) {
+				_, j := frontierEdge(p, cur, deg, offsB, f)
+				v := p.Read(edgesB + int(j))
+				if p.Read(dist+int(v)) < 0 && p.Read(owner+int(v)) == j {
+					p.Write(dist+int(v), level+1)
+					slot := p.PS(counter, 1)
+					p.Write(nxt+int(slot), v)
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		frontier = int(m.Peek(counter))
+		if frontier > 0 {
+			// Swap: copy the next frontier into cur and reset the counter.
+			if err := m.Step(frontier, func(p *Proc) {
+				p.Write(cur+p.ID(), p.Read(nxt+p.ID()))
+				if p.ID() == 0 {
+					p.Write(counter, 0)
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m.Dump(dist, n), nil
+}
+
+// frontierEdge maps an edge-parallel processor to (frontier vertex, edge
+// address): binary search over the prefix-summed degrees.
+func frontierEdge(p *Proc, cur, deg, offsB, f int) (u int64, edgeAddr int64) {
+	e := int64(p.ID())
+	k := sort.Search(f, func(i int) bool { return p.Read(deg+1+i) > e })
+	u = p.Read(cur + k)
+	var before int64
+	if k > 0 {
+		before = p.Read(deg + k)
+	}
+	edgeAddr = p.Read(offsB+int(u)) + (e - before)
+	return u, edgeAddr
+}
+
+// Connectivity labels each vertex with the smallest vertex index in its
+// connected component, in the style of Shiloach-Vishkin: repeated
+// hook-to-smaller-root plus pointer jumping until a fixpoint, O(log n)
+// iterations on CRCW. Edges are given as endpoint pairs.
+func Connectivity(m *Machine, n int, us, vs []int64) ([]int64, error) {
+	if m.Model() != CRCWArbitrary {
+		return nil, fmt.Errorf("pram: Connectivity requires CRCW-arbitrary, machine is %v", m.Model())
+	}
+	if len(us) != len(vs) {
+		return nil, fmt.Errorf("pram: %d vs %d edge endpoints", len(us), len(vs))
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	d := m.Alloc(n)
+	ub := m.Alloc(max(len(us), 1))
+	vb := m.Alloc(max(len(vs), 1))
+	changed := m.Alloc(1)
+	m.Load(ub, us)
+	m.Load(vb, vs)
+	if err := m.Step(n, func(p *Proc) {
+		p.Write(d+p.ID(), int64(p.ID()))
+	}); err != nil {
+		return nil, err
+	}
+	if len(us) == 0 {
+		return m.Dump(d, n), nil
+	}
+	for {
+		if err := m.Step(1, func(p *Proc) { p.Write(changed, 0) }); err != nil {
+			return nil, err
+		}
+		// Hook: the root of the larger label adopts the smaller label.
+		// Competing hooks of one root resolve by CRCW arbitration; labels
+		// only ever decrease, so any winner makes progress.
+		if err := m.Step(len(us), func(p *Proc) {
+			a := p.Read(ub + p.ID())
+			b := p.Read(vb + p.ID())
+			da, db := p.Read(d+int(a)), p.Read(d+int(b))
+			if da == db {
+				return
+			}
+			lo, hi := da, db
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if p.Read(d+int(hi)) == hi {
+				p.Write(d+int(hi), lo)
+				p.Write(changed, 1)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		// Pointer jumping: halve tree heights. A jump that changes a
+		// label must also keep the loop alive — exiting before full
+		// compression could leave an edge's labels unequal with neither
+		// being a root, silently unmerged.
+		if err := m.Step(n, func(p *Proc) {
+			i := p.ID()
+			cur := p.Read(d + i)
+			root := p.Read(d + int(cur))
+			if root != cur {
+				p.Write(d+i, root)
+				p.Write(changed, 1)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		if m.Peek(changed) == 0 {
+			break
+		}
+	}
+	return m.Dump(d, n), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,356 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrefixSums(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100} {
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(i + 1)
+		}
+		m := New(EREW, 8*n+64)
+		got, err := PrefixSums(m, in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var acc int64
+		for i := range in {
+			acc += in[i]
+			if got[i] != acc {
+				t.Fatalf("n=%d: sums[%d] = %d, want %d", n, i, got[i], acc)
+			}
+		}
+	}
+}
+
+func TestPrefixSumsEmpty(t *testing.T) {
+	m := New(EREW, 8)
+	got, err := PrefixSums(m, nil)
+	if err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+}
+
+func TestPrefixSumsWorkEfficient(t *testing.T) {
+	// Work O(n), time O(log n): the work-time framework's flagship result.
+	const n = 1024
+	in := make([]int64, n)
+	m := New(EREW, 8*n+64)
+	if _, err := PrefixSums(m, in); err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Metrics()
+	if mt.Work > 6*n {
+		t.Errorf("work = %d, want O(n) (<= %d)", mt.Work, 6*n)
+	}
+	if mt.Steps > 2*10+4 { // 2 sweeps of log2(1024) plus copies
+		t.Errorf("steps = %d, want O(log n)", mt.Steps)
+	}
+}
+
+func TestListRank(t *testing.T) {
+	// A list 0 -> 1 -> 2 -> ... -> n-1.
+	for _, n := range []int{1, 2, 5, 33, 100} {
+		next := make([]int, n)
+		for i := range next {
+			next[i] = i + 1
+		}
+		next[n-1] = -1
+		m := New(CREW, 4*n+16)
+		rank, err := ListRank(m, next)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range rank {
+			if rank[i] != int64(n-1-i) {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, i, rank[i], n-1-i)
+			}
+		}
+	}
+}
+
+func TestListRankScrambled(t *testing.T) {
+	// A random permutation list: next in scrambled memory order.
+	const n = 64
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(n) // perm[k] is the k-th list element
+	next := make([]int, n)
+	pos := make([]int, n) // position in list of element i
+	for k, e := range perm {
+		pos[e] = k
+		if k+1 < n {
+			next[e] = perm[k+1]
+		} else {
+			next[e] = -1
+		}
+	}
+	m := New(CREW, 4*n+16)
+	rank, err := ListRank(m, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rank {
+		if want := int64(n - 1 - pos[i]); rank[i] != want {
+			t.Fatalf("rank[%d] = %d, want %d", i, rank[i], want)
+		}
+	}
+	// Wyllie: O(log n) steps.
+	if s := m.Metrics().Steps; s > 10 {
+		t.Errorf("steps = %d, want ~log2(64)+1", s)
+	}
+}
+
+func TestListRankRejectsEREWAndBadInput(t *testing.T) {
+	if _, err := ListRank(New(EREW, 64), []int{-1}); err == nil {
+		t.Error("want model error")
+	}
+	if _, err := ListRank(New(CREW, 64), []int{0}); err == nil {
+		t.Error("want self-loop error")
+	}
+	if _, err := ListRank(New(CREW, 64), []int{5}); err == nil {
+		t.Error("want range error")
+	}
+	if got, err := ListRank(New(CREW, 64), nil); err != nil || got != nil {
+		t.Error("empty list should be fine")
+	}
+}
+
+// buildCSR converts an edge list to CSR with both directions.
+func buildCSR(n int, edges [][2]int) (offs, flat []int64) {
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offs = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + int64(deg[i])
+	}
+	flat = make([]int64, offs[n])
+	fill := make([]int64, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		flat[offs[u]+fill[u]] = int64(v)
+		fill[u]++
+		flat[offs[v]+fill[v]] = int64(u)
+		fill[v]++
+	}
+	return offs, flat
+}
+
+// serialBFS is the queue-tied reference implementation.
+func serialBFS(offs, edges []int64, src, n int) []int64 {
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range edges[offs[u]:offs[u+1]] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFSPath(t *testing.T) {
+	// A path graph: distances are positions.
+	const n = 12
+	var es [][2]int
+	for i := 0; i+1 < n; i++ {
+		es = append(es, [2]int{i, i + 1})
+	}
+	offs, edges := buildCSR(n, es)
+	m := New(CRCWArbitrary, 16*n+int(offs[n])*2+256)
+	dist, err := BFS(m, offs, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dist {
+		if dist[i] != int64(i) {
+			t.Errorf("dist[%d] = %d", i, dist[i])
+		}
+	}
+}
+
+func TestBFSMatchesSerialOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + rng.Intn(60)
+		var es [][2]int
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+		offs, edges := buildCSR(n, es)
+		src := rng.Intn(n)
+		want := serialBFS(offs, edges, src, n)
+		m := New(CRCWArbitrary, 32*n+2*len(edges)+1024)
+		got, err := BFS(m, offs, edges, src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dist[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	offs, edges := buildCSR(4, [][2]int{{0, 1}})
+	m := New(CRCWArbitrary, 1024)
+	dist, err := BFS(m, offs, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 0 || dist[1] != 1 || dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestBFSLevelSynchronous(t *testing.T) {
+	// Steps scale with diameter x constant, not with vertex count: the
+	// "BFS without the FIFO queue" point.
+	star := make([][2]int, 63)
+	for i := range star {
+		star[i] = [2]int{0, i + 1}
+	}
+	offs, edges := buildCSR(64, star)
+	m := New(CRCWArbitrary, 4096)
+	if _, err := BFS(m, offs, edges, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One real level; allow the per-level constant plus prefix-sum steps.
+	if s := m.Metrics().Steps; s > 25 {
+		t.Errorf("star BFS took %d steps", s)
+	}
+}
+
+func TestBFSValidation(t *testing.T) {
+	offs, edges := buildCSR(2, [][2]int{{0, 1}})
+	if _, err := BFS(New(CREW, 256), offs, edges, 0); err == nil {
+		t.Error("want model error")
+	}
+	if _, err := BFS(New(CRCWArbitrary, 256), offs, edges, 5); err == nil {
+		t.Error("want source range error")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	// Components {0,1,2}, {3,4}, {5}.
+	us := []int64{0, 1, 3}
+	vs := []int64{1, 2, 4}
+	m := New(CRCWArbitrary, 1024)
+	lbl, err := Connectivity(m, 6, us, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 0, 0, 3, 3, 5}
+	for i := range want {
+		if lbl[i] != want[i] {
+			t.Errorf("lbl = %v, want %v", lbl, want)
+			break
+		}
+	}
+}
+
+func TestConnectivityRandomAgainstUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(50)
+		var us, vs []int64
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			us = append(us, int64(u))
+			vs = append(vs, int64(v))
+			parent[find(u)] = find(v)
+		}
+		m := New(CRCWArbitrary, 16*n+4*len(us)+64)
+		lbl, err := Connectivity(m, n, us, vs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Same component iff same label; label is the component minimum.
+		minOf := make(map[int]int64)
+		for v := 0; v < n; v++ {
+			r := find(v)
+			if cur, ok := minOf[r]; !ok || int64(v) < cur {
+				minOf[r] = int64(v)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if want := minOf[find(v)]; lbl[v] != want {
+				t.Fatalf("trial %d: lbl[%d] = %d, want %d", trial, v, lbl[v], want)
+			}
+		}
+	}
+}
+
+func TestConnectivityLogarithmicSteps(t *testing.T) {
+	// A long path is the worst case for label propagation without
+	// shortcutting; with pointer jumping it converges in O(log n) rounds.
+	const n = 256
+	us := make([]int64, n-1)
+	vs := make([]int64, n-1)
+	for i := 0; i < n-1; i++ {
+		us[i], vs[i] = int64(i), int64(i+1)
+	}
+	m := New(CRCWArbitrary, 16*n)
+	if _, err := Connectivity(m, n, us, vs); err != nil {
+		t.Fatal(err)
+	}
+	// 3 machine steps per round; O(log n) rounds.
+	if s := m.Metrics().Steps; s > 3*3*8+6 {
+		t.Errorf("connectivity took %d steps on a path of %d", s, n)
+	}
+}
+
+func TestConnectivityValidation(t *testing.T) {
+	if _, err := Connectivity(New(CREW, 64), 2, nil, nil); err == nil {
+		t.Error("want model error")
+	}
+	if _, err := Connectivity(New(CRCWArbitrary, 64), 2, []int64{0}, nil); err == nil {
+		t.Error("want arity error")
+	}
+	lbl, err := Connectivity(New(CRCWArbitrary, 64), 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range lbl {
+		if v != int64(i) {
+			t.Errorf("edgeless labels = %v", lbl)
+			break
+		}
+	}
+	if got, err := Connectivity(New(CRCWArbitrary, 64), 0, nil, nil); err != nil || got != nil {
+		t.Error("empty graph should be fine")
+	}
+}

@@ -1,0 +1,60 @@
+package pram_test
+
+import (
+	"fmt"
+
+	"repro/internal/pram"
+)
+
+// Example runs a synchronous PRAM step: all reads see the old state, so
+// the classic parallel swap needs no locks, and the work-time framework
+// charges exactly what the textbook says.
+func Example() {
+	m := pram.New(pram.CREW, 16)
+	base := m.Alloc(2)
+	m.Load(base, []int64{10, 20})
+	_ = m.Step(2, func(p *pram.Proc) {
+		other := p.Read(base + 1 - p.ID())
+		p.Write(base+p.ID(), other)
+	})
+	fmt.Println(m.Dump(base, 2))
+	fmt.Printf("work=%d time=%d\n", m.Metrics().Work, m.Metrics().Steps)
+	// Output:
+	// [20 10]
+	// work=2 time=1
+}
+
+// ExamplePrefixSums runs the work-efficient EREW prefix sums and shows
+// Brent's theorem pricing it on different machine sizes.
+func ExamplePrefixSums() {
+	m := pram.New(pram.EREW, 1<<14)
+	in := make([]int64, 256)
+	for i := range in {
+		in[i] = 1
+	}
+	sums, _ := pram.PrefixSums(m, in)
+	fmt.Printf("last prefix sum: %d\n", sums[255])
+	fmt.Printf("work: %d (O(n)), steps: %d (O(log n))\n", m.Metrics().Work, m.Metrics().Steps)
+	fmt.Printf("simulated speedup on 32 procs: %.1fx\n",
+		float64(m.TimeOnP(1))/float64(m.TimeOnP(32)))
+	// Output:
+	// last prefix sum: 256
+	// work: 1014 (O(n)), steps: 17 (O(log n))
+	// simulated speedup on 32 procs: 26.0x
+}
+
+// ExampleProc_PS demonstrates the XMT prefix-sum primitive: concurrent
+// atomic increments return distinct consecutive slots, replacing the
+// serializing queue in irregular algorithms.
+func ExampleProc_PS() {
+	m := pram.New(pram.CRCWArbitrary, 16)
+	counter := m.Alloc(1)
+	slots := m.Alloc(4)
+	_ = m.Step(4, func(p *pram.Proc) {
+		slot := p.PS(counter, 1)
+		p.Write(slots+p.ID(), slot)
+	})
+	fmt.Println(m.Dump(slots, 4))
+	// Output:
+	// [0 1 2 3]
+}

@@ -1,0 +1,291 @@
+// Package pram simulates the PRAM in Vishkin's work-time framework, plus
+// the XMT-style constant-time prefix-sum primitive his statement credits
+// with "reducing overheads of PRAM algorithms using hardware primitives".
+//
+// A program is a sequence of synchronous steps. In each step some number
+// of processors run the same kernel; all reads observe memory as it was
+// when the step began, and writes commit when the step ends, so there are
+// no intra-step data races by construction — only access conflicts, which
+// the machine checks against the chosen PRAM variant (EREW, CREW, CRCW).
+// Work is charged per active processor per step and time per step, so an
+// algorithm's measured (work, time) can be compared directly against its
+// textbook bounds, and Brent's theorem converts them into an execution
+// time estimate for any processor count.
+package pram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is the PRAM memory-conflict discipline.
+type Model int
+
+const (
+	// EREW forbids concurrent reads and concurrent writes of one address.
+	EREW Model = iota
+	// CREW allows concurrent reads, forbids concurrent writes.
+	CREW
+	// CRCWArbitrary allows concurrent writes; the simulator resolves them
+	// deterministically in favour of the lowest processor ID (so runs are
+	// reproducible; algorithms must be correct for ANY winner).
+	CRCWArbitrary
+	// CRCWCommon allows concurrent writes only if all writers agree on
+	// the value.
+	CRCWCommon
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCWArbitrary:
+		return "CRCW-arbitrary"
+	case CRCWCommon:
+		return "CRCW-common"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ConflictError reports an access pattern illegal under the model.
+type ConflictError struct {
+	Model Model
+	Addr  int
+	Kind  string // "read" or "write"
+	// Procs are two processors that collided.
+	Procs [2]int
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("pram: %s conflict at address %d between processors %d and %d (model %v)",
+		e.Kind, e.Addr, e.Procs[0], e.Procs[1], e.Model)
+}
+
+// Machine is a synchronous PRAM with a flat shared memory.
+type Machine struct {
+	model Model
+	mem   []int64
+	brk   int // allocation watermark
+
+	steps     int64
+	work      int64
+	reads     int64
+	writes    int64
+	psOps     int64
+	activeLog []int
+}
+
+// New returns a PRAM with the given conflict model and memory size.
+func New(model Model, memWords int) *Machine {
+	if memWords <= 0 {
+		panic(fmt.Sprintf("pram: invalid memory size %d", memWords))
+	}
+	return &Machine{model: model, mem: make([]int64, memWords)}
+}
+
+// Model returns the conflict discipline.
+func (m *Machine) Model() Model { return m.model }
+
+// Alloc reserves n words of shared memory and returns the base address.
+func (m *Machine) Alloc(n int) int {
+	if n < 0 || m.brk+n > len(m.mem) {
+		panic(fmt.Sprintf("pram: out of memory allocating %d words (used %d of %d)", n, m.brk, len(m.mem)))
+	}
+	base := m.brk
+	m.brk += n
+	return base
+}
+
+// Load copies host values into shared memory (outside any step; not
+// charged as PRAM work).
+func (m *Machine) Load(base int, vals []int64) {
+	if base < 0 || base+len(vals) > len(m.mem) {
+		panic(fmt.Sprintf("pram: Load out of range [%d,%d)", base, base+len(vals)))
+	}
+	copy(m.mem[base:], vals)
+}
+
+// Dump copies n words out of shared memory.
+func (m *Machine) Dump(base, n int) []int64 {
+	if base < 0 || base+n > len(m.mem) {
+		panic(fmt.Sprintf("pram: Dump out of range [%d,%d)", base, base+n))
+	}
+	return append([]int64(nil), m.mem[base:base+n]...)
+}
+
+// Peek reads one word without charging PRAM work.
+func (m *Machine) Peek(addr int) int64 {
+	return m.mem[addr]
+}
+
+// Proc is a processor's view of one synchronous step.
+type Proc struct {
+	m  *Machine
+	id int
+	// step-local state
+	writes  map[int]pendingWrite
+	readers map[int]int
+	psAccum map[int]int64
+}
+
+type pendingWrite struct {
+	val  int64
+	proc int
+}
+
+// ID returns the processor index within the step, in [0, active).
+func (p *Proc) ID() int { return p.id }
+
+// Read returns the value of addr as of the beginning of the step.
+func (p *Proc) Read(addr int) int64 {
+	m := p.m
+	m.reads++
+	if m.model == EREW {
+		if prev, ok := p.readers[addr]; ok && prev != p.id {
+			panic(&ConflictError{Model: m.model, Addr: addr, Kind: "read", Procs: [2]int{prev, p.id}})
+		}
+		p.readers[addr] = p.id
+	}
+	if addr < 0 || addr >= len(m.mem) {
+		panic(fmt.Sprintf("pram: read of address %d outside memory", addr))
+	}
+	return m.mem[addr]
+}
+
+// Write stores v to addr at the end of the step, checking write conflicts
+// against the model.
+func (p *Proc) Write(addr int, v int64) {
+	m := p.m
+	m.writes++
+	if addr < 0 || addr >= len(m.mem) {
+		panic(fmt.Sprintf("pram: write to address %d outside memory", addr))
+	}
+	prev, clash := p.writes[addr]
+	if clash && prev.proc != p.id {
+		switch m.model {
+		case EREW, CREW:
+			panic(&ConflictError{Model: m.model, Addr: addr, Kind: "write", Procs: [2]int{prev.proc, p.id}})
+		case CRCWCommon:
+			if prev.val != v {
+				panic(&ConflictError{Model: m.model, Addr: addr, Kind: "write", Procs: [2]int{prev.proc, p.id}})
+			}
+			return
+		case CRCWArbitrary:
+			// Lowest processor ID wins; steps run in ID order, so the
+			// first write stands.
+			return
+		}
+	}
+	p.writes[addr] = pendingWrite{val: v, proc: p.id}
+}
+
+// PS is the XMT prefix-sum primitive: atomically add delta to the base
+// register at addr and return its previous value. Concurrent PS
+// operations in one step receive distinct, consecutive results (here in
+// processor-ID order, making runs deterministic). The update is visible
+// to Read only in later steps, like any write.
+func (p *Proc) PS(addr int, delta int64) int64 {
+	m := p.m
+	m.psOps++
+	if addr < 0 || addr >= len(m.mem) {
+		panic(fmt.Sprintf("pram: PS at address %d outside memory", addr))
+	}
+	old := m.mem[addr] + p.psAccum[addr]
+	p.psAccum[addr] += delta
+	return old
+}
+
+// Step runs one synchronous step on active processors. The kernel runs
+// once per processor; all Reads see pre-step memory, Writes and PS
+// updates commit afterwards. Conflict violations surface as a returned
+// error. Work is charged as active, time as one step.
+func (m *Machine) Step(active int, kernel func(p *Proc)) (err error) {
+	if active <= 0 {
+		panic(fmt.Sprintf("pram: step with %d processors", active))
+	}
+	st := &Proc{
+		m:       m,
+		writes:  make(map[int]pendingWrite),
+		readers: make(map[int]int),
+		psAccum: make(map[int]int64),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(*ConflictError); ok {
+				err = ce
+				return
+			}
+			panic(r)
+		}
+	}()
+	for id := 0; id < active; id++ {
+		st.id = id
+		if m.model == EREW {
+			// Exclusive read applies within a step across processors, but
+			// one processor may re-read its own addresses; reset nothing.
+			// (readers map keyed by address; same proc allowed.)
+			_ = id
+		}
+		kernel(st)
+	}
+	// Commit in deterministic address order.
+	addrs := make([]int, 0, len(st.writes)+len(st.psAccum))
+	for a := range st.writes {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		m.mem[a] = st.writes[a].val
+	}
+	psAddrs := make([]int, 0, len(st.psAccum))
+	for a := range st.psAccum {
+		psAddrs = append(psAddrs, a)
+	}
+	sort.Ints(psAddrs)
+	for _, a := range psAddrs {
+		m.mem[a] += st.psAccum[a]
+	}
+	m.steps++
+	m.work += int64(active)
+	m.activeLog = append(m.activeLog, active)
+	return nil
+}
+
+// Metrics summarizes a run in the work-time framework.
+type Metrics struct {
+	// Steps is parallel time T (number of synchronous steps).
+	Steps int64
+	// Work is total processor-steps W.
+	Work int64
+	// Reads, Writes, PSOps count shared-memory operations.
+	Reads, Writes, PSOps int64
+}
+
+// Metrics returns the accounting so far.
+func (m *Machine) Metrics() Metrics {
+	return Metrics{Steps: m.steps, Work: m.work, Reads: m.reads, Writes: m.writes, PSOps: m.psOps}
+}
+
+// TimeOnP applies Brent's theorem step by step: the simulated time on p
+// physical processors is the sum over steps of ceil(active/p).
+func (m *Machine) TimeOnP(p int) int64 {
+	if p <= 0 {
+		panic(fmt.Sprintf("pram: invalid processor count %d", p))
+	}
+	var t int64
+	for _, a := range m.activeLog {
+		t += int64((a + p - 1) / p)
+	}
+	return t
+}
+
+// ResetMetrics clears accounting but preserves memory contents.
+func (m *Machine) ResetMetrics() {
+	m.steps, m.work, m.reads, m.writes, m.psOps = 0, 0, 0, 0, 0
+	m.activeLog = nil
+}

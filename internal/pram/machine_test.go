@@ -1,0 +1,249 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStepSynchronousSemantics(t *testing.T) {
+	// The classic swap: every processor reads the other's cell and writes
+	// its own; synchronous semantics make this race-free.
+	m := New(CREW, 16)
+	base := m.Alloc(2)
+	m.Load(base, []int64{10, 20})
+	if err := m.Step(2, func(p *Proc) {
+		other := p.Read(base + 1 - p.ID())
+		p.Write(base+p.ID(), other)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Dump(base, 2); got[0] != 20 || got[1] != 10 {
+		t.Errorf("swap = %v", got)
+	}
+}
+
+func TestWritesCommitAtEndOfStep(t *testing.T) {
+	m := New(CREW, 16)
+	a := m.Alloc(2)
+	m.Load(a, []int64{1, 0})
+	// Proc 1 reads a[0] AFTER proc 0 "wrote" it; must still see the old value.
+	if err := m.Step(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Write(a, 99)
+		} else {
+			p.Write(a+1, p.Read(a))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Dump(a, 2)
+	if got[0] != 99 || got[1] != 1 {
+		t.Errorf("got %v, want [99 1]", got)
+	}
+}
+
+func TestEREWDetectsReadConflict(t *testing.T) {
+	m := New(EREW, 16)
+	a := m.Alloc(1)
+	err := m.Step(2, func(p *Proc) { p.Read(a) })
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Kind != "read" {
+		t.Fatalf("want read ConflictError, got %v", err)
+	}
+	if ce.Error() == "" {
+		t.Error("empty message")
+	}
+}
+
+func TestEREWAllowsDisjointAccess(t *testing.T) {
+	m := New(EREW, 16)
+	a := m.Alloc(4)
+	if err := m.Step(4, func(p *Proc) {
+		p.Write(a+p.ID(), int64(p.ID()))
+	}); err != nil {
+		t.Fatalf("disjoint writes should pass: %v", err)
+	}
+	// Same processor may re-read its own address.
+	if err := m.Step(1, func(p *Proc) {
+		p.Read(a)
+		p.Read(a)
+	}); err != nil {
+		t.Fatalf("re-read by same proc should pass: %v", err)
+	}
+}
+
+func TestCREWAllowsConcurrentReadsRejectsWrites(t *testing.T) {
+	m := New(CREW, 16)
+	a := m.Alloc(1)
+	if err := m.Step(4, func(p *Proc) { p.Read(a) }); err != nil {
+		t.Fatalf("concurrent reads should pass: %v", err)
+	}
+	err := m.Step(2, func(p *Proc) { p.Write(a, int64(p.ID())) })
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Kind != "write" {
+		t.Fatalf("want write ConflictError, got %v", err)
+	}
+}
+
+func TestCRCWArbitraryLowestIDWins(t *testing.T) {
+	m := New(CRCWArbitrary, 16)
+	a := m.Alloc(1)
+	if err := m.Step(4, func(p *Proc) { p.Write(a, int64(100+p.ID())) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(a); got != 100 {
+		t.Errorf("winner = %d, want 100 (lowest ID)", got)
+	}
+}
+
+func TestCRCWCommon(t *testing.T) {
+	m := New(CRCWCommon, 16)
+	a := m.Alloc(1)
+	if err := m.Step(4, func(p *Proc) { p.Write(a, 7) }); err != nil {
+		t.Fatalf("agreeing writes should pass: %v", err)
+	}
+	if got := m.Peek(a); got != 7 {
+		t.Errorf("value = %d", got)
+	}
+	err := m.Step(2, func(p *Proc) { p.Write(a, int64(p.ID())) })
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("disagreeing writes must fail: %v", err)
+	}
+}
+
+func TestPSReturnsConsecutiveValues(t *testing.T) {
+	m := New(CRCWArbitrary, 16)
+	ctr := m.Alloc(1)
+	out := m.Alloc(4)
+	m.Load(ctr, []int64{100})
+	if err := m.Step(4, func(p *Proc) {
+		old := p.PS(ctr, 1)
+		p.Write(out+p.ID(), old)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Dump(out, 4)
+	for i, v := range got {
+		if v != int64(100+i) {
+			t.Errorf("PS results = %v, want consecutive from 100", got)
+			break
+		}
+	}
+	if m.Peek(ctr) != 104 {
+		t.Errorf("counter = %d, want 104", m.Peek(ctr))
+	}
+}
+
+func TestPSVisibleOnlyNextStep(t *testing.T) {
+	m := New(CRCWArbitrary, 16)
+	ctr := m.Alloc(1)
+	seen := m.Alloc(1)
+	if err := m.Step(2, func(p *Proc) {
+		p.PS(ctr, 5)
+		if p.ID() == 1 {
+			p.Write(seen, p.Read(ctr))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Peek(seen) != 0 {
+		t.Errorf("Read during step saw PS update: %d", m.Peek(seen))
+	}
+	if m.Peek(ctr) != 10 {
+		t.Errorf("counter = %d, want 10", m.Peek(ctr))
+	}
+}
+
+func TestWorkTimeAccounting(t *testing.T) {
+	m := New(CREW, 64)
+	a := m.Alloc(8)
+	for _, active := range []int{8, 4, 2, 1} {
+		active := active
+		if err := m.Step(active, func(p *Proc) { p.Write(a+p.ID(), 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mt := m.Metrics()
+	if mt.Steps != 4 {
+		t.Errorf("Steps = %d", mt.Steps)
+	}
+	if mt.Work != 15 {
+		t.Errorf("Work = %d", mt.Work)
+	}
+	if mt.Writes != 15 {
+		t.Errorf("Writes = %d", mt.Writes)
+	}
+	// Brent: on 4 processors, ceil(8/4)+ceil(4/4)+ceil(2/4)+ceil(1/4) = 5.
+	if got := m.TimeOnP(4); got != 5 {
+		t.Errorf("TimeOnP(4) = %d, want 5", got)
+	}
+	// On one processor, time equals work.
+	if got := m.TimeOnP(1); got != 15 {
+		t.Errorf("TimeOnP(1) = %d", got)
+	}
+	// Unlimited processors: time equals steps.
+	if got := m.TimeOnP(1 << 20); got != 4 {
+		t.Errorf("TimeOnP(inf) = %d", got)
+	}
+	m.ResetMetrics()
+	if m.Metrics().Work != 0 || m.TimeOnP(1) != 0 {
+		t.Error("ResetMetrics incomplete")
+	}
+}
+
+func TestAllocAndBounds(t *testing.T) {
+	m := New(CREW, 8)
+	a := m.Alloc(8)
+	if a != 0 {
+		t.Errorf("first alloc at %d", a)
+	}
+	assertPanics(t, "OOM", func() { m.Alloc(1) })
+	assertPanics(t, "bad machine", func() { New(CREW, 0) })
+	assertPanics(t, "Load range", func() { m.Load(4, make([]int64, 8)) })
+	assertPanics(t, "Dump range", func() { m.Dump(4, 8) })
+	assertPanics(t, "zero procs", func() { m.Step(0, func(p *Proc) {}) })
+	m2 := New(CREW, 4)
+	assertPanics(t, "read OOB", func() {
+		_ = m2.Step(1, func(p *Proc) { p.Read(99) })
+	})
+	assertPanics(t, "write OOB", func() {
+		_ = m2.Step(1, func(p *Proc) { p.Write(99, 0) })
+	})
+	assertPanics(t, "PS OOB", func() {
+		_ = m2.Step(1, func(p *Proc) { p.PS(-1, 1) })
+	})
+}
+
+func TestNonConflictPanicsPropagate(t *testing.T) {
+	m := New(CREW, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("user panic should propagate")
+		}
+	}()
+	_ = m.Step(1, func(p *Proc) { panic("user bug") })
+}
+
+func TestModelString(t *testing.T) {
+	for m, s := range map[Model]string{
+		EREW: "EREW", CREW: "CREW", CRCWArbitrary: "CRCW-arbitrary", CRCWCommon: "CRCW-common",
+	} {
+		if m.String() != s {
+			t.Errorf("%d = %q", int(m), m.String())
+		}
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Error("unknown model string")
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

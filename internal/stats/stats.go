@@ -1,0 +1,149 @@
+// Package stats provides the small numeric and table-formatting helpers
+// shared by the benchmark harness: summary statistics, speedup/ratio
+// arithmetic, and aligned plain-text tables used to print every
+// paper-versus-measured comparison.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Stddev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when len(xs) < 2.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (mean of the middle two for even n).
+// It panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Speedup returns base/other: how many times faster other is than base.
+func Speedup(base, other float64) float64 {
+	if other == 0 {
+		panic("stats: Speedup with zero denominator")
+	}
+	return base / other
+}
+
+// WithinFactor reports whether got is within factor f of want, i.e.
+// want/f <= got <= want*f. It is the tolerance test used throughout the
+// experiment harness, where shapes and rough factors matter rather than
+// exact values. f must be >= 1.
+func WithinFactor(got, want, f float64) bool {
+	if f < 1 {
+		panic(fmt.Sprintf("stats: WithinFactor factor %g < 1", f))
+	}
+	if want == 0 {
+		return got == 0
+	}
+	r := got / want
+	if r < 0 {
+		return false
+	}
+	return r >= 1/f && r <= f
+}
+
+// RelErr returns |got-want|/|want|. want must be nonzero.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		panic("stats: RelErr with zero reference")
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// SI formats v with an SI suffix (k, M, G, T) and three significant
+// digits, e.g. 1234567 -> "1.23M". Values below 1000 print plainly.
+func SI(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e12:
+		return fmt.Sprintf("%.3gT", v/1e12)
+	case a >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

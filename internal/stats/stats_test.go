@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %g", m)
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("Mean = %g", m)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if m := GeoMean(nil); m != 0 {
+		t.Errorf("GeoMean(nil) = %g", m)
+	}
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	assertPanics(t, "nonpositive", func() { GeoMean([]float64{1, 0}) })
+}
+
+func TestGeoMeanLEMean(t *testing.T) {
+	// AM-GM inequality.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if s := Stddev([]float64{5}); s != 0 {
+		t.Errorf("Stddev singleton = %g", s)
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("Stddev = %g", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median odd = %g", Median(xs))
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("Median even = %g", m)
+	}
+	// Median must not reorder its argument.
+	if xs[0] != 3 || xs[4] != 5 {
+		t.Error("Median mutated its input")
+	}
+	assertPanics(t, "Min empty", func() { Min(nil) })
+	assertPanics(t, "Max empty", func() { Max(nil) })
+	assertPanics(t, "Median empty", func() { Median(nil) })
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 2); s != 5 {
+		t.Errorf("Speedup = %g", s)
+	}
+	assertPanics(t, "zero denom", func() { Speedup(1, 0) })
+}
+
+func TestWithinFactor(t *testing.T) {
+	cases := []struct {
+		got, want, f float64
+		ok           bool
+	}{
+		{100, 100, 1, true},
+		{199, 100, 2, true},
+		{51, 100, 2, true},
+		{49, 100, 2, false},
+		{201, 100, 2, false},
+		{0, 0, 2, true},
+		{1, 0, 2, false},
+		{-5, 5, 2, false},
+	}
+	for _, c := range cases {
+		if got := WithinFactor(c.got, c.want, c.f); got != c.ok {
+			t.Errorf("WithinFactor(%g,%g,%g) = %v, want %v", c.got, c.want, c.f, got, c.ok)
+		}
+	}
+	assertPanics(t, "factor<1", func() { WithinFactor(1, 1, 0.5) })
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("RelErr = %g", e)
+	}
+	assertPanics(t, "zero ref", func() { RelErr(1, 0) })
+}
+
+func TestSI(t *testing.T) {
+	cases := map[float64]string{
+		999:    "999",
+		1500:   "1.5k",
+		2.5e6:  "2.5M",
+		3e9:    "3G",
+		4.2e12: "4.2T",
+		0:      "0",
+		-2000:  "-2k",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Errorf("SI(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("demo", "name", "paper", "measured")
+	tb.AddRow("wire 1mm", 160.0, 160.0)
+	tb.AddRow("diagonal", 4500.0, 4525.0)
+	tb.AddNote("tolerance is a factor of 2")
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "wire 1mm", "4500", "note: tolerance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	// Columns must stay aligned: every row has same rendered width.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	var width int
+	for _, ln := range lines[1:4] { // header, separator, first row
+		if width == 0 {
+			width = len(ln)
+		}
+	}
+	if len(lines[2]) != width {
+		t.Errorf("separator width %d != header width %d", len(lines[2]), width)
+	}
+}
+
+func TestTableRowArityPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	assertPanics(t, "bad arity", func() { tb.AddRow(1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

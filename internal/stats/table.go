@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table builds an aligned plain-text table. The benchmark harness prints
+// one table per experiment, with a header row and one data row per
+// parameter point, each typically carrying a paper value, a measured
+// value, and a verdict column.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v. The row must have
+// exactly as many cells as there are headers.
+func (t *Table) AddRow(cells ...any) *Table {
+	if len(cells) != len(t.headers) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// AddNote appends a footnote printed under the table.
+func (t *Table) AddNote(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+func formatFloat(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		// strings.Builder never returns an error; keep the contract visible.
+		panic(err)
+	}
+	return b.String()
+}

@@ -1,0 +1,272 @@
+// Package tech is the technology cost model: energy and delay constants
+// for arithmetic, on-chip wires, and off-chip access at a given process
+// node, and derived quantities such as the transport-to-compute ratios the
+// panel paper quotes for 5 nm silicon.
+//
+// The paper's numbers (Dally, section 3):
+//
+//   - a 1-bit add costs about 0.5 fJ and a 32-bit add takes about 200 ps;
+//   - on-chip communication costs 80 fJ/bit-mm and traveling 1 mm takes
+//     about 800 ps;
+//   - transporting the result of an add 1 mm therefore costs 160x as much
+//     as performing the add;
+//   - sending it across the diagonal of an 800 mm^2 GPU costs ~4500x;
+//   - going off chip is an order of magnitude more expensive again, so an
+//     off-chip access costs ~50,000x the add;
+//   - the instruction-delivery overhead of a conventional CPU makes an ADD
+//     instruction ~10,000x more expensive than the add itself.
+//
+// All energies are femtojoules (fJ); all delays are picoseconds (ps);
+// all distances are millimetres (mm). Everything is a plain float so the
+// simulators stay deterministic and portable.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpClass identifies a class of primitive operation with distinct energy.
+type OpClass int
+
+// Operation classes. Add is the reference operation for all the ratios in
+// the paper.
+const (
+	OpAdd OpClass = iota
+	OpMul
+	OpCmp
+	OpLogic
+	OpFMA
+	numOpClasses
+)
+
+// String implements fmt.Stringer.
+func (c OpClass) String() string {
+	switch c {
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpCmp:
+		return "cmp"
+	case OpLogic:
+		return "logic"
+	case OpFMA:
+		return "fma"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// Params holds the per-operation constants of a process node.
+type Params struct {
+	// Name labels the process node, e.g. "5nm".
+	Name string
+
+	// AddEnergyPerBit is the energy of a 1-bit add, fJ.
+	AddEnergyPerBit float64
+	// AddDelay32 is the latency of a 32-bit add, ps.
+	AddDelay32 float64
+	// MulEnergyPerBit is the energy of a multiplier per output bit, fJ.
+	// Multiplier area and energy grow roughly quadratically with operand
+	// width; per-bit at 32 bits this is a few times the adder cost.
+	MulEnergyPerBit float64
+	// MulDelay32 is the latency of a 32-bit multiply, ps.
+	MulDelay32 float64
+
+	// WireEnergyPerBitMM is on-chip communication energy, fJ per bit-mm.
+	WireEnergyPerBitMM float64
+	// WireDelayPerMM is on-chip wire delay, ps per mm.
+	WireDelayPerMM float64
+
+	// OffChipEnergyPerBit is the energy of moving one bit off chip
+	// (e.g. to DRAM), fJ. Set so a 32-bit off-chip access is roughly an
+	// order of magnitude more than crossing the chip diagonal, matching
+	// the paper's "off chip is an order of magnitude more expensive".
+	OffChipEnergyPerBit float64
+	// OffChipDelay is the fixed round-trip latency of an off-chip access, ps.
+	OffChipDelay float64
+
+	// InstrOverheadEnergy is the energy a conventional out-of-order CPU
+	// spends to deliver one instruction to its ALU (fetch, decode, rename,
+	// issue, ROB, bypass...), fJ. The paper: "The energy overhead of an
+	// ADD instruction is 10,000x times more than the energy required to
+	// do the add."
+	InstrOverheadEnergy float64
+
+	// SRAMEnergyPerBit is the energy of reading/writing a bit-cell in a
+	// local memory tile, fJ. The paper: "Reading or writing a bit-cell is
+	// extremely fast and efficient. All the cost in accessing memory is
+	// data movement." So this is tiny; the wire to reach the tile is not.
+	SRAMEnergyPerBit float64
+	// SRAMDelay is the access latency of a local memory tile, ps.
+	SRAMDelay float64
+}
+
+// N5 returns the 5 nm parameters quoted in the paper. Values not stated in
+// the paper (multiply, SRAM bit-cell) are filled with standard
+// circuit-survey figures at the same node; they do not affect the paper's
+// headline ratios, which involve only add, wire, and off-chip constants.
+func N5() Params {
+	return Params{
+		Name:            "5nm",
+		AddEnergyPerBit: 0.5,
+		AddDelay32:      200,
+		MulEnergyPerBit: 2.0,
+		MulDelay32:      600,
+
+		WireEnergyPerBitMM: 80,
+		WireDelayPerMM:     800,
+
+		// 25,000 fJ/bit (25 pJ/bit) puts a 32-bit off-chip access at
+		// 800,000 fJ = 50,000x a 16 fJ add, and ~11x the cost of crossing
+		// the 28.3 mm diagonal — both as the paper states.
+		OffChipEnergyPerBit: 25000,
+		OffChipDelay:        30000,
+
+		// 10,000x the 16 fJ 32-bit add.
+		InstrOverheadEnergy: 160000,
+
+		SRAMEnergyPerBit: 0.2,
+		SRAMDelay:        300,
+	}
+}
+
+// Scaled returns a copy of p with all energies multiplied by energyScale
+// and all delays by delayScale, useful for modelling other nodes or
+// voltage/frequency operating points.
+func (p Params) Scaled(name string, energyScale, delayScale float64) Params {
+	q := p
+	q.Name = name
+	q.AddEnergyPerBit *= energyScale
+	q.MulEnergyPerBit *= energyScale
+	q.WireEnergyPerBitMM *= energyScale
+	q.OffChipEnergyPerBit *= energyScale
+	q.InstrOverheadEnergy *= energyScale
+	q.SRAMEnergyPerBit *= energyScale
+	q.AddDelay32 *= delayScale
+	q.MulDelay32 *= delayScale
+	q.WireDelayPerMM *= delayScale
+	q.OffChipDelay *= delayScale
+	q.SRAMDelay *= delayScale
+	return q
+}
+
+// Validate reports an error if any constant is non-positive.
+func (p Params) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"AddEnergyPerBit", p.AddEnergyPerBit},
+		{"AddDelay32", p.AddDelay32},
+		{"MulEnergyPerBit", p.MulEnergyPerBit},
+		{"MulDelay32", p.MulDelay32},
+		{"WireEnergyPerBitMM", p.WireEnergyPerBitMM},
+		{"WireDelayPerMM", p.WireDelayPerMM},
+		{"OffChipEnergyPerBit", p.OffChipEnergyPerBit},
+		{"OffChipDelay", p.OffChipDelay},
+		{"InstrOverheadEnergy", p.InstrOverheadEnergy},
+		{"SRAMEnergyPerBit", p.SRAMEnergyPerBit},
+		{"SRAMDelay", p.SRAMDelay},
+	}
+	for _, c := range checks {
+		if !(c.v > 0) || math.IsInf(c.v, 0) || math.IsNaN(c.v) {
+			return fmt.Errorf("tech: %s must be positive and finite, got %g", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// OpEnergy returns the energy (fJ) of one operation of class c on operands
+// of the given bit width.
+func (p Params) OpEnergy(c OpClass, bits int) float64 {
+	b := float64(bits)
+	switch c {
+	case OpAdd, OpCmp:
+		return p.AddEnergyPerBit * b
+	case OpLogic:
+		// Bitwise logic is cheaper than an add (no carry chain).
+		return 0.5 * p.AddEnergyPerBit * b
+	case OpMul:
+		return p.MulEnergyPerBit * b
+	case OpFMA:
+		return (p.MulEnergyPerBit + p.AddEnergyPerBit) * b
+	default:
+		panic(fmt.Sprintf("tech: unknown op class %d", int(c)))
+	}
+}
+
+// OpDelay returns the latency (ps) of one operation of class c at the
+// given bit width. Delay scales logarithmically with width for adds
+// (carry-lookahead) and multiplies (tree reduction); 32 bits is the
+// calibration point.
+func (p Params) OpDelay(c OpClass, bits int) float64 {
+	scale := widthDelayScale(bits)
+	switch c {
+	case OpAdd, OpCmp, OpLogic:
+		return p.AddDelay32 * scale
+	case OpMul, OpFMA:
+		return p.MulDelay32 * scale
+	default:
+		panic(fmt.Sprintf("tech: unknown op class %d", int(c)))
+	}
+}
+
+func widthDelayScale(bits int) float64 {
+	if bits <= 0 {
+		panic(fmt.Sprintf("tech: invalid width %d", bits))
+	}
+	return math.Log2(float64(bits)+1) / math.Log2(33)
+}
+
+// WireEnergy returns the energy (fJ) of moving bits over mm of on-chip wire.
+func (p Params) WireEnergy(bits int, mm float64) float64 {
+	return p.WireEnergyPerBitMM * float64(bits) * mm
+}
+
+// WireDelay returns the latency (ps) of a signal travelling mm of on-chip
+// wire (repeatered, so linear in distance).
+func (p Params) WireDelay(mm float64) float64 {
+	return p.WireDelayPerMM * mm
+}
+
+// OffChipEnergy returns the energy (fJ) of moving bits on or off chip.
+func (p Params) OffChipEnergy(bits int) float64 {
+	return p.OffChipEnergyPerBit * float64(bits)
+}
+
+// SRAMEnergy returns the bit-cell energy (fJ) of accessing bits in a local
+// memory tile, excluding the wire to reach the tile.
+func (p Params) SRAMEnergy(bits int) float64 {
+	return p.SRAMEnergyPerBit * float64(bits)
+}
+
+// TransportRatio returns the paper's headline quantity: the energy of
+// moving a bits-wide value mm millimetres divided by the energy of the
+// bits-wide add that produced it. At 5 nm with bits=32, mm=1 this is 160.
+func (p Params) TransportRatio(bits int, mm float64) float64 {
+	return p.WireEnergy(bits, mm) / p.OpEnergy(OpAdd, bits)
+}
+
+// OffChipRatio returns the energy of a bits-wide off-chip access divided
+// by the energy of a bits-wide add. At 5 nm with bits=32 this is ~50,000.
+func (p Params) OffChipRatio(bits int) float64 {
+	return p.OffChipEnergy(bits) / p.OpEnergy(OpAdd, bits)
+}
+
+// InstrOverheadRatio returns the CPU instruction-delivery overhead divided
+// by the energy of a bits-wide add. At 5 nm with bits=32 this is 10,000.
+func (p Params) InstrOverheadRatio(bits int) float64 {
+	return p.InstrOverheadEnergy / p.OpEnergy(OpAdd, bits)
+}
+
+// ChipDiagonalMM returns the corner-to-corner distance the paper uses for
+// a square die of the given area: it quotes 4500x for an 800 mm^2 GPU,
+// which corresponds to sqrt(area) ~ 28.3 mm of routed wire.
+func ChipDiagonalMM(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		panic(fmt.Sprintf("tech: invalid die area %g", areaMM2))
+	}
+	return math.Sqrt(areaMM2)
+}

@@ -1,0 +1,222 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperConstants pins the 5 nm constants to the values quoted in the
+// panel paper (Dally, section 3).
+func TestPaperConstants(t *testing.T) {
+	p := N5()
+	if p.AddEnergyPerBit != 0.5 {
+		t.Errorf("add energy/bit = %g fJ, paper says 0.5", p.AddEnergyPerBit)
+	}
+	if p.AddDelay32 != 200 {
+		t.Errorf("32-bit add delay = %g ps, paper says ~200", p.AddDelay32)
+	}
+	if p.WireEnergyPerBitMM != 80 {
+		t.Errorf("wire energy = %g fJ/bit-mm, paper says 80", p.WireEnergyPerBitMM)
+	}
+	if p.WireDelayPerMM != 800 {
+		t.Errorf("wire delay = %g ps/mm, paper says ~800", p.WireDelayPerMM)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("N5 should validate: %v", err)
+	}
+}
+
+// TestTransportRatio160x checks the paper's "transporting the result of an
+// add 1mm costs 160x as much as performing the add".
+func TestTransportRatio160x(t *testing.T) {
+	p := N5()
+	got := p.TransportRatio(32, 1.0)
+	if got != 160 {
+		t.Errorf("1mm transport ratio = %g, paper says 160", got)
+	}
+}
+
+// TestDiagonalRatio4500x checks "sending it across the diagonal of an
+// 800mm^2 GPU costs 4500x as much".
+func TestDiagonalRatio4500x(t *testing.T) {
+	p := N5()
+	d := ChipDiagonalMM(800)
+	got := p.TransportRatio(32, d)
+	if math.Abs(got-4500)/4500 > 0.02 {
+		t.Errorf("diagonal transport ratio = %g, paper says ~4500 (d=%g mm)", got, d)
+	}
+}
+
+// TestOffChipRatios checks "going off chip is an order of magnitude more
+// expensive" than the on-chip diagonal, and the derived "off-chip access
+// is 50,000x more expensive" than the add.
+func TestOffChipRatios(t *testing.T) {
+	p := N5()
+	if got := p.OffChipRatio(32); got != 50000 {
+		t.Errorf("off-chip/add ratio = %g, paper implies 50,000", got)
+	}
+	diag := p.WireEnergy(32, ChipDiagonalMM(800))
+	off := p.OffChipEnergy(32)
+	if r := off / diag; r < 8 || r > 15 {
+		t.Errorf("off-chip vs diagonal = %.1fx, paper says ~an order of magnitude", r)
+	}
+}
+
+// TestInstrOverhead10000x checks "the energy overhead of an ADD
+// instruction is 10,000x times more than the energy required to do the add".
+func TestInstrOverhead10000x(t *testing.T) {
+	p := N5()
+	if got := p.InstrOverheadRatio(32); got != 10000 {
+		t.Errorf("instruction overhead ratio = %g, paper says 10,000", got)
+	}
+}
+
+func TestOpEnergyOrdering(t *testing.T) {
+	p := N5()
+	add := p.OpEnergy(OpAdd, 32)
+	if add != 16 {
+		t.Errorf("32-bit add energy = %g fJ, want 16", add)
+	}
+	if mul := p.OpEnergy(OpMul, 32); mul <= add {
+		t.Errorf("mul (%g) should cost more than add (%g)", mul, add)
+	}
+	if lg := p.OpEnergy(OpLogic, 32); lg >= add {
+		t.Errorf("logic (%g) should cost less than add (%g)", lg, add)
+	}
+	if fma := p.OpEnergy(OpFMA, 32); fma != p.OpEnergy(OpMul, 32)+add {
+		t.Errorf("fma (%g) should equal mul+add", fma)
+	}
+	if cmp := p.OpEnergy(OpCmp, 32); cmp != add {
+		t.Errorf("cmp (%g) should match add (%g)", cmp, add)
+	}
+}
+
+func TestOpEnergyLinearInBits(t *testing.T) {
+	p := N5()
+	f := func(rawBits uint8) bool {
+		bits := int(rawBits%64) + 1
+		for _, c := range []OpClass{OpAdd, OpMul, OpCmp, OpLogic, OpFMA} {
+			e1 := p.OpEnergy(c, bits)
+			e2 := p.OpEnergy(c, 2*bits)
+			if math.Abs(e2-2*e1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpDelayCalibration(t *testing.T) {
+	p := N5()
+	if d := p.OpDelay(OpAdd, 32); math.Abs(d-200) > 1e-9 {
+		t.Errorf("32-bit add delay = %g, want 200", d)
+	}
+	if d := p.OpDelay(OpMul, 32); math.Abs(d-600) > 1e-9 {
+		t.Errorf("32-bit mul delay = %g, want 600", d)
+	}
+	// Delay grows with width but sublinearly.
+	d16 := p.OpDelay(OpAdd, 16)
+	d64 := p.OpDelay(OpAdd, 64)
+	if !(d16 < 200 && 200 < d64 && d64 < 400) {
+		t.Errorf("delay scaling wrong: d16=%g d64=%g", d16, d64)
+	}
+}
+
+func TestWireCosts(t *testing.T) {
+	p := N5()
+	if e := p.WireEnergy(32, 2.5); e != 80*32*2.5 {
+		t.Errorf("WireEnergy = %g", e)
+	}
+	if d := p.WireDelay(2.5); d != 2000 {
+		t.Errorf("WireDelay = %g", d)
+	}
+	if e := p.WireEnergy(0, 1); e != 0 {
+		t.Errorf("zero bits should be free, got %g", e)
+	}
+}
+
+func TestSRAMMuchCheaperThanWire(t *testing.T) {
+	// "Reading or writing a bit-cell is extremely fast and efficient. All
+	// the cost in accessing memory is data movement."
+	p := N5()
+	cell := p.SRAMEnergy(32)
+	wire1mm := p.WireEnergy(32, 1)
+	if cell*10 > wire1mm {
+		t.Errorf("bit-cell access (%g) should be far below 1mm of wire (%g)", cell, wire1mm)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := N5()
+	q := p.Scaled("7nm-ish", 2, 3)
+	if q.Name != "7nm-ish" {
+		t.Errorf("name = %q", q.Name)
+	}
+	if q.AddEnergyPerBit != 1.0 || q.WireEnergyPerBitMM != 160 {
+		t.Errorf("energies not scaled: %+v", q)
+	}
+	if q.AddDelay32 != 600 || q.WireDelayPerMM != 2400 {
+		t.Errorf("delays not scaled: %+v", q)
+	}
+	// Ratios are scale-invariant: both numerator and denominator scale.
+	if q.TransportRatio(32, 1) != p.TransportRatio(32, 1) {
+		t.Error("transport ratio should be invariant under uniform scaling")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("scaled params should validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := N5()
+	p.WireEnergyPerBitMM = 0
+	if err := p.Validate(); err == nil {
+		t.Error("expected validation error for zero wire energy")
+	}
+	p = N5()
+	p.AddDelay32 = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Error("expected validation error for NaN delay")
+	}
+	p = N5()
+	p.OffChipDelay = math.Inf(1)
+	if err := p.Validate(); err == nil {
+		t.Error("expected validation error for infinite delay")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	p := N5()
+	assertPanics(t, "bad op class energy", func() { p.OpEnergy(OpClass(99), 32) })
+	assertPanics(t, "bad op class delay", func() { p.OpDelay(OpClass(99), 32) })
+	assertPanics(t, "zero width", func() { p.OpDelay(OpAdd, 0) })
+	assertPanics(t, "bad area", func() { ChipDiagonalMM(-1) })
+}
+
+func TestOpClassString(t *testing.T) {
+	want := map[OpClass]string{
+		OpAdd: "add", OpMul: "mul", OpCmp: "cmp", OpLogic: "logic", OpFMA: "fma",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if OpClass(42).String() != "OpClass(42)" {
+		t.Errorf("unknown class string = %q", OpClass(42).String())
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

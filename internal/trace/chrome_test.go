@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	g := geom.NewGrid(2, 2, 1)
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Start: 0, End: 200, Place: geom.Pt(0, 0), Energy: 16, Bits: 32, Tag: "add"})
+	tr.Add(Event{Kind: KindWire, Start: 200, End: 1100, Place: geom.Pt(0, 0), Dst: geom.Pt(1, 0), Energy: 2560, Bits: 32})
+	tr.Add(Event{Kind: KindOffChip, Start: 1100, End: 31100, Place: geom.Pt(1, 1), Energy: 800000, Bits: 32})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, g); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	first := events[0]
+	if first["name"] != "add" || first["ph"] != "X" || first["cat"] != "compute" {
+		t.Errorf("first event = %v", first)
+	}
+	if first["ts"].(float64) != 0 || first["dur"].(float64) != 0.2 {
+		t.Errorf("timestamps = %v/%v", first["ts"], first["dur"])
+	}
+	if first["pid"].(float64) != 0 {
+		t.Errorf("pid = %v", first["pid"])
+	}
+	// Wire event carries its destination.
+	wire := events[1]
+	if wire["args"].(map[string]any)["dst"] != "(1,0)" {
+		t.Errorf("wire args = %v", wire["args"])
+	}
+	// Off-chip at node (1,1): pid 3.
+	if events[2]["pid"].(float64) != 3 {
+		t.Errorf("offchip pid = %v", events[2]["pid"])
+	}
+}
+
+func TestChromeTraceEmptyAndOffGrid(t *testing.T) {
+	g := geom.NewGrid(1, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, New(), g); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty trace should be []: %q err %v", buf.String(), err)
+	}
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Start: 0, End: 1, Place: geom.Pt(5, 5)})
+	s := ChromeTraceString(tr, g)
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(s), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if evs[0]["pid"].(float64) != -1 {
+		t.Errorf("off-grid pid = %v", evs[0]["pid"])
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	g := geom.NewGrid(2, 1, 1)
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Start: 5, End: 6, Place: geom.Pt(1, 0)})
+	tr.Add(Event{Kind: KindCompute, Start: 1, End: 2, Place: geom.Pt(0, 0)})
+	a := ChromeTraceString(tr, g)
+	b := ChromeTraceString(tr, g)
+	if a != b {
+		t.Error("nondeterministic export")
+	}
+	// Events are time-ordered.
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(a), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if evs[0]["ts"].(float64) > evs[1]["ts"].(float64) {
+		t.Error("events not sorted by start")
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// RenderOptions controls the ASCII space-time diagram.
+type RenderOptions struct {
+	// Grid is the machine grid the trace ran on.
+	Grid geom.Grid
+	// Columns is the number of time buckets to render (default 64).
+	Columns int
+	// Kinds restricts rendering to the listed kinds (default: compute only).
+	Kinds []Kind
+}
+
+// Render draws an ASCII space-time diagram: one row per grid node
+// (row-major), one column per time bucket, with a character per bucket
+// showing how many events of interest overlap it ('.' idle, '1'..'9',
+// '#' for ten or more). The paper's anti-diagonal edit-distance mapping
+// renders as a dense staircase; a serial mapping as a single busy row.
+func Render(t *Trace, opt RenderOptions) string {
+	if opt.Columns <= 0 {
+		opt.Columns = 64
+	}
+	kinds := opt.Kinds
+	if len(kinds) == 0 {
+		kinds = []Kind{KindCompute}
+	}
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+
+	var makespan float64
+	events := t.Events()
+	for _, e := range events {
+		if want[e.Kind] && e.End > makespan {
+			makespan = e.End
+		}
+	}
+	if makespan == 0 {
+		return "(empty trace)\n"
+	}
+	bucket := makespan / float64(opt.Columns)
+
+	nodes := opt.Grid.Nodes()
+	counts := make([][]int, nodes)
+	for i := range counts {
+		counts[i] = make([]int, opt.Columns)
+	}
+	for _, e := range events {
+		if !want[e.Kind] || !opt.Grid.Contains(e.Place) {
+			continue
+		}
+		id := opt.Grid.ID(e.Place)
+		lo := int(e.Start / bucket)
+		hi := int(e.End / bucket)
+		if hi >= opt.Columns {
+			hi = opt.Columns - 1
+		}
+		for c := lo; c <= hi; c++ {
+			counts[id][c]++
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "space-time diagram: %d nodes x %d buckets, makespan %.0f ps\n",
+		nodes, opt.Columns, makespan)
+	for id := 0; id < nodes; id++ {
+		fmt.Fprintf(&b, "%-8s|", opt.Grid.At(id).String())
+		for _, n := range counts[id] {
+			b.WriteByte(cell(n))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func cell(n int) byte {
+	switch {
+	case n == 0:
+		return '.'
+	case n < 10:
+		return byte('0' + n)
+	default:
+		return '#'
+	}
+}

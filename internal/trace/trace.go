@@ -1,0 +1,205 @@
+// Package trace records space-time execution traces from the simulators.
+//
+// The F&M model assigns every operation a place on the grid and a time;
+// a trace is the realized schedule: one event per operation executed, per
+// message hop routed, and per off-chip access. Traces feed three
+// consumers: energy/time aggregation for the cost model, invariant checks
+// in tests (causality, storage bounds), and an ASCII space-time diagram
+// renderer used by the example programs to show mappings such as the
+// paper's marching anti-diagonals.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindCompute is an arithmetic/logic operation executed at a node.
+	KindCompute Kind = iota
+	// KindWire is on-chip data movement between two nodes.
+	KindWire
+	// KindMemory is a local memory-tile access at a node.
+	KindMemory
+	// KindOffChip is a transfer to or from bulk memory (DRAM layer).
+	KindOffChip
+	// KindOverhead is instruction-delivery or scheduling overhead.
+	KindOverhead
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindWire:
+		return "wire"
+	case KindMemory:
+		return "memory"
+	case KindOffChip:
+		return "offchip"
+	case KindOverhead:
+		return "overhead"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one record in a trace. Times are picoseconds from the start of
+// the simulation; energy is femtojoules.
+type Event struct {
+	Kind Kind
+	// Start and End bound the event in time; End >= Start.
+	Start, End float64
+	// Place is where the event happened; for wire events, the source.
+	Place geom.Point
+	// Dst is the destination for wire events; equal to Place otherwise.
+	Dst geom.Point
+	// Energy is the event's energy in fJ.
+	Energy float64
+	// Bits is the payload width for movement events, operand width for
+	// compute events.
+	Bits int
+	// Tag is an optional caller-supplied label (e.g. element name).
+	Tag string
+}
+
+// Trace is an append-only sequence of events.
+type Trace struct {
+	events  []Event
+	enabled bool
+}
+
+// New returns an enabled trace.
+func New() *Trace { return &Trace{enabled: true} }
+
+// Disabled returns a trace that drops all events but still type-checks at
+// call sites, so simulators can run at full speed without tracing.
+func Disabled() *Trace { return &Trace{enabled: false} }
+
+// Enabled reports whether the trace is recording.
+func (t *Trace) Enabled() bool { return t != nil && t.enabled }
+
+// Add appends an event. It validates the time interval because a negative
+// duration always indicates a simulator bug.
+func (t *Trace) Add(e Event) {
+	if !t.Enabled() {
+		return
+	}
+	if e.End < e.Start {
+		panic(fmt.Sprintf("trace: event ends (%g) before it starts (%g)", e.End, e.Start))
+	}
+	if e.Kind != KindWire {
+		e.Dst = e.Place
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in insertion order. The returned
+// slice is owned by the trace; callers must not modify it.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Reset discards all recorded events but keeps the enabled state.
+func (t *Trace) Reset() { t.events = t.events[:0] }
+
+// Summary aggregates a trace.
+type Summary struct {
+	// EnergyByKind is total energy per event kind, fJ.
+	EnergyByKind map[Kind]float64
+	// CountByKind is the number of events per kind.
+	CountByKind map[Kind]int
+	// TotalEnergy is the sum over all kinds, fJ.
+	TotalEnergy float64
+	// Makespan is the latest End over all events, ps.
+	Makespan float64
+	// BitsMoved is the total bit-distance moved on wires (bit-hops are
+	// weighted by each event's recorded energy contribution separately;
+	// this is plain payload bits summed over wire events).
+	BitsMoved int
+}
+
+// Summarize aggregates the trace.
+func (t *Trace) Summarize() Summary {
+	s := Summary{
+		EnergyByKind: make(map[Kind]float64),
+		CountByKind:  make(map[Kind]int),
+	}
+	for _, e := range t.Events() {
+		s.EnergyByKind[e.Kind] += e.Energy
+		s.CountByKind[e.Kind]++
+		s.TotalEnergy += e.Energy
+		if e.End > s.Makespan {
+			s.Makespan = e.End
+		}
+		if e.Kind == KindWire || e.Kind == KindOffChip {
+			s.BitsMoved += e.Bits
+		}
+	}
+	return s
+}
+
+// CommFraction returns the fraction of total energy spent on data
+// movement (wire + off-chip). It returns 0 for an empty trace.
+func (s Summary) CommFraction() float64 {
+	if s.TotalEnergy == 0 {
+		return 0
+	}
+	return (s.EnergyByKind[KindWire] + s.EnergyByKind[KindOffChip]) / s.TotalEnergy
+}
+
+// ByPlace returns per-node total busy time (sum of event durations of the
+// given kinds at each node), useful for load-balance checks.
+func (t *Trace) ByPlace(kinds ...Kind) map[geom.Point]float64 {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	out := make(map[geom.Point]float64)
+	for _, e := range t.Events() {
+		if len(want) == 0 || want[e.Kind] {
+			out[e.Place] += e.End - e.Start
+		}
+	}
+	return out
+}
+
+// SortedByStart returns a copy of the events ordered by start time (ties
+// broken by place, then kind) for deterministic iteration in tests and
+// renderers.
+func (t *Trace) SortedByStart() []Event {
+	es := append([]Event(nil), t.Events()...)
+	sort.SliceStable(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Place.Y != b.Place.Y {
+			return a.Place.Y < b.Place.Y
+		}
+		if a.Place.X != b.Place.X {
+			return a.Place.X < b.Place.X
+		}
+		return a.Kind < b.Kind
+	})
+	return es
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestAddAndSummarize(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Start: 0, End: 200, Place: geom.Pt(0, 0), Energy: 16, Bits: 32})
+	tr.Add(Event{Kind: KindWire, Start: 200, End: 1000, Place: geom.Pt(0, 0), Dst: geom.Pt(1, 0), Energy: 2560, Bits: 32})
+	tr.Add(Event{Kind: KindOffChip, Start: 1000, End: 31000, Place: geom.Pt(1, 0), Energy: 800000, Bits: 32})
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	s := tr.Summarize()
+	if s.TotalEnergy != 16+2560+800000 {
+		t.Errorf("TotalEnergy = %g", s.TotalEnergy)
+	}
+	if s.Makespan != 31000 {
+		t.Errorf("Makespan = %g", s.Makespan)
+	}
+	if s.CountByKind[KindWire] != 1 || s.CountByKind[KindCompute] != 1 {
+		t.Errorf("counts = %v", s.CountByKind)
+	}
+	if s.BitsMoved != 64 {
+		t.Errorf("BitsMoved = %d", s.BitsMoved)
+	}
+	// Communication dominates this trace overwhelmingly.
+	if f := s.CommFraction(); f < 0.99 {
+		t.Errorf("CommFraction = %g", f)
+	}
+}
+
+func TestCommFractionEmpty(t *testing.T) {
+	if f := (Summary{}).CommFraction(); f != 0 {
+		t.Errorf("empty CommFraction = %g", f)
+	}
+}
+
+func TestDisabledDropsEvents(t *testing.T) {
+	tr := Disabled()
+	tr.Add(Event{Kind: KindCompute, End: 1})
+	if tr.Len() != 0 {
+		t.Errorf("disabled trace recorded %d events", tr.Len())
+	}
+	if tr.Enabled() {
+		t.Error("Disabled().Enabled() = true")
+	}
+	var nilTrace *Trace
+	if nilTrace.Enabled() {
+		t.Error("nil trace should not be enabled")
+	}
+	nilTrace.Add(Event{}) // must not panic
+	if nilTrace.Len() != 0 {
+		t.Error("nil trace Len != 0")
+	}
+}
+
+func TestAddRejectsNegativeDuration(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for End < Start")
+		}
+	}()
+	tr.Add(Event{Start: 10, End: 5})
+}
+
+func TestNonWireEventsNormalizeDst(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Place: geom.Pt(2, 3), Dst: geom.Pt(9, 9), End: 1})
+	if e := tr.Events()[0]; e.Dst != geom.Pt(2, 3) {
+		t.Errorf("Dst = %v, want normalized to Place", e.Dst)
+	}
+}
+
+func TestByPlace(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Start: 0, End: 10, Place: geom.Pt(0, 0)})
+	tr.Add(Event{Kind: KindCompute, Start: 10, End: 30, Place: geom.Pt(0, 0)})
+	tr.Add(Event{Kind: KindWire, Start: 0, End: 5, Place: geom.Pt(1, 0), Dst: geom.Pt(0, 0)})
+	busy := tr.ByPlace(KindCompute)
+	if busy[geom.Pt(0, 0)] != 30 {
+		t.Errorf("busy(0,0) = %g", busy[geom.Pt(0, 0)])
+	}
+	if _, ok := busy[geom.Pt(1, 0)]; ok {
+		t.Error("wire event should be filtered out")
+	}
+	all := tr.ByPlace()
+	if all[geom.Pt(1, 0)] != 5 {
+		t.Errorf("unfiltered busy(1,0) = %g", all[geom.Pt(1, 0)])
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Add(Event{End: 1})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Errorf("Len after Reset = %d", tr.Len())
+	}
+	if !tr.Enabled() {
+		t.Error("Reset must keep trace enabled")
+	}
+}
+
+func TestSortedByStart(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: KindCompute, Start: 5, End: 6, Place: geom.Pt(0, 1)})
+	tr.Add(Event{Kind: KindCompute, Start: 1, End: 2, Place: geom.Pt(0, 0)})
+	tr.Add(Event{Kind: KindCompute, Start: 5, End: 6, Place: geom.Pt(0, 0)})
+	es := tr.SortedByStart()
+	if es[0].Start != 1 {
+		t.Errorf("first start = %g", es[0].Start)
+	}
+	if es[1].Place != geom.Pt(0, 0) || es[2].Place != geom.Pt(0, 1) {
+		t.Errorf("tie-break by place failed: %v then %v", es[1].Place, es[2].Place)
+	}
+	// Original order untouched.
+	if tr.Events()[0].Start != 5 {
+		t.Error("SortedByStart mutated the trace")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindCompute: "compute", KindWire: "wire", KindMemory: "memory",
+		KindOffChip: "offchip", KindOverhead: "overhead",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(77).String() != "Kind(77)" {
+		t.Errorf("unknown kind = %q", Kind(77).String())
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := geom.NewGrid(2, 2, 1)
+	tr := New()
+	// Node (0,0) busy early, node (1,1) busy late: staircase pattern.
+	tr.Add(Event{Kind: KindCompute, Start: 0, End: 50, Place: geom.Pt(0, 0)})
+	tr.Add(Event{Kind: KindCompute, Start: 50, End: 100, Place: geom.Pt(1, 1)})
+	out := Render(tr, RenderOptions{Grid: g, Columns: 10})
+	if !strings.Contains(out, "space-time diagram") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 nodes
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	row00, row11 := lines[1], lines[4]
+	if !strings.Contains(row00, "1") {
+		t.Errorf("node (0,0) row should show activity: %q", row00)
+	}
+	if strings.Count(row11, ".") == 0 {
+		t.Errorf("node (1,1) row should show idle buckets: %q", row11)
+	}
+	// Idle node renders as all dots.
+	row10 := lines[2]
+	if strings.ContainsAny(row10[9:], "123456789#") {
+		t.Errorf("idle node shows activity: %q", row10)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(New(), RenderOptions{Grid: geom.NewGrid(1, 1, 1)})
+	if out != "(empty trace)\n" {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderSaturation(t *testing.T) {
+	g := geom.NewGrid(1, 1, 1)
+	tr := New()
+	for i := 0; i < 12; i++ {
+		tr.Add(Event{Kind: KindCompute, Start: 0, End: 100, Place: geom.Pt(0, 0)})
+	}
+	out := Render(tr, RenderOptions{Grid: g, Columns: 4})
+	if !strings.Contains(out, "#") {
+		t.Errorf(">=10 overlapping events should render '#':\n%s", out)
+	}
+}

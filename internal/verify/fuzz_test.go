@@ -1,0 +1,144 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// TestEnginesAgreeOnRandomSchedules fuzzes the declarative checker
+// (fm.Check) against the operational replay (Refine) with hundreds of
+// random graphs and schedules — legal ones from ASAP, then randomly
+// mutated ones. The engines model causality independently; disagreement
+// on any schedule would mean one of them is wrong, which is exactly the
+// full-stack-verification payoff.
+func TestEnginesAgreeOnRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		tgt := fm.DefaultTarget(1+rng.Intn(4), 1+rng.Intn(3))
+		tgt.MemWordsPerNode = 1 << 20
+
+		b := fm.NewBuilder("fuzz")
+		ids := []fm.NodeID{b.Input(32), b.Input(32)}
+		ops := 5 + rng.Intn(40)
+		for i := 0; i < ops; i++ {
+			class := tech.OpAdd
+			if rng.Intn(3) == 0 {
+				class = tech.OpMul
+			}
+			d1 := ids[rng.Intn(len(ids))]
+			d2 := ids[rng.Intn(len(ids))]
+			ids = append(ids, b.Op(class, 32, d1, d2))
+		}
+		b.MarkOutput(ids[len(ids)-1])
+		g := b.Build()
+
+		place := make([]geom.Point, g.NumNodes())
+		for i := range place {
+			place[i] = tgt.Grid.At(rng.Intn(tgt.Grid.Nodes()))
+		}
+		sched := fm.ASAPSchedule(g, place, tgt)
+
+		// Legal schedule: both engines must accept.
+		if err := fm.Check(g, sched, tgt); err != nil {
+			t.Fatalf("trial %d: ASAP illegal: %v", trial, err)
+		}
+		if res := Refine(g, sched, tgt); !res.OK() {
+			t.Fatalf("trial %d: replay rejects a legal schedule: %+v", trial, res.Violations)
+		}
+
+		// Mutate: move one node somewhere random at a random earlier time.
+		mut := append(fm.Schedule(nil), sched...)
+		victim := rng.Intn(g.NumNodes())
+		mut[victim] = fm.Assignment{
+			Place: tgt.Grid.At(rng.Intn(tgt.Grid.Nodes())),
+			Time:  int64(rng.Intn(int(sched.Makespan()) + 1)),
+		}
+		res := Refine(g, mut, tgt)
+		if !res.AgreesWithCheck {
+			t.Fatalf("trial %d: engines disagree on mutated schedule (victim %d -> %+v)",
+				trial, victim, mut[victim])
+		}
+	}
+}
+
+// TestTrafficFromPartitionsBitHops checks, on random placed graphs, that
+// attributing traffic to "all producers" reproduces exactly the BitHops
+// the cost model charges — the attribution is a partition, not an
+// estimate.
+func TestTrafficFromPartitionsBitHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		tgt := fm.DefaultTarget(1+rng.Intn(4), 1+rng.Intn(3))
+		tgt.MemWordsPerNode = 1 << 20
+		b := fm.NewBuilder("traffic")
+		ids := []fm.NodeID{b.Input(32)}
+		for i := 0; i < 5+rng.Intn(30); i++ {
+			ids = append(ids, b.Op(tech.OpAdd, 32, ids[rng.Intn(len(ids))]))
+		}
+		b.MarkOutput(ids[len(ids)-1])
+		g := b.Build()
+		place := make([]geom.Point, g.NumNodes())
+		for i := range place {
+			place[i] = tgt.Grid.At(rng.Intn(tgt.Grid.Nodes()))
+		}
+		sched := fm.ASAPSchedule(g, place, tgt)
+		cost, err := fm.Evaluate(g, sched, tgt, fm.EvalOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		all := fm.TrafficFrom(g, sched, func(fm.NodeID) bool { return true })
+		if all != cost.BitHops {
+			t.Fatalf("trial %d: TrafficFrom(all)=%d, Evaluate.BitHops=%d", trial, all, cost.BitHops)
+		}
+		// Partition: inputs + non-inputs covers everything, disjointly.
+		ins := fm.TrafficFrom(g, sched, func(n fm.NodeID) bool { return g.IsInput(n) })
+		opsT := fm.TrafficFrom(g, sched, func(n fm.NodeID) bool { return !g.IsInput(n) })
+		if ins+opsT != all {
+			t.Fatalf("trial %d: partition broken: %d + %d != %d", trial, ins, opsT, all)
+		}
+	}
+}
+
+// TestComputeEnergyMappingInvariant checks the model's core separation
+// property on random graphs: any legal mapping of the same function
+// charges identical compute energy (only communication varies).
+func TestComputeEnergyMappingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		tgt := fm.DefaultTarget(3, 3)
+		tgt.MemWordsPerNode = 1 << 20
+		b := fm.NewBuilder("invariant")
+		ids := []fm.NodeID{b.Input(32), b.Input(32)}
+		for i := 0; i < 10+rng.Intn(25); i++ {
+			ids = append(ids, b.Op(tech.OpMul, 32, ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+		}
+		b.MarkOutput(ids[len(ids)-1])
+		g := b.Build()
+
+		ref, err := fm.Evaluate(g, fm.SerialSchedule(g, tgt, geom.Pt(0, 0)), tgt, fm.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 3; v++ {
+			place := make([]geom.Point, g.NumNodes())
+			for i := range place {
+				place[i] = tgt.Grid.At(rng.Intn(tgt.Grid.Nodes()))
+			}
+			c, err := fm.Evaluate(g, fm.ASAPSchedule(g, place, tgt), tgt, fm.EvalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.ComputeEnergy != ref.ComputeEnergy {
+				t.Fatalf("trial %d: compute energy varies with mapping: %g vs %g",
+					trial, c.ComputeEnergy, ref.ComputeEnergy)
+			}
+			if c.Ops != ref.Ops {
+				t.Fatalf("trial %d: op count varies with mapping", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package verify implements Martonosi's position in executable form: "a
+// shift towards formal specifications that support automated full-stack
+// verification for correctness and security."
+//
+// In this repository the formal specification of a computation is its
+// F&M function (a dataflow graph with explicit semantics) plus a mapping
+// onto a target; the stack under it is the legality checker, the cost
+// evaluator, and the machine simulator. This package verifies across
+// those layers with two independent engines:
+//
+//   - Equivalence checking (Equiv): bounded-exhaustive comparison of a
+//     function graph against a reference specification over a finite
+//     input domain — every assignment of domain values to inputs is
+//     enumerated, so within the bound this is exhaustive model checking
+//     of functional correctness, not sampling.
+//
+//   - Schedule refinement (Refine): an operational replay of a mapped
+//     computation. Values are injected at their producers' finish times
+//     and every transfer is replayed hop by hop through the machine's
+//     network; the replay certifies that each consumer's start time is
+//     met by the actual arrival of every input. This re-derives the
+//     conclusion of fm.Check from a SEPARATE operational semantics, so a
+//     bug in either engine surfaces as a disagreement between them.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/fm"
+)
+
+// EquivResult reports a bounded-exhaustive equivalence check.
+type EquivResult struct {
+	// Checked is the number of input assignments enumerated.
+	Checked int
+	// Counterexample, when non-nil, is an input assignment on which the
+	// graph and the reference disagree.
+	Counterexample []int64
+	// Got and Want are the disagreeing outputs (parallel to the graph's
+	// output list) for the counterexample.
+	Got, Want []int64
+}
+
+// OK reports whether the check passed.
+func (r EquivResult) OK() bool { return r.Counterexample == nil }
+
+// String implements fmt.Stringer.
+func (r EquivResult) String() string {
+	if r.OK() {
+		return fmt.Sprintf("equivalent on all %d input assignments", r.Checked)
+	}
+	return fmt.Sprintf("counterexample after %d checks: inputs=%v got=%v want=%v",
+		r.Checked, r.Counterexample, r.Got, r.Want)
+}
+
+// Equiv exhaustively checks that interpreting g with eval matches the
+// reference function ref on EVERY assignment of values from domain to
+// g's inputs. ref receives the input assignment (in g.Inputs() order)
+// and must return the expected outputs (in g.Outputs() order). The
+// number of assignments is len(domain)^numInputs; callers bound it via
+// MaxChecks (0 means no bound). If the bound is hit the check fails
+// loudly rather than passing vacuously.
+func Equiv(g *fm.Graph, domain []int64, maxChecks int,
+	eval func(n fm.NodeID, deps []int64) int64,
+	ref func(inputs []int64) []int64,
+) (EquivResult, error) {
+	nIn := len(g.Inputs())
+	if len(domain) == 0 {
+		return EquivResult{}, fmt.Errorf("verify: empty input domain")
+	}
+	total := 1
+	for i := 0; i < nIn; i++ {
+		total *= len(domain)
+		if maxChecks > 0 && total > maxChecks {
+			return EquivResult{}, fmt.Errorf(
+				"verify: %d inputs over a %d-value domain needs %d^%d checks, exceeding the bound %d",
+				nIn, len(domain), len(domain), nIn, maxChecks)
+		}
+	}
+
+	assignment := make([]int64, nIn)
+	idx := make([]int, nIn)
+	outs := g.Outputs()
+	res := EquivResult{}
+	for {
+		for i, d := range idx {
+			assignment[i] = domain[d]
+		}
+		vals := fm.Interpret(g, assignment, eval)
+		want := ref(append([]int64(nil), assignment...))
+		if len(want) != len(outs) {
+			return EquivResult{}, fmt.Errorf("verify: reference returned %d outputs, graph has %d",
+				len(want), len(outs))
+		}
+		res.Checked++
+		for k, o := range outs {
+			if vals[o] != want[k] {
+				got := make([]int64, len(outs))
+				for j, oo := range outs {
+					got[j] = vals[oo]
+				}
+				res.Counterexample = append([]int64(nil), assignment...)
+				res.Got = got
+				res.Want = want
+				return res, nil
+			}
+		}
+		// Odometer increment.
+		pos := nIn - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(domain) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			return res, nil
+		}
+	}
+}
+
+// RefineViolation is one operational-replay failure.
+type RefineViolation struct {
+	// Consumer starts at Scheduled but its input from Producer only
+	// arrives (operationally) at Arrived.
+	Producer, Consumer fm.NodeID
+	Scheduled, Arrived int64
+}
+
+// String implements fmt.Stringer.
+func (v RefineViolation) String() string {
+	return fmt.Sprintf("node %d scheduled at cycle %d, but input from node %d arrives at cycle %d",
+		v.Consumer, v.Scheduled, v.Producer, v.Arrived)
+}
+
+// RefineResult reports an operational replay of a mapped computation.
+type RefineResult struct {
+	// Transfers is the number of value movements replayed.
+	Transfers int
+	// Violations lists every consumer whose scheduled start precedes the
+	// operational arrival of one of its inputs.
+	Violations []RefineViolation
+	// AgreesWithCheck records whether fm.Check's verdict (legal/illegal)
+	// matches the replay's (no violations / violations).
+	AgreesWithCheck bool
+}
+
+// OK reports whether the replay found no violations AND the two engines
+// agreed.
+func (r RefineResult) OK() bool { return len(r.Violations) == 0 && r.AgreesWithCheck }
+
+// Refine replays g+sched operationally on tgt: each value departs its
+// producer when the producer finishes and travels hop by hop (transit
+// charged per hop exactly as the target's network does); each consumer's
+// scheduled start is compared against the latest operational arrival of
+// its inputs. The result also cross-checks fm.Check: the two engines
+// must agree on legality. Refine deliberately shares no code with
+// fm.Check's causality pass.
+func Refine(g *fm.Graph, sched fm.Schedule, tgt fm.Target) RefineResult {
+	res := RefineResult{}
+	if len(sched) != g.NumNodes() {
+		res.AgreesWithCheck = fm.Check(g, sched, tgt) != nil
+		return res
+	}
+	// Operational finish times, computed forward in topological order.
+	finish := make([]int64, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := fm.NodeID(n)
+		if g.IsInput(id) {
+			finish[n] = sched[n].Time
+			continue
+		}
+		start := sched[n].Time
+		for _, p := range g.Deps(id) {
+			res.Transfers++
+			// Hop-by-hop walk from producer's place to consumer's place.
+			arr := finish[p]
+			from := sched[p].Place
+			to := sched[n].Place
+			for from != to {
+				switch {
+				case from.X < to.X:
+					from.X++
+				case from.X > to.X:
+					from.X--
+				case from.Y < to.Y:
+					from.Y++
+				default:
+					from.Y--
+				}
+				arr += tgt.TransitCycles(1)
+			}
+			if arr > start {
+				res.Violations = append(res.Violations, RefineViolation{
+					Producer: p, Consumer: id, Scheduled: start, Arrived: arr,
+				})
+			}
+		}
+		finish[n] = start + tgt.OpCycles(g.Op(id), g.Bits(id))
+	}
+	// Cross-check against the declarative checker. fm.Check also verifies
+	// occupancy and storage, which the replay does not model, so the
+	// comparison is one-directional: replay violations must imply Check
+	// failure; a clean replay with a Check failure is fine only if the
+	// failure is occupancy/storage, which we conservatively accept by
+	// checking the causality error type.
+	err := fm.Check(g, sched, tgt)
+	switch {
+	case len(res.Violations) > 0:
+		res.AgreesWithCheck = err != nil
+	case err == nil:
+		res.AgreesWithCheck = true
+	default:
+		// Clean replay but Check failed: acceptable only for
+		// non-causality violations.
+		if _, isCausality := err.(*fm.CausalityError); isCausality {
+			res.AgreesWithCheck = false
+		} else {
+			res.AgreesWithCheck = true
+		}
+	}
+	return res
+}

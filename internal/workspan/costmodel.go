@@ -1,0 +1,127 @@
+package workspan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Analysis is the abstract cost of a computation in the work-span model:
+// W total operations, D operations on the critical path. Brent's theorem
+// ("cost mappings down to the machine level") bounds any greedy
+// schedule's running time by W/P + D.
+type Analysis struct {
+	Work, Span float64
+}
+
+// Add composes two computations run one after the other.
+func (a Analysis) Add(b Analysis) Analysis {
+	return Analysis{Work: a.Work + b.Work, Span: a.Span + b.Span}
+}
+
+// Par composes two computations run in parallel (fork-join).
+func (a Analysis) Par(b Analysis) Analysis {
+	return Analysis{Work: a.Work + b.Work, Span: math.Max(a.Span, b.Span)}
+}
+
+// BrentBound returns W/P + D, the greedy-scheduler bound on P processors.
+func (a Analysis) BrentBound(p int) float64 {
+	if p <= 0 {
+		panic(fmt.Sprintf("workspan: invalid processor count %d", p))
+	}
+	return a.Work/float64(p) + a.Span
+}
+
+// Parallelism returns W/D, the maximum useful processor count.
+func (a Analysis) Parallelism() float64 {
+	if a.Span == 0 {
+		return a.Work
+	}
+	return a.Work / a.Span
+}
+
+func log2(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// ForAnalysis is the abstract cost of For(lo,hi,grain): the body's n
+// iterations of work plus a split tree of depth log(n/grain).
+func ForAnalysis(n, grain int) Analysis {
+	if n <= 0 {
+		return Analysis{}
+	}
+	g := float64(grain)
+	return Analysis{Work: float64(n), Span: g + log2((n+grain-1)/grain)}
+}
+
+// ReduceAnalysis is the abstract cost of Reduce.
+func ReduceAnalysis(n, grain int) Analysis {
+	if n <= 0 {
+		return Analysis{}
+	}
+	return Analysis{Work: float64(n), Span: float64(grain) + log2((n+grain-1)/grain)}
+}
+
+// ScanAnalysis is the abstract cost of the two-pass blocked Scan: two
+// parallel passes over the data plus a serial scan of the block sums.
+func ScanAnalysis(n, grain int) Analysis {
+	if n <= 0 {
+		return Analysis{}
+	}
+	blocks := (n + grain - 1) / grain
+	return Analysis{Work: 2 * float64(n), Span: 2*float64(grain) + float64(blocks) + log2(blocks)}
+}
+
+// MergeSortAnalysis is the abstract cost of MergeSort: O(n log n) work,
+// polylog span (O(log^3 n) with the binary-search merge).
+func MergeSortAnalysis(n, grain int) Analysis {
+	if n <= 0 {
+		return Analysis{}
+	}
+	l := log2(n)
+	return Analysis{Work: float64(n) * math.Max(l, 1), Span: float64(grain) + l*l*l}
+}
+
+// MemCost extends the model with asymmetric read/write costs, the
+// extension Blelloch's statement mentions ("reasonably simple extensions
+// that support accounting for locality, as well as asymmetry in
+// read-write costs") — on NVM-like memories a write costs several times a
+// read, so algorithms should trade extra reads for fewer writes.
+type MemCost struct {
+	Read, Write float64
+}
+
+// Symmetric returns the classic unit-cost memory.
+func Symmetric() MemCost { return MemCost{Read: 1, Write: 1} }
+
+// Asymmetric returns a memory whose writes cost omega times its reads.
+func Asymmetric(omega float64) MemCost {
+	if omega <= 0 {
+		panic(fmt.Sprintf("workspan: invalid write/read ratio %g", omega))
+	}
+	return MemCost{Read: 1, Write: omega}
+}
+
+// ScanMemCost charges the two-pass blocked scan under m: pass one reads n
+// values and writes one sum per block; pass two reads n and writes n.
+func ScanMemCost(n, grain int, m MemCost) float64 {
+	if n <= 0 {
+		return 0
+	}
+	blocks := float64((n + grain - 1) / grain)
+	return m.Read*2*float64(n) + m.Write*(float64(n)+blocks)
+}
+
+// KoggeStoneMemCost charges the depth-optimal scan, which writes the full
+// array every one of its log2(n) rounds: 2 n log n reads, n log n writes.
+// Under symmetric costs the difference from the blocked scan is a
+// constant factor; under write-asymmetry it grows with both omega and n.
+func KoggeStoneMemCost(n int, m MemCost) float64 {
+	if n <= 0 {
+		return 0
+	}
+	rounds := math.Max(log2(n), 1)
+	return m.Read*2*float64(n)*rounds + m.Write*float64(n)*rounds
+}

@@ -1,0 +1,112 @@
+package workspan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalysisCompose(t *testing.T) {
+	a := Analysis{Work: 10, Span: 4}
+	b := Analysis{Work: 6, Span: 5}
+	if s := a.Add(b); s.Work != 16 || s.Span != 9 {
+		t.Errorf("Add = %+v", s)
+	}
+	if p := a.Par(b); p.Work != 16 || p.Span != 5 {
+		t.Errorf("Par = %+v", p)
+	}
+}
+
+func TestBrentBound(t *testing.T) {
+	a := Analysis{Work: 100, Span: 10}
+	if got := a.BrentBound(10); got != 20 {
+		t.Errorf("BrentBound = %g", got)
+	}
+	// More processors never raises the bound.
+	prev := math.Inf(1)
+	for p := 1; p <= 64; p *= 2 {
+		b := a.BrentBound(p)
+		if b > prev {
+			t.Errorf("bound increased at p=%d", p)
+		}
+		prev = b
+	}
+	// The bound approaches the span.
+	if b := a.BrentBound(1 << 20); b < a.Span || b > a.Span*1.01 {
+		t.Errorf("asymptotic bound = %g, want ~%g", b, a.Span)
+	}
+	assertPanics(t, "bad p", func() { a.BrentBound(0) })
+}
+
+func TestParallelism(t *testing.T) {
+	if p := (Analysis{Work: 100, Span: 10}).Parallelism(); p != 10 {
+		t.Errorf("Parallelism = %g", p)
+	}
+	if p := (Analysis{Work: 5, Span: 0}).Parallelism(); p != 5 {
+		t.Errorf("zero-span Parallelism = %g", p)
+	}
+}
+
+func TestPrimitiveAnalyses(t *testing.T) {
+	// Work is linear (or n log n for sort); span stays polylogarithmic.
+	small := ForAnalysis(1<<10, 32)
+	big := ForAnalysis(1<<20, 32)
+	if big.Work != 1024*small.Work {
+		t.Errorf("For work not linear: %g vs %g", big.Work, small.Work)
+	}
+	if big.Span > 3*small.Span {
+		t.Errorf("For span grew too fast: %g vs %g", big.Span, small.Span)
+	}
+	if ReduceAnalysis(1<<20, 32).Parallelism() < 1000 {
+		t.Error("Reduce parallelism too small")
+	}
+	sc := ScanAnalysis(1<<20, 1<<10)
+	if sc.Work != 2*(1<<20) {
+		t.Errorf("Scan work = %g", sc.Work)
+	}
+	ms := MergeSortAnalysis(1<<20, 32)
+	if ms.Work < float64(1<<20)*19 {
+		t.Errorf("MergeSort work = %g", ms.Work)
+	}
+	// Empty inputs are free.
+	for _, a := range []Analysis{ForAnalysis(0, 1), ReduceAnalysis(0, 1), ScanAnalysis(0, 1), MergeSortAnalysis(0, 1)} {
+		if a.Work != 0 || a.Span != 0 {
+			t.Errorf("empty analysis = %+v", a)
+		}
+	}
+}
+
+func TestMemCostAsymmetry(t *testing.T) {
+	if s := Symmetric(); s.Read != 1 || s.Write != 1 {
+		t.Errorf("Symmetric = %+v", s)
+	}
+	a := Asymmetric(8)
+	if a.Write != 8 {
+		t.Errorf("Asymmetric = %+v", a)
+	}
+	assertPanics(t, "bad omega", func() { Asymmetric(0) })
+
+	const n = 1 << 16
+	// Kogge-Stone writes the whole array every round, the blocked scan
+	// writes each output once; the absolute penalty for that extra
+	// writing grows linearly with the write/read asymmetry omega.
+	gap := func(m MemCost) float64 {
+		return KoggeStoneMemCost(n, m) - ScanMemCost(n, 1024, m)
+	}
+	g1, g8 := gap(Symmetric()), gap(Asymmetric(8))
+	if g1 <= 0 {
+		t.Errorf("Kogge-Stone should cost more even symmetrically: gap %g", g1)
+	}
+	if g8 < 2*g1 {
+		t.Errorf("write asymmetry should widen the absolute gap: %g vs %g", g8, g1)
+	}
+	// The extra-write term scales with omega: gap(omega) - gap(1) is
+	// (omega-1) * extra writes.
+	extraWrites := g8 - g1
+	wantExtra := 7.0 * (float64(n)*log2(n) - (float64(n) + float64(n/1024)))
+	if math.Abs(extraWrites-wantExtra)/wantExtra > 0.01 {
+		t.Errorf("gap growth = %g, want %g", extraWrites, wantExtra)
+	}
+	if ScanMemCost(0, 8, Symmetric()) != 0 || KoggeStoneMemCost(0, Symmetric()) != 0 {
+		t.Error("empty scans should be free")
+	}
+}

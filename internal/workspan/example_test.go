@@ -1,0 +1,53 @@
+package workspan_test
+
+import (
+	"fmt"
+
+	"repro/internal/workspan"
+)
+
+// Example runs a fork-join parallel sum on the work-stealing pool.
+func Example() {
+	pool := workspan.NewPool(4, workspan.WorkStealing)
+	defer pool.Close()
+
+	xs := make([]int64, 1000)
+	for i := range xs {
+		xs[i] = int64(i + 1)
+	}
+	var total int64
+	pool.Run(func(c *workspan.Ctx) {
+		total = workspan.Reduce(c, xs, 64, 0, func(a, b int64) int64 { return a + b })
+	})
+	fmt.Println(total)
+	// Output:
+	// 500500
+}
+
+// ExampleScan computes inclusive prefix sums with the two-pass blocked
+// algorithm: O(n) work, unlike the depth-optimal but work-inflating
+// alternatives.
+func ExampleScan() {
+	pool := workspan.NewPool(2, workspan.WorkStealing)
+	defer pool.Close()
+
+	xs := []int64{3, 1, 4, 1, 5}
+	out := make([]int64, len(xs))
+	pool.Run(func(c *workspan.Ctx) {
+		workspan.Scan(c, xs, out, 2, 0, func(a, b int64) int64 { return a + b })
+	})
+	fmt.Println(out)
+	// Output:
+	// [3 4 8 9 14]
+}
+
+// ExampleAnalysis applies Brent's bound: the abstract (work, span) pair
+// predicts scaling before any code runs.
+func ExampleAnalysis() {
+	a := workspan.ReduceAnalysis(1<<20, 1<<12)
+	fmt.Printf("parallelism: %.0f\n", a.Parallelism())
+	fmt.Printf("bound on 8 procs / serial: %.3f\n", a.BrentBound(8)/a.BrentBound(1))
+	// Output:
+	// parallelism: 256
+	// bound on 8 procs / serial: 0.128
+}

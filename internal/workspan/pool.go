@@ -1,0 +1,283 @@
+// Package workspan implements the fork-join work-depth (work-span) model
+// Blelloch's statement advocates: "At least for multicore machines, there
+// are parallel models that are simple, use simple constructs in
+// programming languages, and support cost mappings down to the machine
+// level that reasonably capture real performance. This includes the
+// fork-join work-depth (or work-span) model."
+//
+// The package has two halves. This file is the runtime: a work-stealing
+// scheduler on real goroutines ("a scheduler that maps abstract tasks to
+// actual processors"), with a central-queue mode as the scheduling
+// ablation. primitives.go builds the textbook work-span primitives on top
+// (parallel for, reduce, scan, filter, sort), each documented with its
+// work W and span D so measured running time can be compared against
+// Brent's bound T_P <= W/P + D.
+package workspan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the scheduling discipline (ablation A4 in DESIGN.md).
+type Mode int
+
+const (
+	// WorkStealing gives each worker a private deque; idle workers steal
+	// from the top of random victims.
+	WorkStealing Mode = iota
+	// CentralQueue funnels every spawned task through one shared queue —
+	// the "heavyweight mechanism" whose contention the work-span runtime
+	// is designed to avoid.
+	CentralQueue
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case WorkStealing:
+		return "work-stealing"
+	case CentralQueue:
+		return "central-queue"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// task is one spawned computation.
+type task struct {
+	fn       func(*Ctx)
+	finished atomic.Bool
+}
+
+// deque is a mutex-protected double-ended task queue: owner pushes and
+// pops at the bottom (LIFO, preserving locality), thieves steal from the
+// top (FIFO, stealing the oldest and usually largest subproblem).
+type deque struct {
+	mu sync.Mutex
+	ts []*task
+}
+
+func (d *deque) pushBottom(t *task) {
+	d.mu.Lock()
+	d.ts = append(d.ts, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ts) == 0 {
+		return nil
+	}
+	t := d.ts[len(d.ts)-1]
+	d.ts = d.ts[:len(d.ts)-1]
+	return t
+}
+
+func (d *deque) stealTop() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ts) == 0 {
+		return nil
+	}
+	t := d.ts[0]
+	copy(d.ts, d.ts[1:])
+	d.ts = d.ts[:len(d.ts)-1]
+	return t
+}
+
+// remove extracts a specific task if it is still queued, searching from
+// the bottom where a freshly spawned child almost always sits.
+func (d *deque) remove(t *task) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := len(d.ts) - 1; i >= 0; i-- {
+		if d.ts[i] == t {
+			copy(d.ts[i:], d.ts[i+1:])
+			d.ts = d.ts[:len(d.ts)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Stats counts scheduler events since pool creation.
+type Stats struct {
+	// Spawns is the number of tasks pushed by Do/For.
+	Spawns int64
+	// Steals is the number of tasks executed by a worker other than the
+	// one that spawned them (always 0 in CentralQueue mode, where every
+	// dispatch goes through the shared queue instead).
+	Steals int64
+	// Inline is the number of spawned tasks the spawner took back and ran
+	// itself — the fast path that makes fork-join cheap.
+	Inline int64
+}
+
+// Pool is a fixed set of worker goroutines executing fork-join programs.
+type Pool struct {
+	mode    Mode
+	workers []*worker
+	central deque
+	stop    atomic.Bool
+
+	spawns atomic.Int64
+	steals atomic.Int64
+	inline atomic.Int64
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	dq   deque
+	rng  uint64
+}
+
+// NewPool starts p workers. Close must be called to release them.
+func NewPool(p int, mode Mode) *Pool {
+	if p <= 0 {
+		panic(fmt.Sprintf("workspan: invalid worker count %d", p))
+	}
+	pool := &Pool{mode: mode}
+	pool.workers = make([]*worker, p)
+	for i := range pool.workers {
+		pool.workers[i] = &worker{pool: pool, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+	}
+	for _, w := range pool.workers {
+		go w.loop()
+	}
+	return pool
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Mode returns the scheduling discipline.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// Stats returns scheduler event counts.
+func (p *Pool) Stats() Stats {
+	return Stats{Spawns: p.spawns.Load(), Steals: p.steals.Load(), Inline: p.inline.Load()}
+}
+
+// Close stops all workers. The pool must be idle (no Run in flight).
+func (p *Pool) Close() { p.stop.Store(true) }
+
+// Run executes f inside the pool and blocks until it (and everything it
+// forked) completes. The calling goroutine is not a worker; f runs on
+// worker goroutines.
+func (p *Pool) Run(f func(*Ctx)) {
+	if p.stop.Load() {
+		panic("workspan: Run on closed pool")
+	}
+	done := make(chan struct{})
+	root := &task{fn: func(c *Ctx) {
+		defer close(done)
+		f(c)
+	}}
+	// Seed through the shared path so any worker can pick it up.
+	if p.mode == CentralQueue {
+		p.central.pushBottom(root)
+	} else {
+		p.workers[0].dq.pushBottom(root)
+	}
+	<-done
+}
+
+// Ctx is a capability to fork work; it identifies the worker currently
+// executing the program.
+type Ctx struct {
+	w *worker
+}
+
+// Worker returns the executing worker's index in [0, Workers()).
+func (c *Ctx) Worker() int { return c.w.id }
+
+// Pool returns the pool this context executes on.
+func (c *Ctx) Pool() *Pool { return c.w.pool }
+
+// Do is the fork-join primitive: run a and b, potentially in parallel,
+// returning when both are complete. b is spawned, a runs immediately; if
+// nobody stole b the spawner runs it itself (the common fast path), else
+// the spawner helps execute other tasks until b finishes.
+func (c *Ctx) Do(a, b func(*Ctx)) {
+	t := &task{fn: b}
+	p := c.w.pool
+	p.spawns.Add(1)
+	if p.mode == CentralQueue {
+		p.central.pushBottom(t)
+	} else {
+		c.w.dq.pushBottom(t)
+	}
+	a(c)
+	var got bool
+	if p.mode == CentralQueue {
+		got = p.central.remove(t)
+	} else {
+		got = c.w.dq.remove(t)
+	}
+	if got {
+		p.inline.Add(1)
+		c.runTask(t)
+		return
+	}
+	// b was taken; help with other work until it completes.
+	for !t.finished.Load() {
+		if next := c.w.find(); next != nil {
+			c.runTask(next)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (c *Ctx) runTask(t *task) {
+	t.fn(c)
+	t.finished.Store(true)
+}
+
+// find locates a runnable task: own deque first, then the central queue,
+// then random victims.
+func (w *worker) find() *task {
+	if t := w.dq.popBottom(); t != nil {
+		return t
+	}
+	if t := w.pool.central.stealTop(); t != nil {
+		return t
+	}
+	n := len(w.pool.workers)
+	for i := 0; i < n; i++ {
+		w.rng = w.rng*6364136223846793005 + 1442695040888963407
+		v := w.pool.workers[(w.rng>>33)%uint64(n)]
+		if v == w {
+			continue
+		}
+		if t := v.dq.stealTop(); t != nil {
+			w.pool.steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *worker) loop() {
+	c := &Ctx{w: w}
+	idle := 0
+	for !w.pool.stop.Load() {
+		if t := w.find(); t != nil {
+			idle = 0
+			c.runTask(t)
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

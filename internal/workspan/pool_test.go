@@ -1,0 +1,224 @@
+package workspan
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func withPool(t *testing.T, p int, mode Mode, f func(*Pool)) {
+	t.Helper()
+	pool := NewPool(p, mode)
+	defer pool.Close()
+	f(pool)
+}
+
+func TestRunExecutes(t *testing.T) {
+	for _, mode := range []Mode{WorkStealing, CentralQueue} {
+		withPool(t, 4, mode, func(p *Pool) {
+			var ran atomic.Bool
+			p.Run(func(c *Ctx) { ran.Store(true) })
+			if !ran.Load() {
+				t.Errorf("%v: Run did not execute", mode)
+			}
+		})
+	}
+}
+
+func TestDoRunsBoth(t *testing.T) {
+	for _, mode := range []Mode{WorkStealing, CentralQueue} {
+		withPool(t, 4, mode, func(p *Pool) {
+			var a, b atomic.Int64
+			p.Run(func(c *Ctx) {
+				c.Do(
+					func(c *Ctx) { a.Add(1) },
+					func(c *Ctx) { b.Add(1) },
+				)
+			})
+			if a.Load() != 1 || b.Load() != 1 {
+				t.Errorf("%v: a=%d b=%d", mode, a.Load(), b.Load())
+			}
+		})
+	}
+}
+
+func TestDoNested(t *testing.T) {
+	// A full binary fork tree of depth 12: 4096 leaves, all must run.
+	for _, mode := range []Mode{WorkStealing, CentralQueue} {
+		withPool(t, 4, mode, func(p *Pool) {
+			var leaves atomic.Int64
+			var tree func(c *Ctx, depth int)
+			tree = func(c *Ctx, depth int) {
+				if depth == 0 {
+					leaves.Add(1)
+					return
+				}
+				c.Do(
+					func(c *Ctx) { tree(c, depth-1) },
+					func(c *Ctx) { tree(c, depth-1) },
+				)
+			}
+			p.Run(func(c *Ctx) { tree(c, 12) })
+			if leaves.Load() != 4096 {
+				t.Errorf("%v: %d leaves, want 4096", mode, leaves.Load())
+			}
+		})
+	}
+}
+
+func TestRunSequentialPool(t *testing.T) {
+	// P=1 must still complete arbitrary fork trees (inline execution).
+	withPool(t, 1, WorkStealing, func(p *Pool) {
+		sum := 0
+		p.Run(func(c *Ctx) {
+			c.Do(
+				func(c *Ctx) { sum += 1 },
+				func(c *Ctx) { sum += 2 },
+			)
+		})
+		if sum != 3 {
+			t.Errorf("sum = %d", sum)
+		}
+	})
+}
+
+func TestWorkerIndexInRange(t *testing.T) {
+	withPool(t, 3, WorkStealing, func(p *Pool) {
+		p.Run(func(c *Ctx) {
+			if c.Worker() < 0 || c.Worker() >= 3 {
+				t.Errorf("worker index %d", c.Worker())
+			}
+			if c.Pool() != p {
+				t.Error("Pool() mismatch")
+			}
+		})
+	})
+	if (&Pool{}).Workers() != 0 {
+		t.Error("Workers on empty pool")
+	}
+}
+
+func TestActualParallelism(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU machine")
+	}
+	// Two tasks that each wait for the other to start can only finish if
+	// they truly run concurrently.
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		var aStarted, bStarted atomic.Bool
+		p.Run(func(c *Ctx) {
+			c.Do(
+				func(c *Ctx) {
+					aStarted.Store(true)
+					for !bStarted.Load() {
+						runtime.Gosched()
+					}
+				},
+				func(c *Ctx) {
+					bStarted.Store(true)
+					for !aStarted.Load() {
+						runtime.Gosched()
+					}
+				},
+			)
+		})
+	})
+}
+
+func TestStatsCount(t *testing.T) {
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		p.Run(func(c *Ctx) {
+			For(c, 0, 1000, 10, func(lo, hi int) {})
+		})
+		s := p.Stats()
+		if s.Spawns == 0 {
+			t.Error("no spawns recorded")
+		}
+		if s.Inline+s.Steals == 0 {
+			t.Error("no task executions recorded")
+		}
+	})
+}
+
+func TestSpawnCountMatchesForkTree(t *testing.T) {
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		before := p.Stats().Spawns
+		p.Run(func(c *Ctx) {
+			var tree func(c *Ctx, d int)
+			tree = func(c *Ctx, d int) {
+				if d == 0 {
+					return
+				}
+				c.Do(func(c *Ctx) { tree(c, d-1) }, func(c *Ctx) { tree(c, d-1) })
+			}
+			tree(c, 5)
+		})
+		// A depth-5 binary tree has 2^5-1 internal Do calls.
+		if got := p.Stats().Spawns - before; got != 31 {
+			t.Errorf("spawns = %d, want 31", got)
+		}
+	})
+}
+
+func TestCentralQueueRecordsNoSteals(t *testing.T) {
+	withPool(t, 4, CentralQueue, func(p *Pool) {
+		p.Run(func(c *Ctx) {
+			For(c, 0, 200, 1, func(lo, hi int) {})
+		})
+		if s := p.Stats(); s.Steals != 0 {
+			t.Errorf("central queue counted %d steals", s.Steals)
+		}
+	})
+}
+
+func TestClosedPoolPanics(t *testing.T) {
+	p := NewPool(1, WorkStealing)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Run(func(c *Ctx) {})
+}
+
+func TestNewPoolPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPool(0, WorkStealing)
+}
+
+func TestModeString(t *testing.T) {
+	if WorkStealing.String() != "work-stealing" || CentralQueue.String() != "central-queue" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(7).String() != "Mode(7)" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestDequeOrder(t *testing.T) {
+	var d deque
+	t1, t2, t3 := &task{}, &task{}, &task{}
+	d.pushBottom(t1)
+	d.pushBottom(t2)
+	d.pushBottom(t3)
+	if d.stealTop() != t1 {
+		t.Error("steal should take oldest")
+	}
+	if d.popBottom() != t3 {
+		t.Error("pop should take newest")
+	}
+	if !d.remove(t2) {
+		t.Error("remove should find t2")
+	}
+	if d.remove(t2) {
+		t.Error("remove should fail on absent task")
+	}
+	if d.popBottom() != nil || d.stealTop() != nil {
+		t.Error("deque should be empty")
+	}
+}

@@ -1,0 +1,277 @@
+package workspan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// For executes body over [lo, hi) by recursive halving, running segments
+// of at most grain iterations sequentially. Work W = O(hi-lo), span
+// D = O(log((hi-lo)/grain)) + grain.
+func For(c *Ctx, lo, hi, grain int, body func(lo, hi int)) {
+	if grain <= 0 {
+		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
+	}
+	if hi-lo <= grain {
+		if lo < hi {
+			body(lo, hi)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	c.Do(
+		func(c *Ctx) { For(c, lo, mid, grain, body) },
+		func(c *Ctx) { For(c, mid, hi, grain, body) },
+	)
+}
+
+// MapInto writes f(xs[i]) to out[i] in parallel. Work O(n), span O(log n).
+func MapInto[T, U any](c *Ctx, xs []T, out []U, grain int, f func(T) U) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("workspan: MapInto output length %d != input %d", len(out), len(xs)))
+	}
+	For(c, 0, len(xs), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(xs[i])
+		}
+	})
+}
+
+// Reduce combines xs with an associative op and identity id by divide and
+// conquer. Work O(n), span O(log n * (grain + overhead)).
+func Reduce[T any](c *Ctx, xs []T, grain int, id T, op func(T, T) T) T {
+	if grain <= 0 {
+		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
+	}
+	if len(xs) <= grain {
+		acc := id
+		for _, x := range xs {
+			acc = op(acc, x)
+		}
+		return acc
+	}
+	mid := len(xs) / 2
+	var l, r T
+	c.Do(
+		func(c *Ctx) { l = Reduce(c, xs[:mid], grain, id, op) },
+		func(c *Ctx) { r = Reduce(c, xs[mid:], grain, id, op) },
+	)
+	return op(l, r)
+}
+
+// Scan writes the inclusive prefix combination of xs into out using the
+// two-pass blocked algorithm: parallel per-block sums, a sequential scan
+// over the (few) block sums, then a parallel pass rescanning each block
+// with its offset. Work O(n), span O(n/blocks + blocks).
+func Scan[T any](c *Ctx, xs, out []T, grain int, id T, op func(T, T) T) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("workspan: Scan output length %d != input %d", len(out), len(xs)))
+	}
+	if grain <= 0 {
+		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
+	}
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	blocks := (n + grain - 1) / grain
+	sums := make([]T, blocks)
+	For(c, 0, blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, xs[i])
+			}
+			sums[b] = acc
+		}
+	})
+	offset := id
+	for b := 0; b < blocks; b++ {
+		s := sums[b]
+		sums[b] = offset
+		offset = op(offset, s)
+	}
+	For(c, 0, blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			acc := sums[b]
+			for i := lo; i < hi; i++ {
+				acc = op(acc, xs[i])
+				out[i] = acc
+			}
+		}
+	})
+}
+
+// Filter returns the elements satisfying pred, stably, using the
+// count-scan-scatter pattern. Work O(n), span O(log n + n/blocks).
+func Filter[T any](c *Ctx, xs []T, grain int, pred func(T) bool) []T {
+	if grain <= 0 {
+		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	blocks := (n + grain - 1) / grain
+	counts := make([]int, blocks)
+	For(c, 0, blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			k := 0
+			for i := lo; i < hi; i++ {
+				if pred(xs[i]) {
+					k++
+				}
+			}
+			counts[b] = k
+		}
+	})
+	total := 0
+	for b := range counts {
+		k := counts[b]
+		counts[b] = total
+		total += k
+	}
+	out := make([]T, total)
+	For(c, 0, blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			w := counts[b]
+			for i := lo; i < hi; i++ {
+				if pred(xs[i]) {
+					out[w] = xs[i]
+					w++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MergeSort sorts xs in place (stably) with parallel recursion and
+// parallel merges. Work O(n log n), span O(log^3 n).
+func MergeSort[T any](c *Ctx, xs []T, grain int, less func(a, b T) bool) {
+	if grain <= 0 {
+		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
+	}
+	buf := make([]T, len(xs))
+	mergeSort(c, xs, buf, grain, less)
+}
+
+func mergeSort[T any](c *Ctx, xs, buf []T, grain int, less func(a, b T) bool) {
+	if len(xs) <= grain {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := len(xs) / 2
+	c.Do(
+		func(c *Ctx) { mergeSort(c, xs[:mid], buf[:mid], grain, less) },
+		func(c *Ctx) { mergeSort(c, xs[mid:], buf[mid:], grain, less) },
+	)
+	parMerge(c, xs[:mid], xs[mid:], buf, grain, less)
+	copy(xs, buf)
+}
+
+// parMerge merges sorted a and b into out (stably: ties take from a
+// first) by splitting the larger input at its median and binary-searching
+// the matching split point in the other. The split directions differ so
+// that elements equal to the pivot keep a-before-b order.
+func parMerge[T any](c *Ctx, a, b, out []T, grain int, less func(x, y T) bool) {
+	// The parallel split needs the larger side to have >= 2 elements to
+	// guarantee progress; 16 is also a sane serial cutoff.
+	cutoff := grain
+	if cutoff < 16 {
+		cutoff = 16
+	}
+	if len(a)+len(b) <= cutoff {
+		serialMerge(a, b, out, less)
+		return
+	}
+	var ma, mb int
+	if len(a) >= len(b) {
+		ma = len(a) / 2
+		pivot := a[ma]
+		// First b >= pivot: b's equals go right, after a's pivot run.
+		mb = sort.Search(len(b), func(i int) bool { return !less(b[i], pivot) })
+	} else {
+		mb = len(b) / 2
+		pivot := b[mb]
+		// First a > pivot: a's equals go left, before b's pivot run.
+		ma = sort.Search(len(a), func(i int) bool { return less(pivot, a[i]) })
+	}
+	c.Do(
+		func(c *Ctx) { parMerge(c, a[:ma], b[:mb], out[:ma+mb], grain, less) },
+		func(c *Ctx) { parMerge(c, a[ma:], b[mb:], out[ma+mb:], grain, less) },
+	)
+}
+
+func serialMerge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+// Quicksort sorts xs in place with parallel recursion over the two
+// partitions (the partition itself is sequential, so the span is O(n) in
+// the worst case but O(log^2 n) in expectation — the classic contrast
+// with MergeSort's deterministic polylog span). Pivots are median-of-
+// three, making adversarial inputs unlikely rather than impossible.
+func Quicksort[T any](c *Ctx, xs []T, grain int, less func(a, b T) bool) {
+	if grain <= 0 {
+		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
+	}
+	if len(xs) <= grain {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	// Median-of-three pivot, moved to the end.
+	n := len(xs)
+	mid := n / 2
+	if less(xs[mid], xs[0]) {
+		xs[mid], xs[0] = xs[0], xs[mid]
+	}
+	if less(xs[n-1], xs[0]) {
+		xs[n-1], xs[0] = xs[0], xs[n-1]
+	}
+	if less(xs[n-1], xs[mid]) {
+		xs[n-1], xs[mid] = xs[mid], xs[n-1]
+	}
+	xs[mid], xs[n-2] = xs[n-2], xs[mid]
+	pivot := xs[n-2]
+	lo, hi := 0, n-2
+	for lo < hi {
+		for lo < hi && less(xs[lo], pivot) {
+			lo++
+		}
+		for lo < hi && !less(xs[hi-1], pivot) {
+			hi--
+		}
+		if lo < hi-1 {
+			xs[lo], xs[hi-1] = xs[hi-1], xs[lo]
+		}
+	}
+	xs[lo], xs[n-2] = xs[n-2], xs[lo]
+	c.Do(
+		func(c *Ctx) { Quicksort(c, xs[:lo], grain, less) },
+		func(c *Ctx) { Quicksort(c, xs[lo+1:], grain, less) },
+	)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,357 @@
+package workspan
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func runInPool(t *testing.T, f func(*Ctx)) {
+	t.Helper()
+	p := NewPool(4, WorkStealing)
+	defer p.Close()
+	p.Run(f)
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	const n = 10_000
+	hits := make([]int32, n)
+	runInPool(t, func(c *Ctx) {
+		For(c, 0, n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEmptyAndTinyRanges(t *testing.T) {
+	runInPool(t, func(c *Ctx) {
+		calls := 0
+		For(c, 5, 5, 10, func(lo, hi int) { calls++ })
+		if calls != 0 {
+			t.Errorf("empty range called body %d times", calls)
+		}
+		For(c, 3, 4, 10, func(lo, hi int) {
+			if lo != 3 || hi != 4 {
+				t.Errorf("tiny range = [%d,%d)", lo, hi)
+			}
+			calls++
+		})
+		if calls != 1 {
+			t.Errorf("single-element range called %d times", calls)
+		}
+	})
+}
+
+func TestMapInto(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	out := make([]int64, len(xs))
+	runInPool(t, func(c *Ctx) {
+		MapInto(c, xs, out, 32, func(x int) int64 { return int64(x * x) })
+	})
+	for i := range out {
+		if out[i] != int64(i*i) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 1000, 4096} {
+		xs := make([]int64, n)
+		var want int64
+		for i := range xs {
+			xs[i] = int64(i + 1)
+			want += xs[i]
+		}
+		var got int64
+		runInPool(t, func(c *Ctx) {
+			got = Reduce(c, xs, 16, 0, func(a, b int64) int64 { return a + b })
+		})
+		if got != want {
+			t.Errorf("n=%d: Reduce = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceMatchesSerialProperty(t *testing.T) {
+	p := NewPool(4, WorkStealing)
+	defer p.Close()
+	f := func(raw []int32) bool {
+		xs := make([]int64, len(raw))
+		var want int64
+		for i, r := range raw {
+			xs[i] = int64(r)
+			want += int64(r)
+		}
+		var got int64
+		p.Run(func(c *Ctx) {
+			got = Reduce(c, xs, 8, 0, func(a, b int64) int64 { return a + b })
+		})
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1000} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(i + 1)
+		}
+		out := make([]int64, n)
+		runInPool(t, func(c *Ctx) {
+			Scan(c, xs, out, 16, 0, func(a, b int64) int64 { return a + b })
+		})
+		var acc int64
+		for i := range xs {
+			acc += xs[i]
+			if out[i] != acc {
+				t.Fatalf("n=%d: out[%d] = %d, want %d", n, i, out[i], acc)
+			}
+		}
+	}
+}
+
+func TestScanNonCommutativeOp(t *testing.T) {
+	// Scan requires associativity only; use string-ish concat encoded in
+	// int64 by a*31+b style folding being NOT associative — instead test
+	// with max, associative and non-invertible.
+	xs := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	out := make([]int64, len(xs))
+	runInPool(t, func(c *Ctx) {
+		Scan(c, xs, out, 2, -1<<62, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	})
+	want := []int64{3, 3, 4, 4, 5, 9, 9, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	var got []int
+	runInPool(t, func(c *Ctx) {
+		got = Filter(c, xs, 32, func(x int) bool { return x%3 == 0 })
+	})
+	want := 0
+	for _, v := range got {
+		if v != want {
+			t.Fatalf("Filter order broken: got %d, want %d", v, want)
+		}
+		want += 3
+	}
+	if len(got) != 334 {
+		t.Errorf("len = %d, want 334", len(got))
+	}
+}
+
+func TestFilterEmptyAndAll(t *testing.T) {
+	runInPool(t, func(c *Ctx) {
+		if got := Filter(c, []int{}, 4, func(int) bool { return true }); len(got) != 0 {
+			t.Errorf("empty filter = %v", got)
+		}
+		xs := []int{1, 2, 3}
+		if got := Filter(c, xs, 4, func(int) bool { return false }); len(got) != 0 {
+			t.Errorf("none-pass filter = %v", got)
+		}
+		if got := Filter(c, xs, 1, func(int) bool { return true }); len(got) != 3 {
+			t.Errorf("all-pass filter = %v", got)
+		}
+	})
+}
+
+func TestMergeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 2, 3, 100, 1000, 10_000} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		runInPool(t, func(c *Ctx) {
+			MergeSort(c, xs, 32, func(a, b int) bool { return a < b })
+		})
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: sort mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestMergeSortStable(t *testing.T) {
+	type kv struct{ k, seq int }
+	const n = 2000
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]kv, n)
+	for i := range xs {
+		xs[i] = kv{k: rng.Intn(10), seq: i}
+	}
+	runInPool(t, func(c *Ctx) {
+		MergeSort(c, xs, 16, func(a, b kv) bool { return a.k < b.k })
+	})
+	for i := 1; i < n; i++ {
+		if xs[i-1].k > xs[i].k {
+			t.Fatal("not sorted")
+		}
+		if xs[i-1].k == xs[i].k && xs[i-1].seq > xs[i].seq {
+			t.Fatal("not stable")
+		}
+	}
+}
+
+func TestMergeSortSortedProperty(t *testing.T) {
+	p := NewPool(4, WorkStealing)
+	defer p.Close()
+	f := func(raw []int16) bool {
+		xs := make([]int, len(raw))
+		for i, r := range raw {
+			xs[i] = int(r)
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		p.Run(func(c *Ctx) {
+			MergeSort(c, xs, 4, func(a, b int) bool { return a < b })
+		})
+		for i := range want {
+			if xs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuicksort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000, 10_000} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(500)
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		runInPool(t, func(c *Ctx) {
+			Quicksort(c, xs, 16, func(a, b int) bool { return a < b })
+		})
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestQuicksortAdversarialShapes(t *testing.T) {
+	shapes := map[string]func(n int) []int{
+		"sorted": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = i
+			}
+			return xs
+		},
+		"reversed": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = n - i
+			}
+			return xs
+		},
+		"constant": func(n int) []int { return make([]int, n) },
+		"sawtooth": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = i % 7
+			}
+			return xs
+		},
+	}
+	for name, gen := range shapes {
+		xs := gen(3000)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		runInPool(t, func(c *Ctx) {
+			Quicksort(c, xs, 32, func(a, b int) bool { return a < b })
+		})
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("%s: mismatch at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestQuicksortProperty(t *testing.T) {
+	p := NewPool(4, WorkStealing)
+	defer p.Close()
+	f := func(raw []int16) bool {
+		xs := make([]int, len(raw))
+		for i, r := range raw {
+			xs[i] = int(r)
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		p.Run(func(c *Ctx) {
+			Quicksort(c, xs, 4, func(a, b int) bool { return a < b })
+		})
+		for i := range want {
+			if xs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimitivesPanicOnBadArgs(t *testing.T) {
+	runInPool(t, func(c *Ctx) {
+		assertPanics(t, "For grain", func() { For(c, 0, 10, 0, func(lo, hi int) {}) })
+		assertPanics(t, "Reduce grain", func() { Reduce(c, []int{1}, 0, 0, func(a, b int) int { return a + b }) })
+		assertPanics(t, "Scan len", func() { Scan(c, []int{1, 2}, []int{1}, 1, 0, func(a, b int) int { return a + b }) })
+		assertPanics(t, "MapInto len", func() { MapInto(c, []int{1, 2}, []int{1}, 1, func(x int) int { return x }) })
+		assertPanics(t, "Filter grain", func() { Filter(c, []int{1}, 0, func(int) bool { return true }) })
+		assertPanics(t, "MergeSort grain", func() { MergeSort(c, []int{1}, 0, func(a, b int) bool { return a < b }) })
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
