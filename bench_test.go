@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/algorithms/conv"
 	"repro/internal/algorithms/editdist"
@@ -149,7 +150,10 @@ func BenchmarkE4FFTFunctionMapping(b *testing.B) {
 }
 
 // BenchmarkE5MappingSearch times the exhaustive affine sweep and the
-// placement annealer (E5).
+// placement annealer (E5), serial and parallel. The parallel variants
+// return byte-identical results (the determinism suite in fm/search pins
+// this), so the speedup-vs-serial metric is a pure scheduling win; on a
+// multi-core machine it should approach the worker count.
 func BenchmarkE5MappingSearch(b *testing.B) {
 	g, dom, err := fm.Recurrence{
 		Name: "dp", Dims: []int{12, 12},
@@ -162,18 +166,65 @@ func BenchmarkE5MappingSearch(b *testing.B) {
 	tgt := fm.DefaultTarget(4, 1)
 	tgt.Grid.PitchMM = 0.1
 	tgt.MemWordsPerNode = 1 << 20
+	sweep := func(workers int) int {
+		return len(search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{P: 4, MaxTau: 8, Workers: workers}))
+	}
 	b.Run("exhaustive", func(b *testing.B) {
 		var nc int
 		for i := 0; i < b.N; i++ {
-			nc = len(search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{P: 4, MaxTau: 8}))
+			nc = sweep(1)
 		}
 		b.ReportMetric(float64(nc), "legal-candidates")
+	})
+	b.Run("exhaustive-parallel", func(b *testing.B) {
+		workers := runtime.NumCPU()
+		var nc int
+		for i := 0; i < b.N; i++ {
+			nc = sweep(workers)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(nc), "legal-candidates")
+		b.ReportMetric(float64(workers), "workers")
+		b.ReportMetric(bestOfRatio(3, func() { sweep(1) }, func() { sweep(workers) }), "speedup-vs-serial")
 	})
 	b.Run("anneal", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			search.Anneal(g, tgt, search.AnnealOptions{Iters: 200, Seed: 3})
 		}
 	})
+	b.Run("anneal-multichain", func(b *testing.B) {
+		workers := runtime.NumCPU()
+		anneal := func(chains, workers int) {
+			search.Anneal(g, tgt, search.AnnealOptions{Iters: 200, Seed: 3, Chains: chains, Workers: workers})
+		}
+		for i := 0; i < b.N; i++ {
+			anneal(4, workers)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(workers), "workers")
+		// 4 chains do 4x the proposals; perfect scaling on >= 4 cores
+		// would hold this ratio near 1, so report it against the 4x
+		// serial-chain cost for an honest same-work comparison.
+		b.ReportMetric(bestOfRatio(3, func() { anneal(4, 1) }, func() { anneal(4, workers) }), "speedup-vs-serial")
+	})
+}
+
+// bestOfRatio times reps runs of serial and parallel and returns
+// best(serial)/best(parallel): the speedup with warm caches and minimal
+// scheduler noise.
+func bestOfRatio(reps int, serial, parallel func()) float64 {
+	best := func(f func()) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	return float64(best(serial)) / float64(best(parallel))
 }
 
 // BenchmarkE6Composition times aligned vs remapped composition (E6).

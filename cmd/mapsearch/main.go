@@ -1,20 +1,26 @@
 // Command mapsearch searches the mapping space of a 2-D uniform
 // recurrence (the paper's edit-distance dependence structure by default)
 // and prints every legal affine candidate with its cost, the best mapping
-// under each figure of merit, and the time/energy Pareto front —
+// under each figure of merit, the time/energy Pareto front, and a
+// multi-chain annealed placement for comparison —
 // "one can systematically search the space of possible mappings to
 // optimize a given figure of merit".
+//
+// Candidate evaluation fans out over -workers goroutines and the
+// annealer runs -chains independent chains; both are deterministic, so
+// changing either flag changes only the wall clock, never the output.
 //
 // Usage:
 //
 //	mapsearch -n 12 -p 4
-//	mapsearch -n 16 -p 8 -tau 10 -pitch 0.1
+//	mapsearch -n 16 -p 8 -tau 10 -pitch 0.1 -workers 8 -chains 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/fm"
 	"repro/internal/fm/search"
@@ -27,7 +33,14 @@ func main() {
 	p := flag.Int("p", 4, "linear-array length")
 	tau := flag.Int64("tau", 8, "max time coefficient in the affine family")
 	pitch := flag.Float64("pitch", 0.1, "grid pitch in mm")
+	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = one per CPU; results are identical for any value)")
+	chains := flag.Int("chains", 4, "independent annealing chains")
+	iters := flag.Int("iters", 2000, "annealing proposals per chain")
+	seed := flag.Int64("seed", 1, "annealing seed (chain i uses seed+i)")
 	flag.Parse()
+	if *chains < 1 {
+		*chains = 1 // mirror AnnealOptions' default so the banner reports the truth
+	}
 
 	g, dom, err := fm.Recurrence{
 		Name: "dp",
@@ -44,7 +57,12 @@ func main() {
 	tgt.Grid.PitchMM = *pitch
 	tgt.MemWordsPerNode = 1 << 22
 
-	cands := search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{P: *p, MaxTau: *tau})
+	cache := search.NewEvalCache()
+	start := time.Now()
+	cands := search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{
+		P: *p, MaxTau: *tau, Workers: *workers, Cache: cache,
+	})
+	sweep := time.Since(start)
 	t := stats.NewTable(
 		fmt.Sprintf("legal affine mappings of the %dx%d recurrence on %d processors", *n, *n, *p),
 		"mapping", "cycles", "energy fJ", "bit-hops", "peak mem")
@@ -68,4 +86,15 @@ func main() {
 	for _, c := range front {
 		fmt.Printf("  %-40s cycles=%-8d energy=%.0f fJ\n", c.Name, c.Cost.Cycles, c.Cost.EnergyFJ)
 	}
+
+	start = time.Now()
+	_, annealed := search.Anneal(g, tgt, search.AnnealOptions{
+		Iters: *iters, Seed: *seed, Chains: *chains, Workers: *workers, Cache: cache,
+	})
+	annealT := time.Since(start)
+	fmt.Printf("\nannealed placement (%d chains x %d iters, seed %d): %v\n",
+		*chains, *iters, *seed, annealed)
+	hits, misses := cache.Stats()
+	fmt.Printf("search ran in %v (sweep) + %v (anneal); eval cache: %d hits / %d misses\n",
+		sweep.Round(time.Millisecond), annealT.Round(time.Millisecond), hits, misses)
 }

@@ -91,7 +91,9 @@ func (r Recurrence) Validate() error {
 			return fmt.Errorf("fm: recurrence %q has non-positive extent %d", r.Name, e)
 		}
 	}
-	if r.Bits <= 0 {
+	if r.Bits <= 0 || r.Bits > 1<<20 {
+		// The upper bound mirrors Builder.add's limit so Materialize
+		// reports bad widths as errors instead of panicking mid-build.
 		return fmt.Errorf("fm: recurrence %q has invalid width %d", r.Name, r.Bits)
 	}
 	for _, d := range r.Deps {

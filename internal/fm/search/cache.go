@@ -1,0 +1,92 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fm"
+)
+
+// evalCacheShards is the number of independently locked map shards. 64 is
+// far beyond any plausible worker count, so two workers contend only when
+// their schedule fingerprints collide modulo 64.
+const evalCacheShards = 64
+
+// evalKey identifies one priced mapping. The graph and schedule enter by
+// 64-bit structural fingerprint (see fm.Graph.Fingerprint and
+// fm.Schedule.Fingerprint); the target enters by value, since Target is a
+// small comparable struct and costs depend on every field of it. Two
+// distinct mappings share a key only if both fingerprints collide at
+// once, ~2^-128 per pair — far below any hardware error rate.
+type evalKey struct {
+	graph, sched uint64
+	tgt          fm.Target
+}
+
+type evalShard struct {
+	mu sync.Mutex
+	m  map[evalKey]fm.Cost
+}
+
+// EvalCache memoizes fm.Evaluate results so a candidate mapping proposed
+// repeatedly — by different annealing chains, by retries after rejected
+// moves, or by separate searches over the same graph — is priced exactly
+// once. It is safe for concurrent use from any number of search workers;
+// the map is sharded by schedule fingerprint behind per-shard mutexes so
+// workers rarely contend. Hits return the identical Cost that Evaluate
+// would have produced (Evaluate is deterministic), so caching never
+// changes search results, only their price.
+type EvalCache struct {
+	shards [evalCacheShards]evalShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewEvalCache returns an empty cache.
+func NewEvalCache() *EvalCache {
+	c := &EvalCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[evalKey]fm.Cost)
+	}
+	return c
+}
+
+// Eval prices g+sched on tgt, consulting the cache first. gfp must be
+// g.Fingerprint(), hoisted to the caller because every search prices many
+// schedules of one graph and the graph hash is O(nodes + edges). Two
+// workers racing on the same absent key may both evaluate; both compute
+// the same Cost, so the duplicated work is bounded and harmless.
+func (c *EvalCache) Eval(g *fm.Graph, gfp uint64, sched fm.Schedule, tgt fm.Target) fm.Cost {
+	k := evalKey{graph: gfp, sched: sched.Fingerprint(), tgt: tgt}
+	sh := &c.shards[k.sched%evalCacheShards]
+	sh.mu.Lock()
+	cost, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return cost
+	}
+	c.misses.Add(1)
+	cost = mustEval(g, sched, tgt)
+	sh.mu.Lock()
+	sh.m[k] = cost
+	sh.mu.Unlock()
+	return cost
+}
+
+// Stats returns the hit and miss counts since creation.
+func (c *EvalCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of distinct mappings cached.
+func (c *EvalCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/geom"
+)
+
+func TestEvalCacheMatchesEvaluate(t *testing.T) {
+	tgt := fm.DefaultTarget(4, 1)
+	g := randomGraph(2, 50)
+	gfp := g.Fingerprint()
+	cache := NewEvalCache()
+	sched := fm.ListSchedule(g, tgt)
+
+	direct := mustEval(g, sched, tgt)
+	if got := cache.Eval(g, gfp, sched, tgt); got != direct {
+		t.Fatalf("first (miss) eval %v != direct %v", got, direct)
+	}
+	if got := cache.Eval(g, gfp, sched, tgt); got != direct {
+		t.Fatalf("second (hit) eval %v != direct %v", got, direct)
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+func TestEvalCacheDistinguishesTargets(t *testing.T) {
+	// The same graph+schedule priced on two targets must not share an
+	// entry: the target is part of the key.
+	g := randomGraph(4, 30)
+	gfp := g.Fingerprint()
+	cache := NewEvalCache()
+	t1 := fm.DefaultTarget(4, 1)
+	t2 := fm.DefaultTarget(4, 1)
+	t2.Grid.PitchMM = 10 // much longer wires
+	sched := fm.ListSchedule(g, t1)
+	c1 := cache.Eval(g, gfp, sched, t1)
+	c2 := cache.Eval(g, gfp, sched, t2)
+	if c1 == c2 {
+		t.Fatal("targets with different pitch priced identically — key ignores target")
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", cache.Len())
+	}
+}
+
+func TestEvalCacheDistinguishesSchedules(t *testing.T) {
+	g := randomGraph(6, 30)
+	gfp := g.Fingerprint()
+	tgt := fm.DefaultTarget(4, 1)
+	cache := NewEvalCache()
+	s1 := fm.ListSchedule(g, tgt)
+	s2 := fm.SerialSchedule(g, tgt, geom.Pt(0, 0))
+	cache.Eval(g, gfp, s1, tgt)
+	cache.Eval(g, gfp, s2, tgt)
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", cache.Len())
+	}
+}
+
+func TestEvalCacheConcurrent(t *testing.T) {
+	// Hammer one cache from many goroutines over a small working set so
+	// every shard sees mixed hits and misses; run under -race in CI.
+	tgt := fm.DefaultTarget(4, 4)
+	g := randomGraph(8, 40)
+	gfp := g.Fingerprint()
+	scheds := make([]fm.Schedule, 8)
+	want := make([]fm.Cost, len(scheds))
+	for i := range scheds {
+		scheds[i] = fm.SerialSchedule(g, tgt, tgt.Grid.At(i))
+		want[i] = mustEval(g, scheds[i], tgt)
+	}
+	cache := NewEvalCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				i := (w + rep) % len(scheds)
+				if got := cache.Eval(g, gfp, scheds[i], tgt); got != want[i] {
+					t.Errorf("worker %d: schedule %d priced %v, want %v", w, i, got, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cache.Len() != len(scheds) {
+		t.Errorf("cache holds %d entries, want %d", cache.Len(), len(scheds))
+	}
+	hits, misses := cache.Stats()
+	if hits+misses != 8*50 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, 8*50)
+	}
+	if misses < int64(len(scheds)) {
+		t.Errorf("only %d misses for %d distinct schedules", misses, len(scheds))
+	}
+}

@@ -1,0 +1,143 @@
+package search
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/fm"
+)
+
+// The headline claim of the parallel searcher is "same answers, faster":
+// for any Workers value the results are byte-identical to the serial
+// path. These tests pin that claim across a grid of seeds and sizes and
+// are meant to run under -race (CI does), where the fan-out/merge
+// machinery is exercised for unsynchronized sharing as well.
+
+// candidatesEqual reports whether two candidate lists are identical,
+// including names, full schedules, and every cost field.
+func candidatesEqual(a, b []Candidate) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+func TestExhaustive2DDeterministicAcrossWorkers(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		g, dom := smallRec(t, n)
+		tgt := fm.DefaultTarget(4, 1)
+		tgt.MemWordsPerNode = 1 << 20
+		opts := Affine2DOptions{P: 4, MaxTau: 10}
+
+		opts.Workers = 1
+		serial := Exhaustive2D(g, dom, tgt, opts)
+		if len(serial) < 2 {
+			t.Fatalf("n=%d: only %d candidates", n, len(serial))
+		}
+		for _, workers := range []int{2, 4, 8} {
+			opts.Workers = workers
+			par := Exhaustive2D(g, dom, tgt, opts)
+			if !candidatesEqual(serial, par) {
+				t.Fatalf("n=%d: workers=1 and workers=%d disagree:\n  serial: %d cands, first %q %v\n  parallel: %d cands, first %q %v",
+					n, workers, len(serial), serial[0].Name, serial[0].Cost,
+					len(par), par[0].Name, par[0].Cost)
+			}
+			// The downstream artifacts must agree too.
+			if !candidatesEqual(Pareto(serial), Pareto(par)) {
+				t.Fatalf("n=%d workers=%d: Pareto fronts disagree", n, workers)
+			}
+			for _, obj := range []Objective{MinTime, MinEnergy, MinEDP, MinFootprint} {
+				if !reflect.DeepEqual(Best(serial, obj), Best(par, obj)) {
+					t.Fatalf("n=%d workers=%d: Best(%v) disagrees", n, workers, obj)
+				}
+			}
+		}
+	}
+}
+
+func TestExhaustive2DDeterministicWithCache(t *testing.T) {
+	g, dom := smallRec(t, 6)
+	tgt := fm.DefaultTarget(4, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	bare := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 8, Workers: 1})
+	cache := NewEvalCache()
+	// Run the cached sweep twice: the second is served almost entirely
+	// from the cache and must still be identical.
+	for rep := 0; rep < 2; rep++ {
+		cached := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 8, Workers: 4, Cache: cache})
+		if !candidatesEqual(bare, cached) {
+			t.Fatalf("rep %d: cached sweep diverged from uncached", rep)
+		}
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("second sweep produced no cache hits")
+	}
+}
+
+func TestAnnealDeterministicAcrossWorkers(t *testing.T) {
+	tgt := fm.DefaultTarget(4, 1)
+	for _, seed := range []int64{1, 7, 42} {
+		for _, size := range []int{30, 60} {
+			g := randomGraph(seed, size)
+			opts := AnnealOptions{Iters: 400, Seed: seed, Chains: 4, ExchangeEvery: 100}
+
+			opts.Workers = 1
+			serialSched, serialCost := Anneal(g, tgt, opts)
+			for _, workers := range []int{2, 4, 8} {
+				opts.Workers = workers
+				sched, cost := Anneal(g, tgt, opts)
+				if cost != serialCost {
+					t.Fatalf("seed=%d size=%d: workers=1 cost %v, workers=%d cost %v",
+						seed, size, serialCost, workers, cost)
+				}
+				if !reflect.DeepEqual(sched, serialSched) {
+					t.Fatalf("seed=%d size=%d workers=%d: schedules differ at equal cost",
+						seed, size, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestAnnealDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// The guarantee is "regardless of GOMAXPROCS", which also covers the
+	// Workers=0 default (one worker per CPU): changing the CPU count must
+	// not change answers.
+	tgt := fm.DefaultTarget(4, 1)
+	g := randomGraph(13, 40)
+	opts := AnnealOptions{Iters: 300, Seed: 13, Chains: 3, ExchangeEvery: 75}
+	_, ref := Anneal(g, tgt, opts)
+	for _, procs := range []int{1, 2, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		_, got := Anneal(g, tgt, opts)
+		runtime.GOMAXPROCS(prev)
+		if got != ref {
+			t.Fatalf("GOMAXPROCS=%d changed the result: %v vs %v", procs, got, ref)
+		}
+	}
+}
+
+func TestAnnealSingleChainMatchesClassic(t *testing.T) {
+	// Chains=1 must reproduce the pre-parallel annealer: same seed, same
+	// trajectory, same best — the multi-chain machinery degenerates away.
+	tgt := fm.DefaultTarget(3, 1)
+	g := randomGraph(9, 30)
+	s1, c1 := Anneal(g, tgt, AnnealOptions{Iters: 200, Seed: 11})
+	s2, c2 := Anneal(g, tgt, AnnealOptions{Iters: 200, Seed: 11, Chains: 1, Workers: 8})
+	if c1 != c2 || !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("single-chain results diverged: %v vs %v", c1, c2)
+	}
+}
+
+func TestAnnealChainsShiftSeeds(t *testing.T) {
+	// RNG hygiene: chain i draws from Seed+i, so a K-chain run's winner
+	// is reproducible and chain 0 of any run equals the classic annealer
+	// with the same seed. A 4-chain search can therefore never do worse
+	// than the single-chain search under the same Seed.
+	tgt := fm.DefaultTarget(4, 1)
+	g := randomGraph(5, 50)
+	_, single := Anneal(g, tgt, AnnealOptions{Iters: 300, Seed: 21})
+	_, multi := Anneal(g, tgt, AnnealOptions{Iters: 300, Seed: 21, Chains: 4, ExchangeEvery: -1})
+	if multi.Cycles > single.Cycles {
+		t.Errorf("4 chains (%d cycles) worse than the chain-0 baseline (%d cycles)",
+			multi.Cycles, single.Cycles)
+	}
+}

@@ -1,0 +1,116 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+)
+
+// Search invariants, checked over seeded families of inputs rather than
+// single fixtures: every candidate a searcher returns is legal under the
+// fm checker, and no dominated point ever appears on a Pareto frontier.
+
+func TestExhaustive2DEveryCandidateLegal(t *testing.T) {
+	for _, n := range []int{4, 7, 9} {
+		g, dom := smallRec(t, n)
+		tgt := fm.DefaultTarget(4, 1)
+		tgt.MemWordsPerNode = 1 << 20
+		cands := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 10, Workers: 4})
+		if len(cands) < 2 {
+			t.Fatalf("n=%d: only %d candidates", n, len(cands))
+		}
+		for _, c := range cands {
+			if err := fm.Check(g, c.Sched, tgt); err != nil {
+				t.Fatalf("n=%d: candidate %q illegal: %v", n, c.Name, err)
+			}
+		}
+	}
+}
+
+func TestAnnealResultLegalAcrossSeedsAndChains(t *testing.T) {
+	tgt := fm.DefaultTarget(4, 2)
+	for seed := int64(0); seed < 6; seed++ {
+		for _, chains := range []int{1, 3} {
+			g := randomGraph(seed, 40)
+			sched, cost := Anneal(g, tgt, AnnealOptions{
+				Iters: 150, Seed: seed, Chains: chains, ExchangeEvery: 50, Workers: 4,
+			})
+			if err := fm.Check(g, sched, tgt); err != nil {
+				t.Fatalf("seed=%d chains=%d: annealed schedule illegal: %v", seed, chains, err)
+			}
+			// The reported cost must be the schedule's true cost, not a
+			// stale or cache-corrupted value.
+			if got := mustEval(g, sched, tgt); got != cost {
+				t.Fatalf("seed=%d chains=%d: reported cost %v, re-evaluated %v", seed, chains, got, cost)
+			}
+		}
+	}
+}
+
+// dominates reports whether d strictly dominates c in (time, energy).
+func dominates(d, c Candidate) bool {
+	return d.Cost.Cycles <= c.Cost.Cycles && d.Cost.EnergyFJ <= c.Cost.EnergyFJ &&
+		(d.Cost.Cycles < c.Cost.Cycles || d.Cost.EnergyFJ < c.Cost.EnergyFJ)
+}
+
+func checkFrontier(t *testing.T, tag string, cands, front []Candidate) {
+	t.Helper()
+	// No point on the front is dominated by any candidate at all.
+	for _, f := range front {
+		for _, c := range cands {
+			if dominates(c, f) {
+				t.Fatalf("%s: frontier point %v dominated by %v", tag, f.Cost, c.Cost)
+			}
+		}
+	}
+	// Every candidate off the front is dominated by someone (completeness:
+	// the front is exactly the non-dominated set, counted by multiset).
+	onFront := make(map[fm.Cost]int)
+	for _, f := range front {
+		onFront[f.Cost]++
+	}
+	for _, c := range cands {
+		if onFront[c.Cost] > 0 {
+			onFront[c.Cost]--
+			continue
+		}
+		dom := false
+		for _, d := range cands {
+			if dominates(d, c) {
+				dom = true
+				break
+			}
+		}
+		if !dom {
+			t.Fatalf("%s: non-dominated candidate %v missing from frontier", tag, c.Cost)
+		}
+	}
+}
+
+func TestParetoNoDominatedPointRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{Cost: fm.Cost{
+				Cycles:   int64(rng.Intn(12)), // small ranges force ties and duplicates
+				EnergyFJ: float64(rng.Intn(12)),
+			}}
+		}
+		checkFrontier(t, "random", cands, Pareto(cands))
+	}
+}
+
+func TestParetoNoDominatedPointFromSearch(t *testing.T) {
+	g, dom := smallRec(t, 8)
+	tgt := fm.DefaultTarget(4, 1)
+	tgt.MemWordsPerNode = 1 << 20
+	cands := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 12, Workers: 4})
+	front := Pareto(cands)
+	if len(front) == 0 {
+		t.Fatal("empty frontier from a non-empty candidate set")
+	}
+	checkFrontier(t, "search", cands, front)
+}

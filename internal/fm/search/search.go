@@ -13,16 +13,28 @@
 // over placements only; start times are always re-derived by an ASAP
 // (as-soon-as-possible) pass, so every candidate is legal by
 // construction and the search space is pure space, never space-time.
+//
+// Both searchers practice what the paper preaches: candidate evaluation
+// fans out over a work-stealing pool (internal/workspan, the repo's own
+// fork-join runtime) and repeated candidates are priced once through a
+// shared EvalCache. Parallelism never changes answers. Exhaustive2D
+// assigns every enumerated tuple a fixed index and merges results in
+// index order; Anneal gives each chain its own rand.Source seeded from
+// the caller's seed and exchanges bests only at deterministic iteration
+// barriers. For any Workers value — including the serial Workers=1 path —
+// results are byte-identical.
 package search
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"repro/internal/fm"
 	"repro/internal/geom"
+	"repro/internal/workspan"
 )
 
 // Objective is a figure of merit over mapping costs.
@@ -85,17 +97,48 @@ func ASAP(g *fm.Graph, place []geom.Point, tgt fm.Target) fm.Schedule {
 	return fm.ASAPSchedule(g, place, tgt)
 }
 
+// resolveWorkers maps the Workers option to an actual worker count:
+// 0 means one worker per available CPU, anything else is taken as given
+// (clamped to at least 1).
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // AnnealOptions tunes the placement annealer.
 type AnnealOptions struct {
-	// Iters is the number of proposals. Defaults to 2000.
+	// Iters is the number of proposals per chain. Defaults to 2000.
 	Iters int
-	// Seed makes the search deterministic.
+	// Seed makes the search deterministic: chain i draws from
+	// rand.NewSource(Seed + i), so no chain ever shares a stream.
 	Seed int64
 	// Objective is the figure of merit. Defaults to MinTime.
 	Objective Objective
 	// InitTemp is the starting temperature as a fraction of the initial
 	// objective value. Defaults to 0.05.
 	InitTemp float64
+	// Chains is the number of independent annealing chains. Defaults
+	// to 1, which reproduces the classic single-chain annealer exactly.
+	Chains int
+	// ExchangeEvery is the per-chain iteration count between best-exchange
+	// barriers: at each barrier the globally best mapping (ties broken by
+	// lowest chain index) replaces the current state of every chain it
+	// beats. Defaults to 250; negative disables exchange. With one chain
+	// exchange is skipped entirely.
+	ExchangeEvery int
+	// Workers bounds the goroutines running chains. 0 means one per CPU;
+	// the count is further capped at Chains. The result is identical for
+	// every value — parallelism only changes the wall clock.
+	Workers int
+	// Cache memoizes candidate evaluations across chains and workers. If
+	// nil, Anneal creates a private cache for the run, so a mapping
+	// re-proposed by any chain is priced once.
+	Cache *EvalCache
 }
 
 func (o AnnealOptions) withDefaults() AnnealOptions {
@@ -105,47 +148,151 @@ func (o AnnealOptions) withDefaults() AnnealOptions {
 	if o.InitTemp == 0 {
 		o.InitTemp = 0.05
 	}
+	if o.Chains <= 0 {
+		o.Chains = 1
+	}
+	if o.ExchangeEvery == 0 {
+		o.ExchangeEvery = 250
+	}
 	return o
 }
 
-// Anneal searches placements of g on tgt by simulated annealing, starting
-// from the default mapper's placement. Moves relocate one node to a
-// random grid point; times are re-derived by ASAP so every candidate is
-// legal. It returns the best schedule found and its cost.
-func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cost) {
-	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
+// chain is the private state of one annealing chain. Chains share the
+// graph, target, and evaluation cache (all safe concurrently) and nothing
+// else, so running them on separate workers cannot race.
+type chain struct {
+	rng      *rand.Rand
+	place    []geom.Point
+	cur      fm.Schedule
+	curCost  fm.Cost
+	best     fm.Schedule
+	bestCost fm.Cost
+	temp     float64
+	cool     float64
+}
 
-	place := make([]geom.Point, g.NumNodes())
-	init := fm.ListSchedule(g, tgt)
-	for n := range place {
-		place[n] = init[n].Place
-	}
-	cur := ASAP(g, place, tgt)
-	curCost := mustEval(g, cur, tgt)
-	best, bestCost := cur, curCost
-
-	temp := opts.InitTemp * math.Max(opts.Objective.Value(curCost), 1)
-	cool := math.Pow(1e-3, 1/float64(opts.Iters)) // decay to 0.1% of initial
-
-	for it := 0; it < opts.Iters; it++ {
-		n := rng.Intn(g.NumNodes())
-		old := place[n]
-		place[n] = tgt.Grid.At(rng.Intn(tgt.Grid.Nodes()))
-		cand := ASAP(g, place, tgt)
-		candCost := mustEval(g, cand, tgt)
-		delta := opts.Objective.Value(candCost) - opts.Objective.Value(curCost)
-		if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-12)) {
-			cur, curCost = cand, candCost
-			if opts.Objective.Value(curCost) < opts.Objective.Value(bestCost) {
-				best, bestCost = cur, curCost
+// run advances the chain by iters proposals: relocate one node to a
+// random grid point, repair times by ASAP, accept by the Metropolis rule.
+func (ch *chain) run(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cache *EvalCache, iters int) {
+	for it := 0; it < iters; it++ {
+		n := ch.rng.Intn(g.NumNodes())
+		old := ch.place[n]
+		ch.place[n] = tgt.Grid.At(ch.rng.Intn(tgt.Grid.Nodes()))
+		cand := ASAP(g, ch.place, tgt)
+		candCost := cache.Eval(g, gfp, cand, tgt)
+		delta := obj.Value(candCost) - obj.Value(ch.curCost)
+		if delta <= 0 || ch.rng.Float64() < math.Exp(-delta/math.Max(ch.temp, 1e-12)) {
+			ch.cur, ch.curCost = cand, candCost
+			if obj.Value(ch.curCost) < obj.Value(ch.bestCost) {
+				ch.best, ch.bestCost = ch.cur, ch.curCost
 			}
 		} else {
-			place[n] = old
+			ch.place[n] = old
 		}
-		temp *= cool
+		ch.temp *= ch.cool
 	}
-	return best, bestCost
+}
+
+// Anneal searches placements of g on tgt by simulated annealing, starting
+// every chain from the default mapper's placement. Moves relocate one
+// node to a random grid point; times are re-derived by ASAP so every
+// candidate is legal. With Chains > 1 it runs that many independent
+// chains (each with its own RNG stream, optionally on parallel workers)
+// and periodically broadcasts the global best; the returned schedule is
+// the best over all chains, ties broken by lowest chain index. The result
+// depends only on the options, never on Workers or GOMAXPROCS.
+func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cost) {
+	opts = opts.withDefaults()
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewEvalCache()
+	}
+	gfp := g.Fingerprint()
+
+	init := fm.ListSchedule(g, tgt)
+	chains := make([]*chain, opts.Chains)
+	for i := range chains {
+		place := make([]geom.Point, g.NumNodes())
+		for n := range place {
+			place[n] = init[n].Place
+		}
+		ch := &chain{
+			rng:   rand.New(rand.NewSource(opts.Seed + int64(i))),
+			place: place,
+			cool:  math.Pow(1e-3, 1/float64(opts.Iters)), // decay to 0.1% of initial
+		}
+		ch.cur = ASAP(g, place, tgt)
+		ch.curCost = cache.Eval(g, gfp, ch.cur, tgt)
+		ch.best, ch.bestCost = ch.cur, ch.curCost
+		ch.temp = opts.InitTemp * math.Max(opts.Objective.Value(ch.curCost), 1)
+		chains[i] = ch
+	}
+
+	// Chains advance in segments of ExchangeEvery iterations. Segment
+	// boundaries are barriers: all chains arrive, the deterministic
+	// exchange runs, all chains leave — so the trajectory of every chain
+	// is a pure function of the options.
+	segment := opts.ExchangeEvery
+	if opts.Chains == 1 || segment < 0 {
+		segment = opts.Iters
+	}
+	workers := resolveWorkers(opts.Workers)
+	if workers > opts.Chains {
+		workers = opts.Chains
+	}
+	var pool *workspan.Pool
+	if workers > 1 {
+		pool = workspan.NewPool(workers, workspan.WorkStealing)
+		defer pool.Close()
+	}
+
+	for done := 0; done < opts.Iters; {
+		iters := segment
+		if rest := opts.Iters - done; iters > rest {
+			iters = rest
+		}
+		if pool == nil {
+			for _, ch := range chains {
+				ch.run(g, gfp, tgt, opts.Objective, cache, iters)
+			}
+		} else {
+			pool.For(0, len(chains), 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					chains[i].run(g, gfp, tgt, opts.Objective, cache, iters)
+				}
+			})
+		}
+		done += iters
+		if done < opts.Iters && len(chains) > 1 {
+			w := bestChain(chains, opts.Objective)
+			bs, bc := chains[w].best, chains[w].bestCost
+			for _, ch := range chains {
+				if opts.Objective.Value(bc) < opts.Objective.Value(ch.curCost) {
+					// Adopt the global best as the current state (bs is
+					// never mutated, so sharing the slice is safe); the
+					// chain keeps its own RNG stream and temperature.
+					ch.cur, ch.curCost = bs, bc
+					for n := range ch.place {
+						ch.place[n] = bs[n].Place
+					}
+				}
+			}
+		}
+	}
+	w := bestChain(chains, opts.Objective)
+	return chains[w].best, chains[w].bestCost
+}
+
+// bestChain returns the index of the chain with the lowest best objective
+// value, ties broken by lowest index so the winner is deterministic.
+func bestChain(chains []*chain, obj Objective) int {
+	w := 0
+	for i, ch := range chains {
+		if obj.Value(ch.bestCost) < obj.Value(chains[w].bestCost) {
+			w = i
+		}
+	}
+	return w
 }
 
 func mustEval(g *fm.Graph, s fm.Schedule, tgt fm.Target) fm.Cost {
@@ -167,6 +314,22 @@ type Affine2DOptions struct {
 	// zero). Defaults to the target's hop+op latency so nearest-neighbour
 	// skews are representable.
 	MaxTau int64
+	// Workers bounds the goroutines checking and pricing candidates.
+	// 0 means one per CPU; 1 evaluates inline with no pool. Every tuple
+	// has a fixed index in the enumeration and results merge in index
+	// order, so the output is byte-identical for every worker count.
+	Workers int
+	// Cache, if non-nil, memoizes candidate evaluations. Within a single
+	// sweep every candidate is distinct, so the cache pays off when the
+	// caller shares it across sweeps or with an annealer on the same
+	// graph.
+	Cache *EvalCache
+}
+
+// affineTuple is one point of the enumerated mapping family.
+type affineTuple struct {
+	a1, a2 int
+	t1, t2 int64
 }
 
 // Exhaustive2D enumerates affine mappings of a materialized 2-D
@@ -174,6 +337,8 @@ type Affine2DOptions struct {
 // Illegal mappings are discarded; every legal one is returned with its
 // cost, sorted by time then energy. The serial projection (everything at
 // node 0, ASAP times) is always included as the "serial" candidate.
+// Candidates are checked and priced on a work-stealing pool (see
+// Affine2DOptions.Workers); the merge is deterministic.
 func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptions) []Candidate {
 	if len(dom.Dims()) != 2 {
 		panic(fmt.Sprintf("search: Exhaustive2D needs rank 2, got %d", len(dom.Dims())))
@@ -188,7 +353,7 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 		opts.MaxTau = tgt.OpCycles(g.Op(g.Outputs()[0]), g.Bits(g.Outputs()[0])) + tgt.TransitCycles(1)
 	}
 
-	var out []Candidate
+	var tuples []affineTuple
 	for a1 := 0; a1 <= opts.MaxCoeff; a1++ {
 		for a2 := 0; a2 <= opts.MaxCoeff; a2++ {
 			for t1 := int64(0); t1 <= opts.MaxTau; t1++ {
@@ -196,22 +361,62 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 					if t1 == 0 && t2 == 0 {
 						continue
 					}
-					sched := fm.ScheduleByIndex(dom, func(idx []int) fm.Assignment {
-						return fm.Assignment{
-							Place: geom.Pt(((a1*idx[0]+a2*idx[1])%opts.P+opts.P)%opts.P, 0),
-							Time:  t1*int64(idx[0]) + t2*int64(idx[1]),
-						}
-					})
-					if fm.Check(g, sched, tgt) != nil {
-						continue
-					}
-					out = append(out, Candidate{
-						Name:  fmt.Sprintf("place=(%d*i+%d*j)%%%d time=%d*i+%d*j", a1, a2, opts.P, t1, t2),
-						Sched: sched,
-						Cost:  mustEval(g, sched, tgt),
-					})
+					tuples = append(tuples, affineTuple{a1, a2, t1, t2})
 				}
 			}
+		}
+	}
+
+	gfp := uint64(0)
+	if opts.Cache != nil {
+		gfp = g.Fingerprint()
+	}
+	// Each tuple owns slot i of results; slots are disjoint, so the fan-
+	// out is race-free, and compacting in index order reproduces the
+	// serial append order exactly.
+	results := make([]*Candidate, len(tuples))
+	eval := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tp := tuples[i]
+			sched := fm.ScheduleByIndex(dom, func(idx []int) fm.Assignment {
+				return fm.Assignment{
+					Place: geom.Pt(((tp.a1*idx[0]+tp.a2*idx[1])%opts.P+opts.P)%opts.P, 0),
+					Time:  tp.t1*int64(idx[0]) + tp.t2*int64(idx[1]),
+				}
+			})
+			if fm.Check(g, sched, tgt) != nil {
+				continue
+			}
+			cost := fm.Cost{}
+			if opts.Cache != nil {
+				cost = opts.Cache.Eval(g, gfp, sched, tgt)
+			} else {
+				cost = mustEval(g, sched, tgt)
+			}
+			results[i] = &Candidate{
+				Name:  fmt.Sprintf("place=(%d*i+%d*j)%%%d time=%d*i+%d*j", tp.a1, tp.a2, opts.P, tp.t1, tp.t2),
+				Sched: sched,
+				Cost:  cost,
+			}
+		}
+	}
+	workers := resolveWorkers(opts.Workers)
+	if workers == 1 || len(tuples) < 2 {
+		eval(0, len(tuples))
+	} else {
+		pool := workspan.NewPool(workers, workspan.WorkStealing)
+		defer pool.Close()
+		grain := len(tuples) / (8 * workers)
+		if grain < 1 {
+			grain = 1
+		}
+		pool.For(0, len(tuples), grain, eval)
+	}
+
+	out := make([]Candidate, 0, len(tuples)+1)
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
 		}
 	}
 	serial := fm.SerialSchedule(g, tgt, geom.Pt(0, 0))

@@ -188,6 +188,17 @@ func (p *Pool) Run(f func(*Ctx)) {
 	<-done
 }
 
+// For runs body over the index range [lo, hi) inside the pool, blocking
+// until every segment completes. It is Run + the For primitive: segments
+// of at most grain indices execute sequentially, and idle workers steal
+// the rest. Segments must be independent (no two indices alias the same
+// state); under that contract the call is race-free and the union of
+// segments visited is exactly [lo, hi) for any worker count, which is
+// what lets callers build deterministic fan-out/merge pipelines on top.
+func (p *Pool) For(lo, hi, grain int, body func(lo, hi int)) {
+	p.Run(func(c *Ctx) { For(c, lo, hi, grain, body) })
+}
+
 // Ctx is a capability to fork work; it identifies the worker currently
 // executing the program.
 type Ctx struct {

@@ -200,6 +200,37 @@ func TestModeString(t *testing.T) {
 	}
 }
 
+func TestPoolForCoversRangeExactlyOnce(t *testing.T) {
+	for _, mode := range []Mode{WorkStealing, CentralQueue} {
+		for _, workers := range []int{1, 3, 8} {
+			withPool(t, workers, mode, func(p *Pool) {
+				const n = 1000
+				hits := make([]int32, n)
+				p.For(0, n, 7, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("%v/%d workers: index %d visited %d times", mode, workers, i, h)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPoolForEmptyRange(t *testing.T) {
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		ran := false
+		p.For(5, 5, 1, func(lo, hi int) { ran = true })
+		if ran {
+			t.Error("body ran on an empty range")
+		}
+	})
+}
+
 func TestDequeOrder(t *testing.T) {
 	var d deque
 	t1, t2, t3 := &task{}, &task{}, &task{}
