@@ -6,11 +6,20 @@
 // anti-diagonal, blocked/scattered placements, the default mapper, and
 // the serial projection.
 //
+// With -faults the mapping is additionally replayed on the imperative
+// machine simulator under deterministic fault injection (transient node
+// stalls, link-delay spikes, dropped-then-retried flits, all reproducible
+// from -fault-seed and the rate), reporting the faulted makespan, its
+// inflation over the ideal replay, and retry/backoff counts. -slack
+// prints the mapping's edge-slack profile: how many cycles of injected
+// delay each producer→consumer edge absorbs before causality breaks.
+//
 // Usage:
 //
 //	fmsim -func editdist -n 64 -map antidiag -p 8 -render
 //	fmsim -func fft -n 256 -map blocked -p 8
 //	fmsim -func editdist -n 32 -map serial
+//	fmsim -func editdist -n 32 -map antidiag -faults 0.05 -fault-seed 7 -slack
 package main
 
 import (
@@ -20,9 +29,11 @@ import (
 
 	"repro/internal/algorithms/editdist"
 	"repro/internal/algorithms/fft"
+	"repro/internal/fault"
 	"repro/internal/fm"
 	"repro/internal/geom"
 	"repro/internal/lower"
+	"repro/internal/replay"
 	"repro/internal/tech"
 	"repro/internal/trace"
 )
@@ -37,6 +48,9 @@ func main() {
 	render := flag.Bool("render", false, "print an ASCII space-time diagram")
 	lowerHW := flag.Bool("lower", false, "mechanically lower the mapping to a PE netlist and print it")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file to this path")
+	faultRate := flag.Float64("faults", 0, "fault rate in [0,1]: replay the mapping on the machine simulator with injected stalls/spikes/drops")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection seed; same (seed, rate) reproduces the identical faulted run")
+	slack := flag.Bool("slack", false, "print the mapping's edge-slack profile (absorbable fault delay per edge)")
 	flag.Parse()
 
 	tgt := fm.DefaultTarget(maxInt(*p, 1), 1)
@@ -74,6 +88,22 @@ func main() {
 		*mapping, *p, *pitch, *cycle)
 	fmt.Printf("cost:     %v\n", cost)
 	fmt.Printf("comm:     %.1f%% of energy is data movement\n", 100*cost.CommFraction())
+	if *slack {
+		edges, err := fm.SlackAnalysis(g, sched, tgt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(1)
+		}
+		s := fm.SummarizeSlack(edges)
+		fmt.Printf("slack:    %d edges, min %d / mean %.1f / max %d cycles; %d causality-critical\n",
+			s.Edges, s.Min, s.Mean, s.Max, s.Critical)
+	}
+	if *faultRate > 0 {
+		if err := replayFaulted(g, sched, tgt, *faultRate, *faultSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *render {
 		fmt.Println(trace.Render(tr, trace.RenderOptions{Grid: tgt.Grid, Columns: 72}))
 	}
@@ -101,6 +131,29 @@ func main() {
 		}
 		fmt.Printf("\n%s\n%s", arch.Summary(), arch.Verilog())
 	}
+}
+
+// replayFaulted runs the mapping twice on the machine simulator — once
+// ideal, once with the injector — and prints the degradation.
+func replayFaulted(g *fm.Graph, sched fm.Schedule, tgt fm.Target, rate float64, seed int64) error {
+	base, err := replay.Run(g, sched, tgt, replay.MachineFor(tgt, nil, nil))
+	if err != nil {
+		return err
+	}
+	inj, err := fault.New(fault.Config{Seed: seed, Rate: rate})
+	if err != nil {
+		return err
+	}
+	got, err := replay.Run(g, sched, tgt, replay.MachineFor(tgt, inj, nil))
+	if err != nil {
+		return err
+	}
+	fs := got.Faults
+	fmt.Printf("faults:   rate %.3f seed %d: %d stalls, %d spikes, %d drops (%d retries, %.0f ps backoff)\n",
+		rate, seed, fs.Stalls, fs.Spikes, fs.Drops, fs.Retries, fs.BackoffPS)
+	fmt.Printf("          makespan %.0f ps -> %.0f ps (%.3fx), energy %.0f fJ -> %.0f fJ\n",
+		base.Makespan, got.Makespan, got.Makespan/base.Makespan, base.TotalEnergy, got.TotalEnergy)
+	return nil
 }
 
 func buildEditDist(n int, mapping string, p int, tgt fm.Target) (*fm.Graph, fm.Schedule, error) {

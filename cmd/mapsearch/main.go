@@ -10,10 +10,18 @@
 // annealer runs -chains independent chains; both are deterministic, so
 // changing either flag changes only the wall clock, never the output.
 //
+// With -checkpoint the annealer commits a crash-safe snapshot (JSON,
+// atomic tmp+rename) at every exchange barrier; rerunning with -resume
+// restarts from the last barrier and prints the same annealed placement
+// an uninterrupted run would have, bit for bit. -resume fails if the
+// checkpoint file is missing or belongs to different search settings.
+//
 // Usage:
 //
 //	mapsearch -n 12 -p 4
 //	mapsearch -n 16 -p 8 -tau 10 -pitch 0.1 -workers 8 -chains 4
+//	mapsearch -iters 200000 -checkpoint /tmp/anneal.ckpt   # killable
+//	mapsearch -iters 200000 -checkpoint /tmp/anneal.ckpt -resume
 package main
 
 import (
@@ -37,9 +45,21 @@ func main() {
 	chains := flag.Int("chains", 4, "independent annealing chains")
 	iters := flag.Int("iters", 2000, "annealing proposals per chain")
 	seed := flag.Int64("seed", 1, "annealing seed (chain i uses seed+i)")
+	checkpoint := flag.String("checkpoint", "", "write a crash-safe annealing checkpoint to this path at every exchange barrier")
+	resume := flag.Bool("resume", false, "restore the annealer from -checkpoint before searching (requires the file to exist)")
 	flag.Parse()
 	if *chains < 1 {
 		*chains = 1 // mirror AnnealOptions' default so the banner reports the truth
+	}
+	if *resume {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "mapsearch: -resume requires -checkpoint")
+			os.Exit(2)
+		}
+		if _, err := os.Stat(*checkpoint); err != nil {
+			fmt.Fprintf(os.Stderr, "mapsearch: -resume: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	g, dom, err := fm.Recurrence{
@@ -88,9 +108,14 @@ func main() {
 	}
 
 	start = time.Now()
-	_, annealed := search.Anneal(g, tgt, search.AnnealOptions{
+	_, annealed, err := search.AnnealResumable(g, tgt, search.AnnealOptions{
 		Iters: *iters, Seed: *seed, Chains: *chains, Workers: *workers, Cache: cache,
+		CheckpointPath: *checkpoint, Resume: *resume,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapsearch: anneal: %v\n", err)
+		os.Exit(2)
+	}
 	annealT := time.Since(start)
 	fmt.Printf("\nannealed placement (%d chains x %d iters, seed %d): %v\n",
 		*chains, *iters, *seed, annealed)

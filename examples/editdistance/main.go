@@ -46,7 +46,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	vals := fm.Interpret(g, nil, editdist.Evaluator(dom, r, q, costs))
+	vals, err := fm.Interpret(g, nil, editdist.Evaluator(dom, r, q, costs))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("F&M dataflow graph:   distance = %d (%d cells, depth %d)\n",
 		vals[dom.Node(len(r)-1, len(q)-1)], g.CountOps(), g.Depth())
 

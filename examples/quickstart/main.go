@@ -61,8 +61,11 @@ func main() {
 	}
 
 	// The function itself is mapping-independent: interpret it.
-	vals := fm.Interpret(g, []int64{1, 2, 3, 4}, func(n fm.NodeID, deps []int64) int64 {
+	vals, err := fm.Interpret(g, []int64{1, 2, 3, 4}, func(n fm.NodeID, deps []int64) int64 {
 		return deps[0] + deps[1]
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sum(1,2,3,4) computed by the dataflow graph = %d\n", vals[root])
 }

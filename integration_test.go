@@ -30,7 +30,10 @@ func TestEndToEndEditDistancePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals := fm.Interpret(g, nil, editdist.Evaluator(dom, r, q, editdist.Levenshtein()))
+	vals, err := fm.Interpret(g, nil, editdist.Evaluator(dom, r, q, editdist.Levenshtein()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := editdist.Distance(r, q, editdist.Levenshtein())
 	if got := vals[dom.Node(len(r)-1, len(q)-1)]; got != int64(want) {
 		t.Fatalf("graph distance %d != serial %d", got, want)
@@ -133,7 +136,7 @@ func TestEndToEndIdiomPipeline(t *testing.T) {
 	for i := range inputs {
 		inputs[i] = int64(i + 1)
 	}
-	vals := fm.Interpret(full.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
+	vals, err := fm.Interpret(full.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
 		if len(deps) == 1 {
 			return deps[0]
 		}
@@ -143,6 +146,9 @@ func TestEndToEndIdiomPipeline(t *testing.T) {
 		}
 		return s
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := vals[full.Out[0].Nodes[0]]
 	if out != 120 {
 		t.Errorf("reduce(scan(1..8)) = %d, want 120", out)

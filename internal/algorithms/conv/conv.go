@@ -78,7 +78,7 @@ func (c *Conv) Interpret(x, w []int64) []int64 {
 		panic(fmt.Sprintf("conv: got %d/%d values for n=%d k=%d", len(x), len(w), c.N, c.K))
 	}
 	inputs := append(append([]int64(nil), x...), w...)
-	vals := fm.Interpret(c.Graph, inputs, func(n fm.NodeID, deps []int64) int64 {
+	vals, err := fm.Interpret(c.Graph, inputs, func(n fm.NodeID, deps []int64) int64 {
 		// deps are [w, x] or [w, x, partial].
 		acc := deps[0] * deps[1]
 		if len(deps) == 3 {
@@ -86,6 +86,9 @@ func (c *Conv) Interpret(x, w []int64) []int64 {
 		}
 		return acc
 	})
+	if err != nil {
+		panic(err) // arity checked above
+	}
 	out := make([]int64, len(c.Out))
 	for i, nd := range c.Out {
 		out[i] = vals[nd]

@@ -158,7 +158,10 @@ func TestGraphComputesSameTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals := fm.Interpret(g, nil, Evaluator(dom, r, q, Levenshtein()))
+	vals, err := fm.Interpret(g, nil, Evaluator(dom, r, q, Levenshtein()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := Serial(r, q, Levenshtein())
 	for i := 0; i < len(r); i++ {
 		for j := 0; j < len(q); j++ {

@@ -91,7 +91,7 @@ func (bf *Butterfly) Interpret(x []complex128) []complex128 {
 	if len(x) != bf.N {
 		panic(fmt.Sprintf("fft: %d inputs for size-%d butterfly", len(x), bf.N))
 	}
-	vals := fm.Interpret(bf.Graph, x, func(nd fm.NodeID, deps []complex128) complex128 {
+	vals, err := fm.Interpret(bf.Graph, x, func(nd fm.NodeID, deps []complex128) complex128 {
 		s := bf.Stage[nd]
 		i := bf.Index[nd]
 		half := 1 << s
@@ -107,6 +107,9 @@ func (bf *Butterfly) Interpret(x []complex128) []complex128 {
 		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k-half)/float64(span)))
 		return deps[1] - w*deps[0]
 	})
+	if err != nil {
+		panic(err) // arity checked above
+	}
 	out := make([]complex128, bf.N)
 	for i, nd := range bf.Out {
 		out[i] = vals[nd]

@@ -129,7 +129,7 @@ func (f *Forwarded) Interpret(a, bm []int64) []int64 {
 		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(bm), n))
 	}
 	inputs := append(append([]int64(nil), a...), bm...)
-	vals := fm.Interpret(f.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
+	vals, err := fm.Interpret(f.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
 		if len(deps) == 1 {
 			return deps[0] // forwarding register
 		}
@@ -139,6 +139,9 @@ func (f *Forwarded) Interpret(a, bm []int64) []int64 {
 		}
 		return acc
 	})
+	if err != nil {
+		panic(err) // arity checked above
+	}
 	out := make([]int64, n*n)
 	for i, nd := range f.Out {
 		out[i] = vals[nd]

@@ -74,13 +74,16 @@ func (m *MatMul) Interpret(a, b []int64) []int64 {
 		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(b), n))
 	}
 	inputs := append(append([]int64(nil), a...), b...)
-	vals := fm.Interpret(m.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
+	vals, err := fm.Interpret(m.Graph, inputs, func(nd fm.NodeID, deps []int64) int64 {
 		acc := deps[0] * deps[1]
 		if len(deps) == 3 {
 			acc += deps[2]
 		}
 		return acc
 	})
+	if err != nil {
+		panic(err) // arity checked above
+	}
 	out := make([]int64, n*n)
 	for i, nd := range m.Out {
 		out[i] = vals[nd]

@@ -62,7 +62,15 @@ func E8() Result {
 			// Brent: T_P <= W/P + D. Scale the abstract bound by the
 			// measured serial time so units cancel: predicted T_P =
 			// T1 * bound(P)/bound(1).
-			predicted := t1.Seconds() * k.an.BrentBound(p) / k.an.BrentBound(1)
+			boundP, err := k.an.BrentBound(p)
+			if err != nil {
+				return failure("E8", err)
+			}
+			bound1, err := k.an.BrentBound(1)
+			if err != nil {
+				return failure("E8", err)
+			}
+			predicted := t1.Seconds() * boundP / bound1
 			ok := tp.Seconds() <= 3*predicted
 			if p > 1 && p >= maxP && maxP >= 4 {
 				ok = ok && speedup > 1.3

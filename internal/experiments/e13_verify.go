@@ -89,7 +89,11 @@ func E13() Result {
 				okDP = false
 				return
 			}
-			vals := fm.Interpret(g, nil, editdist.Evaluator(dom, rr, qs, editdist.Levenshtein()))
+			vals, err := fm.Interpret(g, nil, editdist.Evaluator(dom, rr, qs, editdist.Levenshtein()))
+			if err != nil {
+				okDP = false
+				return
+			}
 			if vals[dom.Node(2, 2)] != int64(editdist.Distance(rr, qs, editdist.Levenshtein())) {
 				okDP = false
 			}

@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"E16", "mechanical lowering to a domain-specific architecture", E16},
 		{"E17", "2-D systolic matmul array with explicit forwarding", E17},
 		{"E18", "stencil halo exchange: surface vs volume", E18},
+		{"E19", "fault injection: graceful degradation of mappings", E19},
 	}
 }
 

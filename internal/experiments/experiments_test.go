@@ -35,8 +35,8 @@ func TestAllExperimentsPass(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	es := All()
-	if len(es) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(es))
+	if len(es) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(es))
 	}
 	seen := map[string]bool{}
 	for i, e := range es {

@@ -206,6 +206,91 @@ func checkStorage(g *Graph, sched Schedule, tgt Target) error {
 	return nil
 }
 
+// EdgeSlack is the fault-absorption margin of one producer→consumer
+// edge: how many extra cycles the value's journey may be delayed before
+// the consumer's scheduled start is violated and Check would raise a
+// CausalityError. A slack of 0 marks a causality-critical edge — any
+// injected stall, link spike, or flit retry on its path immediately
+// pushes the consumer past its scheduled cycle. Negative slack means the
+// schedule is already illegal on that edge (and quantifies by how much).
+type EdgeSlack struct {
+	Producer, Consumer NodeID
+	// Hops is the routed distance the value travels.
+	Hops int
+	// Slack is the absorbable delay in cycles.
+	Slack int64
+}
+
+// SlackAnalysis reports the slack of every producer→consumer edge of the
+// schedule, in (consumer, dependency) order: the graceful-degradation
+// profile of a mapping. Where Slack reports per-node scheduling freedom
+// of a *placement* (ALAP − ASAP), this profiles a concrete *schedule*:
+// the margin the chosen start times leave for injected fault delay on
+// each edge. It returns an error only for a malformed schedule (wrong
+// length); edges of an illegal schedule simply carry negative slack.
+func SlackAnalysis(g *Graph, sched Schedule, tgt Target) ([]EdgeSlack, error) {
+	tgt = tgt.withDefaults()
+	if err := sched.validateLen(g); err != nil {
+		return nil, err
+	}
+	var edges []EdgeSlack
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if g.IsInput(id) {
+			continue
+		}
+		for _, p := range g.Deps(id) {
+			hops := sched[p].Place.Manhattan(sched[id].Place)
+			ready := finishTime(g, sched, tgt, p) + tgt.TransitCycles(hops)
+			edges = append(edges, EdgeSlack{
+				Producer: p, Consumer: id,
+				Hops:  hops,
+				Slack: sched[id].Time - ready,
+			})
+		}
+	}
+	return edges, nil
+}
+
+// SlackSummary condenses an edge-slack profile.
+type SlackSummary struct {
+	// Edges is the number of producer→consumer edges.
+	Edges int
+	// Min and Max bound the per-edge slack; Mean averages it.
+	Min, Max int64
+	Mean     float64
+	// Critical counts edges with zero slack; Negative counts violated
+	// edges (always 0 for a schedule that passes Check).
+	Critical, Negative int
+}
+
+// SummarizeSlack aggregates edge slacks. An empty profile (a graph with
+// no compute edges) summarizes to the zero value.
+func SummarizeSlack(edges []EdgeSlack) SlackSummary {
+	if len(edges) == 0 {
+		return SlackSummary{}
+	}
+	s := SlackSummary{Edges: len(edges), Min: edges[0].Slack, Max: edges[0].Slack}
+	var sum int64
+	for _, e := range edges {
+		if e.Slack < s.Min {
+			s.Min = e.Slack
+		}
+		if e.Slack > s.Max {
+			s.Max = e.Slack
+		}
+		switch {
+		case e.Slack == 0:
+			s.Critical++
+		case e.Slack < 0:
+			s.Negative++
+		}
+		sum += e.Slack
+	}
+	s.Mean = float64(sum) / float64(len(edges))
+	return s
+}
+
 // sweepPeak returns the maximum running sum of deltas in time order
 // (frees applied before allocations at the same instant) and a time at
 // which it occurs.

@@ -12,10 +12,14 @@ import "fmt"
 // function graph (a scan tree, a DP table, an FFT butterfly network)
 // computes what it claims before its mappings are priced. The value type
 // is generic: int64 for DP tables, complex128 for FFTs.
-func Interpret[T any](g *Graph, inputs []T, eval func(n NodeID, deps []T) T) []T {
+//
+// It returns an error when inputs does not match the graph's input
+// arity — the one condition a caller holding an externally supplied
+// input vector can get wrong.
+func Interpret[T any](g *Graph, inputs []T, eval func(n NodeID, deps []T) T) ([]T, error) {
 	ins := g.Inputs()
 	if len(inputs) != len(ins) {
-		panic(fmt.Sprintf("fm: Interpret got %d inputs for %d input nodes", len(inputs), len(ins)))
+		return nil, fmt.Errorf("fm: Interpret got %d inputs for %d input nodes", len(inputs), len(ins))
 	}
 	vals := make([]T, g.NumNodes())
 	next := 0
@@ -33,5 +37,5 @@ func Interpret[T any](g *Graph, inputs []T, eval func(n NodeID, deps []T) T) []T
 		}
 		vals[n] = eval(id, buf)
 	}
-	return vals
+	return vals, nil
 }

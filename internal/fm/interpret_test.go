@@ -1,0 +1,35 @@
+package fm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// TestInterpretArityError: a wrong-length input vector — the one
+// user-reachable misuse — is reported as an error, not a panic.
+func TestInterpretArityError(t *testing.T) {
+	var b Builder
+	x := b.Input(32)
+	y := b.Input(32)
+	b.MarkOutput(b.Op(tech.OpAdd, 32, x, y))
+	g := b.Build()
+
+	sum := func(n NodeID, deps []int64) int64 { return deps[0] + deps[1] }
+	if _, err := Interpret(g, []int64{1}, sum); err == nil {
+		t.Error("1 input for 2 input nodes accepted")
+	} else if !strings.Contains(err.Error(), "1 inputs for 2 input nodes") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	if _, err := Interpret(g, []int64{1, 2, 3}, sum); err == nil {
+		t.Error("3 inputs for 2 input nodes accepted")
+	}
+	vals, err := Interpret(g, []int64{2, 3}, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[g.Outputs()[0]] != 5 {
+		t.Errorf("2+3 = %d", vals[g.Outputs()[0]])
+	}
+}

@@ -93,8 +93,14 @@ func TestRecomputePreservesSemantics(t *testing.T) {
 		return s
 	}
 	inputs := []int64{5, 7}
-	vOrig := Interpret(g, inputs, sum)
-	vNew := Interpret(g2, inputs, sum)
+	vOrig, err := Interpret(g, inputs, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vNew, err := Interpret(g2, inputs, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, o := range g.Outputs() {
 		if vOrig[o] != vNew[g2.Outputs()[i]] {
 			t.Fatalf("output %d: %d != %d", i, vOrig[o], vNew[g2.Outputs()[i]])

@@ -1,0 +1,122 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fm"
+)
+
+// checkpointVersion guards the on-disk format; a mismatch refuses to
+// resume rather than silently misinterpreting bytes.
+const checkpointVersion = 1
+
+// ChainState is the per-chain portion of a Checkpoint: the schedules the
+// chain holds and how many raw RNG draws it has consumed. Costs and
+// temperature are deliberately absent — both are recomputed exactly on
+// resume (costs by the deterministic evaluator, temperature by replaying
+// the cooling multiplications), so no float round-trips through JSON.
+type ChainState struct {
+	// Draws is the number of values drawn from the chain's rand source.
+	// Resuming fast-forwards a fresh source by this many draws, putting
+	// the chain's RNG in the identical stream position.
+	Draws uint64 `json:"draws"`
+	// Cur and Best are the chain's current and best-so-far schedules.
+	Cur  fm.Schedule `json:"cur"`
+	Best fm.Schedule `json:"best"`
+}
+
+// Checkpoint is a crash-safe snapshot of an annealing run at an
+// exchange barrier. Every field that shapes the trajectory is recorded
+// and must match on resume: restoring a checkpoint into a different
+// search would otherwise silently produce an unrelated "resumed" result.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Graph is the fingerprint of the searched graph.
+	Graph uint64 `json:"graph"`
+	// Target is the full target description, compared verbatim.
+	Target string `json:"target"`
+	// Seed, Iters, Chains, ExchangeEvery, and Objective echo the options.
+	Seed          int64 `json:"seed"`
+	Iters         int   `json:"iters"`
+	Chains        int   `json:"chains"`
+	ExchangeEvery int   `json:"exchange_every"`
+	Objective     int   `json:"objective"`
+	// Done is the number of iterations every chain has completed.
+	Done int `json:"done"`
+	// ChainStates holds one entry per chain, in chain order.
+	ChainStates []ChainState `json:"chain_states"`
+}
+
+// matches reports whether the checkpoint belongs to the run described by
+// the arguments, with a reason when it does not.
+func (cp *Checkpoint) matches(gfp uint64, tgtDesc string, opts AnnealOptions) error {
+	switch {
+	case cp.Version != checkpointVersion:
+		return fmt.Errorf("search: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	case cp.Graph != gfp:
+		return fmt.Errorf("search: checkpoint is for graph %016x, not %016x", cp.Graph, gfp)
+	case cp.Target != tgtDesc:
+		return fmt.Errorf("search: checkpoint target %q differs from %q", cp.Target, tgtDesc)
+	case cp.Seed != opts.Seed:
+		return fmt.Errorf("search: checkpoint seed %d, want %d", cp.Seed, opts.Seed)
+	case cp.Iters != opts.Iters:
+		return fmt.Errorf("search: checkpoint iters %d, want %d", cp.Iters, opts.Iters)
+	case cp.Chains != opts.Chains:
+		return fmt.Errorf("search: checkpoint chains %d, want %d", cp.Chains, opts.Chains)
+	case cp.ExchangeEvery != opts.ExchangeEvery:
+		return fmt.Errorf("search: checkpoint exchange interval %d, want %d", cp.ExchangeEvery, opts.ExchangeEvery)
+	case cp.Objective != int(opts.Objective):
+		return fmt.Errorf("search: checkpoint objective %d, want %d", cp.Objective, int(opts.Objective))
+	case len(cp.ChainStates) != opts.Chains:
+		return fmt.Errorf("search: checkpoint has %d chain states for %d chains", len(cp.ChainStates), opts.Chains)
+	}
+	return nil
+}
+
+// SaveCheckpoint writes cp to path atomically: the JSON goes to a
+// temporary file in the same directory, is synced, and then renamed over
+// path, so a crash at any instant leaves either the previous checkpoint
+// or the new one — never a torn file.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("search: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("search: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("search: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("search: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("search: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("search: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("search: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("search: parse checkpoint %s: %w", path, err)
+	}
+	return &cp, nil
+}

@@ -139,6 +139,18 @@ type AnnealOptions struct {
 	// nil, Anneal creates a private cache for the run, so a mapping
 	// re-proposed by any chain is priced once.
 	Cache *EvalCache
+	// CheckpointPath, when non-empty, writes a crash-safe snapshot
+	// (JSON, atomic tmp+rename) after every exchange barrier, so a
+	// killed search can restart from its last barrier. With a single
+	// chain, barriers still occur every ExchangeEvery iterations so the
+	// checkpoint stays fresh; a negative ExchangeEvery disables both
+	// exchange and intermediate checkpoints.
+	CheckpointPath string
+	// Resume restores the run from CheckpointPath before searching. The
+	// checkpoint must exist and must have been written by a run with the
+	// same graph, target, and options; the resumed search then produces
+	// bit-identical final output to an uninterrupted run.
+	Resume bool
 }
 
 func (o AnnealOptions) withDefaults() AnnealOptions {
@@ -157,11 +169,48 @@ func (o AnnealOptions) withDefaults() AnnealOptions {
 	return o
 }
 
+// countingSource wraps a rand source and counts raw draws. The count is
+// the chain's exact RNG position: a fresh source fast-forwarded by the
+// same number of draws continues the identical stream, which is what
+// makes checkpointed annealing runs bit-reproducible. (rand.Rand may
+// consume a variable number of draws per call — rejection sampling in
+// Intn — so counting draws, not calls, is the only safe coordinate.)
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// newChainSource builds the draw-counting source for chain i of a run
+// seeded with seed, fast-forwarded by draws raw values.
+func newChainSource(seed int64, i int, draws uint64) *countingSource {
+	src := rand.NewSource(seed + int64(i)).(rand.Source64)
+	for k := uint64(0); k < draws; k++ {
+		src.Uint64()
+	}
+	return &countingSource{src: src, n: draws}
+}
+
 // chain is the private state of one annealing chain. Chains share the
 // graph, target, and evaluation cache (all safe concurrently) and nothing
 // else, so running them on separate workers cannot race.
 type chain struct {
 	rng      *rand.Rand
+	src      *countingSource
 	place    []geom.Point
 	cur      fm.Schedule
 	curCost  fm.Cost
@@ -201,23 +250,67 @@ func (ch *chain) run(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cach
 // and periodically broadcasts the global best; the returned schedule is
 // the best over all chains, ties broken by lowest chain index. The result
 // depends only on the options, never on Workers or GOMAXPROCS.
+//
+// Anneal cannot fail unless checkpointing or resuming is requested; it
+// panics on the errors AnnealResumable would report.
 func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cost) {
+	sched, cost, err := AnnealResumable(g, tgt, opts)
+	if err != nil {
+		panic(fmt.Sprintf("search: %v", err))
+	}
+	return sched, cost
+}
+
+// testBarrierHook, when non-nil, runs after each barrier's checkpoint is
+// committed, with the number of iterations completed. Tests use it to
+// capture mid-run snapshots; it must stay nil outside tests.
+var testBarrierHook func(done int)
+
+// AnnealResumable is Anneal with crash-safe checkpointing. When
+// opts.CheckpointPath is set, a snapshot of every chain (schedules plus
+// exact RNG position) is committed atomically at each exchange barrier;
+// when opts.Resume is also set, the search restores that snapshot and
+// continues, and the final (schedule, cost) is bit-identical to an
+// uninterrupted run with the same options — the RNG streams are
+// fast-forwarded by recorded draw counts, costs are re-priced by the
+// deterministic evaluator, and the cooling schedule is replayed, so no
+// state is approximated across the crash.
+func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cost, error) {
 	opts = opts.withDefaults()
 	cache := opts.Cache
 	if cache == nil {
 		cache = NewEvalCache()
 	}
 	gfp := g.Fingerprint()
+	tgtDesc := fmt.Sprintf("%+v", tgt)
+
+	var resume *Checkpoint
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, fm.Cost{}, fmt.Errorf("search: Resume requires CheckpointPath")
+		}
+		cp, err := LoadCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, fm.Cost{}, err
+		}
+		if err := cp.matches(gfp, tgtDesc, opts); err != nil {
+			return nil, fm.Cost{}, err
+		}
+		resume = cp
+	}
 
 	init := fm.ListSchedule(g, tgt)
+	done := 0
 	chains := make([]*chain, opts.Chains)
 	for i := range chains {
 		place := make([]geom.Point, g.NumNodes())
 		for n := range place {
 			place[n] = init[n].Place
 		}
+		src := newChainSource(opts.Seed, i, 0)
 		ch := &chain{
-			rng:   rand.New(rand.NewSource(opts.Seed + int64(i))),
+			rng:   rand.New(src),
+			src:   src,
 			place: place,
 			cool:  math.Pow(1e-3, 1/float64(opts.Iters)), // decay to 0.1% of initial
 		}
@@ -227,13 +320,39 @@ func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cos
 		ch.temp = opts.InitTemp * math.Max(opts.Objective.Value(ch.curCost), 1)
 		chains[i] = ch
 	}
+	if resume != nil {
+		done = resume.Done
+		for i, ch := range chains {
+			st := resume.ChainStates[i]
+			if len(st.Cur) != g.NumNodes() || len(st.Best) != g.NumNodes() {
+				return nil, fm.Cost{}, fmt.Errorf("search: checkpoint chain %d has schedules for %d/%d nodes, want %d",
+					i, len(st.Cur), len(st.Best), g.NumNodes())
+			}
+			ch.src = newChainSource(opts.Seed, i, st.Draws)
+			ch.rng = rand.New(ch.src)
+			ch.cur = st.Cur
+			ch.best = st.Best
+			for n := range ch.place {
+				ch.place[n] = st.Cur[n].Place
+			}
+			ch.curCost = cache.Eval(g, gfp, ch.cur, tgt)
+			ch.bestCost = cache.Eval(g, gfp, ch.best, tgt)
+			// Replay the cooling multiplications rather than computing
+			// cool^done: repeated float multiplication is what the
+			// uninterrupted run performs, and resume must match it bit
+			// for bit.
+			for k := 0; k < done; k++ {
+				ch.temp *= ch.cool
+			}
+		}
+	}
 
 	// Chains advance in segments of ExchangeEvery iterations. Segment
 	// boundaries are barriers: all chains arrive, the deterministic
-	// exchange runs, all chains leave — so the trajectory of every chain
-	// is a pure function of the options.
+	// exchange runs, the checkpoint (if any) commits, all chains leave —
+	// so the trajectory of every chain is a pure function of the options.
 	segment := opts.ExchangeEvery
-	if opts.Chains == 1 || segment < 0 {
+	if (opts.Chains == 1 && opts.CheckpointPath == "") || segment < 0 {
 		segment = opts.Iters
 	}
 	workers := resolveWorkers(opts.Workers)
@@ -246,7 +365,7 @@ func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cos
 		defer pool.Close()
 	}
 
-	for done := 0; done < opts.Iters; {
+	for done < opts.Iters {
 		iters := segment
 		if rest := opts.Iters - done; iters > rest {
 			iters = rest
@@ -256,11 +375,14 @@ func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cos
 				ch.run(g, gfp, tgt, opts.Objective, cache, iters)
 			}
 		} else {
-			pool.For(0, len(chains), 1, func(lo, hi int) {
+			err := pool.For(0, len(chains), 1, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					chains[i].run(g, gfp, tgt, opts.Objective, cache, iters)
 				}
 			})
+			if err != nil {
+				return nil, fm.Cost{}, err
+			}
 		}
 		done += iters
 		if done < opts.Iters && len(chains) > 1 {
@@ -278,9 +400,28 @@ func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cos
 				}
 			}
 		}
+		if opts.CheckpointPath != "" {
+			cp := &Checkpoint{
+				Version: checkpointVersion,
+				Graph:   gfp, Target: tgtDesc,
+				Seed: opts.Seed, Iters: opts.Iters, Chains: opts.Chains,
+				ExchangeEvery: opts.ExchangeEvery, Objective: int(opts.Objective),
+				Done:        done,
+				ChainStates: make([]ChainState, len(chains)),
+			}
+			for i, ch := range chains {
+				cp.ChainStates[i] = ChainState{Draws: ch.src.n, Cur: ch.cur, Best: ch.best}
+			}
+			if err := SaveCheckpoint(opts.CheckpointPath, cp); err != nil {
+				return nil, fm.Cost{}, err
+			}
+			if testBarrierHook != nil {
+				testBarrierHook(done)
+			}
+		}
 	}
 	w := bestChain(chains, opts.Objective)
-	return chains[w].best, chains[w].bestCost
+	return chains[w].best, chains[w].bestCost, nil
 }
 
 // bestChain returns the index of the chain with the lowest best objective
@@ -410,7 +551,9 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 		if grain < 1 {
 			grain = 1
 		}
-		pool.For(0, len(tuples), grain, eval)
+		if err := pool.For(0, len(tuples), grain, eval); err != nil {
+			panic(fmt.Sprintf("search: exhaustive sweep: %v", err))
+		}
 	}
 
 	out := make([]Candidate, 0, len(tuples)+1)

@@ -42,6 +42,12 @@ func DefaultTarget(w, h int) Target {
 	return Target{Grid: geom.NewGrid(w, h, 1.0), Tech: tech.N5()}.withDefaults()
 }
 
+// WithDefaults returns the target with all zero fields replaced by their
+// documented defaults — the exact target every checker and evaluator in
+// this package prices against. Executors outside the package (e.g.
+// internal/replay) use it to build machines that agree with fm costs.
+func (t Target) WithDefaults() Target { return t.withDefaults() }
+
 func (t Target) withDefaults() Target {
 	if t.CyclePS == 0 {
 		t.CyclePS = 100

@@ -28,7 +28,10 @@ func sumEval(g *fm.Graph) func(fm.NodeID, []int64) int64 {
 // port's values.
 func run(t *testing.T, m *fm.Module, inputs []int64) []int64 {
 	t.Helper()
-	vals := fm.Interpret(m.Graph, inputs, sumEval(m.Graph))
+	vals, err := fm.Interpret(m.Graph, inputs, sumEval(m.Graph))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var out []int64
 	for _, p := range m.Out {
 		for _, n := range p.Nodes {

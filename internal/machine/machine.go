@@ -15,6 +15,7 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/noc"
 	"repro/internal/tech"
@@ -46,6 +47,12 @@ type Config struct {
 	RouterEnergyPerBit float64
 	// Trace, if non-nil, records every event.
 	Trace *trace.Trace
+	// Faults, if non-nil and enabled, injects deterministic transient
+	// node stalls before compute/memory/off-chip events, and is passed
+	// through to the NoC for link spikes and dropped flits. Same (seed,
+	// rate) ⇒ identical faulted trace; rate 0 ⇒ bit-for-bit the
+	// fault-free trace.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +98,7 @@ func New(cfg Config) *Machine {
 		RouterDelayPS:      cfg.RouterDelayPS,
 		RouterEnergyPerBit: cfg.RouterEnergyPerBit,
 		Trace:              cfg.Trace,
+		Faults:             cfg.Faults,
 	})
 	return m
 }
@@ -128,12 +136,29 @@ func (m *Machine) record(k trace.Kind, start, end float64, p, dst geom.Point, en
 	}
 }
 
+// stall applies an injected transient stall (if the node's fault
+// schedule faults) before the next event at node id, advancing its clock
+// and recording a zero-energy fault event.
+func (m *Machine) stall(id int, p geom.Point) {
+	if !m.cfg.Faults.Enabled() {
+		return
+	}
+	ps := m.cfg.Faults.Stall(id)
+	if ps <= 0 {
+		return
+	}
+	start := m.nodeTime[id]
+	m.nodeTime[id] = start + ps
+	m.record(trace.KindFault, start, start+ps, p, p, 0, 0, "stall")
+}
+
 // Compute executes one operation of the given class at node p, starting
 // at the node's current clock, and returns its completion time. If the
 // machine models a conventional CPU (CPUOverhead), the instruction
 // delivery overhead is charged as a separate overhead event.
 func (m *Machine) Compute(p geom.Point, class tech.OpClass, bits int, tag string) float64 {
 	id := m.cfg.Grid.ID(p)
+	m.stall(id, p)
 	start := m.nodeTime[id]
 	delay := m.cfg.Tech.OpDelay(class, bits)
 	end := start + delay
@@ -155,6 +180,7 @@ func (m *Machine) MemAccess(p geom.Point, words int, tag string) float64 {
 		panic(fmt.Sprintf("machine: invalid access of %d words", words))
 	}
 	id := m.cfg.Grid.ID(p)
+	m.stall(id, p)
 	start := m.nodeTime[id]
 	bits := words * m.cfg.WordBits
 	end := start + m.cfg.Tech.SRAMDelay
@@ -206,6 +232,7 @@ func (m *Machine) OffChip(p geom.Point, words int, tag string) float64 {
 		panic(fmt.Sprintf("machine: invalid off-chip access of %d words", words))
 	}
 	id := m.cfg.Grid.ID(p)
+	m.stall(id, p)
 	start := m.nodeTime[id]
 	bits := words * m.cfg.WordBits
 	mm := m.edgeDistMM(p)
@@ -258,6 +285,10 @@ type Metrics struct {
 	EnergyByKind map[trace.Kind]float64
 	// Ops, MemAccesses, OffChipAccesses, Messages count events.
 	Ops, MemAccesses, OffChipAccesses, Messages int64
+	// Faults summarizes injected faults (zero when no injector is
+	// configured): counts per fault kind, retry totals, and the delay
+	// each kind added.
+	Faults fault.Stats
 }
 
 // Metrics returns the run summary so far.
@@ -286,6 +317,7 @@ func (m *Machine) Metrics() Metrics {
 		MemAccesses:     m.memCount,
 		OffChipAccesses: m.offChipCount,
 		Messages:        ns.Messages,
+		Faults:          m.cfg.Faults.Stats(),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/tech"
 	"repro/internal/trace"
@@ -90,6 +91,11 @@ type Config struct {
 	Mode Mode
 	// Trace, if non-nil, receives one wire event per message.
 	Trace *trace.Trace
+	// Faults, if non-nil and enabled, injects deterministic link-delay
+	// spikes and dropped-then-retried flits into Send. Injection is keyed
+	// per directed link, so the faulted trace is reproducible from the
+	// injector's (seed, rate) alone.
+	Faults *fault.Injector
 }
 
 // withDefaults fills zero fields; a NEGATIVE router delay or energy means
@@ -285,27 +291,53 @@ func (n *Network) Send(t0 float64, src, dst geom.Point, bits int) (arrival, ener
 	// Header time advances hop by hop, stalling on busy links. Occupancy
 	// models serialization: a link is held for flits*per once the header
 	// acquires it.
+	var faultEnergy float64
 	t := t0
 	for i := 0; i < hops; i++ {
 		l := link{route[i], route[i+1]}
 		if b := n.busyUntil[l]; b > t {
 			t = b
 		}
-		n.busyUntil[l] = t + occupancy
-		n.linkBits[l] += int64(bits)
+		hold := occupancy
+		var step float64
 		switch n.cfg.Mode {
 		case CutThrough:
-			t += per
+			step = per
 		case StoreAndForward:
-			t += per + float64(flits-1)*per
+			step = per + float64(flits-1)*per
 		}
+		if n.cfg.Faults.Enabled() {
+			from, to := n.cfg.Grid.ID(l.from), n.cfg.Grid.ID(l.to)
+			if spike := n.cfg.Faults.Spike(from, to); spike > 0 {
+				// A delay spike slows this hop's traversal; the link is
+				// held correspondingly longer.
+				step += spike
+				hold += spike
+				n.recordFault(t, spike, l, "spike")
+			}
+			if retries, backoff := n.cfg.Faults.Drop(from, to); retries > 0 {
+				// Dropped flits re-serialize on the link after backoff:
+				// the hop stalls for the backoff plus one full
+				// retransmission per retry, the link stays busy for the
+				// retransmissions, and the retransmitted bits pay this
+				// hop's wire+router energy again.
+				pen := backoff + float64(retries)*occupancy
+				step += pen
+				hold += float64(retries) * occupancy
+				faultEnergy += float64(retries) * n.MessageEnergy(1, bits)
+				n.recordFault(t, pen, l, "drop")
+			}
+		}
+		n.busyUntil[l] = t + hold
+		n.linkBits[l] += int64(bits)
+		t += step
 	}
 	if n.cfg.Mode == CutThrough {
 		// Tail flits pipeline behind the header.
 		t += float64(flits-1) * per
 	}
 
-	energy = n.MessageEnergy(hops, bits)
+	energy = n.MessageEnergy(hops, bits) + faultEnergy
 	n.energy += energy
 	n.bitHops += int64(bits) * int64(hops)
 	n.messages++
@@ -316,6 +348,17 @@ func (n *Network) Send(t0 float64, src, dst geom.Point, bits int) (arrival, ener
 		})
 	}
 	return t, energy
+}
+
+// recordFault emits one injected-fault event on a link: ps picoseconds
+// of spike or retry delay starting when the header reached the link.
+func (n *Network) recordFault(start, ps float64, l link, tag string) {
+	if n.cfg.Trace.Enabled() {
+		n.cfg.Trace.Add(trace.Event{
+			Kind: trace.KindFault, Start: start, End: start + ps,
+			Place: l.from, Dst: l.to, Tag: tag,
+		})
+	}
 }
 
 // Stats summarizes traffic since the last Reset.
@@ -362,11 +405,14 @@ func (n *Network) Stats() Stats {
 	return s
 }
 
-// Reset clears all link occupancy and statistics.
+// Reset clears all link occupancy and statistics. A configured fault
+// injector is reset too, so a re-run replays the identical fault
+// schedule.
 func (n *Network) Reset() {
 	n.busyUntil = make(map[link]float64)
 	n.linkBits = make(map[link]int64)
 	n.bitHops = 0
 	n.messages = 0
 	n.energy = 0
+	n.cfg.Faults.Reset()
 }

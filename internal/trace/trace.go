@@ -31,6 +31,10 @@ const (
 	KindOffChip
 	// KindOverhead is instruction-delivery or scheduling overhead.
 	KindOverhead
+	// KindFault is injected-fault delay: a transient node stall, a link
+	// delay spike, or retry backoff after a dropped flit. Fault events
+	// carry zero energy; for link faults Dst is the link's far end.
+	KindFault
 	numKinds
 )
 
@@ -47,6 +51,8 @@ func (k Kind) String() string {
 		return "offchip"
 	case KindOverhead:
 		return "overhead"
+	case KindFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -96,7 +102,7 @@ func (t *Trace) Add(e Event) {
 	if e.End < e.Start {
 		panic(fmt.Sprintf("trace: event ends (%g) before it starts (%g)", e.End, e.Start))
 	}
-	if e.Kind != KindWire {
+	if e.Kind != KindWire && e.Kind != KindFault {
 		e.Dst = e.Place
 	}
 	t.events = append(t.events, e)

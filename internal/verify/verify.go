@@ -86,7 +86,10 @@ func Equiv(g *fm.Graph, domain []int64, maxChecks int,
 		for i, d := range idx {
 			assignment[i] = domain[d]
 		}
-		vals := fm.Interpret(g, assignment, eval)
+		vals, err := fm.Interpret(g, assignment, eval)
+		if err != nil {
+			return EquivResult{}, err
+		}
 		want := ref(append([]int64(nil), assignment...))
 		if len(want) != len(outs) {
 			return EquivResult{}, fmt.Errorf("verify: reference returned %d outputs, graph has %d",

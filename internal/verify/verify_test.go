@@ -132,7 +132,10 @@ func TestEquivEditDistance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			vals := fm.Interpret(g, nil, editdist.Evaluator(dom, rr, q, editdist.Levenshtein()))
+			vals, err := fm.Interpret(g, nil, editdist.Evaluator(dom, rr, q, editdist.Levenshtein()))
+			if err != nil {
+				t.Fatal(err)
+			}
 			want := editdist.Distance(rr, q, editdist.Levenshtein())
 			if got := vals[dom.Node(2, 2)]; got != int64(want) {
 				t.Fatalf("graph distance(%q,%q) = %d, serial = %d", rr, q, got, want)

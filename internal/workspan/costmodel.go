@@ -23,12 +23,14 @@ func (a Analysis) Par(b Analysis) Analysis {
 	return Analysis{Work: a.Work + b.Work, Span: math.Max(a.Span, b.Span)}
 }
 
-// BrentBound returns W/P + D, the greedy-scheduler bound on P processors.
-func (a Analysis) BrentBound(p int) float64 {
+// BrentBound returns W/P + D, the greedy-scheduler bound on P
+// processors. The processor count often arrives from a flag or config,
+// so a non-positive p is reported as an error, not a panic.
+func (a Analysis) BrentBound(p int) (float64, error) {
 	if p <= 0 {
-		panic(fmt.Sprintf("workspan: invalid processor count %d", p))
+		return 0, fmt.Errorf("workspan: invalid processor count %d", p)
 	}
-	return a.Work/float64(p) + a.Span
+	return a.Work/float64(p) + a.Span, nil
 }
 
 // Parallelism returns W/D, the maximum useful processor count.

@@ -18,23 +18,30 @@ func TestAnalysisCompose(t *testing.T) {
 
 func TestBrentBound(t *testing.T) {
 	a := Analysis{Work: 100, Span: 10}
-	if got := a.BrentBound(10); got != 20 {
-		t.Errorf("BrentBound = %g", got)
+	if got, err := a.BrentBound(10); err != nil || got != 20 {
+		t.Errorf("BrentBound = %g, %v", got, err)
 	}
 	// More processors never raises the bound.
 	prev := math.Inf(1)
 	for p := 1; p <= 64; p *= 2 {
-		b := a.BrentBound(p)
+		b, err := a.BrentBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if b > prev {
 			t.Errorf("bound increased at p=%d", p)
 		}
 		prev = b
 	}
 	// The bound approaches the span.
-	if b := a.BrentBound(1 << 20); b < a.Span || b > a.Span*1.01 {
-		t.Errorf("asymptotic bound = %g, want ~%g", b, a.Span)
+	if b, err := a.BrentBound(1 << 20); err != nil || b < a.Span || b > a.Span*1.01 {
+		t.Errorf("asymptotic bound = %g, want ~%g (%v)", b, a.Span, err)
 	}
-	assertPanics(t, "bad p", func() { a.BrentBound(0) })
+	for _, p := range []int{0, -1} {
+		if _, err := a.BrentBound(p); err == nil {
+			t.Errorf("BrentBound(%d) returned nil error", p)
+		}
+	}
 }
 
 func TestParallelism(t *testing.T) {

@@ -46,7 +46,9 @@ func ExampleScan() {
 func ExampleAnalysis() {
 	a := workspan.ReduceAnalysis(1<<20, 1<<12)
 	fmt.Printf("parallelism: %.0f\n", a.Parallelism())
-	fmt.Printf("bound on 8 procs / serial: %.3f\n", a.BrentBound(8)/a.BrentBound(1))
+	b8, _ := a.BrentBound(8)
+	b1, _ := a.BrentBound(1)
+	fmt.Printf("bound on 8 procs / serial: %.3f\n", b8/b1)
 	// Output:
 	// parallelism: 256
 	// bound on 8 procs / serial: 0.128

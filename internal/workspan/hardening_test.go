@@ -1,0 +1,174 @@
+package workspan
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerPanicSurfacesAsError is the headline robustness contract: a
+// panic in one For segment becomes the call's error (not a process
+// crash), and the pool keeps scheduling afterwards.
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	for _, mode := range []Mode{WorkStealing, CentralQueue} {
+		for _, workers := range []int{1, 4} {
+			withPool(t, workers, mode, func(p *Pool) {
+				err := p.For(0, 100, 3, func(lo, hi int) {
+					if lo <= 41 && 41 < hi {
+						panic("segment 41 exploded")
+					}
+				})
+				if err == nil {
+					t.Fatalf("%v/%d: panic completed silently", mode, workers)
+				}
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("%v/%d: error is %T, want *PanicError", mode, workers, err)
+				}
+				if pe.Value != "segment 41 exploded" || len(pe.Stack) == 0 {
+					t.Fatalf("%v/%d: bad PanicError: value=%v stack=%dB", mode, workers, pe.Value, len(pe.Stack))
+				}
+				if !strings.Contains(pe.Error(), "segment 41 exploded") {
+					t.Fatalf("%v/%d: Error() does not mention panic value: %s", mode, workers, pe.Error())
+				}
+
+				// The pool survives: the next run covers its range exactly once.
+				var hits [64]int32
+				if err := p.For(0, 64, 5, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				}); err != nil {
+					t.Fatalf("%v/%d: pool broken after panic: %v", mode, workers, err)
+				}
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("%v/%d: index %d visited %d times after panic", mode, workers, i, h)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPanicStillJoinsSpawnedChild runs under -race in CI: if Do's panic
+// path returned while b was still in flight, b's write to after would
+// race with the read below.
+func TestPanicStillJoinsSpawnedChild(t *testing.T) {
+	withPool(t, 4, WorkStealing, func(p *Pool) {
+		var after int64
+		err := p.Run(func(c *Ctx) {
+			c.Do(
+				func(*Ctx) { panic("a dies") },
+				func(*Ctx) {
+					time.Sleep(2 * time.Millisecond)
+					atomic.StoreInt64(&after, 42)
+				},
+			)
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PanicError", err)
+		}
+		// b either ran to completion before the join or was skipped as
+		// cancelled; both are fine — what is forbidden is running after
+		// Run returned, which the race detector checks via `after`.
+		_ = atomic.LoadInt64(&after)
+	})
+}
+
+func TestFirstOfSeveralPanicsWins(t *testing.T) {
+	withPool(t, 4, WorkStealing, func(p *Pool) {
+		err := p.For(0, 32, 1, func(lo, hi int) {
+			panic(lo)
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PanicError", err)
+		}
+		if _, ok := pe.Value.(int); !ok {
+			t.Fatalf("panic value %v is not one of the segment indices", pe.Value)
+		}
+	})
+}
+
+func TestContextCancelBeforeRun(t *testing.T) {
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ran := false
+		err := p.RunWith(RunOptions{Context: ctx}, func(c *Ctx) { ran = true })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if ran {
+			t.Fatal("body ran despite pre-cancelled context")
+		}
+	})
+}
+
+func TestContextCancelMidRunSkipsRemainingTasks(t *testing.T) {
+	// One worker makes the schedule sequential: the first segment
+	// cancels, every segment not yet started must be skipped.
+	withPool(t, 1, WorkStealing, func(p *Pool) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		const n, grain = 1024, 4
+		var visited int32
+		err := p.RunWith(RunOptions{Context: ctx}, func(c *Ctx) {
+			For(c, 0, n, grain, func(lo, hi int) {
+				atomic.AddInt32(&visited, int32(hi-lo))
+				cancel()
+			})
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if v := atomic.LoadInt32(&visited); v >= n {
+			t.Fatalf("cancellation skipped nothing: visited %d of %d", v, n)
+		}
+	})
+}
+
+func TestTaskTimeout(t *testing.T) {
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		err := p.RunWith(RunOptions{TaskTimeout: time.Millisecond}, func(c *Ctx) {
+			time.Sleep(20 * time.Millisecond)
+		})
+		if !errors.Is(err, ErrTaskTimeout) {
+			t.Fatalf("err = %v, want ErrTaskTimeout", err)
+		}
+		// A run that fits its deadline is untouched.
+		if err := p.RunWith(RunOptions{TaskTimeout: time.Minute}, func(c *Ctx) {}); err != nil {
+			t.Fatalf("fast run failed: %v", err)
+		}
+	})
+}
+
+func TestCtxErrReportsCancellation(t *testing.T) {
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var sawErr atomic.Bool
+		err := p.RunWith(RunOptions{Context: ctx}, func(c *Ctx) {
+			if c.Err() != nil {
+				t.Error("Err non-nil before any failure")
+			}
+			cancel()
+			deadline := time.Now().Add(time.Second)
+			for c.Err() == nil && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			sawErr.Store(c.Err() != nil)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if !sawErr.Load() {
+			t.Fatal("body never observed cancellation via Ctx.Err")
+		}
+	})
+}

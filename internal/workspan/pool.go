@@ -15,8 +15,11 @@
 package workspan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,10 +50,99 @@ func (m Mode) String() string {
 	}
 }
 
+// PanicError is a panic recovered from a task body, surfaced as the
+// error of the Run that spawned it instead of crashing the process.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("workspan: task panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// ErrTaskTimeout marks a task body that overran RunOptions.TaskTimeout.
+var ErrTaskTimeout = errors.New("workspan: task exceeded deadline")
+
+// RunOptions configures one Run invocation.
+type RunOptions struct {
+	// Context, when non-nil, cancels the run cooperatively: once Done,
+	// tasks not yet started are skipped, in-flight bodies run to
+	// completion, and Run returns the context's error.
+	Context context.Context
+	// TaskTimeout, when positive, is a per-task deadline. Goroutines
+	// cannot be preempted, so enforcement is at task boundaries: a body
+	// that runs longer fails the run (ErrTaskTimeout) when it returns,
+	// cancelling all remaining work.
+	TaskTimeout time.Duration
+}
+
+// runState is the shared fate of one Run invocation: the first error
+// (panic, timeout, or context cancellation) and the cancellation flag
+// every descendant task checks before starting.
+type runState struct {
+	ctx     context.Context
+	timeout time.Duration
+
+	mu        sync.Mutex
+	err       error
+	cancelled atomic.Bool
+}
+
+// fail records err as the run's error (first one wins) and cancels the
+// run. A nil err is ignored.
+func (r *runState) fail(err error) {
+	if r == nil || err == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancelled.Store(true)
+}
+
+func (r *runState) firstErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// dead reports whether the run is cancelled, first folding in any
+// context cancellation so the flag and the error agree.
+func (r *runState) dead() bool {
+	if r == nil {
+		return false
+	}
+	if r.cancelled.Load() {
+		return true
+	}
+	if r.ctx != nil {
+		select {
+		case <-r.ctx.Done():
+			r.fail(r.ctx.Err())
+			return true
+		default:
+		}
+	}
+	return false
+}
+
 // task is one spawned computation.
 type task struct {
 	fn       func(*Ctx)
+	run      *runState
 	finished atomic.Bool
+	// done, when non-nil, is closed after the task finishes and its
+	// error (if any) is recorded; only root tasks carry one.
+	done chan struct{}
 }
 
 // deque is a mutex-protected double-ended task queue: owner pushes and
@@ -169,23 +261,31 @@ func (p *Pool) Close() { p.stop.Store(true) }
 
 // Run executes f inside the pool and blocks until it (and everything it
 // forked) completes. The calling goroutine is not a worker; f runs on
-// worker goroutines.
-func (p *Pool) Run(f func(*Ctx)) {
+// worker goroutines. A panic in any task body is recovered, isolated to
+// this run, and returned as a *PanicError; the pool itself survives.
+func (p *Pool) Run(f func(*Ctx)) error {
+	return p.RunWith(RunOptions{}, f)
+}
+
+// RunWith is Run with cooperative cancellation and per-task deadlines.
+// The first failure — task panic, overrun deadline, or context
+// cancellation — cancels the run: every task not yet started is skipped
+// (the fork-join structure still joins, so RunWith never returns while
+// a body is in flight) and the first error is returned.
+func (p *Pool) RunWith(opts RunOptions, f func(*Ctx)) error {
 	if p.stop.Load() {
-		panic("workspan: Run on closed pool")
+		return errors.New("workspan: Run on closed pool")
 	}
-	done := make(chan struct{})
-	root := &task{fn: func(c *Ctx) {
-		defer close(done)
-		f(c)
-	}}
+	r := &runState{ctx: opts.Context, timeout: opts.TaskTimeout}
+	root := &task{fn: f, run: r, done: make(chan struct{})}
 	// Seed through the shared path so any worker can pick it up.
 	if p.mode == CentralQueue {
 		p.central.pushBottom(root)
 	} else {
 		p.workers[0].dq.pushBottom(root)
 	}
-	<-done
+	<-root.done
+	return r.firstErr()
 }
 
 // For runs body over the index range [lo, hi) inside the pool, blocking
@@ -195,14 +295,18 @@ func (p *Pool) Run(f func(*Ctx)) {
 // state); under that contract the call is race-free and the union of
 // segments visited is exactly [lo, hi) for any worker count, which is
 // what lets callers build deterministic fan-out/merge pipelines on top.
-func (p *Pool) For(lo, hi, grain int, body func(lo, hi int)) {
-	p.Run(func(c *Ctx) { For(c, lo, hi, grain, body) })
+// A panicking segment fails the whole call with a *PanicError; segments
+// not yet started are skipped, so the union-of-segments guarantee holds
+// only for a nil error.
+func (p *Pool) For(lo, hi, grain int, body func(lo, hi int)) error {
+	return p.Run(func(c *Ctx) { For(c, lo, hi, grain, body) })
 }
 
 // Ctx is a capability to fork work; it identifies the worker currently
-// executing the program.
+// executing the program and the run it belongs to.
 type Ctx struct {
-	w *worker
+	w   *worker
+	run *runState
 }
 
 // Worker returns the executing worker's index in [0, Workers()).
@@ -211,12 +315,26 @@ func (c *Ctx) Worker() int { return c.w.id }
 // Pool returns the pool this context executes on.
 func (c *Ctx) Pool() *Pool { return c.w.pool }
 
+// Err returns the run's first error once it has failed or been
+// cancelled, else nil. Long-running bodies should poll it and return
+// early; the runtime only skips tasks that have not started.
+func (c *Ctx) Err() error {
+	if c.run.dead() {
+		return c.run.firstErr()
+	}
+	return nil
+}
+
 // Do is the fork-join primitive: run a and b, potentially in parallel,
 // returning when both are complete. b is spawned, a runs immediately; if
 // nobody stole b the spawner runs it itself (the common fast path), else
-// the spawner helps execute other tasks until b finishes.
+// the spawner helps execute other tasks until b finishes. A panic in a
+// is recovered long enough to join b — the join structure is preserved,
+// so no spawned work outlives its parent frame — and then re-raised; the
+// recover in runTask converts it to the run's error. A panic in b is
+// recorded against the run and cancels it without unwinding the caller.
 func (c *Ctx) Do(a, b func(*Ctx)) {
-	t := &task{fn: b}
+	t := &task{fn: b, run: c.run}
 	p := c.w.pool
 	p.spawns.Add(1)
 	if p.mode == CentralQueue {
@@ -224,7 +342,18 @@ func (c *Ctx) Do(a, b func(*Ctx)) {
 	} else {
 		c.w.dq.pushBottom(t)
 	}
-	a(c)
+	var panicked any
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked = v
+				c.run.fail(&PanicError{Value: v, Stack: debug.Stack()})
+			}
+		}()
+		if !c.run.dead() {
+			a(c)
+		}
+	}()
 	var got bool
 	if p.mode == CentralQueue {
 		got = p.central.remove(t)
@@ -234,21 +363,51 @@ func (c *Ctx) Do(a, b func(*Ctx)) {
 	if got {
 		p.inline.Add(1)
 		c.runTask(t)
-		return
-	}
-	// b was taken; help with other work until it completes.
-	for !t.finished.Load() {
-		if next := c.w.find(); next != nil {
-			c.runTask(next)
-		} else {
-			runtime.Gosched()
+	} else {
+		// b was taken; help with other work until it completes.
+		for !t.finished.Load() {
+			if next := c.w.find(); next != nil {
+				c.runTask(next)
+			} else {
+				runtime.Gosched()
+			}
 		}
+	}
+	if panicked != nil {
+		// Both children joined; resume unwinding toward runTask, whose
+		// recover already has (or will keep) the first error.
+		panic(panicked)
 	}
 }
 
+// runTask executes t with its run's cancellation, panic isolation, and
+// deadline accounting. The defers are ordered so that any failure is
+// recorded in the runState strictly before finished/done are signalled:
+// a waiter that observes completion is guaranteed to observe the error.
 func (c *Ctx) runTask(t *task) {
+	prev := c.run
+	c.run = t.run
+	defer func() {
+		c.run = prev
+		t.finished.Store(true)
+		if t.done != nil {
+			close(t.done)
+		}
+	}()
+	if t.run.dead() {
+		return
+	}
+	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			t.run.fail(&PanicError{Value: v, Stack: debug.Stack()})
+		} else if t.run != nil && t.run.timeout > 0 {
+			if d := time.Since(start); d > t.run.timeout {
+				t.run.fail(fmt.Errorf("%w: task ran %v, limit %v", ErrTaskTimeout, d, t.run.timeout))
+			}
+		}
+	}()
 	t.fn(c)
-	t.finished.Store(true)
 }
 
 // find locates a runnable task: own deque first, then the central queue,

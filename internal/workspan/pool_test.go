@@ -171,15 +171,12 @@ func TestCentralQueueRecordsNoSteals(t *testing.T) {
 	})
 }
 
-func TestClosedPoolPanics(t *testing.T) {
+func TestClosedPoolErrors(t *testing.T) {
 	p := NewPool(1, WorkStealing)
 	p.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	p.Run(func(c *Ctx) {})
+	if err := p.Run(func(c *Ctx) {}); err == nil {
+		t.Error("Run on closed pool returned nil error")
+	}
 }
 
 func TestNewPoolPanicsOnBadCount(t *testing.T) {
