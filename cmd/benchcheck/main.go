@@ -1,0 +1,54 @@
+// Command benchcheck validates a panelbench JSON report: right schema,
+// a well-formed entry for every registered experiment, consistent
+// totals. CI runs it against the report artifact so a refactor that
+// silently drops an experiment (or emits an empty report) fails the
+// build even when every remaining experiment passes.
+//
+// Usage:
+//
+//	panelbench -json report.json && benchcheck report.json
+//	benchcheck -require-pass report.json   # also fail on any FAIL verdict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	requirePass := flag.Bool("require-pass", false, "fail if any experiment's verdict is FAIL, not just on malformed reports")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-require-pass] report.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := experiments.ReadReport(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %s: schema %s, %d experiments, %d passed, %d failed\n",
+		path, rep.Schema, len(rep.Experiments), rep.Passed, rep.Failed)
+	if *requirePass && rep.Failed > 0 {
+		for _, e := range rep.Experiments {
+			if !e.Pass {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s (%s) failed\n", e.ID, e.Name)
+			}
+		}
+		os.Exit(1)
+	}
+}

@@ -14,15 +14,26 @@
 // prints the mapping's edge-slack profile: how many cycles of injected
 // delay each producer→consumer edge absorbs before causality breaks.
 //
+// -critpath replays the mapping on the machine simulator and prints the
+// critical path through the resulting trace: which kinds of work
+// (compute, wire, memory, waiting) the makespan decomposes into.
+// -metrics-out writes a JSON document ("fmsim/v1") with the analytic
+// cost, the replayed machine metrics, the critical-path attribution, and
+// the full observability-registry snapshot — the structured twin of the
+// human-readable output. -render additionally prints the NoC
+// link-utilization heatmap next to the space-time diagram.
+//
 // Usage:
 //
 //	fmsim -func editdist -n 64 -map antidiag -p 8 -render
 //	fmsim -func fft -n 256 -map blocked -p 8
 //	fmsim -func editdist -n 32 -map serial
 //	fmsim -func editdist -n 32 -map antidiag -faults 0.05 -fault-seed 7 -slack
+//	fmsim -func editdist -n 32 -map antidiag -critpath -metrics-out metrics.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +44,7 @@ import (
 	"repro/internal/fm"
 	"repro/internal/geom"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/tech"
 	"repro/internal/trace"
@@ -51,6 +63,8 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "fault rate in [0,1]: replay the mapping on the machine simulator with injected stalls/spikes/drops")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection seed; same (seed, rate) reproduces the identical faulted run")
 	slack := flag.Bool("slack", false, "print the mapping's edge-slack profile (absorbable fault delay per edge)")
+	critpath := flag.Bool("critpath", false, "replay the mapping and print the critical path through the machine trace")
+	metricsOut := flag.String("metrics-out", "", "write cost, machine metrics, critical path, and the obs snapshot as JSON to this path")
 	flag.Parse()
 
 	tgt := fm.DefaultTarget(maxInt(*p, 1), 1)
@@ -107,6 +121,13 @@ func main() {
 	if *render {
 		fmt.Println(trace.Render(tr, trace.RenderOptions{Grid: tgt.Grid, Columns: 72}))
 	}
+	if *render || *critpath || *metricsOut != "" {
+		if err := replayObserved(g, sched, tgt, cost, *fn, *mapping, *n, *p,
+			*render, *critpath, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
 		if err != nil {
@@ -131,6 +152,94 @@ func main() {
 		}
 		fmt.Printf("\n%s\n%s", arch.Summary(), arch.Verilog())
 	}
+}
+
+// metricsDoc is the -metrics-out JSON document.
+type metricsDoc struct {
+	Schema   string `json:"schema"`
+	Function string `json:"function"`
+	Mapping  string `json:"mapping"`
+	N        int    `json:"n"`
+	P        int    `json:"p"`
+	// Cost is the analytic fm.Evaluate price of the mapping.
+	Cost fm.Cost `json:"cost"`
+	// ReplayMakespanPS and ReplayEnergyFJ come from the machine replay.
+	ReplayMakespanPS float64 `json:"replay_makespan_ps"`
+	ReplayEnergyFJ   float64 `json:"replay_energy_fj"`
+	// CriticalPath attributes the replayed makespan.
+	CriticalPath critpathDoc `json:"critical_path"`
+	// Obs is the full metrics-registry snapshot of the replay.
+	Obs obs.Snapshot `json:"obs"`
+}
+
+type critpathDoc struct {
+	MakespanPS float64            `json:"makespan_ps"`
+	WaitPS     float64            `json:"wait_ps"`
+	ByKindPS   map[string]float64 `json:"by_kind_ps"`
+	Segments   int                `json:"segments"`
+}
+
+// replayObserved runs the mapping on the instrumented machine simulator
+// (fault-free) and emits the observability artifacts: the link heatmap
+// (-render), the critical-path report (-critpath), and the JSON metrics
+// document (-metrics-out).
+func replayObserved(g *fm.Graph, sched fm.Schedule, tgt fm.Target, cost fm.Cost,
+	fn, mapping string, n, p int, render, critpath bool, metricsOut string) error {
+	reg := obs.New()
+	rtr := trace.New()
+	m := replay.ObservedMachineFor(tgt, nil, rtr, reg)
+	met, err := replay.Run(g, sched, tgt, m)
+	if err != nil {
+		return err
+	}
+	rep := trace.CriticalPath(rtr)
+	if render {
+		fmt.Println(m.Network().RenderLinkHeatmap())
+	}
+	if critpath {
+		fmt.Printf("critical path: %d segments explain the %.0f ps replayed makespan\n",
+			len(rep.Segments), rep.MakespanPS)
+		for k := 0; k < trace.NumKinds; k++ {
+			kind := trace.Kind(k)
+			if ps := rep.ByKindPS[kind]; ps > 0 {
+				fmt.Printf("  %-9s %10.0f ps  (%4.1f%%)\n", kind, ps, 100*ps/rep.MakespanPS)
+			}
+		}
+		if rep.WaitPS > 0 {
+			fmt.Printf("  %-9s %10.0f ps  (%4.1f%%)\n", "waiting", rep.WaitPS, 100*rep.WaitPS/rep.MakespanPS)
+		}
+	}
+	if metricsOut != "" {
+		byKind := make(map[string]float64, len(rep.ByKindPS))
+		for k, v := range rep.ByKindPS {
+			byKind[k.String()] = v
+		}
+		doc := metricsDoc{
+			Schema: "fmsim/v1", Function: fn, Mapping: mapping, N: n, P: p,
+			Cost:             cost,
+			ReplayMakespanPS: met.Makespan, ReplayEnergyFJ: met.TotalEnergy,
+			CriticalPath: critpathDoc{
+				MakespanPS: rep.MakespanPS, WaitPS: rep.WaitPS,
+				ByKindPS: byKind, Segments: len(rep.Segments),
+			},
+			Obs: reg.Snapshot(),
+		}
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+	return nil
 }
 
 // replayFaulted runs the mapping twice on the machine simulator — once

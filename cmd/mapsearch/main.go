@@ -16,12 +16,21 @@
 // an uninterrupted run would have, bit for bit. -resume fails if the
 // checkpoint file is missing or belongs to different search settings.
 //
+// With -progress the annealer streams one JSON line per exchange
+// barrier (candidates/sec, cache hit rate, best cost so far, per-chain
+// temperatures) to the given file; the final line carries "final": true
+// and exactly the cost the search returns. -obs dumps the full metrics
+// registry (search, cache, scheduler) as JSON at exit. -cpuprofile and
+// -memprofile write runtime/pprof profiles.
+//
 // Usage:
 //
 //	mapsearch -n 12 -p 4
 //	mapsearch -n 16 -p 8 -tau 10 -pitch 0.1 -workers 8 -chains 4
 //	mapsearch -iters 200000 -checkpoint /tmp/anneal.ckpt   # killable
 //	mapsearch -iters 200000 -checkpoint /tmp/anneal.ckpt -resume
+//	mapsearch -iters 50000 -progress /tmp/search.jsonl -obs /tmp/obs.json
+//	mapsearch -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -32,6 +41,8 @@ import (
 
 	"repro/internal/fm"
 	"repro/internal/fm/search"
+	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/tech"
 )
@@ -47,7 +58,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "annealing seed (chain i uses seed+i)")
 	checkpoint := flag.String("checkpoint", "", "write a crash-safe annealing checkpoint to this path at every exchange barrier")
 	resume := flag.Bool("resume", false, "restore the annealer from -checkpoint before searching (requires the file to exist)")
+	progress := flag.String("progress", "", "stream annealing progress as JSON lines to this path")
+	obsOut := flag.String("obs", "", "write the metrics-registry snapshot as JSON to this path at exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopCPU()
 	if *chains < 1 {
 		*chains = 1 // mirror AnnealOptions' default so the banner reports the truth
 	}
@@ -77,10 +99,15 @@ func main() {
 	tgt.Grid.PitchMM = *pitch
 	tgt.MemWordsPerNode = 1 << 22
 
+	var reg *obs.Registry
+	if *obsOut != "" {
+		reg = obs.New()
+	}
+
 	cache := search.NewEvalCache()
 	start := time.Now()
 	cands := search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{
-		P: *p, MaxTau: *tau, Workers: *workers, Cache: cache,
+		P: *p, MaxTau: *tau, Workers: *workers, Cache: cache, Obs: reg,
 	})
 	sweep := time.Since(start)
 	t := stats.NewTable(
@@ -107,10 +134,24 @@ func main() {
 		fmt.Printf("  %-40s cycles=%-8d energy=%.0f fJ\n", c.Name, c.Cost.Cycles, c.Cost.EnergyFJ)
 	}
 
+	var onProgress func(search.Progress)
+	if *progress != "" {
+		pf, err := os.Create(*progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+			os.Exit(2)
+		}
+		defer pf.Close()
+		onProgress = search.ProgressWriter(pf, func(err error) {
+			fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+		})
+	}
+
 	start = time.Now()
 	_, annealed, err := search.AnnealResumable(g, tgt, search.AnnealOptions{
 		Iters: *iters, Seed: *seed, Chains: *chains, Workers: *workers, Cache: cache,
 		CheckpointPath: *checkpoint, Resume: *resume,
+		OnProgress: onProgress, Obs: reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mapsearch: anneal: %v\n", err)
@@ -122,4 +163,24 @@ func main() {
 	hits, misses := cache.Stats()
 	fmt.Printf("search ran in %v (sweep) + %v (anneal); eval cache: %d hits / %d misses\n",
 		sweep.Round(time.Millisecond), annealT.Round(time.Millisecond), hits, misses)
+
+	if reg != nil {
+		of, err := os.Create(*obsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+			os.Exit(2)
+		}
+		if err := reg.Snapshot().WriteJSON(of); err != nil {
+			fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+			os.Exit(2)
+		}
+		if err := of.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "mapsearch: %v\n", err)
+		os.Exit(2)
+	}
 }

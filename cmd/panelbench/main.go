@@ -3,11 +3,18 @@
 // printing a paper-vs-measured table and a PASS/FAIL verdict. Exit status
 // is nonzero if any experiment fails.
 //
+// With -json the suite additionally writes a machine-readable report
+// (schema "panelbench/v1": every experiment's tables, notes, and
+// verdicts) to the given path, or to stdout with "-" — the format CI
+// archives and cmd/benchcheck validates. -cpuprofile and -memprofile
+// write runtime/pprof profiles of the run.
+//
 // Usage:
 //
 //	panelbench            # run everything
 //	panelbench -only E3   # run one experiment
 //	panelbench -list      # list experiments
+//	panelbench -json BENCH_panel.json
 package main
 
 import (
@@ -16,11 +23,15 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "write a panelbench/v1 JSON report to this path ('-' for stdout; requires a full run, incompatible with -only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
 
 	all := experiments.All()
@@ -30,9 +41,21 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut != "" && *only != "" {
+		fmt.Fprintln(os.Stderr, "panelbench: -json reports the full suite; drop -only")
+		os.Exit(2)
+	}
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopCPU()
 
 	failed := 0
 	ran := 0
+	report := experiments.Report{Schema: experiments.ReportSchema}
 	for _, e := range all {
 		if *only != "" && e.ID != *only {
 			continue
@@ -43,12 +66,54 @@ func main() {
 			fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
 			os.Exit(2)
 		}
-		if !r.Pass {
+		entry := experiments.ReportEntry{
+			ID: r.ID, Name: e.Name, Claim: r.Claim, Pass: r.Pass, Notes: r.Notes,
+		}
+		if r.Table != nil {
+			entry.Table = experiments.TableJSON{
+				Title:   r.Table.Title(),
+				Headers: r.Table.Headers(),
+				Rows:    r.Table.RowStrings(),
+				Notes:   r.Table.Notes(),
+			}
+		}
+		report.Experiments = append(report.Experiments, entry)
+		if r.Pass {
+			report.Passed++
+		} else {
+			report.Failed++
 			failed++
 		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "panelbench: no experiment matches %q (try -list)\n", *only)
+		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "panelbench: refusing to write a malformed report: %v\n", err)
+			os.Exit(2)
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
+			os.Exit(2)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("\nJSON report written to %s\n", *jsonOut)
+		}
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d/%d experiments passed\n", ran-failed, ran)

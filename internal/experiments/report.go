@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema identifies the JSON layout of a bench report. Bump the
+// suffix on any incompatible change; CI's schema check pins it.
+const ReportSchema = "panelbench/v1"
+
+// TableJSON is a stats.Table flattened for machine consumption: the
+// formatted cell strings, exactly as the text report prints them, so the
+// committed BENCH_*.json diffs cleanly against the rendered tables.
+type TableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// ReportEntry is one experiment's outcome in a Report.
+type ReportEntry struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Claim string    `json:"claim"`
+	Pass  bool      `json:"pass"`
+	Table TableJSON `json:"table"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+// Report is the machine-readable form of a full panelbench run —
+// `panelbench -json` emits one, and CI archives it as an artifact.
+type Report struct {
+	Schema      string        `json:"schema"`
+	Experiments []ReportEntry `json:"experiments"`
+	Passed      int           `json:"passed"`
+	Failed      int           `json:"failed"`
+}
+
+// BuildReport runs every registered experiment and collects the results.
+func BuildReport() Report {
+	rep := Report{Schema: ReportSchema}
+	for _, e := range All() {
+		r := e.Run()
+		entry := ReportEntry{
+			ID: r.ID, Name: e.Name, Claim: r.Claim, Pass: r.Pass, Notes: r.Notes,
+		}
+		if r.Table != nil {
+			entry.Table = TableJSON{
+				Title:   r.Table.Title(),
+				Headers: r.Table.Headers(),
+				Rows:    r.Table.RowStrings(),
+				Notes:   r.Table.Notes(),
+			}
+		}
+		rep.Experiments = append(rep.Experiments, entry)
+		if r.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+	}
+	return rep
+}
+
+// Validate is the sanity check CI runs against an emitted report: right
+// schema, one well-formed entry for every registered experiment, and
+// consistent pass/fail totals. It does NOT require every experiment to
+// pass — a failing reproduction is a result, not a broken report.
+func (r Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("experiments: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("experiments: report is empty")
+	}
+	seen := make(map[string]bool, len(r.Experiments))
+	passed, failed := 0, 0
+	for _, e := range r.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("experiments: entry with empty ID (name %q)", e.Name)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("experiments: duplicate entry %s", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Table.Headers) == 0 || len(e.Table.Rows) == 0 {
+			return fmt.Errorf("experiments: %s has an empty table", e.ID)
+		}
+		for i, row := range e.Table.Rows {
+			if len(row) != len(e.Table.Headers) {
+				return fmt.Errorf("experiments: %s row %d has %d cells for %d columns",
+					e.ID, i, len(row), len(e.Table.Headers))
+			}
+		}
+		if e.Pass {
+			passed++
+		} else {
+			failed++
+		}
+	}
+	for _, e := range All() {
+		if !seen[e.ID] {
+			return fmt.Errorf("experiments: report is missing %s (%s)", e.ID, e.Name)
+		}
+	}
+	if passed != r.Passed || failed != r.Failed {
+		return fmt.Errorf("experiments: totals say %d/%d pass/fail, entries say %d/%d",
+			r.Passed, r.Failed, passed, failed)
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written with WriteJSON. It does
+// not validate; callers chain Validate explicitly.
+func ReadReport(rd io.Reader) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("experiments: parse report: %w", err)
+	}
+	return r, nil
+}

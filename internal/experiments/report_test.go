@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildReportValidatesAndRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	rep := BuildReport()
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("freshly built report invalid: %v", err)
+	}
+	if len(rep.Experiments) != len(All()) {
+		t.Fatalf("report has %d experiments, registry has %d", len(rep.Experiments), len(All()))
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if back.Passed != rep.Passed || back.Failed != rep.Failed {
+		t.Fatalf("round trip changed totals: %d/%d vs %d/%d",
+			back.Passed, back.Failed, rep.Passed, rep.Failed)
+	}
+}
+
+func TestValidateRejectsBrokenReports(t *testing.T) {
+	base := func() Report {
+		var exps []ReportEntry
+		passed := 0
+		for _, e := range All() {
+			exps = append(exps, ReportEntry{
+				ID: e.ID, Name: e.Name, Claim: "c", Pass: true,
+				Table: TableJSON{Title: "t", Headers: []string{"a"}, Rows: [][]string{{"1"}}},
+			})
+			passed++
+		}
+		return Report{Schema: ReportSchema, Experiments: exps, Passed: passed}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base fixture invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "panelbench/v0" }, "schema"},
+		{"empty", func(r *Report) { r.Experiments = nil }, "empty"},
+		{"missing experiment", func(r *Report) {
+			r.Experiments = r.Experiments[1:]
+			r.Passed--
+		}, "missing E1"},
+		{"duplicate", func(r *Report) {
+			r.Experiments[1] = r.Experiments[0]
+		}, "duplicate"},
+		{"empty table", func(r *Report) { r.Experiments[0].Table.Rows = nil }, "empty table"},
+		{"ragged row", func(r *Report) {
+			r.Experiments[0].Table.Rows = [][]string{{"1", "2"}}
+		}, "cells"},
+		{"bad totals", func(r *Report) { r.Passed++ }, "totals"},
+	}
+	for _, c := range cases {
+		r := base()
+		c.mutate(&r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a broken report", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

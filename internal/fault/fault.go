@@ -19,6 +19,8 @@ package fault
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Class distinguishes the fault sites of the three injected fault kinds.
@@ -109,6 +111,9 @@ type Injector struct {
 	seed  uint64
 	seq   map[uint64]uint64
 	stats Stats
+
+	obsStalls, obsSpikes, obsDrops, obsRetries *obs.Counter
+	obsInjectedPS                              *obs.Gauge
 }
 
 // New returns an injector for the configuration, or an error if the
@@ -127,6 +132,22 @@ func New(cfg Config) (*Injector, error) {
 
 // Config returns the injector's (defaulted) configuration.
 func (in *Injector) Config() Config { return in.cfg }
+
+// Instrument publishes injection counts into the registry under
+// "fault.*" names (stalls, spikes, drops, retries, injected_ps).
+// Instrumentation never changes which events fault — the schedule is a
+// pure function of (seed, rate, site, sequence) with or without it.
+// No-op on a nil injector or registry.
+func (in *Injector) Instrument(r *obs.Registry) {
+	if in == nil || !r.Enabled() {
+		return
+	}
+	in.obsStalls = r.Counter("fault.stalls")
+	in.obsSpikes = r.Counter("fault.spikes")
+	in.obsDrops = r.Counter("fault.drops")
+	in.obsRetries = r.Counter("fault.retries")
+	in.obsInjectedPS = r.Gauge("fault.injected_ps")
+}
 
 // Enabled reports whether the injector can ever fault. A nil injector or
 // one with Rate 0 is disabled, and simulators skip it entirely, so the
@@ -209,6 +230,8 @@ func (in *Injector) Stall(node int) float64 {
 	}
 	in.stats.Stalls++
 	in.stats.StallPS += in.cfg.StallPS
+	in.obsStalls.Inc()
+	in.obsInjectedPS.Add(in.cfg.StallPS)
 	return in.cfg.StallPS
 }
 
@@ -223,6 +246,8 @@ func (in *Injector) Spike(from, to int) float64 {
 	}
 	in.stats.Spikes++
 	in.stats.SpikePS += in.cfg.SpikePS
+	in.obsSpikes.Inc()
+	in.obsInjectedPS.Add(in.cfg.SpikePS)
 	return in.cfg.SpikePS
 }
 
@@ -252,5 +277,8 @@ func (in *Injector) Drop(from, to int) (retries int, backoffPS float64) {
 	}
 	in.stats.Retries += int64(retries)
 	in.stats.BackoffPS += backoffPS
+	in.obsDrops.Inc()
+	in.obsRetries.Add(int64(retries))
+	in.obsInjectedPS.Add(backoffPS)
 	return retries, backoffPS
 }

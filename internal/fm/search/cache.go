@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fm"
+	"repro/internal/obs"
 )
 
 // evalCacheShards is the number of independently locked map shards. 64 is
@@ -38,13 +39,29 @@ type evalShard struct {
 // changes search results, only their price.
 type EvalCache struct {
 	shards [evalCacheShards]evalShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	// maxPerShard bounds each shard's entry count; 0 means unbounded.
+	maxPerShard int
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
 }
 
-// NewEvalCache returns an empty cache.
+// NewEvalCache returns an empty, unbounded cache.
 func NewEvalCache() *EvalCache {
+	return NewBoundedEvalCache(0)
+}
+
+// NewBoundedEvalCache returns a cache holding at most maxEntries priced
+// mappings (0 = unbounded). When a shard is full, inserting a new entry
+// evicts an arbitrary resident one. Eviction changes only which results
+// are *remembered*, never what Eval returns — a re-miss re-prices the
+// mapping through the deterministic evaluator — so bounding memory is
+// always safe for search results.
+func NewBoundedEvalCache(maxEntries int) *EvalCache {
 	c := &EvalCache{}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + evalCacheShards - 1) / evalCacheShards
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[evalKey]fm.Cost)
 	}
@@ -69,6 +86,19 @@ func (c *EvalCache) Eval(g *fm.Graph, gfp uint64, sched fm.Schedule, tgt fm.Targ
 	c.misses.Add(1)
 	cost = mustEval(g, sched, tgt)
 	sh.mu.Lock()
+	if c.maxPerShard > 0 && len(sh.m) >= c.maxPerShard {
+		if _, resident := sh.m[k]; !resident {
+			// Evict one arbitrary entry to make room. Which entry goes
+			// is Go's map iteration choice — nondeterministic, and
+			// deliberately allowed: the cache is a price memo, so
+			// membership never influences any search answer.
+			for victim := range sh.m {
+				delete(sh.m, victim)
+				c.evictions.Add(1)
+				break
+			}
+		}
+	}
 	sh.m[k] = cost
 	sh.mu.Unlock()
 	return cost
@@ -77,6 +107,27 @@ func (c *EvalCache) Eval(g *fm.Graph, gfp uint64, sched fm.Schedule, tgt fm.Targ
 // Stats returns the hit and miss counts since creation.
 func (c *EvalCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns the number of entries displaced by the capacity
+// bound (always 0 for an unbounded cache).
+func (c *EvalCache) Evictions() int64 {
+	return c.evictions.Load()
+}
+
+// PublishObs sets the cache's current hit/miss/eviction/occupancy
+// totals as gauges under "search.evalcache.*". Gauges (not counters) so
+// republishing at every progress barrier is idempotent. No-op on a nil
+// cache or registry.
+func (c *EvalCache) PublishObs(r *obs.Registry) {
+	if c == nil || !r.Enabled() {
+		return
+	}
+	hits, misses := c.Stats()
+	r.Gauge("search.evalcache.hits").Set(float64(hits))
+	r.Gauge("search.evalcache.misses").Set(float64(misses))
+	r.Gauge("search.evalcache.evictions").Set(float64(c.Evictions()))
+	r.Gauge("search.evalcache.entries").Set(float64(c.Len()))
 }
 
 // Len returns the number of distinct mappings cached.

@@ -1,0 +1,69 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChainProgress is the state of one annealing chain at a progress
+// barrier.
+type ChainProgress struct {
+	// Chain is the chain index (RNG stream seed+Chain).
+	Chain int `json:"chain"`
+	// Temp is the chain's current annealing temperature.
+	Temp float64 `json:"temp"`
+	// CurObjective and BestObjective are the objective values of the
+	// chain's current and best-so-far mappings.
+	CurObjective  float64 `json:"cur_objective"`
+	BestObjective float64 `json:"best_objective"`
+}
+
+// Progress is one record of the annealer's JSONL progress stream,
+// emitted at every exchange barrier and once more (Final) when the
+// search returns. The final record's best cost is exactly the cost the
+// search returns: both are read off the same winning chain.
+//
+// Rates (ElapsedSec, CandidatesPerSec) are wall-clock observations and
+// vary run to run; everything else is deterministic for fixed options.
+type Progress struct {
+	// Done and Total count per-chain iterations.
+	Done  int `json:"iters_done"`
+	Total int `json:"iters_total"`
+	// Candidates is the number of candidate evaluations so far across
+	// all chains (initial placements included).
+	Candidates int64 `json:"candidates"`
+	// Accepted and Rejected split the Metropolis decisions so far.
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	// ElapsedSec and CandidatesPerSec measure wall clock.
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	CandidatesPerSec float64 `json:"candidates_per_sec"`
+	// CacheHits/CacheMisses/CacheHitRate snapshot the EvalCache (they
+	// include any traffic from other searches sharing the cache).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// BestObjective/BestCycles/BestEnergyFJ describe the global best
+	// mapping (the one the search will return if it ended now).
+	BestObjective float64 `json:"best_objective"`
+	BestCycles    int64   `json:"best_cycles"`
+	BestEnergyFJ  float64 `json:"best_energy_fj"`
+	// Chains carries per-chain temperature and cost trajectories.
+	Chains []ChainProgress `json:"chains"`
+	// Final marks the record emitted after the last iteration.
+	Final bool `json:"final"`
+}
+
+// ProgressWriter returns an OnProgress callback that writes each record
+// as one JSON line to w — the `mapsearch -progress out.jsonl` stream.
+// Write errors are reported through errf (which may be nil to ignore
+// them); the search itself never fails on a broken progress sink.
+func ProgressWriter(w io.Writer, errf func(error)) func(Progress) {
+	enc := json.NewEncoder(w)
+	return func(p Progress) {
+		if err := enc.Encode(p); err != nil && errf != nil {
+			errf(fmt.Errorf("search: progress stream: %w", err))
+		}
+	}
+}

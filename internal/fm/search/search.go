@@ -31,9 +31,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/fm"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/workspan"
 )
 
@@ -151,6 +153,19 @@ type AnnealOptions struct {
 	// same graph, target, and options; the resumed search then produces
 	// bit-identical final output to an uninterrupted run.
 	Resume bool
+	// OnProgress, when non-nil, is called with a Progress snapshot at
+	// every exchange barrier and once more (Final=true) after the last
+	// iteration. With a single chain, barriers still occur every
+	// ExchangeEvery iterations so the stream stays live. The callback
+	// runs on the coordinating goroutine while all chains are parked at
+	// the barrier, so it may read the snapshot freely; it must not
+	// mutate search state. Observability never changes the result.
+	OnProgress func(Progress)
+	// Obs, when non-nil, receives search metrics under "search.anneal.*"
+	// (candidates, accepts/rejects, best objective, per-chain
+	// temperature) refreshed at every barrier, plus the EvalCache's
+	// "search.evalcache.*" gauges.
+	Obs *obs.Registry
 }
 
 func (o AnnealOptions) withDefaults() AnnealOptions {
@@ -218,6 +233,10 @@ type chain struct {
 	bestCost fm.Cost
 	temp     float64
 	cool     float64
+	// evals/accepts/rejects are chain-private counters, summed only at
+	// barriers (when no chain is running), so progress reporting adds no
+	// synchronization to the hot loop.
+	evals, accepts, rejects int64
 }
 
 // run advances the chain by iters proposals: relocate one node to a
@@ -229,13 +248,16 @@ func (ch *chain) run(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cach
 		ch.place[n] = tgt.Grid.At(ch.rng.Intn(tgt.Grid.Nodes()))
 		cand := ASAP(g, ch.place, tgt)
 		candCost := cache.Eval(g, gfp, cand, tgt)
+		ch.evals++
 		delta := obj.Value(candCost) - obj.Value(ch.curCost)
 		if delta <= 0 || ch.rng.Float64() < math.Exp(-delta/math.Max(ch.temp, 1e-12)) {
+			ch.accepts++
 			ch.cur, ch.curCost = cand, candCost
 			if obj.Value(ch.curCost) < obj.Value(ch.bestCost) {
 				ch.best, ch.bestCost = ch.cur, ch.curCost
 			}
 		} else {
+			ch.rejects++
 			ch.place[n] = old
 		}
 		ch.temp *= ch.cool
@@ -316,6 +338,7 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 		}
 		ch.cur = ASAP(g, place, tgt)
 		ch.curCost = cache.Eval(g, gfp, ch.cur, tgt)
+		ch.evals++
 		ch.best, ch.bestCost = ch.cur, ch.curCost
 		ch.temp = opts.InitTemp * math.Max(opts.Objective.Value(ch.curCost), 1)
 		chains[i] = ch
@@ -337,6 +360,7 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 			}
 			ch.curCost = cache.Eval(g, gfp, ch.cur, tgt)
 			ch.bestCost = cache.Eval(g, gfp, ch.best, tgt)
+			ch.evals += 2
 			// Replay the cooling multiplications rather than computing
 			// cool^done: repeated float multiplication is what the
 			// uninterrupted run performs, and resume must match it bit
@@ -351,8 +375,66 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 	// boundaries are barriers: all chains arrive, the deterministic
 	// exchange runs, the checkpoint (if any) commits, all chains leave —
 	// so the trajectory of every chain is a pure function of the options.
+	// Progress emission happens only at barriers, with every chain
+	// parked, so the chain-private counters can be read without locks.
+	// The helper publishes to the callback and the registry; neither can
+	// influence the chains, so observers never perturb the search.
+	start := time.Now()
+	observing := opts.OnProgress != nil || opts.Obs.Enabled()
+	emit := func(done int, final bool) {
+		if !observing {
+			return
+		}
+		var evals, accepts, rejects int64
+		for _, ch := range chains {
+			evals += ch.evals
+			accepts += ch.accepts
+			rejects += ch.rejects
+		}
+		w := bestChain(chains, opts.Objective)
+		p := Progress{
+			Done: done, Total: opts.Iters,
+			Candidates: evals, Accepted: accepts, Rejected: rejects,
+			ElapsedSec:    time.Since(start).Seconds(),
+			BestObjective: opts.Objective.Value(chains[w].bestCost),
+			BestCycles:    chains[w].bestCost.Cycles,
+			BestEnergyFJ:  chains[w].bestCost.EnergyFJ,
+			Final:         final,
+		}
+		if p.ElapsedSec > 0 {
+			p.CandidatesPerSec = float64(evals) / p.ElapsedSec
+		}
+		p.CacheHits, p.CacheMisses = cache.Stats()
+		if total := p.CacheHits + p.CacheMisses; total > 0 {
+			p.CacheHitRate = float64(p.CacheHits) / float64(total)
+		}
+		for i, ch := range chains {
+			p.Chains = append(p.Chains, ChainProgress{
+				Chain: i, Temp: ch.temp,
+				CurObjective:  opts.Objective.Value(ch.curCost),
+				BestObjective: opts.Objective.Value(ch.bestCost),
+			})
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(p)
+		}
+		if r := opts.Obs; r.Enabled() {
+			r.Gauge("search.anneal.iters_done").Set(float64(done))
+			r.Gauge("search.anneal.candidates").Set(float64(evals))
+			r.Gauge("search.anneal.accepted").Set(float64(accepts))
+			r.Gauge("search.anneal.rejected").Set(float64(rejects))
+			r.Gauge("search.anneal.best_objective").Set(p.BestObjective)
+			for i, ch := range chains {
+				r.Gauge(fmt.Sprintf("search.anneal.chain%d.temp", i)).Set(ch.temp)
+				r.Gauge(fmt.Sprintf("search.anneal.chain%d.best_objective", i)).
+					Set(opts.Objective.Value(ch.bestCost))
+			}
+			cache.PublishObs(r)
+		}
+	}
+
 	segment := opts.ExchangeEvery
-	if (opts.Chains == 1 && opts.CheckpointPath == "") || segment < 0 {
+	if (opts.Chains == 1 && opts.CheckpointPath == "" && !observing) || segment < 0 {
 		segment = opts.Iters
 	}
 	workers := resolveWorkers(opts.Workers)
@@ -419,7 +501,11 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 				testBarrierHook(done)
 			}
 		}
+		if done < opts.Iters {
+			emit(done, false)
+		}
 	}
+	emit(done, true)
 	w := bestChain(chains, opts.Objective)
 	return chains[w].best, chains[w].bestCost, nil
 }
@@ -465,6 +551,10 @@ type Affine2DOptions struct {
 	// caller shares it across sweeps or with an annealer on the same
 	// graph.
 	Cache *EvalCache
+	// Obs, when non-nil, receives sweep totals under "search.sweep.*"
+	// (tuples enumerated, legal candidates, evaluations) when the sweep
+	// finishes. Deterministic: set once from the merged result.
+	Obs *obs.Registry
 }
 
 // affineTuple is one point of the enumerated mapping family.
@@ -561,6 +651,12 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 		if r != nil {
 			out = append(out, *r)
 		}
+	}
+	if r := opts.Obs; r.Enabled() {
+		r.Gauge("search.sweep.tuples").Set(float64(len(tuples)))
+		r.Gauge("search.sweep.legal").Set(float64(len(out)))
+		r.Gauge("search.sweep.evaluated").Set(float64(len(out)))
+		opts.Cache.PublishObs(r)
 	}
 	serial := fm.SerialSchedule(g, tgt, geom.Pt(0, 0))
 	out = append(out, Candidate{Name: "serial", Sched: serial, Cost: mustEval(g, serial, tgt)})

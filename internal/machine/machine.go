@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/trace"
 )
@@ -53,6 +54,11 @@ type Config struct {
 	// rate) ⇒ identical faulted trace; rate 0 ⇒ bit-for-bit the
 	// fault-free trace.
 	Faults *fault.Injector
+	// Obs, if non-nil, receives per-kind event counts, energy, and busy
+	// time under "machine.*" names, and is passed through to the NoC.
+	// Observability never changes what the machine computes: a nil
+	// registry and an attached one produce byte-identical traces.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +84,13 @@ type Machine struct {
 	memCount     int64
 	offChipCount int64
 	lastArrival  float64
+
+	// Per-kind instruments, resolved once at construction. All remain
+	// nil (and their methods no-ops) when no registry is configured, so
+	// the uninstrumented path costs one nil check per event.
+	obsEvents [trace.NumKinds]*obs.Counter
+	obsEnergy [trace.NumKinds]*obs.Gauge
+	obsBusy   [trace.NumKinds]*obs.Gauge
 }
 
 // New returns a machine over the configured grid.
@@ -99,7 +112,16 @@ func New(cfg Config) *Machine {
 		RouterEnergyPerBit: cfg.RouterEnergyPerBit,
 		Trace:              cfg.Trace,
 		Faults:             cfg.Faults,
+		Obs:                cfg.Obs,
 	})
+	if cfg.Obs.Enabled() {
+		for k := 0; k < trace.NumKinds; k++ {
+			name := trace.Kind(k).String()
+			m.obsEvents[k] = cfg.Obs.Counter("machine.events." + name)
+			m.obsEnergy[k] = cfg.Obs.Gauge("machine.energy_fj." + name)
+			m.obsBusy[k] = cfg.Obs.Gauge("machine.busy_ps." + name)
+		}
+	}
 	return m
 }
 
@@ -128,6 +150,9 @@ func (m *Machine) record(k trace.Kind, start, end float64, p, dst geom.Point, en
 	if end > m.lastArrival {
 		m.lastArrival = end
 	}
+	m.obsEvents[k].Inc()
+	m.obsEnergy[k].Add(energy)
+	m.obsBusy[k].Add(end - start)
 	if m.cfg.Trace.Enabled() {
 		m.cfg.Trace.Add(trace.Event{
 			Kind: k, Start: start, End: end, Place: p, Dst: dst,

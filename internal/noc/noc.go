@@ -14,9 +14,11 @@ package noc
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/trace"
 )
@@ -96,6 +98,11 @@ type Config struct {
 	// per directed link, so the faulted trace is reproducible from the
 	// injector's (seed, rate) alone.
 	Faults *fault.Injector
+	// Obs, if non-nil, receives aggregate traffic metrics under "noc.*"
+	// names (messages, link traversals, queued time, retries, energy).
+	// Per-link detail stays in LinkUtilization, not the registry, so the
+	// metric namespace stays bounded on large grids.
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields; a NEGATIVE router delay or energy means
@@ -123,6 +130,16 @@ type link struct {
 	from, to geom.Point
 }
 
+// linkStat accumulates per-directed-link traffic: payload volume,
+// message traversals, time spent queued behind the link's previous
+// occupant, and fault retries charged to the link.
+type linkStat struct {
+	bits       int64
+	traversals int64
+	queuedPS   float64
+	retries    int64
+}
+
 // Network is a mesh NoC with per-link occupancy tracking. It is not safe
 // for concurrent use; the simulators are single-threaded by design so
 // results are deterministic.
@@ -133,8 +150,15 @@ type Network struct {
 	bitHops   int64
 	messages  int64
 	energy    float64
-	// linkBits counts payload bits crossing each link, for hotspot stats.
-	linkBits map[link]int64
+	// linkStats tracks traffic per directed link for hotspot analysis
+	// and the link-utilization heatmap.
+	linkStats map[link]*linkStat
+
+	obsMessages   *obs.Counter
+	obsTraversals *obs.Counter
+	obsRetries    *obs.Counter
+	obsQueuedPS   *obs.Gauge
+	obsEnergy     *obs.Gauge
 }
 
 // New returns a network over the configured grid.
@@ -143,11 +167,30 @@ func New(cfg Config) *Network {
 	if err := cfg.Tech.Validate(); err != nil {
 		panic(fmt.Sprintf("noc: %v", err))
 	}
-	return &Network{
+	n := &Network{
 		cfg:       cfg,
 		busyUntil: make(map[link]float64),
-		linkBits:  make(map[link]int64),
+		linkStats: make(map[link]*linkStat),
 	}
+	if cfg.Obs.Enabled() {
+		n.obsMessages = cfg.Obs.Counter("noc.messages")
+		n.obsTraversals = cfg.Obs.Counter("noc.link.traversals")
+		n.obsRetries = cfg.Obs.Counter("noc.link.retries")
+		n.obsQueuedPS = cfg.Obs.Gauge("noc.link.queued_ps")
+		n.obsEnergy = cfg.Obs.Gauge("noc.energy_fj")
+	}
+	return n
+}
+
+// stat returns the mutable stat record for a link, creating it on first
+// traversal.
+func (n *Network) stat(l link) *linkStat {
+	s := n.linkStats[l]
+	if s == nil {
+		s = &linkStat{}
+		n.linkStats[l] = s
+	}
+	return s
 }
 
 // Config returns the network's (defaulted) configuration.
@@ -295,7 +338,10 @@ func (n *Network) Send(t0 float64, src, dst geom.Point, bits int) (arrival, ener
 	t := t0
 	for i := 0; i < hops; i++ {
 		l := link{route[i], route[i+1]}
+		ls := n.stat(l)
 		if b := n.busyUntil[l]; b > t {
+			ls.queuedPS += b - t
+			n.obsQueuedPS.Add(b - t)
 			t = b
 		}
 		hold := occupancy
@@ -325,11 +371,15 @@ func (n *Network) Send(t0 float64, src, dst geom.Point, bits int) (arrival, ener
 				step += pen
 				hold += float64(retries) * occupancy
 				faultEnergy += float64(retries) * n.MessageEnergy(1, bits)
+				ls.retries += int64(retries)
+				n.obsRetries.Add(int64(retries))
 				n.recordFault(t, pen, l, "drop")
 			}
 		}
 		n.busyUntil[l] = t + hold
-		n.linkBits[l] += int64(bits)
+		ls.bits += int64(bits)
+		ls.traversals++
+		n.obsTraversals.Inc()
 		t += step
 	}
 	if n.cfg.Mode == CutThrough {
@@ -341,6 +391,8 @@ func (n *Network) Send(t0 float64, src, dst geom.Point, bits int) (arrival, ener
 	n.energy += energy
 	n.bitHops += int64(bits) * int64(hops)
 	n.messages++
+	n.obsMessages.Inc()
+	n.obsEnergy.Add(energy)
 	if n.cfg.Trace.Enabled() {
 		n.cfg.Trace.Add(trace.Event{
 			Kind: trace.KindWire, Start: t0, End: t,
@@ -379,8 +431,21 @@ type Stats struct {
 // deterministically by coordinate order.
 func (n *Network) Stats() Stats {
 	s := Stats{Messages: n.messages, BitHops: n.bitHops, Energy: n.energy}
-	links := make([]link, 0, len(n.linkBits))
-	for l := range n.linkBits {
+	for _, l := range n.sortedLinks() {
+		if b := n.linkStats[l].bits; b > s.MaxLinkBits {
+			s.MaxLinkBits = b
+			s.BusiestLinkFrom, s.BusiestLinkTo = l.from, l.to
+		}
+	}
+	return s
+}
+
+// sortedLinks returns every traversed link in coordinate order (from.Y,
+// from.X, to.Y, to.X), the deterministic iteration order for all
+// per-link reports.
+func (n *Network) sortedLinks() []link {
+	links := make([]link, 0, len(n.linkStats))
+	for l := range n.linkStats {
 		links = append(links, l)
 	}
 	sort.Slice(links, func(i, j int) bool {
@@ -396,13 +461,117 @@ func (n *Network) Stats() Stats {
 		}
 		return a.to.X < b.to.X
 	})
+	return links
+}
+
+// LinkLoad reports the traffic observed on one directed link.
+type LinkLoad struct {
+	// From and To are the link's endpoints (adjacent grid nodes, or a
+	// wrap pair on a torus).
+	From, To geom.Point
+	// Bits is the payload volume that crossed the link.
+	Bits int64
+	// Traversals is the number of messages that crossed the link.
+	Traversals int64
+	// QueuedPS is the total time message headers waited for this link to
+	// free — the contention the analytic cost model cannot see.
+	QueuedPS float64
+	// Retries counts flit retransmissions injected on this link.
+	Retries int64
+}
+
+// LinkUtilization returns the per-directed-link traffic profile in
+// deterministic coordinate order. Only traversed links appear.
+func (n *Network) LinkUtilization() []LinkLoad {
+	links := n.sortedLinks()
+	out := make([]LinkLoad, 0, len(links))
 	for _, l := range links {
-		if n.linkBits[l] > s.MaxLinkBits {
-			s.MaxLinkBits = n.linkBits[l]
-			s.BusiestLinkFrom, s.BusiestLinkTo = l.from, l.to
+		s := n.linkStats[l]
+		out = append(out, LinkLoad{
+			From: l.from, To: l.to,
+			Bits: s.bits, Traversals: s.traversals,
+			QueuedPS: s.queuedPS, Retries: s.retries,
+		})
+	}
+	return out
+}
+
+// RenderLinkHeatmap draws the grid with one glyph per undirected link
+// (both directions summed), normalized to the hottest link: '.' for an
+// idle link, '1'..'9' for load rising to the maximum. Nodes are '+'.
+// Torus wrap links are not adjacent in the drawing and are listed below
+// the map instead. The heatmap is the spatial complement of the
+// space-time diagram: Render shows *when* nodes were busy, this shows
+// *where* the traffic concentrated.
+func (n *Network) RenderLinkHeatmap() string {
+	g := n.cfg.Grid
+	// Sum both directions onto a canonical (lexicographically smaller
+	// endpoint first) undirected link.
+	undirected := make(map[link]int64)
+	var wraps []string
+	var maxBits int64
+	for _, l := range n.sortedLinks() {
+		s := n.linkStats[l]
+		a, b := l.from, l.to
+		if b.Y < a.Y || (b.Y == a.Y && b.X < a.X) {
+			a, b = b, a
+		}
+		u := link{a, b}
+		undirected[u] += s.bits
+		if undirected[u] > maxBits {
+			maxBits = undirected[u]
 		}
 	}
-	return s
+	if maxBits == 0 {
+		return "(no link traffic)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "link-utilization heatmap: hottest link carried %d bits\n", maxBits)
+	glyph := func(a, b geom.Point) byte {
+		bits, ok := undirected[link{a, b}]
+		if !ok || bits == 0 {
+			return '.'
+		}
+		d := 1 + int(8*bits/maxBits)
+		if d > 9 {
+			d = 9
+		}
+		return byte('0' + d)
+	}
+	for y := 0; y < g.Height; y++ {
+		// Node row: nodes with horizontal-link glyphs between them.
+		for x := 0; x < g.Width; x++ {
+			if x > 0 {
+				sb.WriteByte(' ')
+				sb.WriteByte(glyph(geom.Pt(x-1, y), geom.Pt(x, y)))
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('+')
+		}
+		sb.WriteByte('\n')
+		// Vertical-link row between this node row and the next.
+		if y < g.Height-1 {
+			for x := 0; x < g.Width; x++ {
+				if x > 0 {
+					sb.WriteString("   ")
+				}
+				sb.WriteByte(glyph(geom.Pt(x, y), geom.Pt(x, y+1)))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	// Non-adjacent (torus wrap) links cannot be drawn in place.
+	for u, bits := range undirected {
+		if u.from.Manhattan(u.to) != 1 && bits > 0 {
+			wraps = append(wraps, fmt.Sprintf("wrap %v<->%v: %d bits", u.from, u.to, bits))
+		}
+	}
+	sort.Strings(wraps)
+	for _, w := range wraps {
+		sb.WriteString(w)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 // Reset clears all link occupancy and statistics. A configured fault
@@ -410,7 +579,7 @@ func (n *Network) Stats() Stats {
 // schedule.
 func (n *Network) Reset() {
 	n.busyUntil = make(map[link]float64)
-	n.linkBits = make(map[link]int64)
+	n.linkStats = make(map[link]*linkStat)
 	n.bitHops = 0
 	n.messages = 0
 	n.energy = 0

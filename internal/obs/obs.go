@@ -1,0 +1,411 @@
+// Package obs is the repo's observability substrate: a dependency-free,
+// concurrency-safe metrics registry holding named counters, gauges,
+// fixed-bucket histograms, and timers, with a deterministic JSON
+// snapshot. The panel paper's F&M argument is that explicit mappings
+// make cost *predictable*; prediction is only checkable when the
+// simulators can report what they actually did — how hot each NoC link
+// ran, what the eval-cache hit rate was, how an anneal converged. Every
+// layer of the stack (machine, noc, search, workspan, fault) accepts an
+// optional *Registry and publishes into it.
+//
+// The registry is designed to cost nothing when absent. All methods are
+// safe on a nil *Registry and return nil instruments; all instrument
+// methods are safe on nil receivers and do nothing. Hot paths therefore
+// resolve their instruments once at construction time and call them
+// unconditionally — a nil-receiver check and return is the entire
+// disabled-path overhead, and simulators that were deterministic without
+// observability stay byte-for-byte deterministic with it, enabled or
+// not: obs only ever *reads* the computation, never steers it.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in either direction.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge. No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// reservoirCap bounds the raw-sample reservoir each histogram keeps for
+// percentile estimation. Beyond the cap, systematic thinning keeps every
+// k-th observation, so long runs stay O(1) in memory while the sample
+// still spans the whole run.
+const reservoirCap = 1024
+
+// Histogram is a fixed-bucket distribution metric. Bucket i counts
+// observations <= bounds[i]; the last bucket is the overflow. It also
+// keeps count/sum/min/max and a bounded sample reservoir from which the
+// snapshot estimates percentiles (stats.Percentile).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+	sample []float64
+	stride int64 // keep every stride-th observation once the reservoir is full
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.counts[stats.BucketIndex(h.bounds, v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.count%h.stride == 0 {
+		if len(h.sample) == reservoirCap {
+			// Thin systematically: keep every other retained sample and
+			// double the stride, so retained samples stay evenly spaced
+			// over the whole observation stream.
+			keep := h.sample[:0]
+			for i := 1; i < len(h.sample); i += 2 {
+				keep = append(keep, h.sample[i])
+			}
+			h.sample = keep
+			h.stride *= 2
+		}
+		h.sample = append(h.sample, v)
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Timer records durations into a histogram in seconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
+// Start returns a function that records the elapsed time when called.
+// On a nil receiver it returns a no-op (never nil), so callers can
+// always write `defer t.Start()()`.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; call New. A nil *Registry is the disabled registry: every
+// lookup returns a nil instrument and Snapshot returns an empty
+// snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the counter with the given name, creating it on first
+// use. Nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// DefaultDurationBounds are the histogram bounds (seconds) used by
+// Timer: 1us to ~10s in roughly 4x steps.
+var DefaultDurationBounds = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 10,
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket upper bounds (strictly increasing; copied) on first
+// use. A later lookup of an existing name ignores the bounds argument.
+// Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+		stride: 1,
+	}
+}
+
+// Timer returns the timer with the given name, creating it (with
+// DefaultDurationBounds) on first use. Nil on a nil registry.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{h: newHistogram(DefaultDurationBounds)}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// HistogramSnapshot is the frozen state of one histogram or timer.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		P50:    stats.Percentile(h.sample, 50),
+		P90:    stats.Percentile(h.sample, 90),
+		P99:    stats.Percentile(h.sample, 99),
+	}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Maps marshal with sorted keys, so the JSON form is deterministic for
+// deterministic metric values.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Timers     map[string]HistogramSnapshot `json:"timers,omitempty"`
+}
+
+// Snapshot freezes the registry. On a nil registry it returns an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for k, g := range gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			s.Histograms[k] = h.snapshot()
+		}
+	}
+	if len(timers) > 0 {
+		s.Timers = make(map[string]HistogramSnapshot, len(timers))
+		for k, t := range timers {
+			s.Timers[k] = t.h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names returns the sorted names of all instruments in the snapshot,
+// for deterministic iteration in tests and reports.
+func (s Snapshot) Names() []string {
+	var names []string
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsSafe pins the disabled-path contract: every method on
+// a nil registry and nil instruments is a no-op, never a panic. The
+// simulators rely on this to run instrumented call sites with zero
+// configuration.
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.Add(2)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge value = %g, want 0", got)
+	}
+	h := r.Histogram("x", []float64{1, 2})
+	h.Observe(1.5)
+	if got := h.Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d, want 0", got)
+	}
+	tm := r.Timer("x")
+	tm.Observe(time.Second)
+	tm.Start()() // must not be nil
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Timers) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("search.evals")
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if r.Counter("search.evals") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("temp")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCounts := []int64{2, 1, 1, 1} // <=1: {0.5,1}; <=10: {5}; <=100: {50}; over: {500}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Fatalf("min/max = %g/%g, want 0.5/500", s.Min, s.Max)
+	}
+	if s.Sum != 556.5 {
+		t.Fatalf("sum = %g, want 556.5", s.Sum)
+	}
+	if s.Mean != 556.5/5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if s.P50 != 5 {
+		t.Fatalf("p50 = %g, want 5", s.P50)
+	}
+}
+
+// TestHistogramReservoirThinning drives a histogram far past the
+// reservoir cap and checks the sample stays bounded while percentiles
+// remain sane.
+func TestHistogramReservoirThinning(t *testing.T) {
+	r := New()
+	h := r.Histogram("big", []float64{1e9})
+	n := 10 * reservoirCap
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	h.mu.Lock()
+	sampleLen := len(h.sample)
+	h.mu.Unlock()
+	if sampleLen > reservoirCap {
+		t.Fatalf("sample grew to %d, cap %d", sampleLen, reservoirCap)
+	}
+	s := h.snapshot()
+	if s.Count != int64(n) {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	mid := float64(n) / 2
+	if s.P50 < mid*0.5 || s.P50 > mid*1.5 {
+		t.Fatalf("p50 = %g, want near %g", s.P50, mid)
+	}
+}
+
+// TestConcurrentInstruments hammers one registry from many goroutines;
+// run under -race this pins the concurrency-safety contract, and the
+// totals check that no increment is lost.
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h", []float64{0.5})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["c"]; got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := s.Gauges["g"]; got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := s.Histograms["h"].Count; got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("z").Set(3.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	r.Timer("t").Observe(2 * time.Millisecond)
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", buf1.String(), buf2.String())
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["a"] != 1 || back.Counters["b"] != 2 {
+		t.Fatalf("round-tripped counters wrong: %+v", back.Counters)
+	}
+	// Keys marshal sorted, so "a" must appear before "b".
+	s := buf1.String()
+	if strings.Index(s, `"a"`) > strings.Index(s, `"b"`) {
+		t.Fatalf("counter keys not sorted in JSON:\n%s", s)
+	}
+	names := r.Snapshot().Names()
+	want := []string{"a", "b", "h", "t", "z"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestTimerRecordsSeconds(t *testing.T) {
+	r := New()
+	tm := r.Timer("task")
+	tm.Observe(500 * time.Millisecond)
+	s := r.Snapshot().Timers["task"]
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Sum != 0.5 {
+		t.Fatalf("sum = %g, want 0.5 s", s.Sum)
+	}
+	done := tm.Start()
+	done()
+	if got := r.Snapshot().Timers["task"].Count; got != 2 {
+		t.Fatalf("count after Start()() = %d, want 2", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	New().Histogram("bad", []float64{2, 1})
+}

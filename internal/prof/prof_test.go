@@ -1,0 +1,53 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	stop, err := StartCPU(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1<<20; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	if err := WriteHeap(heap); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartCPUBadPath(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")); err == nil {
+		t.Fatal("StartCPU on an uncreatable path returned nil error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fm"
 	"repro/internal/geom"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -28,7 +29,15 @@ import (
 // a fault-free replay agrees with fm's analytic pricing of the same
 // mapping. faults and tr may be nil.
 func MachineFor(tgt fm.Target, faults *fault.Injector, tr *trace.Trace) *machine.Machine {
+	return ObservedMachineFor(tgt, faults, tr, nil)
+}
+
+// ObservedMachineFor is MachineFor with a metrics registry attached: the
+// machine, its NoC, and the fault injector (if any) all publish into r.
+// A nil r is exactly MachineFor — observability never changes the replay.
+func ObservedMachineFor(tgt fm.Target, faults *fault.Injector, tr *trace.Trace, r *obs.Registry) *machine.Machine {
 	tgt = tgt.WithDefaults()
+	faults.Instrument(r)
 	return machine.New(machine.Config{
 		Grid:               tgt.Grid,
 		Tech:               tgt.Tech,
@@ -38,6 +47,7 @@ func MachineFor(tgt fm.Target, faults *fault.Injector, tr *trace.Trace) *machine
 		RouterEnergyPerBit: tgt.RouterEnergyPerBit,
 		Trace:              tr,
 		Faults:             faults,
+		Obs:                r,
 	})
 }
 

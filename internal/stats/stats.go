@@ -96,6 +96,61 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile of xs (p in [0, 100]) using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice and the single element for a one-element slice; p is clamped to
+// [0, 100]. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram counts xs into the fixed buckets defined by the sorted upper
+// bounds: result[i] counts values <= bounds[i] (and greater than
+// bounds[i-1]); result[len(bounds)] counts the overflow above the last
+// bound. Bounds must be strictly increasing. An empty input yields
+// all-zero counts; empty bounds put everything in the overflow bucket.
+func Histogram(xs []float64, bounds []float64) []int64 {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: Histogram bounds not strictly increasing at %d: %g <= %g",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	counts := make([]int64, len(bounds)+1)
+	for _, x := range xs {
+		counts[BucketIndex(bounds, x)]++
+	}
+	return counts
+}
+
+// BucketIndex returns the index of the bucket value v falls in, under the
+// same convention as Histogram: the first i with v <= bounds[i], else
+// len(bounds) (overflow).
+func BucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
 // Speedup returns base/other: how many times faster other is than base.
 func Speedup(base, other float64) float64 {
 	if other == 0 {

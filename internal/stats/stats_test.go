@@ -168,3 +168,81 @@ func assertPanics(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", []float64{}, 0, 0},
+		{"single", []float64{7}, 50, 7},
+		{"single p99", []float64{7}, 99, 7},
+		{"two p0", []float64{1, 3}, 0, 1},
+		{"two p50", []float64{1, 3}, 50, 2},
+		{"two p100", []float64{1, 3}, 100, 3},
+		{"five p50", []float64{5, 1, 4, 2, 3}, 50, 3},
+		{"five p25", []float64{5, 1, 4, 2, 3}, 25, 2},
+		{"five p90", []float64{5, 1, 4, 2, 3}, 90, 4.6},
+		{"clamped low", []float64{1, 2}, -10, 1},
+		{"clamped high", []float64{1, 2}, 200, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Percentile(c.xs, c.p); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Percentile(%v, %g) = %g, want %g", c.xs, c.p, got, c.want)
+			}
+		})
+	}
+	// The input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs     []float64
+		bounds []float64
+		want   []int64
+	}{
+		{"empty input", nil, []float64{1, 2}, []int64{0, 0, 0}},
+		{"single in first", []float64{0.5}, []float64{1, 2}, []int64{1, 0, 0}},
+		{"single on bound", []float64{1}, []float64{1, 2}, []int64{1, 0, 0}},
+		{"single overflow", []float64{9}, []float64{1, 2}, []int64{0, 0, 1}},
+		{"no bounds", []float64{1, 2, 3}, nil, []int64{3}},
+		{"spread", []float64{0, 1, 1.5, 2, 5}, []float64{1, 2}, []int64{2, 2, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Histogram(c.xs, c.bounds)
+			if len(got) != len(c.want) {
+				t.Fatalf("Histogram(%v, %v) = %v, want %v", c.xs, c.bounds, got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("Histogram(%v, %v) = %v, want %v", c.xs, c.bounds, got, c.want)
+				}
+			}
+		})
+	}
+	assertPanics(t, "non-increasing bounds", func() { Histogram([]float64{1}, []float64{2, 2}) })
+}
+
+func TestBucketIndex(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {1, 0}, {1.1, 1}, {10, 1}, {99, 2}, {100, 2}, {101, 3}}
+	for _, c := range cases {
+		if got := BucketIndex(bounds, c.v); got != c.want {
+			t.Errorf("BucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

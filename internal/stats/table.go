@@ -52,6 +52,26 @@ func (t *Table) AddNote(format string, args ...any) *Table {
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
 
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// RowStrings returns a copy of the formatted data rows, one string per
+// cell — the machine-readable complement of WriteTo, used by the JSON
+// bench report.
+func (t *Table) RowStrings() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
+// Notes returns a copy of the footnotes.
+func (t *Table) Notes() []string { return append([]string(nil), t.notes...) }
+
 func formatFloat(v float64) string {
 	a := v
 	if a < 0 {

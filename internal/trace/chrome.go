@@ -51,7 +51,7 @@ func WriteChromeTrace(w io.Writer, t *Trace, grid geom.Grid) error {
 				"place":     e.Place.String(),
 			},
 		}
-		if e.Kind == KindWire {
+		if e.Kind == KindWire || (e.Kind == KindFault && e.Dst != e.Place) {
 			ce.Args["dst"] = e.Dst.String()
 		}
 		out = append(out, ce)

@@ -1,0 +1,137 @@
+package trace
+
+import "sort"
+
+// PathSegment is one event on the critical path together with the slice
+// of the makespan attributed to it.
+type PathSegment struct {
+	// Event is the trace event on the path.
+	Event Event
+	// AttributedPS is the telescoped share of the makespan this segment
+	// accounts for: this event's End minus its predecessor's End (or
+	// minus zero for the first segment). It covers both the event's own
+	// duration and any idle gap waited between the predecessor finishing
+	// and this event starting, so the segments sum to the makespan by
+	// construction.
+	AttributedPS float64
+	// WaitPS is the idle portion of AttributedPS: time between the
+	// predecessor's End and this event's Start where the critical chain
+	// sat waiting (dependence satisfied elsewhere, resource busy, or
+	// simply scheduled later).
+	WaitPS float64
+}
+
+// PathReport is the result of CriticalPath: the longest dependency chain
+// through a trace, ending at the event that determines the makespan.
+type PathReport struct {
+	// Segments lists the path in time order (first event first).
+	Segments []PathSegment
+	// MakespanPS is the latest End over all events — identical to
+	// Summary.Makespan and, for machine-produced traces, to
+	// machine.Metrics().Makespan.
+	MakespanPS float64
+	// ByKindPS attributes the busy (non-wait) portion of each segment to
+	// its event kind. Sum over kinds plus WaitPS equals MakespanPS.
+	ByKindPS map[Kind]float64
+	// WaitPS is the total idle time along the path.
+	WaitPS float64
+}
+
+// CriticalPath extracts the longest dependency chain from a trace: the
+// sequence of events that explains why the makespan is what it is. It is
+// a post-hoc structural analysis — the simulators do not record explicit
+// dependence edges — so predecessors are inferred from space-time
+// adjacency: the predecessor of an event at place p is the latest-ending
+// earlier event that touches p (an event at p, or a wire/fault event
+// whose source or destination is p) and finishes no later than the event
+// starts. When no event at p qualifies (e.g. the chain hops places
+// through the machine's serial issue order), the latest-ending earlier
+// event anywhere is used. The walk starts at the makespan-defining event
+// and follows predecessors back to time zero.
+//
+// Attribution telescopes: each segment is charged its End minus its
+// predecessor's End, so the segments sum exactly to the makespan, split
+// per kind (ByKindPS) plus idle time (WaitPS). On an empty trace the
+// report is zero with no segments.
+func CriticalPath(t *Trace) PathReport {
+	rep := PathReport{ByKindPS: make(map[Kind]float64)}
+	events := append([]Event(nil), t.Events()...)
+	if len(events) == 0 {
+		return rep
+	}
+	// Canonical order: by End, then Start, then place, then kind. The
+	// predecessor of events[i] is always chosen among indices < i, so the
+	// walk strictly decreases its index and terminates even when
+	// zero-duration events share timestamps.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Place.Y != b.Place.Y {
+			return a.Place.Y < b.Place.Y
+		}
+		if a.Place.X != b.Place.X {
+			return a.Place.X < b.Place.X
+		}
+		return a.Kind < b.Kind
+	})
+	last := len(events) - 1
+	rep.MakespanPS = events[last].End
+
+	touches := func(e Event, p Event) bool {
+		return e.Place == p.Place || e.Dst == p.Place ||
+			e.Place == p.Dst || e.Dst == p.Dst
+	}
+	// pred returns the predecessor index of events[i], or -1 at the
+	// chain's origin. Scanning downward from i-1 finds the latest-ending
+	// candidate first because the slice is End-sorted.
+	pred := func(i int) int {
+		cur := events[i]
+		fallback := -1
+		for j := i - 1; j >= 0; j-- {
+			e := events[j]
+			if e.End > cur.Start {
+				continue
+			}
+			if touches(e, cur) {
+				return j
+			}
+			if fallback < 0 {
+				fallback = j
+			}
+		}
+		return fallback
+	}
+
+	var segs []PathSegment
+	for i := last; i >= 0; {
+		j := pred(i)
+		prevEnd := 0.0
+		if j >= 0 {
+			prevEnd = events[j].End
+		}
+		cur := events[i]
+		seg := PathSegment{
+			Event:        cur,
+			AttributedPS: cur.End - prevEnd,
+			WaitPS:       cur.Start - prevEnd,
+		}
+		if seg.WaitPS < 0 {
+			seg.WaitPS = 0 // overlapping fallback predecessor
+		}
+		segs = append(segs, seg)
+		rep.ByKindPS[cur.Kind] += seg.AttributedPS - seg.WaitPS
+		rep.WaitPS += seg.WaitPS
+		i = j
+	}
+	// Walked back-to-front; present first event first.
+	for l, r := 0, len(segs)-1; l < r; l, r = l+1, r-1 {
+		segs[l], segs[r] = segs[r], segs[l]
+	}
+	rep.Segments = segs
+	return rep
+}

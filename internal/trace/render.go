@@ -22,6 +22,9 @@ type RenderOptions struct {
 // showing how many events of interest overlap it ('.' idle, '1'..'9',
 // '#' for ten or more). The paper's anti-diagonal edit-distance mapping
 // renders as a dense staircase; a serial mapping as a single busy row.
+// Buckets overlapping an injected-fault event (KindFault, when listed in
+// Kinds) render as 'F' regardless of how much other work shares the
+// bucket, so faulted runs show where the schedule was perturbed.
 func Render(t *Trace, opt RenderOptions) string {
 	if opt.Columns <= 0 {
 		opt.Columns = 64
@@ -49,8 +52,10 @@ func Render(t *Trace, opt RenderOptions) string {
 
 	nodes := opt.Grid.Nodes()
 	counts := make([][]int, nodes)
+	faulted := make([][]bool, nodes)
 	for i := range counts {
 		counts[i] = make([]int, opt.Columns)
+		faulted[i] = make([]bool, opt.Columns)
 	}
 	for _, e := range events {
 		if !want[e.Kind] || !opt.Grid.Contains(e.Place) {
@@ -63,7 +68,11 @@ func Render(t *Trace, opt RenderOptions) string {
 			hi = opt.Columns - 1
 		}
 		for c := lo; c <= hi; c++ {
-			counts[id][c]++
+			if e.Kind == KindFault {
+				faulted[id][c] = true
+			} else {
+				counts[id][c]++
+			}
 		}
 	}
 
@@ -72,8 +81,12 @@ func Render(t *Trace, opt RenderOptions) string {
 		nodes, opt.Columns, makespan)
 	for id := 0; id < nodes; id++ {
 		fmt.Fprintf(&b, "%-8s|", opt.Grid.At(id).String())
-		for _, n := range counts[id] {
-			b.WriteByte(cell(n))
+		for c, n := range counts[id] {
+			if faulted[id][c] {
+				b.WriteByte('F')
+			} else {
+				b.WriteByte(cell(n))
+			}
 		}
 		b.WriteString("|\n")
 	}

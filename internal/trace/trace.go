@@ -38,6 +38,10 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of distinct event kinds, for callers that index
+// per-kind tables (renderers, metrics registries).
+const NumKinds = int(numKinds)
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {

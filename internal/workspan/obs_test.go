@@ -1,0 +1,78 @@
+package workspan
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestInstrumentCountsTasksAndLatency(t *testing.T) {
+	r := obs.New()
+	var executed atomic.Int64
+	withPool(t, 4, WorkStealing, func(p *Pool) {
+		p.Instrument(r)
+		if err := p.For(0, 100, 1, func(lo, hi int) {
+			executed.Add(int64(hi - lo))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if executed.Load() != 100 {
+		t.Fatalf("For visited %d indices, want 100", executed.Load())
+	}
+	snap := r.Snapshot()
+	tasks := snap.Counters["workspan.tasks"]
+	if tasks <= 0 {
+		t.Fatalf("workspan.tasks = %d, want > 0", tasks)
+	}
+	lat, ok := snap.Timers["workspan.task_seconds"]
+	if !ok {
+		t.Fatal("workspan.task_seconds missing from snapshot")
+	}
+	if lat.Count != tasks {
+		t.Fatalf("latency histogram has %d observations, tasks counter says %d", lat.Count, tasks)
+	}
+	if lat.Min < 0 || lat.Sum < 0 {
+		t.Fatalf("negative task latency: %+v", lat)
+	}
+	if snap.Counters["workspan.panics"] != 0 {
+		t.Fatalf("panic-free run recorded %d panics", snap.Counters["workspan.panics"])
+	}
+}
+
+func TestInstrumentCountsPanics(t *testing.T) {
+	r := obs.New()
+	withPool(t, 2, WorkStealing, func(p *Pool) {
+		p.Instrument(r)
+		err := p.Run(func(c *Ctx) { panic("boom") })
+		if err == nil {
+			t.Fatal("panicking run returned nil error")
+		}
+	})
+	if got := r.Snapshot().Counters["workspan.panics"]; got != 1 {
+		t.Fatalf("workspan.panics = %d, want 1", got)
+	}
+}
+
+func TestInstrumentMirrorsStats(t *testing.T) {
+	r := obs.New()
+	var st Stats
+	withPool(t, 4, WorkStealing, func(p *Pool) {
+		p.Instrument(r)
+		if err := p.For(0, 256, 1, func(lo, hi int) {}); err != nil {
+			t.Fatal(err)
+		}
+		st = p.Stats()
+	})
+	snap := r.Snapshot()
+	if got := snap.Counters["workspan.spawns"]; got != st.Spawns {
+		t.Fatalf("workspan.spawns = %d, Stats says %d", got, st.Spawns)
+	}
+	if got := snap.Counters["workspan.steals"]; got != st.Steals {
+		t.Fatalf("workspan.steals = %d, Stats says %d", got, st.Steals)
+	}
+	if got := snap.Counters["workspan.inline"]; got != st.Inline {
+		t.Fatalf("workspan.inline = %d, Stats says %d", got, st.Inline)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode selects the scheduling discipline (ablation A4 in DESIGN.md).
@@ -220,6 +222,13 @@ type Pool struct {
 	spawns atomic.Int64
 	steals atomic.Int64
 	inline atomic.Int64
+
+	// Observability instruments, set by Instrument. All nil (no-op) by
+	// default; the scheduler calls them unconditionally because nil
+	// receivers cost a branch.
+	obsSpawns, obsSteals, obsInline *obs.Counter
+	obsTasks, obsPanics             *obs.Counter
+	obsLatency                      *obs.Timer
 }
 
 type worker struct {
@@ -254,6 +263,23 @@ func (p *Pool) Mode() Mode { return p.mode }
 // Stats returns scheduler event counts.
 func (p *Pool) Stats() Stats {
 	return Stats{Spawns: p.spawns.Load(), Steals: p.steals.Load(), Inline: p.inline.Load()}
+}
+
+// Instrument publishes scheduler metrics into the registry under
+// "workspan.*" names: spawns/steals/inline (mirroring Stats), tasks
+// executed, panics recovered, and a per-task latency histogram
+// (workspan.task_seconds). Call it once, before submitting work; it is
+// not synchronized with in-flight runs. No-op on a nil registry.
+func (p *Pool) Instrument(r *obs.Registry) {
+	if !r.Enabled() {
+		return
+	}
+	p.obsSpawns = r.Counter("workspan.spawns")
+	p.obsSteals = r.Counter("workspan.steals")
+	p.obsInline = r.Counter("workspan.inline")
+	p.obsTasks = r.Counter("workspan.tasks")
+	p.obsPanics = r.Counter("workspan.panics")
+	p.obsLatency = r.Timer("workspan.task_seconds")
 }
 
 // Close stops all workers. The pool must be idle (no Run in flight).
@@ -337,6 +363,7 @@ func (c *Ctx) Do(a, b func(*Ctx)) {
 	t := &task{fn: b, run: c.run}
 	p := c.w.pool
 	p.spawns.Add(1)
+	p.obsSpawns.Inc()
 	if p.mode == CentralQueue {
 		p.central.pushBottom(t)
 	} else {
@@ -362,6 +389,7 @@ func (c *Ctx) Do(a, b func(*Ctx)) {
 	}
 	if got {
 		p.inline.Add(1)
+		p.obsInline.Inc()
 		c.runTask(t)
 	} else {
 		// b was taken; help with other work until it completes.
@@ -399,7 +427,13 @@ func (c *Ctx) runTask(t *task) {
 	}
 	start := time.Now()
 	defer func() {
+		pool := c.w.pool
+		pool.obsTasks.Inc()
+		if pool.obsLatency != nil {
+			pool.obsLatency.Observe(time.Since(start))
+		}
 		if v := recover(); v != nil {
+			pool.obsPanics.Inc()
 			t.run.fail(&PanicError{Value: v, Stack: debug.Stack()})
 		} else if t.run != nil && t.run.timeout > 0 {
 			if d := time.Since(start); d > t.run.timeout {
@@ -428,6 +462,7 @@ func (w *worker) find() *task {
 		}
 		if t := v.dq.stealTop(); t != nil {
 			w.pool.steals.Add(1)
+			w.pool.obsSteals.Inc()
 			return t
 		}
 	}
