@@ -274,8 +274,15 @@ func buildEditDist(n int, mapping string, p int, tgt fm.Target) (*fm.Graph, fm.S
 	}
 	switch mapping {
 	case "antidiag":
-		stride := fm.MinAntiDiagonalStride(tgt, tech.OpAdd, 32, n, p)
-		return g, fm.AntiDiagonalSchedule(dom, p, stride, geom.Pt(0, 0)), nil
+		stride, err := fm.MinAntiDiagonalStrideChecked(tgt, tech.OpAdd, 32, n, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		sched, err := fm.AntiDiagonalScheduleChecked(dom, p, stride, geom.Pt(0, 0))
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, sched, nil
 	case "serial":
 		return g, fm.SerialSchedule(g, tgt, geom.Pt(0, 0)), nil
 	case "default":

@@ -1,0 +1,191 @@
+// Command repolint runs the repo's custom static analyzers
+// (internal/lint) over the module: determinism, nopanic, obsnoop, and
+// printban — the compile-time half of the invariants the runtime test
+// suites pin dynamically. CI runs it alongside stock vet/staticcheck;
+// a non-zero exit means an invariant regressed.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...          # whole module (from anywhere inside it)
+//	go run ./cmd/repolint ./internal/fm  # one package
+//	go run ./cmd/repolint -list          # describe the analyzers
+//
+// repolint is a multichecker over internal/lint/analysis, the repo's
+// vendored-minimal mirror of golang.org/x/tools/go/analysis; see that
+// package for why x/tools itself is not imported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	modPath, modDir, err := loader.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := expandPatterns(fs.Args(), modPath, modDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+
+	l := loader.New(loader.Config{ModulePath: modPath, ModuleDir: modDir})
+	type diag struct {
+		pos      string
+		analyzer string
+		msg      string
+	}
+	var diags []diag
+	seen := make(map[diag]bool)
+	for _, pkgPath := range pkgs {
+		pkg, err := l.Load(pkgPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				dg := diag{
+					pos:      pkg.Fset.Position(d.Pos).String(),
+					analyzer: a.Name,
+					msg:      d.Message,
+				}
+				if !seen[dg] {
+					seen[dg] = true
+					diags = append(diags, dg)
+				}
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "repolint: %s on %s: %v\n", a.Name, pkgPath, err)
+				return 2
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].analyzer < diags[j].analyzer
+	})
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s: %s (%s)\n", d.pos, d.msg, d.analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "repolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns turns command-line package patterns into module import
+// paths. "./..." (the default) is the whole module; "./dir/..." is a
+// subtree; "./dir" is a single package. Patterns are interpreted
+// relative to the module root, so repolint behaves the same from any
+// directory inside the module.
+func expandPatterns(patterns []string, modPath, modDir string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := loader.ModulePackages(modPath, modDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := modJoin(modPath, strings.TrimSuffix(pat, "/..."))
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("no packages match %q", pat)
+			}
+		default:
+			p := modJoin(modPath, pat)
+			if !hasGoFiles(modDir, modPath, p) {
+				return nil, fmt.Errorf("no package at %q", pat)
+			}
+			add(p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// modJoin maps a ./-relative pattern onto the module import path.
+func modJoin(modPath, pat string) string {
+	pat = path.Clean(strings.TrimPrefix(strings.TrimPrefix(pat, "./"), modPath+"/"))
+	if pat == "." || pat == modPath {
+		return modPath
+	}
+	return modPath + "/" + pat
+}
+
+func hasGoFiles(modDir, modPath, pkgPath string) bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, modPath), "/")
+	ents, err := os.ReadDir(filepath.Join(modDir, filepath.FromSlash(rel)))
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepolintCleanOnRepo is the acceptance smoke test: the analyzers
+// must run clean over the repository itself. Any finding here means
+// either a real invariant violation slipped in or an intentional
+// exception is missing its //lint:allow annotation.
+func TestRepolintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("repolint ./... exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("repolint ./... printed findings on exit 0:\n%s", out.String())
+	}
+}
+
+func TestRepolintList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("repolint -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism:", "nopanic:", "obsnoop:", "printban:"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRepolintSinglePackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/obs"}, &out, &errOut); code != 0 {
+		t.Fatalf("repolint ./internal/obs exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+}
+
+func TestRepolintBadPattern(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad pattern exited %d, want 2 (stdout %q)", code, out.String())
+	}
+}

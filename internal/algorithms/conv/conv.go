@@ -35,6 +35,7 @@ type Conv struct {
 // taps.
 func Build(n, k int) *Conv {
 	if k <= 0 || n < k {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("conv: invalid sizes n=%d k=%d", n, k))
 	}
 	b := fm.NewBuilder(fmt.Sprintf("conv%dx%d", n, k))
@@ -75,6 +76,7 @@ func (c *Conv) Outs() int { return c.N - c.K + 1 }
 // Interpret runs the function semantically and returns y.
 func (c *Conv) Interpret(x, w []int64) []int64 {
 	if len(x) != c.N || len(w) != c.K {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("conv: got %d/%d values for n=%d k=%d", len(x), len(w), c.N, c.K))
 	}
 	inputs := append(append([]int64(nil), x...), w...)
@@ -87,6 +89,7 @@ func (c *Conv) Interpret(x, w []int64) []int64 {
 		return acc
 	})
 	if err != nil {
+		//lint:allow panic(unreachable: arity checked immediately above)
 		panic(err) // arity checked above
 	}
 	out := make([]int64, len(c.Out))
@@ -100,6 +103,7 @@ func (c *Conv) Interpret(x, w []int64) []int64 {
 func Reference(x, w []int64) []int64 {
 	outs := len(x) - len(w) + 1
 	if outs <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("conv: signal %d shorter than kernel %d", len(x), len(w)))
 	}
 	y := make([]int64, outs)
@@ -129,6 +133,7 @@ func stride(tgt fm.Target) int64 {
 // PE t at step i+2t.
 func (c *Conv) WeightStationary(tgt fm.Target) fm.Schedule {
 	if tgt.Grid.Width < c.K {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("conv: weight-stationary needs %d PEs, grid is %d wide", c.K, tgt.Grid.Width))
 	}
 	s := stride(tgt)
@@ -154,6 +159,7 @@ func (c *Conv) WeightStationary(tgt fm.Target) fm.Schedule {
 func (c *Conv) OutputStationary(tgt fm.Target) fm.Schedule {
 	outs := c.Outs()
 	if tgt.Grid.Width < outs {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("conv: output-stationary needs %d PEs, grid is %d wide", outs, tgt.Grid.Width))
 	}
 	s := stride(tgt)

@@ -135,6 +135,7 @@ func DIFIterative(x []complex128) []complex128 {
 func Radix4Recursive(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 || !isPow4(n) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fft: length %d is not a power of four", n))
 	}
 	return r4(x)
@@ -207,6 +208,7 @@ func MulCount(n int, radix int) int {
 		return n / 2 * (stages - 1)
 	case 4:
 		if !isPow4(n) {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("fft: %d is not a power of four", n))
 		}
 		stages := bits.TrailingZeros(uint(n)) / 2
@@ -215,6 +217,7 @@ func MulCount(n int, radix int) int {
 		}
 		return 3 * n / 4 * (stages - 1)
 	default:
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fft: unsupported radix %d", radix))
 	}
 }

@@ -89,6 +89,7 @@ func BuildButterfly(n int) *Butterfly {
 // the graph IS the FFT before any mapping is priced.
 func (bf *Butterfly) Interpret(x []complex128) []complex128 {
 	if len(x) != bf.N {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fft: %d inputs for size-%d butterfly", len(x), bf.N))
 	}
 	vals, err := fm.Interpret(bf.Graph, x, func(nd fm.NodeID, deps []complex128) complex128 {
@@ -108,6 +109,7 @@ func (bf *Butterfly) Interpret(x []complex128) []complex128 {
 		return deps[1] - w*deps[0]
 	})
 	if err != nil {
+		//lint:allow panic(unreachable: arity checked immediately above)
 		panic(err) // arity checked above
 	}
 	out := make([]complex128, bf.N)

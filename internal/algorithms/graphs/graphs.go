@@ -25,12 +25,14 @@ type Graph struct {
 // Self-loops are dropped; parallel edges are kept.
 func FromEdges(n int, edges [][2]int) Graph {
 	if n < 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("graphs: negative vertex count %d", n))
 	}
 	deg := make([]int64, n)
 	for _, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("graphs: edge (%d,%d) outside [0,%d)", u, v, n))
 		}
 		if u == v {

@@ -29,9 +29,11 @@ type Forwarded struct {
 // mapping. The target grid must be at least n x n.
 func BuildForwarded(n int, tgt fm.Target) *Forwarded {
 	if n <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: invalid size %d", n))
 	}
 	if tgt.Grid.Width < n || tgt.Grid.Height < n {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: forwarded systolic needs %dx%d grid, have %dx%d",
 			n, n, tgt.Grid.Width, tgt.Grid.Height))
 	}
@@ -126,6 +128,7 @@ func BuildForwarded(n int, tgt fm.Target) *Forwarded {
 func (f *Forwarded) Interpret(a, bm []int64) []int64 {
 	n := f.N
 	if len(a) != n*n || len(bm) != n*n {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(bm), n))
 	}
 	inputs := append(append([]int64(nil), a...), bm...)
@@ -140,6 +143,7 @@ func (f *Forwarded) Interpret(a, bm []int64) []int64 {
 		return acc
 	})
 	if err != nil {
+		//lint:allow panic(unreachable: arity checked immediately above)
 		panic(err) // arity checked above
 	}
 	out := make([]int64, n*n)

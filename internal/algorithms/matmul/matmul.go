@@ -31,6 +31,7 @@ type MatMul struct {
 // Build constructs the function for n x n matrices.
 func Build(n int) *MatMul {
 	if n <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: invalid size %d", n))
 	}
 	b := fm.NewBuilder(fmt.Sprintf("matmul%d", n))
@@ -71,6 +72,7 @@ func Build(n int) *MatMul {
 func (m *MatMul) Interpret(a, b []int64) []int64 {
 	n := m.N
 	if len(a) != n*n || len(b) != n*n {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(b), n))
 	}
 	inputs := append(append([]int64(nil), a...), b...)
@@ -82,6 +84,7 @@ func (m *MatMul) Interpret(a, b []int64) []int64 {
 		return acc
 	})
 	if err != nil {
+		//lint:allow panic(unreachable: arity checked immediately above)
 		panic(err) // arity checked above
 	}
 	out := make([]int64, n*n)
@@ -94,6 +97,7 @@ func (m *MatMul) Interpret(a, b []int64) []int64 {
 // Reference computes C = A*B directly.
 func Reference(a, b []int64, n int) []int64 {
 	if len(a) != n*n || len(b) != n*n {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: inputs %d/%d for n=%d", len(a), len(b), n))
 	}
 	c := make([]int64, n*n)
@@ -119,6 +123,7 @@ func Reference(a, b []int64, n int) []int64 {
 func (m *MatMul) Systolic(tgt fm.Target) fm.Schedule {
 	n := m.N
 	if tgt.Grid.Width < n || tgt.Grid.Height < n {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("matmul: systolic needs an %dx%d grid, have %dx%d",
 			n, n, tgt.Grid.Width, tgt.Grid.Height))
 	}

@@ -28,6 +28,7 @@ import (
 // Recurrence returns the steps x width Jacobi dataflow.
 func Recurrence(steps, width int) fm.Recurrence {
 	if steps <= 0 || width <= 2 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("stencil: invalid size %dx%d", steps, width))
 	}
 	return fm.Recurrence{
@@ -47,6 +48,7 @@ func Recurrence(steps, width int) fm.Recurrence {
 func Interpret(g *fm.Graph, dom *fm.Domain, initial []int64) []int64 {
 	steps, width := dom.Dims()[0], dom.Dims()[1]
 	if len(initial) != width {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("stencil: %d initial values for width %d", len(initial), width))
 	}
 	idx := make([]int, 2)
@@ -87,6 +89,7 @@ func Interpret(g *fm.Graph, dom *fm.Domain, initial []int64) []int64 {
 		return (left + mid + right) / 3
 	})
 	if err != nil {
+		//lint:allow panic(unreachable: the stencil graph has no input nodes so nil inputs always match)
 		panic(err) // the graph has no input nodes; nil always matches
 	}
 	out := make([]int64, width)
@@ -125,6 +128,7 @@ func Reference(initial []int64, steps int) []int64 {
 func BlockedSchedule(dom *fm.Domain, p int, tgt fm.Target) fm.Schedule {
 	steps, width := dom.Dims()[0], dom.Dims()[1]
 	if p <= 0 || p > tgt.Grid.Width {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("stencil: %d processors on grid width %d", p, tgt.Grid.Width))
 	}
 	_ = steps
@@ -148,6 +152,7 @@ func BlockedSchedule(dom *fm.Domain, p int, tgt fm.Target) fm.Schedule {
 func CyclicSchedule(dom *fm.Domain, p int, tgt fm.Target) fm.Schedule {
 	width := dom.Dims()[1]
 	if p <= 0 || p > tgt.Grid.Width {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("stencil: %d processors on grid width %d", p, tgt.Grid.Width))
 	}
 	s := stride(tgt)

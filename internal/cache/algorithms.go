@@ -13,6 +13,7 @@ type Mat struct {
 // Addr returns the address of element (i, j).
 func (m Mat) Addr(i, j int) int64 {
 	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("cache: index (%d,%d) outside %dx%d matrix", i, j, m.Rows, m.Cols))
 	}
 	return m.Base + int64(i)*int64(m.Cols) + int64(j)
@@ -53,6 +54,7 @@ func TransposeNaive(s *Sim, src, dst Mat) {
 func TransposeBlocked(s *Sim, src, dst Mat, blk int) {
 	checkTranspose(src, dst)
 	if blk <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("cache: invalid block size %d", blk))
 	}
 	for bi := 0; bi < src.Rows; bi += blk {
@@ -126,6 +128,7 @@ func MatMulIJK(s *Sim, a, b, c Mat) {
 func MatMulBlocked(s *Sim, a, b, c Mat, blk int) {
 	checkMatMul(a, b, c)
 	if blk <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("cache: invalid block size %d", blk))
 	}
 	n, m, p := a.Rows, a.Cols, b.Cols
@@ -198,6 +201,7 @@ func checkMatMul(a, b, c Mat) {
 // the array: Q = Theta((n/B) log(n/M)).
 func MergeSortTrace(s *Sim, base int64, n int) {
 	if n < 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("cache: invalid sort length %d", n))
 	}
 	tmp := base + int64(n)

@@ -75,11 +75,13 @@ type Sim struct {
 // required; each is validated.
 func New(levels ...Level) *Sim {
 	if len(levels) == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("cache: simulator needs at least one level")
 	}
 	s := &Sim{}
 	for _, l := range levels {
 		if err := l.Validate(); err != nil {
+			//lint:allow panic(constructor guard: cache levels are static experiment configuration and an invalid level is a caller bug)
 			panic(err.Error())
 		}
 		s.levels = append(s.levels, newLRU(l))
@@ -93,6 +95,7 @@ func New(levels ...Level) *Sim {
 // independent models of the same trace, not an inclusive hierarchy.
 func (s *Sim) Access(addr int64) {
 	if addr < 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("cache: negative address %d", addr))
 	}
 	s.accesses++

@@ -16,11 +16,13 @@ import "fmt"
 func RingAllReduce(m *Machine, vecs [][]float64) [][]float64 {
 	p := m.P()
 	if len(vecs) != p {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: %d vectors for %d ranks", len(vecs), p))
 	}
 	n := len(vecs[0])
 	for r, v := range vecs {
 		if len(v) != n {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("comm: rank %d vector length %d != %d", r, len(v), n))
 		}
 	}
@@ -28,6 +30,7 @@ func RingAllReduce(m *Machine, vecs [][]float64) [][]float64 {
 		return [][]float64{append([]float64(nil), vecs[0]...)}
 	}
 	if n < p {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: ring allreduce needs length >= ranks (%d < %d)", n, p))
 	}
 	// Segment s covers [bounds[s], bounds[s+1]).
@@ -82,14 +85,17 @@ func RingAllReduce(m *Machine, vecs [][]float64) [][]float64 {
 func DoublingAllReduce(m *Machine, vecs [][]float64) [][]float64 {
 	p := m.P()
 	if len(vecs) != p {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: %d vectors for %d ranks", len(vecs), p))
 	}
 	if p&(p-1) != 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: recursive doubling needs a power-of-two rank count, got %d", p))
 	}
 	n := len(vecs[0])
 	for r, v := range vecs {
 		if len(v) != n {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("comm: rank %d vector length %d != %d", r, len(v), n))
 		}
 	}

@@ -65,6 +65,7 @@ type Machine struct {
 // New returns a machine with p ranks.
 func New(p int, cost Cost) *Machine {
 	if p <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: invalid rank count %d", p))
 	}
 	return &Machine{
@@ -94,6 +95,7 @@ func (m *Machine) Send(from, to int, tag string, data []float64) {
 	m.checkRank(from)
 	m.checkRank(to)
 	if from == to {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: rank %d sending to itself (local data needs no message)", from))
 	}
 	k := mailKey{from, to, tag}
@@ -108,6 +110,7 @@ func (m *Machine) Recv(to, from int, tag string) []float64 {
 	k := mailKey{from, to, tag}
 	q := m.delivered[k]
 	if len(q) == 0 {
+		//lint:allow panic(protocol-bug trap: a missing message means the algorithm under test deadlocked and there is no recovery)
 		panic(fmt.Sprintf("comm: rank %d has no message from %d tag %q", to, from, tag))
 	}
 	msg := q[0]
@@ -124,6 +127,7 @@ func (m *Machine) Recv(to, from int, tag string) []float64 {
 func (m *Machine) Flops(r int, n int64) {
 	m.checkRank(r)
 	if n < 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: negative flops %d", n))
 	}
 	m.roundFlops[r] += n

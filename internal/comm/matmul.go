@@ -14,6 +14,7 @@ type Dense struct {
 // NewDense allocates a zero matrix.
 func NewDense(r, c int) Dense {
 	if r <= 0 || c <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: invalid matrix %dx%d", r, c))
 	}
 	return Dense{R: r, C: c, Data: make([]float64, r*c)}
@@ -41,6 +42,7 @@ func (d Dense) Equal(o Dense, tol float64) bool {
 // SerialMatMul is the reference product c = a*b.
 func SerialMatMul(a, b Dense) Dense {
 	if a.C != b.R {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: matmul shape %dx%d * %dx%d", a.R, a.C, b.R, b.C))
 	}
 	c := NewDense(a.R, b.C)
@@ -110,6 +112,7 @@ func checkSquare(a, b Dense, q int) int {
 func SUMMA(m *Machine, a, b Dense, q int) Dense {
 	nb := checkSquare(a, b, q)
 	if m.P() != q*q {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: SUMMA on %d ranks needs q^2 = %d", m.P(), q*q))
 	}
 	rank := func(i, j int) int { return i*q + j }
@@ -171,6 +174,7 @@ func SUMMA(m *Machine, a, b Dense, q int) Dense {
 func Cannon(m *Machine, a, b Dense, q int) Dense {
 	nb := checkSquare(a, b, q)
 	if m.P() != q*q {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: Cannon on %d ranks needs q^2 = %d", m.P(), q*q))
 	}
 	rank := func(i, j int) int { return ((i%q+q)%q)*q + ((j%q + q) % q) }
@@ -272,12 +276,15 @@ func Cannon(m *Machine, a, b Dense, q int) Dense {
 func MatMul25D(m *Machine, a, b Dense, q, c int) Dense {
 	nb := checkSquare(a, b, q)
 	if c <= 0 || c&(c-1) != 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: replication factor %d must be a power of two", c))
 	}
 	if q%c != 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: q=%d must be divisible by c=%d", q, c))
 	}
 	if m.P() != c*q*q {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("comm: 2.5D on %d ranks needs c*q^2 = %d", m.P(), c*q*q))
 	}
 	rank := func(l, i, j int) int { return l*q*q + i*q + j }

@@ -6,19 +6,20 @@ import (
 	"repro/internal/geom"
 )
 
-// ALAPSchedule derives the latest legal start times for a fixed placement
-// such that every output is complete (and delivered nowhere later than)
-// the given deadline cycle: the mirror image of ASAPSchedule. Issue-slot
-// conflicts are resolved by stepping earlier, so the result is legal
-// whenever the deadline is achievable; it panics if the deadline is too
-// tight for the critical path (use ASAP's makespan as a lower bound).
+// ALAPScheduleChecked derives the latest legal start times for a fixed
+// placement such that every output is complete (and delivered nowhere
+// later than) the given deadline cycle: the mirror image of
+// ASAPSchedule. Issue-slot conflicts are resolved by stepping earlier,
+// so the result is legal whenever the deadline is achievable; it
+// returns an error if the deadline is too tight for the critical path
+// (use ASAP's makespan as a lower bound) or the placement is malformed.
 //
 // ASAP and ALAP together give each operation's slack — the scheduling
 // freedom a mapping search can spend on energy or storage without
 // touching the makespan.
-func ALAPSchedule(g *Graph, place []geom.Point, tgt Target, deadline int64) Schedule {
+func ALAPScheduleChecked(g *Graph, place []geom.Point, tgt Target, deadline int64) (Schedule, error) {
 	if len(place) != g.NumNodes() {
-		panic(fmt.Sprintf("fm: %d placements for %d nodes", len(place), g.NumNodes()))
+		return nil, fmt.Errorf("fm: %d placements for %d nodes", len(place), g.NumNodes())
 	}
 	tgt = tgt.withDefaults()
 	sched := make(Schedule, g.NumNodes())
@@ -48,7 +49,7 @@ func ALAPSchedule(g *Graph, place []geom.Point, tgt Target, deadline int64) Sche
 			t--
 		}
 		if t < 0 {
-			panic(fmt.Sprintf("fm: deadline %d infeasible for node %d", deadline, n))
+			return nil, fmt.Errorf("fm: deadline %d infeasible for node %d", deadline, n)
 		}
 		a := Assignment{Place: place[n], Time: t}
 		taken[a] = true
@@ -65,8 +66,20 @@ func ALAPSchedule(g *Graph, place []geom.Point, tgt Target, deadline int64) Sche
 	}
 	for n := range sched {
 		if sched[n].Time < 0 {
-			panic(fmt.Sprintf("fm: deadline %d infeasible for node %d", deadline, n))
+			return nil, fmt.Errorf("fm: deadline %d infeasible for node %d", deadline, n)
 		}
+	}
+	return sched, nil
+}
+
+// ALAPSchedule is ALAPScheduleChecked for callers that have already
+// established feasibility (e.g. deadline is a known makespan); it
+// panics on the errors ALAPScheduleChecked would return.
+func ALAPSchedule(g *Graph, place []geom.Point, tgt Target, deadline int64) Schedule {
+	sched, err := ALAPScheduleChecked(g, place, tgt, deadline)
+	if err != nil {
+		//lint:allow panic(documented convenience wrapper; ALAPScheduleChecked returns the error)
+		panic(err.Error())
 	}
 	return sched
 }

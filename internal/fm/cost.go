@@ -58,6 +58,7 @@ func (c Cost) String() string {
 // contribute zero, in an output-stationary one the partial sums do.
 func TrafficFrom(g *Graph, sched Schedule, from func(NodeID) bool) int64 {
 	if len(sched) != g.NumNodes() {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: schedule has %d assignments for %d nodes", len(sched), g.NumNodes()))
 	}
 	type flow struct {

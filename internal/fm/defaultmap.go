@@ -89,6 +89,7 @@ func ListSchedule(g *Graph, tgt Target) Schedule {
 // verifies them for callers that care).
 func ASAPSchedule(g *Graph, place []geom.Point, tgt Target) Schedule {
 	if len(place) != g.NumNodes() {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: %d placements for %d nodes", len(place), g.NumNodes()))
 	}
 	tgt = tgt.withDefaults()

@@ -177,6 +177,7 @@ func (b *Builder) Label(n NodeID, format string, args ...any) {
 func (b *Builder) MarkOutput(n NodeID) {
 	b.checkBuilt()
 	if n < 0 || int(n) >= len(b.g.bits) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: output of nonexistent node %d", n))
 	}
 	b.g.outputs = append(b.g.outputs, n)
@@ -190,6 +191,7 @@ func (b *Builder) Import(src *Graph, replaceInputs []NodeID) []NodeID {
 	b.checkBuilt()
 	srcInputs := src.Inputs()
 	if len(replaceInputs) != len(srcInputs) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: Import needs %d replacement inputs, got %d",
 			len(srcInputs), len(replaceInputs)))
 	}
@@ -199,6 +201,7 @@ func (b *Builder) Import(src *Graph, replaceInputs []NodeID) []NodeID {
 	}
 	for i, in := range srcInputs {
 		if replaceInputs[i] < 0 || int(replaceInputs[i]) >= len(b.g.bits) {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("fm: Import replacement %d does not exist", replaceInputs[i]))
 		}
 		remap[in] = replaceInputs[i]
@@ -212,6 +215,7 @@ func (b *Builder) Import(src *Graph, replaceInputs []NodeID) []NodeID {
 		for _, d := range src.Deps(NodeID(n)) {
 			nd := remap[d]
 			if nd < 0 {
+				//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 				panic(fmt.Sprintf("fm: Import of %q hit unmapped dep %d", src.Name(), d))
 			}
 			deps = append(deps, nd)

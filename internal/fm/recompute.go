@@ -23,6 +23,7 @@ import (
 // 5 nm a 32-bit add costs 1/160th of a single millimetre of wire.
 func Recompute(g *Graph, place []geom.Point, recomputable func(NodeID) bool) (*Graph, []geom.Point) {
 	if len(place) != g.NumNodes() {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: %d placements for %d nodes", len(place), g.NumNodes()))
 	}
 	b := NewBuilder(g.Name() + "+recompute")

@@ -55,11 +55,13 @@ func (d *Domain) Dims() []int { return d.dims }
 // Node returns the NodeID of the cell at idx.
 func (d *Domain) Node(idx ...int) NodeID {
 	if len(idx) != len(d.dims) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: index rank %d, domain rank %d", len(idx), len(d.dims)))
 	}
 	lin := 0
 	for k, v := range idx {
 		if v < 0 || v >= d.dims[k] {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("fm: index %v outside domain %v", idx, d.dims))
 		}
 		lin += v * d.strides[k]
@@ -71,6 +73,7 @@ func (d *Domain) Node(idx ...int) NodeID {
 // domain's rank) and returns it.
 func (d *Domain) Index(n NodeID, dst []int) []int {
 	if len(dst) != len(d.dims) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("fm: dst rank %d, domain rank %d", len(dst), len(d.dims)))
 	}
 	lin := int(n)
@@ -162,6 +165,7 @@ func (r Recurrence) Materialize() (*Graph, *Domain, error) {
 			}
 		}
 		if id := b.Op(r.Op, r.Bits, deps...); int(id) != lin {
+			//lint:allow panic(unreachable: Build assigns cell IDs densely in the same order they were interned)
 			panic("fm: recurrence cell IDs out of sync")
 		}
 	}
@@ -198,15 +202,19 @@ func ScheduleByIndex(dom *Domain, f func(idx []int) Assignment) Schedule {
 // the unit step to stride target cycles (use MinAntiDiagonalStride so one
 // step covers the cell's op latency plus one hop of transit). origin
 // anchors the processor row on the grid.
-func AntiDiagonalSchedule(dom *Domain, p int, stride int64, origin geom.Point) Schedule {
+//
+// AntiDiagonalScheduleChecked validates the domain rank, processor
+// count, and stride, returning an error for malformed inputs (e.g.
+// user-supplied dimensions).
+func AntiDiagonalScheduleChecked(dom *Domain, p int, stride int64, origin geom.Point) (Schedule, error) {
 	if len(dom.dims) != 2 {
-		panic(fmt.Sprintf("fm: AntiDiagonalSchedule needs a 2-D domain, got rank %d", len(dom.dims)))
+		return nil, fmt.Errorf("fm: AntiDiagonalSchedule needs a 2-D domain, got rank %d", len(dom.dims))
 	}
 	if p <= 0 {
-		panic(fmt.Sprintf("fm: invalid processor count %d", p))
+		return nil, fmt.Errorf("fm: invalid processor count %d", p)
 	}
 	if stride <= 0 {
-		panic(fmt.Sprintf("fm: invalid stride %d", stride))
+		return nil, fmt.Errorf("fm: invalid stride %d", stride)
 	}
 	n := int64(dom.dims[1])
 	return ScheduleByIndex(dom, func(idx []int) Assignment {
@@ -216,7 +224,19 @@ func AntiDiagonalSchedule(dom *Domain, p int, stride int64, origin geom.Point) S
 			Place: geom.Pt(origin.X+int(k), origin.Y),
 			Time:  ((i/int64(p))*n + j + k) * stride,
 		}
-	})
+	}), nil
+}
+
+// AntiDiagonalSchedule is AntiDiagonalScheduleChecked for callers with
+// statically known-good arguments; it panics on the errors the Checked
+// variant would return.
+func AntiDiagonalSchedule(dom *Domain, p int, stride int64, origin geom.Point) Schedule {
+	sched, err := AntiDiagonalScheduleChecked(dom, p, stride, origin)
+	if err != nil {
+		//lint:allow panic(documented convenience wrapper; AntiDiagonalScheduleChecked returns the error)
+		panic(err.Error())
+	}
+	return sched
 }
 
 // MinAntiDiagonalStride returns the smallest legal unit step for
@@ -226,25 +246,37 @@ func AntiDiagonalSchedule(dom *Domain, p int, stride int64, origin geom.Point) S
 // dependence from processor p-1 back to processor 0 when a row block
 // completes, which must cover p-1 hops inside the n-p+1 steps the
 // schedule allows it.
-func MinAntiDiagonalStride(tgt Target, op tech.OpClass, bits int, n, p int) int64 {
+// MinAntiDiagonalStrideChecked validates n and p, returning an error
+// for non-positive values (e.g. user-supplied sizes).
+func MinAntiDiagonalStrideChecked(tgt Target, op tech.OpClass, bits int, n, p int) (int64, error) {
 	tgt = tgt.withDefaults()
 	if n <= 0 || p <= 0 {
-		panic(fmt.Sprintf("fm: invalid domain %d or processor count %d", n, p))
+		return 0, fmt.Errorf("fm: invalid domain %d or processor count %d", n, p)
 	}
 	if p == 1 {
 		// Everything is co-located: the step only has to cover the op.
-		return tgt.OpCycles(op, bits)
+		return tgt.OpCycles(op, bits), nil
 	}
 	s := tgt.OpCycles(op, bits) + tgt.TransitCycles(1)
-	if p > 1 {
-		slack := int64(n - p + 1)
-		if slack < 1 {
-			slack = 1
-		}
-		need := tgt.OpCycles(op, bits) + tgt.TransitCycles(p-1)
-		if w := (need + slack - 1) / slack; w > s {
-			s = w
-		}
+	slack := int64(n - p + 1)
+	if slack < 1 {
+		slack = 1
+	}
+	need := tgt.OpCycles(op, bits) + tgt.TransitCycles(p-1)
+	if w := (need + slack - 1) / slack; w > s {
+		s = w
+	}
+	return s, nil
+}
+
+// MinAntiDiagonalStride is MinAntiDiagonalStrideChecked for callers
+// with statically known-good arguments; it panics on the errors the
+// Checked variant would return.
+func MinAntiDiagonalStride(tgt Target, op tech.OpClass, bits int, n, p int) int64 {
+	s, err := MinAntiDiagonalStrideChecked(tgt, op, bits, n, p)
+	if err != nil {
+		//lint:allow panic(documented convenience wrapper; MinAntiDiagonalStrideChecked returns the error)
+		panic(err.Error())
 	}
 	return s
 }

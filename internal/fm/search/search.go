@@ -81,6 +81,7 @@ func (o Objective) Value(c fm.Cost) float64 {
 	case MinFootprint:
 		return float64(c.PeakWordsPerNode)*1e12 + float64(c.Cycles)
 	default:
+		//lint:allow panic(unreachable for the defined Objective constants; an unknown objective is a caller bug)
 		panic(fmt.Sprintf("search: unknown objective %d", int(o)))
 	}
 }
@@ -278,6 +279,7 @@ func (ch *chain) run(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cach
 func Anneal(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedule, fm.Cost) {
 	sched, cost, err := AnnealResumable(g, tgt, opts)
 	if err != nil {
+		//lint:allow panic(documented convenience wrapper; AnnealResumable returns the error)
 		panic(fmt.Sprintf("search: %v", err))
 	}
 	return sched, cost
@@ -379,6 +381,7 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 	// parked, so the chain-private counters can be read without locks.
 	// The helper publishes to the callback and the registry; neither can
 	// influence the chains, so observers never perturb the search.
+	//lint:allow nondeterminism(wall clock feeds progress telemetry only; search results never depend on it)
 	start := time.Now()
 	observing := opts.OnProgress != nil || opts.Obs.Enabled()
 	emit := func(done int, final bool) {
@@ -395,6 +398,7 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 		p := Progress{
 			Done: done, Total: opts.Iters,
 			Candidates: evals, Accepted: accepts, Rejected: rejects,
+			//lint:allow nondeterminism(wall clock feeds progress telemetry only; search results never depend on it)
 			ElapsedSec:    time.Since(start).Seconds(),
 			BestObjective: opts.Objective.Value(chains[w].bestCost),
 			BestCycles:    chains[w].bestCost.Cycles,
@@ -572,9 +576,11 @@ type affineTuple struct {
 // Affine2DOptions.Workers); the merge is deterministic.
 func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptions) []Candidate {
 	if len(dom.Dims()) != 2 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("search: Exhaustive2D needs rank 2, got %d", len(dom.Dims())))
 	}
 	if opts.P <= 0 || opts.P > tgt.Grid.Width {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("search: invalid P=%d for grid width %d", opts.P, tgt.Grid.Width))
 	}
 	if opts.MaxCoeff == 0 {
@@ -642,6 +648,7 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 			grain = 1
 		}
 		if err := pool.For(0, len(tuples), grain, eval); err != nil {
+			//lint:allow panic(internal-invariant trap: pool.For only fails if eval panicked and that bug should crash loudly)
 			panic(fmt.Sprintf("search: exhaustive sweep: %v", err))
 		}
 	}
@@ -673,6 +680,7 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 // empty slice.
 func Best(cands []Candidate, obj Objective) Candidate {
 	if len(cands) == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("search: Best of no candidates")
 	}
 	best := cands[0]

@@ -117,9 +117,11 @@ type Grid struct {
 // NewGrid returns a grid with the given dimensions and node pitch.
 func NewGrid(w, h int, pitchMM float64) Grid {
 	if w <= 0 || h <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("geom: invalid grid %dx%d", w, h))
 	}
 	if pitchMM <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("geom: invalid pitch %g", pitchMM))
 	}
 	return Grid{Width: w, Height: h, PitchMM: pitchMM}
@@ -138,6 +140,7 @@ func (g Grid) Contains(p Point) bool { return p.In(g.Bounds()) }
 // grid, because a silently wrapped ID would corrupt cost accounting.
 func (g Grid) ID(p Point) int {
 	if !g.Contains(p) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("geom: point %v outside grid %dx%d", p, g.Width, g.Height))
 	}
 	return p.Y*g.Width + p.X
@@ -146,6 +149,7 @@ func (g Grid) ID(p Point) int {
 // At returns the point with linear ID id.
 func (g Grid) At(id int) Point {
 	if id < 0 || id >= g.Nodes() {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("geom: node id %d outside grid %dx%d", id, g.Width, g.Height))
 	}
 	return Pt(id%g.Width, id/g.Width)

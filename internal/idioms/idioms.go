@@ -159,6 +159,7 @@ func Gather(tgt fm.Target, bits int, nIn int, idx []int, lay Layout) *fm.Module 
 	outs := make([]fm.NodeID, len(idx))
 	for i, j := range idx {
 		if j < 0 || j >= nIn {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("idioms: gather index %d out of range [0,%d)", j, nIn))
 		}
 		outs[i] = b.Op(tech.OpLogic, bits, ins[j])
@@ -177,6 +178,7 @@ func Shuffle(tgt fm.Target, bits int, perm []int, lay Layout) *fm.Module {
 	inv := make([]int, n)
 	for i, p := range perm {
 		if p < 0 || p >= n || seen[p] {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("idioms: perm is not a permutation at %d -> %d", i, p))
 		}
 		seen[p] = true
@@ -191,6 +193,7 @@ func Shuffle(tgt fm.Target, bits int, perm []int, lay Layout) *fm.Module {
 // row-distributed producer feeds a column-distributed consumer.
 func Transpose(tgt fm.Target, r, c, bits int, lay Layout) *fm.Module {
 	if r <= 0 || c <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("idioms: transpose of %dx%d", r, c))
 	}
 	perm := make([]int, r*c)
@@ -239,6 +242,7 @@ func ScanKoggeStone(tgt fm.Target, n int, op tech.OpClass, bits int, lay Layout)
 func ScanBlelloch(tgt fm.Target, n int, op tech.OpClass, bits int, lay Layout) *fm.Module {
 	checkN("scan", n)
 	if n&(n-1) != 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("idioms: Blelloch scan needs a power-of-two length, got %d", n))
 	}
 	b := fm.NewBuilder(fmt.Sprintf("scan-bl%d", n))

@@ -1,0 +1,55 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis. The container this repo builds in has
+// no module proxy access and no vendored x/tools, so the repolint
+// analyzers are written against this shim instead; each analyzer's Run
+// function uses only the fields below and can be ported to the real
+// go/analysis framework (or driven by unitchecker) verbatim once the
+// dependency is available.
+//
+// Only the pieces repolint needs exist: Analyzer metadata, a Pass
+// carrying one type-checked package, and Diagnostic reporting. There is
+// no Fact machinery, no Requires graph, and no SuggestedFixes — the
+// repolint analyzers are all single-package and report-only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is the one-paragraph description: first line is a summary,
+	// the rest explains the invariant the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package. The returned value is
+	// ignored by the repolint driver (no Facts), but the signature
+	// matches x/tools so analyzers port without edits.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

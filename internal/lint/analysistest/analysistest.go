@@ -1,0 +1,119 @@
+// Package analysistest runs a repolint analyzer over fixture packages
+// and checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention (which this
+// container cannot vendor — see internal/lint/analysis).
+//
+// Fixtures live under <dir>/src/<importpath>/*.go, GOPATH-style, so a
+// fixture can shadow any import path — including repro/internal/...
+// paths, which lets scope-sensitive analyzers (determinism's critical
+// package list, obsnoop's obs package) be tested against both matching
+// and non-matching paths.
+//
+// A want comment holds one or more double-quoted regular expressions,
+// each of which must match a distinct diagnostic reported on that line:
+//
+//	keys = append(keys, k) // want "append to keys inside map iteration"
+//
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, both fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each fixture package from dir/src and applies the analyzer,
+// failing t on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, path := range pkgpaths {
+		runOne(t, dir, a, path)
+	}
+}
+
+type finding struct {
+	line int
+	msg  string
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := loader.New(loader.Config{ExtraRoots: []string{dir + "/src"}})
+	pkg, err := l.Load(pkgpath)
+	if err != nil {
+		t.Fatalf("%s: loading fixture: %v", pkgpath, err)
+	}
+	var got []finding
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		got = append(got, finding{line: pkg.Fset.Position(d.Pos).Line, msg: d.Message})
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %s failed: %v", pkgpath, a.Name, err)
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].line != got[j].line {
+			return got[i].line < got[j].line
+		}
+		return got[i].msg < got[j].msg
+	})
+
+	// Collect wants per line.
+	type want struct {
+		line int
+		re   *regexp.Regexp
+		used bool
+	}
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pkgpath, line, q[1], err)
+					}
+					wants = append(wants, &want{line: line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, g := range got {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.line == g.line && w.re.MatchString(g.msg) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pkgpath, g.line, a.Name, g.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no %s diagnostic matched want %q", pkgpath, w.line, a.Name, w.re)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// The escape hatch. A finding is suppressed by a comment of the form
+//
+//	//lint:allow <kind>(<reason>)
+//
+// where <kind> names the suppressed check (panic, nondeterminism, obs,
+// print) and <reason> is a non-empty justification — the annotation is
+// the audit trail, so a bare allow with no reason does not count. The
+// directive applies to the line it sits on, to the following line when
+// it stands alone, or to a whole function when it appears in the
+// function's doc comment.
+var allowRE = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\(([^)]*)\)\s*$`)
+
+// directiveIndex is the per-file view of every allow directive,
+// built once per (pass, file) and cached on the pass via allowCache.
+type directiveIndex struct {
+	// lines maps a source line to the set of kinds allowed there.
+	lines map[int]map[string]bool
+	// funcRanges lists body ranges of functions whose doc comment
+	// carries a directive, with the allowed kind.
+	funcRanges []allowRange
+}
+
+type allowRange struct {
+	kind       string
+	start, end token.Pos
+}
+
+var allowCache = map[*analysis.Pass]map[*ast.File]*directiveIndex{}
+
+// allowed reports whether a diagnostic of the given kind at pos is
+// suppressed by an allow directive.
+func allowed(pass *analysis.Pass, file *ast.File, pos token.Pos, kind string) bool {
+	byFile := allowCache[pass]
+	if byFile == nil {
+		byFile = make(map[*ast.File]*directiveIndex)
+		allowCache[pass] = byFile
+	}
+	idx := byFile[file]
+	if idx == nil {
+		idx = buildIndex(pass, file)
+		byFile[file] = idx
+	}
+	line := pass.Fset.Position(pos).Line
+	if idx.lines[line][kind] {
+		return true
+	}
+	for _, r := range idx.funcRanges {
+		if r.kind == kind && r.start <= pos && pos <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+func buildIndex(pass *analysis.Pass, file *ast.File) *directiveIndex {
+	idx := &directiveIndex{lines: make(map[int]map[string]bool)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := allowRE.FindStringSubmatch(c.Text)
+			if m == nil || strings.TrimSpace(m[2]) == "" {
+				continue
+			}
+			kind := m[1]
+			p := pass.Fset.Position(c.Pos())
+			add := func(line int) {
+				if idx.lines[line] == nil {
+					idx.lines[line] = make(map[string]bool)
+				}
+				idx.lines[line][kind] = true
+			}
+			// A directive covers its own line (trailing form) and the
+			// next (standalone form above the flagged statement).
+			add(p.Line)
+			add(p.Line + 1)
+		}
+	}
+	// Directives in a function's doc comment cover the whole body.
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil || fn.Body == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			m := allowRE.FindStringSubmatch(c.Text)
+			if m == nil || strings.TrimSpace(m[2]) == "" {
+				continue
+			}
+			idx.funcRanges = append(idx.funcRanges, allowRange{
+				kind: m[1], start: fn.Body.Pos(), end: fn.Body.End(),
+			})
+		}
+	}
+	return idx
+}

@@ -1,0 +1,69 @@
+// Package lint holds repolint's analyzers: static checks that encode
+// the repo's load-bearing invariants so CI rejects regressions before
+// any runtime test could observe them.
+//
+// The paper's F&M argument is that cost becomes predictable only when
+// the rules are explicit and checkable. The repo applies the same
+// stance to itself. Four contracts hold everything together —
+// bit-exact determinism across worker counts, error-returning library
+// APIs, a nil-registry observability no-op, and no stray printing from
+// library code — and each is enforced here as a compile-time check
+// backed by (not replaced by) the runtime tests listed in DESIGN.md.
+//
+// Analyzers are written against internal/lint/analysis, an
+// API-compatible subset of golang.org/x/tools/go/analysis (see that
+// package's doc for why), and driven by cmd/repolint.
+package lint
+
+import (
+	"go/ast"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// All returns every repolint analyzer in deterministic order.
+func All() []*analysis.Analyzer {
+	as := []*analysis.Analyzer{Determinism, NoPanic, ObsNoop, PrintBan}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// internalPackage reports whether path is a library package subject to
+// the repo's internal-code invariants (nopanic, printban).
+func internalPackage(path string) bool {
+	const prefix = "repro/internal/"
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix
+}
+
+// exportedFunc reports whether decl is part of the package's exported
+// API: an exported top-level function, or an exported method on an
+// exported receiver type.
+func exportedFunc(decl *ast.FuncDecl) bool {
+	if !decl.Name.IsExported() {
+		return false
+	}
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(receiverTypeName(decl.Recv.List[0].Type))
+}
+
+// receiverTypeName unwraps a method receiver type expression ("T",
+// "*T", "T[P]") to the base type name.
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

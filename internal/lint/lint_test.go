@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+)
+
+// TestAnalyzers drives every analyzer over its fixtures: positive hits
+// (want comments), negatives (clean code and out-of-scope packages),
+// and the //lint:allow escape hatch, all encoded in the fixtures under
+// testdata/src.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *analysis.Analyzer
+		pkgs     []string
+	}{
+		// Positive + escape-hatch fixtures at in-scope import paths.
+		{"determinism/critical", lint.Determinism, []string{"repro/internal/fm/search"}},
+		{"nopanic/internal", lint.NoPanic, []string{"repro/internal/nopanictest"}},
+		{"obsnoop", lint.ObsNoop, []string{"obsnooptest"}},
+		{"printban/internal", lint.PrintBan, []string{"repro/internal/printtest"}},
+		// Negatives: the same shapes at out-of-scope paths must be silent
+		// (the fixture has no want comments, so any diagnostic fails).
+		{"determinism/noncritical", lint.Determinism, []string{"a/notcritical"}},
+		{"nopanic/external", lint.NoPanic, []string{"a/notcritical"}},
+		{"printban/external", lint.PrintBan, []string{"a/notcritical"}},
+		// The obs package itself may touch its own internals.
+		{"obsnoop/self", lint.ObsNoop, []string{"repro/internal/obs"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", tc.analyzer, tc.pkgs...)
+		})
+	}
+}
+
+// TestAll pins the analyzer roster: names are unique, sorted, and every
+// Doc names its escape hatch so a finding is always actionable.
+func TestAll(t *testing.T) {
+	all := lint.All()
+	if len(all) != 4 {
+		t.Fatalf("got %d analyzers, want 4", len(all))
+	}
+	for i, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %d incomplete: %+v", i, a)
+		}
+		if i > 0 && all[i-1].Name >= a.Name {
+			t.Errorf("analyzers out of order: %s before %s", all[i-1].Name, a.Name)
+		}
+		if !strings.Contains(a.Doc, "//lint:allow") {
+			t.Errorf("%s: Doc does not document the escape hatch", a.Name)
+		}
+	}
+}

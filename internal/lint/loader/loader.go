@@ -1,0 +1,307 @@
+// Package loader type-checks Go packages from source using only the
+// standard library, for the repolint analyzer driver and its tests.
+//
+// The usual driver for go/analysis is golang.org/x/tools/go/packages,
+// which shells out to `go list` and reads export data. Neither is
+// available in this repo's build container (no module proxy, no
+// vendored x/tools), so this loader does the minimal honest version of
+// the same job: resolve an import path to a directory (fixture roots
+// first, then the enclosing module, then GOROOT/src), select files with
+// go/build's constraint logic, parse them, and type-check the whole
+// dependency graph in import order with a memoizing importer. The repo
+// is dependency-free by policy, so "module + stdlib" covers every
+// import that can appear.
+//
+// Only non-test files are loaded: the invariants repolint enforces
+// (determinism, no-panic, zero-overhead observability, print hygiene)
+// are contracts of shipped code; tests and Example functions are
+// exempt by construction.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Syntax holds the parsed files. Populated only for packages the
+	// loader was asked to analyze (module and fixture packages);
+	// dependency-only packages keep just their type information.
+	Syntax []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo is populated alongside Syntax for analyzed packages.
+	TypesInfo *types.Info
+}
+
+// Config parameterizes a Loader.
+type Config struct {
+	// ModulePath and ModuleDir describe the enclosing module: import
+	// paths equal to or under ModulePath resolve into ModuleDir. Both
+	// may be empty when loading only fixture and stdlib packages.
+	ModulePath string
+	ModuleDir  string
+	// ExtraRoots are GOPATH-style source roots (e.g. testdata/src)
+	// searched before the module and GOROOT, letting test fixtures
+	// shadow any import path, including module-internal ones.
+	ExtraRoots []string
+}
+
+// Loader loads and memoizes packages. Not safe for concurrent use.
+type Loader struct {
+	cfg      Config
+	ctxt     build.Context
+	fset     *token.FileSet
+	pkgs     map[string]*Package
+	visiting map[string]bool
+	sizes    types.Sizes
+}
+
+// New returns a Loader for the given configuration.
+func New(cfg Config) *Loader {
+	ctxt := build.Default
+	// Prefer pure-Go variants everywhere: cgo files cannot be
+	// type-checked from source, and nothing in this repo needs them.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		cfg:      cfg,
+		ctxt:     ctxt,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*Package),
+		visiting: make(map[string]bool),
+		sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// Fset returns the loader-wide file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load type-checks the package at the given import path (and,
+// transitively, everything it imports) and returns it.
+func (l *Loader) Load(path string) (*Package, error) {
+	return l.load(path)
+}
+
+// analyzed reports whether a package should retain syntax and full type
+// info: fixture-root and module packages are analyzed, stdlib
+// dependencies are not.
+func (l *Loader) analyzed(path, dir string) bool {
+	for _, root := range l.cfg.ExtraRoots {
+		if strings.HasPrefix(dir, root+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return l.cfg.ModulePath != "" &&
+		(path == l.cfg.ModulePath || strings.HasPrefix(path, l.cfg.ModulePath+"/"))
+}
+
+// resolve maps an import path to the directory holding its sources.
+func (l *Loader) resolve(path string) (string, error) {
+	for _, root := range l.cfg.ExtraRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, nil
+		}
+	}
+	if l.cfg.ModulePath != "" {
+		if path == l.cfg.ModulePath {
+			return l.cfg.ModuleDir, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.cfg.ModulePath+"/"); ok {
+			return filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(rest)), nil
+		}
+	}
+	dir := filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		return dir, nil
+	}
+	return "", fmt.Errorf("loader: cannot resolve import %q", path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{PkgPath: path, Fset: l.fset, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.visiting[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.visiting[path] = true
+	defer delete(l.visiting, path)
+
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	keep := l.analyzed(path, dir)
+	var info *types.Info
+	if keep {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:  importerFunc(func(p string) (*types.Package, error) { return l.importFor(p) }),
+		Sizes:     l.sizes,
+		FakeImportC: true,
+		// Collect the first error but keep checking: stdlib packages
+		// occasionally contain constructs go/types is stricter about
+		// than the compiler; analyzed packages must still check clean.
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if firstErr != nil && keep {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, firstErr)
+	}
+	if tpkg == nil {
+		return nil, fmt.Errorf("loader: type-checking %s produced no package (%v)", path, firstErr)
+	}
+	p := &Package{PkgPath: path, Dir: dir, Fset: l.fset, Types: tpkg}
+	if keep {
+		p.Syntax = files
+		p.TypesInfo = info
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModulePackages returns the sorted import paths of every package in
+// the module rooted at moduleDir that contains non-test Go files,
+// mirroring the `./...` pattern: testdata, hidden, and underscore
+// directories are skipped.
+func ModulePackages(modulePath, moduleDir string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(moduleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != moduleDir && (name == "testdata" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+				continue
+			}
+			rel, err := filepath.Rel(moduleDir, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, modulePath)
+			} else {
+				paths = append(paths, modulePath+"/"+filepath.ToSlash(rel))
+			}
+			break
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the
+// module path declared there and the directory containing it.
+func FindModule(dir string) (modulePath, moduleDir string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("loader: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// NoPanic enforces the repo's error-contract: exported functions in
+// internal library packages return errors, they do not panic. The
+// runtime backstop is the fuzz/property tests that feed hostile inputs
+// through fm.Check and friends; this analyzer rejects the regression at
+// compile time instead.
+//
+// A panic that guards a provably-unreachable invariant may stay, but
+// must carry //lint:allow panic(reason) — the allowlist is the audit
+// trail and is expected to shrink over time.
+var NoPanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "exported functions in internal packages must return errors instead of panicking " +
+		"(escape hatch: //lint:allow panic(reason) for unreachable invariant checks)",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *analysis.Pass) (interface{}, error) {
+	if !internalPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !exportedFunc(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				if allowed(pass, file, call.Pos(), "panic") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"exported %s panics; return an error or annotate with //lint:allow panic(reason)",
+					fn.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// obsPath is the observability package whose nil-no-op contract ObsNoop
+// protects.
+const obsPath = "repro/internal/obs"
+
+// obsProtected is the set of obs types that must only travel as
+// pointers obtained from a Registry: their nil receiver IS the disabled
+// path, and their guts (mutexes, atomics) must never be copied.
+var obsProtected = map[string]bool{
+	"Registry": true, "Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
+}
+
+// ObsNoop enforces the "nil registry is a zero-overhead no-op"
+// contract: obs.Registry and its instruments are used only through
+// their nil-safe pointer API. Constructing one with a composite
+// literal or new() bypasses New and yields an unusable zero value;
+// declaring or copying one as a value splits its atomics and breaks
+// the shared-instrument semantics. The runtime backstop is the
+// obs_test.go nil-registry suites; this check catches the misuse
+// before anything runs.
+var ObsNoop = &analysis.Analyzer{
+	Name: "obsnoop",
+	Doc: "obs.Registry and instruments must be used via their nil-safe pointer API: " +
+		"no composite literals, no new(), no value declarations or copies " +
+		"(escape hatch: //lint:allow obs(reason))",
+	Run: runObsNoop,
+}
+
+func runObsNoop(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == obsPath {
+		return nil, nil // the package owns its own internals
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.Field:
+				checkObsValueType(pass, file, e.Type, fieldName(e))
+			case *ast.ValueSpec:
+				if e.Type != nil {
+					name := ""
+					if len(e.Names) > 0 {
+						name = e.Names[0].Name
+					}
+					checkObsValueType(pass, file, e.Type, name)
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.TypesInfo.Types[e]
+				if !ok {
+					return true
+				}
+				t := tv.Type
+				if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					t = p.Elem()
+				}
+				if name := protectedObsType(t); name != "" {
+					if !allowed(pass, file, e.Pos(), "obs") {
+						pass.Reportf(e.Pos(),
+							"composite literal of obs.%s bypasses obs.New; the zero value is not usable", name)
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := e.Fun.(*ast.Ident)
+				if !ok || id.Name != "new" || len(e.Args) != 1 {
+					return true
+				}
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[e.Args[0]]; ok {
+					if name := protectedObsType(tv.Type); name != "" {
+						if !allowed(pass, file, e.Pos(), "obs") {
+							pass.Reportf(e.Pos(),
+								"new(obs.%s) bypasses obs.New; the zero value is not usable", name)
+						}
+					}
+				}
+			case *ast.StarExpr:
+				// A *p dereference that yields a protected struct value
+				// is a copy about to happen (assignment, argument, ...).
+				tv, ok := pass.TypesInfo.Types[e]
+				if !ok || !tv.IsValue() {
+					return true
+				}
+				if name := protectedObsType(tv.Type); name != "" {
+					if !allowed(pass, file, e.Pos(), "obs") {
+						pass.Reportf(e.Pos(),
+							"dereference copies obs.%s; pass the *obs.%s pointer instead", name, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkObsValueType flags a declaration (var, struct field, parameter,
+// or result) whose type is a protected obs type by value.
+func checkObsValueType(pass *analysis.Pass, file *ast.File, typeExpr ast.Expr, declName string) {
+	tv, ok := pass.TypesInfo.Types[typeExpr]
+	if !ok || !tv.IsType() {
+		return
+	}
+	name := protectedObsType(tv.Type)
+	if name == "" || allowed(pass, file, typeExpr.Pos(), "obs") {
+		return
+	}
+	what := "declaration"
+	if declName != "" {
+		what = declName
+	}
+	pass.Reportf(typeExpr.Pos(),
+		"%s declared as obs.%s value; use *obs.%s (copying breaks the nil no-op contract)",
+		what, name, name)
+}
+
+func fieldName(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		return f.Names[0].Name
+	}
+	return ""
+}
+
+// protectedObsType returns the obs type name if t is one of the
+// protected obs named struct types, or "".
+func protectedObsType(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return ""
+	}
+	if obsProtected[obj.Name()] {
+		return obj.Name()
+	}
+	return ""
+}

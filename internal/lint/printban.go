@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// PrintBan keeps library packages silent: no fmt.Print/Printf/Println
+// and no builtin print/println in internal/ code. User-facing output
+// belongs to the cmd/ layer and flows through progress callbacks, obs
+// snapshots, or returned values — a library that prints cannot be
+// embedded in a server or driven by a machine-readable bench harness.
+// Tests and Example functions are exempt (the driver never loads
+// _test.go files).
+var PrintBan = &analysis.Analyzer{
+	Name: "printban",
+	Doc: "internal packages must not print to stdout/stderr; route output through " +
+		"progress streams, obs snapshots, or return values (escape hatch: //lint:allow print(reason))",
+	Run: runPrintBan,
+}
+
+func runPrintBan(pass *analysis.Pass) (interface{}, error) {
+	if !internalPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				// Builtin print/println.
+				if fun.Name != "print" && fun.Name != "println" {
+					return true
+				}
+				if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok {
+					return true
+				}
+				if !allowed(pass, file, call.Pos(), "print") {
+					pass.Reportf(call.Pos(), "builtin %s in internal package; route output through the cmd layer", fun.Name)
+				}
+			case *ast.SelectorExpr:
+				obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+					return true
+				}
+				switch obj.Name() {
+				case "Print", "Printf", "Println":
+					if !allowed(pass, file, call.Pos(), "print") {
+						pass.Reportf(call.Pos(), "fmt.%s in internal package; route output through the cmd layer", obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

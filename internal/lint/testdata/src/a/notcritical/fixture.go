@@ -1,0 +1,33 @@
+// Negative fixture: identical patterns to the determinism fixture, but
+// at a non-critical import path — the analyzer must stay silent. Also
+// doubles as the negative fixture for nopanic and printban, which only
+// apply to repro/internal/ packages.
+package notcritical
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Clock() time.Time { return time.Now() }
+
+func GlobalRand() int { return rand.Intn(8) }
+
+func MapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func ExportedPanics(x int) {
+	if x < 0 {
+		panic("outside internal/: nopanic does not apply")
+	}
+}
+
+func ExportedPrints() {
+	fmt.Println("outside internal/: printban does not apply")
+}

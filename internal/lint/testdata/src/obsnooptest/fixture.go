@@ -1,0 +1,44 @@
+// Fixture for the obsnoop analyzer: obs instruments travel only as
+// pointers obtained from obs.New / registry lookups.
+package obsnooptest
+
+import "repro/internal/obs"
+
+func Good() {
+	r := obs.New()
+	r.Counter("ops").Inc()
+	var disabled *obs.Registry // nil pointer is the disabled registry: fine
+	disabled.Counter("ops").Inc()
+}
+
+func BadLiteral() *obs.Registry {
+	return &obs.Registry{} // want "composite literal of obs.Registry bypasses obs.New"
+}
+
+func BadInstrumentLiteral() obs.Counter { // want "declaration declared as obs.Counter value"
+	return obs.Counter{} // want "composite literal of obs.Counter"
+}
+
+func BadNew() *obs.Registry {
+	return new(obs.Registry) // want "new\(obs.Registry\) bypasses obs.New"
+}
+
+var BadValue obs.Gauge // want "BadValue declared as obs.Gauge value"
+
+type holder struct {
+	c obs.Counter  // want "c declared as obs.Counter value"
+	p *obs.Counter // fine: pointer field
+}
+
+func BadParam(g obs.Histogram) {} // want "g declared as obs.Histogram value"
+
+func BadCopy(r *obs.Registry) {
+	v := *r // want "dereference copies obs.Registry"
+	_ = v
+}
+
+func Allowed() {
+	//lint:allow obs(fixture demonstrates the escape hatch)
+	v := obs.Counter{}
+	_ = v
+}

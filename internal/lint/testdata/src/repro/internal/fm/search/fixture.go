@@ -1,0 +1,102 @@
+// Fixture for the determinism analyzer: this fake package sits at a
+// determinism-critical import path, so every check is live.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func Clock() float64 {
+	t := time.Now() // want "time.Now in determinism-critical package"
+	d := time.Since(t) // want "time.Since in determinism-critical package"
+	return d.Seconds()
+}
+
+func AllowedClock() time.Time {
+	//lint:allow nondeterminism(progress reporting only; never feeds results)
+	return time.Now()
+}
+
+func AllowedClockTrailing() time.Time {
+	return time.Now() //lint:allow nondeterminism(elapsed-time metric only)
+}
+
+func GlobalRand() int {
+	return rand.Intn(8) // want "global rand.Intn in determinism-critical package"
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(8)                    // method on a seeded *rand.Rand is fine
+}
+
+func MapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration without a later sort"
+	}
+	return keys
+}
+
+func MapCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // fine: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func MapCollectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // fine: sorted below via sort.Slice
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func MapLocalAppend(m map[string]int) int {
+	total := 0
+	for range m {
+		var scratch []int
+		scratch = append(scratch, 1) // fine: loop-local slice
+		total += len(scratch)
+	}
+	return total
+}
+
+func SliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // fine: slice iteration is ordered
+	}
+	return out
+}
+
+func MapEmit(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "WriteString call inside map iteration emits in random order"
+	}
+}
+
+func MapFprintf(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want "Fprintf call inside map iteration emits in random order"
+	}
+}
+
+func MapEmitAllowed(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		//lint:allow nondeterminism(order-insensitive aggregation)
+		sb.WriteString(k)
+	}
+}

@@ -1,0 +1,65 @@
+// Fixture for the nopanic analyzer: exported API of an internal
+// package must return errors, not panic, unless annotated.
+package nopanictest
+
+import "errors"
+
+func Exported(x int) error {
+	if x < 0 {
+		panic("negative") // want "exported Exported panics"
+	}
+	return errors.New("checked")
+}
+
+func unexported(x int) {
+	if x < 0 {
+		panic("unexported functions may assert") // fine
+	}
+}
+
+type Public struct{ n int }
+
+func (p *Public) Get(i int) int {
+	if i < 0 || i >= p.n {
+		panic("out of range") // want "exported Get panics"
+	}
+	return i
+}
+
+type hidden struct{}
+
+func (hidden) Method() { panic("method on unexported type") } // fine
+
+func ExportedNested() func() {
+	return func() {
+		panic("escapes via the exported API") // want "exported ExportedNested panics"
+	}
+}
+
+func ExportedAllowedAbove(x int) {
+	if x < 0 {
+		//lint:allow panic(unreachable: every caller validates x first)
+		panic("negative")
+	}
+}
+
+func ExportedAllowedTrailing(x int) {
+	if x < 0 {
+		panic("negative") //lint:allow panic(invariant check on internal state)
+	}
+}
+
+//lint:allow panic(assertion helper; documented to panic on misuse)
+func MustPositive(x int) int {
+	if x <= 0 {
+		panic("not positive")
+	}
+	return x
+}
+
+func ExportedEmptyReason(x int) {
+	if x < 0 {
+		//lint:allow panic()
+		panic("a bare allow with no reason does not count") // want "exported ExportedEmptyReason panics"
+	}
+}

@@ -1,0 +1,24 @@
+// Fake obs package for the obsnoop fixture: same import path and type
+// names as the real repro/internal/obs, minimal bodies. The analyzer
+// matches on (package path, type name), so this stand-in exercises it
+// without dragging the real package's dependencies into the fixture.
+package obs
+
+type Registry struct{ n int }
+
+func New() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge     { return &Gauge{} }
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{ n float64 }
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{ n int }
+
+type Timer struct{ h *Histogram }

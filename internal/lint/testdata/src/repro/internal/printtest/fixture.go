@@ -1,0 +1,27 @@
+// Fixture for the printban analyzer: internal packages stay silent.
+package printtest
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func Bad() {
+	fmt.Println("hello") // want "fmt.Println in internal package"
+	fmt.Printf("%d\n", 1) // want "fmt.Printf in internal package"
+	fmt.Print("x")       // want "fmt.Print in internal package"
+	print("builtin")     // want "builtin print in internal package"
+	println("builtin")   // want "builtin println in internal package"
+}
+
+func Fine(w io.Writer) string {
+	fmt.Fprintln(w, "writer-directed output is the caller's choice")
+	fmt.Fprintf(os.Stderr, "so is an explicit stderr stream\n")
+	return fmt.Sprintf("formatting is not printing")
+}
+
+func AllowedPrint() {
+	//lint:allow print(debug helper compiled out of release builds)
+	fmt.Println("allowed")
+}

@@ -93,18 +93,19 @@ type Machine struct {
 	obsBusy   [trace.NumKinds]*obs.Gauge
 }
 
-// New returns a machine over the configured grid.
-func New(cfg Config) *Machine {
+// NewChecked returns a machine over the configured grid, validating the
+// technology parameters and NoC mode up front.
+func NewChecked(cfg Config) (*Machine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Tech.Validate(); err != nil {
-		panic(fmt.Sprintf("machine: %v", err))
+		return nil, fmt.Errorf("machine: %w", err)
 	}
 	m := &Machine{
 		cfg:          cfg,
 		energyByKind: make(map[trace.Kind]float64),
 		nodeTime:     make([]float64, cfg.Grid.Nodes()),
 	}
-	m.net = noc.New(noc.Config{
+	net, err := noc.NewChecked(noc.Config{
 		Grid:               cfg.Grid,
 		Tech:               cfg.Tech,
 		Mode:               cfg.NoCMode,
@@ -114,6 +115,10 @@ func New(cfg Config) *Machine {
 		Faults:             cfg.Faults,
 		Obs:                cfg.Obs,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	m.net = net
 	if cfg.Obs.Enabled() {
 		for k := 0; k < trace.NumKinds; k++ {
 			name := trace.Kind(k).String()
@@ -121,6 +126,17 @@ func New(cfg Config) *Machine {
 			m.obsEnergy[k] = cfg.Obs.Gauge("machine.energy_fj." + name)
 			m.obsBusy[k] = cfg.Obs.Gauge("machine.busy_ps." + name)
 		}
+	}
+	return m, nil
+}
+
+// New is NewChecked for callers with statically known-good
+// configurations; it panics on the errors NewChecked would return.
+func New(cfg Config) *Machine {
+	m, err := NewChecked(cfg)
+	if err != nil {
+		//lint:allow panic(documented convenience wrapper; NewChecked returns the error)
+		panic(err.Error())
 	}
 	return m
 }
@@ -202,6 +218,7 @@ func (m *Machine) Compute(p geom.Point, class tech.OpClass, bits int, tag string
 // is where the real cost lives — exactly the paper's point.
 func (m *Machine) MemAccess(p geom.Point, words int, tag string) float64 {
 	if words <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: a non-positive word count is a caller bug)
 		panic(fmt.Sprintf("machine: invalid access of %d words", words))
 	}
 	id := m.cfg.Grid.ID(p)
@@ -221,6 +238,7 @@ func (m *Machine) MemAccess(p geom.Point, words int, tag string) float64 {
 // the data call WaitUntil(dst, arrival). A self-send is free.
 func (m *Machine) Send(src, dst geom.Point, words int, tag string) float64 {
 	if words <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: a non-positive word count is a caller bug)
 		panic(fmt.Sprintf("machine: invalid send of %d words", words))
 	}
 	bits := words * m.cfg.WordBits
@@ -254,6 +272,7 @@ func (m *Machine) edgeDistMM(p geom.Point) float64 {
 // interface. It advances p's clock to the completion time and returns it.
 func (m *Machine) OffChip(p geom.Point, words int, tag string) float64 {
 	if words <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: a non-positive word count is a caller bug)
 		panic(fmt.Sprintf("machine: invalid off-chip access of %d words", words))
 	}
 	id := m.cfg.Grid.ID(p)

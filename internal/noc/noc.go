@@ -161,11 +161,16 @@ type Network struct {
 	obsEnergy     *obs.Gauge
 }
 
-// New returns a network over the configured grid.
-func New(cfg Config) *Network {
+// NewChecked returns a network over the configured grid, validating
+// the technology parameters and switching mode up front so every later
+// method can assume a well-formed configuration.
+func NewChecked(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Tech.Validate(); err != nil {
-		panic(fmt.Sprintf("noc: %v", err))
+		return nil, fmt.Errorf("noc: %w", err)
+	}
+	if cfg.Mode != CutThrough && cfg.Mode != StoreAndForward {
+		return nil, fmt.Errorf("noc: unknown mode %d", int(cfg.Mode))
 	}
 	n := &Network{
 		cfg:       cfg,
@@ -178,6 +183,17 @@ func New(cfg Config) *Network {
 		n.obsRetries = cfg.Obs.Counter("noc.link.retries")
 		n.obsQueuedPS = cfg.Obs.Gauge("noc.link.queued_ps")
 		n.obsEnergy = cfg.Obs.Gauge("noc.energy_fj")
+	}
+	return n, nil
+}
+
+// New is NewChecked for callers with statically known-good
+// configurations; it panics on the errors NewChecked would return.
+func New(cfg Config) *Network {
+	n, err := NewChecked(cfg)
+	if err != nil {
+		//lint:allow panic(documented convenience wrapper; NewChecked returns the error)
+		panic(err.Error())
 	}
 	return n
 }
@@ -299,6 +315,7 @@ func (n *Network) UncontendedLatency(hops, bits int) float64 {
 	case StoreAndForward:
 		return float64(hops) * (per + ser)
 	default:
+		//lint:allow panic(unreachable: NewChecked validates Mode and Network fields are unexported)
 		panic(fmt.Sprintf("noc: unknown mode %d", int(n.cfg.Mode)))
 	}
 }
@@ -320,6 +337,7 @@ func (n *Network) Send(t0 float64, src, dst geom.Point, bits int) (arrival, ener
 	n.check(src)
 	n.check(dst)
 	if t0 < 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: callers own the clock and never go negative)
 		panic(fmt.Sprintf("noc: negative injection time %g", t0))
 	}
 	if src == dst {

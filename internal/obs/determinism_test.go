@@ -1,0 +1,67 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// populate registers a spread of instruments large enough that Go's
+// randomized map iteration would almost certainly betray any
+// order-dependent marshaling, applying the same updates in the order
+// given by perm.
+func populate(r *obs.Registry, perm []int) {
+	for _, i := range perm {
+		name := fmt.Sprintf("subsys%d.metric%02d", i%5, i)
+		r.Counter(name + ".events").Add(int64(i * 7))
+		r.Gauge(name + ".level").Add(float64(i) * 0.25)
+		h := r.Histogram(name+".size", []float64{10, 100, 1000})
+		for k := 0; k <= i%4; k++ {
+			h.Observe(float64(i*10 + k))
+		}
+		r.Timer(name + ".latency").Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func marshal(t *testing.T, r *obs.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotJSONDeterministic is the regression guard behind the
+// determinism analyzer's map-range rule: serializing the same registry
+// twice, and serializing an identically-updated registry built in a
+// different insertion order, must both produce byte-identical JSON.
+// Snapshot internally ranges over maps; the JSON encoder's sorted keys
+// are what keeps the output stable, and this test pins that contract.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	const n = 40
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	for i := range fwd {
+		fwd[i] = i
+		rev[i] = n - 1 - i
+	}
+
+	r1 := obs.New()
+	populate(r1, fwd)
+	first := marshal(t, r1)
+	second := marshal(t, r1)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same registry marshaled twice differs:\n%s\n----\n%s", first, second)
+	}
+
+	r2 := obs.New()
+	populate(r2, rev)
+	other := marshal(t, r2)
+	if !bytes.Equal(first, other) {
+		t.Fatalf("insertion order leaked into snapshot JSON:\n%s\n----\n%s", first, other)
+	}
+}

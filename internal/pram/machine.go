@@ -83,6 +83,7 @@ type Machine struct {
 // New returns a PRAM with the given conflict model and memory size.
 func New(model Model, memWords int) *Machine {
 	if memWords <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: invalid memory size %d", memWords))
 	}
 	return &Machine{model: model, mem: make([]int64, memWords)}
@@ -94,6 +95,7 @@ func (m *Machine) Model() Model { return m.model }
 // Alloc reserves n words of shared memory and returns the base address.
 func (m *Machine) Alloc(n int) int {
 	if n < 0 || m.brk+n > len(m.mem) {
+		//lint:allow panic(machine trap: allocating past the configured memory is an experiment-sizing bug with no recovery)
 		panic(fmt.Sprintf("pram: out of memory allocating %d words (used %d of %d)", n, m.brk, len(m.mem)))
 	}
 	base := m.brk
@@ -105,6 +107,7 @@ func (m *Machine) Alloc(n int) int {
 // charged as PRAM work).
 func (m *Machine) Load(base int, vals []int64) {
 	if base < 0 || base+len(vals) > len(m.mem) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: Load out of range [%d,%d)", base, base+len(vals)))
 	}
 	copy(m.mem[base:], vals)
@@ -113,6 +116,7 @@ func (m *Machine) Load(base int, vals []int64) {
 // Dump copies n words out of shared memory.
 func (m *Machine) Dump(base, n int) []int64 {
 	if base < 0 || base+n > len(m.mem) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: Dump out of range [%d,%d)", base, base+n))
 	}
 	return append([]int64(nil), m.mem[base:base+n]...)
@@ -147,11 +151,13 @@ func (p *Proc) Read(addr int) int64 {
 	m.reads++
 	if m.model == EREW {
 		if prev, ok := p.readers[addr]; ok && prev != p.id {
+			//lint:allow panic(PRAM trap semantics: a conflicting access throws *ConflictError which Step recovers and returns as an error)
 			panic(&ConflictError{Model: m.model, Addr: addr, Kind: "read", Procs: [2]int{prev, p.id}})
 		}
 		p.readers[addr] = p.id
 	}
 	if addr < 0 || addr >= len(m.mem) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: read of address %d outside memory", addr))
 	}
 	return m.mem[addr]
@@ -163,15 +169,18 @@ func (p *Proc) Write(addr int, v int64) {
 	m := p.m
 	m.writes++
 	if addr < 0 || addr >= len(m.mem) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: write to address %d outside memory", addr))
 	}
 	prev, clash := p.writes[addr]
 	if clash && prev.proc != p.id {
 		switch m.model {
 		case EREW, CREW:
+			//lint:allow panic(PRAM trap semantics: a conflicting access throws *ConflictError which Step recovers and returns as an error)
 			panic(&ConflictError{Model: m.model, Addr: addr, Kind: "write", Procs: [2]int{prev.proc, p.id}})
 		case CRCWCommon:
 			if prev.val != v {
+				//lint:allow panic(PRAM trap semantics: a conflicting access throws *ConflictError which Step recovers and returns as an error)
 				panic(&ConflictError{Model: m.model, Addr: addr, Kind: "write", Procs: [2]int{prev.proc, p.id}})
 			}
 			return
@@ -193,6 +202,7 @@ func (p *Proc) PS(addr int, delta int64) int64 {
 	m := p.m
 	m.psOps++
 	if addr < 0 || addr >= len(m.mem) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: PS at address %d outside memory", addr))
 	}
 	old := m.mem[addr] + p.psAccum[addr]
@@ -206,6 +216,7 @@ func (p *Proc) PS(addr int, delta int64) int64 {
 // error. Work is charged as active, time as one step.
 func (m *Machine) Step(active int, kernel func(p *Proc)) (err error) {
 	if active <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: step with %d processors", active))
 	}
 	st := &Proc{
@@ -220,6 +231,7 @@ func (m *Machine) Step(active int, kernel func(p *Proc)) (err error) {
 				err = ce
 				return
 			}
+			//lint:allow panic(re-panic: non-ConflictError panics from the kernel propagate to the caller unchanged)
 			panic(r)
 		}
 	}()
@@ -275,6 +287,7 @@ func (m *Machine) Metrics() Metrics {
 // physical processors is the sum over steps of ceil(active/p).
 func (m *Machine) TimeOnP(p int) int64 {
 	if p <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("pram: invalid processor count %d", p))
 	}
 	var t int64

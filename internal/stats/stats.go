@@ -31,6 +31,7 @@ func GeoMean(xs []float64) float64 {
 	s := 0.0
 	for _, x := range xs {
 		if x <= 0 {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %g", x))
 		}
 		s += math.Log(x)
@@ -56,6 +57,7 @@ func Stddev(xs []float64) float64 {
 // Min returns the smallest element of xs. It panics on an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("stats: Min of empty slice")
 	}
 	m := xs[0]
@@ -70,6 +72,7 @@ func Min(xs []float64) float64 {
 // Max returns the largest element of xs. It panics on an empty slice.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("stats: Max of empty slice")
 	}
 	m := xs[0]
@@ -85,6 +88,7 @@ func Max(xs []float64) float64 {
 // It panics on an empty slice.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("stats: Median of empty slice")
 	}
 	s := append([]float64(nil), xs...)
@@ -133,6 +137,7 @@ func Percentile(xs []float64, p float64) float64 {
 func Histogram(xs []float64, bounds []float64) []int64 {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
+			//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 			panic(fmt.Sprintf("stats: Histogram bounds not strictly increasing at %d: %g <= %g",
 				i, bounds[i], bounds[i-1]))
 		}
@@ -154,6 +159,7 @@ func BucketIndex(bounds []float64, v float64) int {
 // Speedup returns base/other: how many times faster other is than base.
 func Speedup(base, other float64) float64 {
 	if other == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("stats: Speedup with zero denominator")
 	}
 	return base / other
@@ -165,6 +171,7 @@ func Speedup(base, other float64) float64 {
 // exact values. f must be >= 1.
 func WithinFactor(got, want, f float64) bool {
 	if f < 1 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("stats: WithinFactor factor %g < 1", f))
 	}
 	if want == 0 {
@@ -180,6 +187,7 @@ func WithinFactor(got, want, f float64) bool {
 // RelErr returns |got-want|/|want|. want must be nonzero.
 func RelErr(got, want float64) float64 {
 	if want == 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic("stats: RelErr with zero reference")
 	}
 	return math.Abs(got-want) / math.Abs(want)

@@ -26,6 +26,7 @@ func NewTable(title string, headers ...string) *Table {
 // exactly as many cells as there are headers.
 func (t *Table) AddRow(cells ...any) *Table {
 	if len(cells) != len(t.headers) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.headers)))
 	}
 	row := make([]string, len(cells))
@@ -136,6 +137,7 @@ func (t *Table) String() string {
 	var b strings.Builder
 	if _, err := t.WriteTo(&b); err != nil {
 		// strings.Builder never returns an error; keep the contract visible.
+		//lint:allow panic(unreachable: strings.Builder never returns a write error)
 		panic(err)
 	}
 	return b.String()

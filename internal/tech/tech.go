@@ -193,6 +193,7 @@ func (p Params) OpEnergy(c OpClass, bits int) float64 {
 	case OpFMA:
 		return (p.MulEnergyPerBit + p.AddEnergyPerBit) * b
 	default:
+		//lint:allow panic(unreachable for the defined OpClass constants; an unknown class is a caller bug)
 		panic(fmt.Sprintf("tech: unknown op class %d", int(c)))
 	}
 }
@@ -209,6 +210,7 @@ func (p Params) OpDelay(c OpClass, bits int) float64 {
 	case OpMul, OpFMA:
 		return p.MulDelay32 * scale
 	default:
+		//lint:allow panic(unreachable for the defined OpClass constants; an unknown class is a caller bug)
 		panic(fmt.Sprintf("tech: unknown op class %d", int(c)))
 	}
 }
@@ -266,6 +268,7 @@ func (p Params) InstrOverheadRatio(bits int) float64 {
 // which corresponds to sqrt(area) ~ 28.3 mm of routed wire.
 func ChipDiagonalMM(areaMM2 float64) float64 {
 	if areaMM2 <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("tech: invalid die area %g", areaMM2))
 	}
 	return math.Sqrt(areaMM2)

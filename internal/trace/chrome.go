@@ -72,6 +72,7 @@ func pidOf(grid geom.Grid, p geom.Point) int {
 func ChromeTraceString(t *Trace, grid geom.Grid) string {
 	var b jsonBuffer
 	if err := WriteChromeTrace(&b, t, grid); err != nil {
+		//lint:allow panic(unreachable: jsonBuffer writes cannot fail; WriteChromeTrace is the error-returning API)
 		panic(fmt.Sprintf("trace: chrome export: %v", err))
 	}
 	return b.String()

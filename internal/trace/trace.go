@@ -104,6 +104,7 @@ func (t *Trace) Add(e Event) {
 		return
 	}
 	if e.End < e.Start {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("trace: event ends (%g) before it starts (%g)", e.End, e.Start))
 	}
 	if e.Kind != KindWire && e.Kind != KindFault {

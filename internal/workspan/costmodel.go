@@ -101,6 +101,7 @@ func Symmetric() MemCost { return MemCost{Read: 1, Write: 1} }
 // Asymmetric returns a memory whose writes cost omega times its reads.
 func Asymmetric(omega float64) MemCost {
 	if omega <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid write/read ratio %g", omega))
 	}
 	return MemCost{Read: 1, Write: omega}

@@ -241,6 +241,7 @@ type worker struct {
 // NewPool starts p workers. Close must be called to release them.
 func NewPool(p int, mode Mode) *Pool {
 	if p <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid worker count %d", p))
 	}
 	pool := &Pool{mode: mode}
@@ -404,6 +405,7 @@ func (c *Ctx) Do(a, b func(*Ctx)) {
 	if panicked != nil {
 		// Both children joined; resume unwinding toward runTask, whose
 		// recover already has (or will keep) the first error.
+		//lint:allow panic(re-panic: resumes unwinding a child task's panic toward runTask's recover)
 		panic(panicked)
 	}
 }
@@ -425,17 +427,20 @@ func (c *Ctx) runTask(t *task) {
 	if t.run.dead() {
 		return
 	}
+	//lint:allow nondeterminism(wall clock measures task latency for observability only)
 	start := time.Now()
 	defer func() {
 		pool := c.w.pool
 		pool.obsTasks.Inc()
 		if pool.obsLatency != nil {
+			//lint:allow nondeterminism(wall clock measures task latency for observability only)
 			pool.obsLatency.Observe(time.Since(start))
 		}
 		if v := recover(); v != nil {
 			pool.obsPanics.Inc()
 			t.run.fail(&PanicError{Value: v, Stack: debug.Stack()})
 		} else if t.run != nil && t.run.timeout > 0 {
+			//lint:allow nondeterminism(wall-clock watchdog: a timeout surfaces as an error rather than silently different results)
 			if d := time.Since(start); d > t.run.timeout {
 				t.run.fail(fmt.Errorf("%w: task ran %v, limit %v", ErrTaskTimeout, d, t.run.timeout))
 			}

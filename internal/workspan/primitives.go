@@ -10,6 +10,7 @@ import (
 // D = O(log((hi-lo)/grain)) + grain.
 func For(c *Ctx, lo, hi, grain int, body func(lo, hi int)) {
 	if grain <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
 	}
 	if hi-lo <= grain {
@@ -28,6 +29,7 @@ func For(c *Ctx, lo, hi, grain int, body func(lo, hi int)) {
 // MapInto writes f(xs[i]) to out[i] in parallel. Work O(n), span O(log n).
 func MapInto[T, U any](c *Ctx, xs []T, out []U, grain int, f func(T) U) {
 	if len(out) != len(xs) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: MapInto output length %d != input %d", len(out), len(xs)))
 	}
 	For(c, 0, len(xs), grain, func(lo, hi int) {
@@ -41,6 +43,7 @@ func MapInto[T, U any](c *Ctx, xs []T, out []U, grain int, f func(T) U) {
 // conquer. Work O(n), span O(log n * (grain + overhead)).
 func Reduce[T any](c *Ctx, xs []T, grain int, id T, op func(T, T) T) T {
 	if grain <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
 	}
 	if len(xs) <= grain {
@@ -65,9 +68,11 @@ func Reduce[T any](c *Ctx, xs []T, grain int, id T, op func(T, T) T) T {
 // with its offset. Work O(n), span O(n/blocks + blocks).
 func Scan[T any](c *Ctx, xs, out []T, grain int, id T, op func(T, T) T) {
 	if len(out) != len(xs) {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: Scan output length %d != input %d", len(out), len(xs)))
 	}
 	if grain <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
 	}
 	n := len(xs)
@@ -108,6 +113,7 @@ func Scan[T any](c *Ctx, xs, out []T, grain int, id T, op func(T, T) T) {
 // count-scan-scatter pattern. Work O(n), span O(log n + n/blocks).
 func Filter[T any](c *Ctx, xs []T, grain int, pred func(T) bool) []T {
 	if grain <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
 	}
 	n := len(xs)
@@ -154,6 +160,7 @@ func Filter[T any](c *Ctx, xs []T, grain int, pred func(T) bool) []T {
 // parallel merges. Work O(n log n), span O(log^3 n).
 func MergeSort[T any](c *Ctx, xs []T, grain int, less func(a, b T) bool) {
 	if grain <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
 	}
 	buf := make([]T, len(xs))
@@ -230,6 +237,7 @@ func serialMerge[T any](a, b, out []T, less func(x, y T) bool) {
 // three, making adversarial inputs unlikely rather than impossible.
 func Quicksort[T any](c *Ctx, xs []T, grain int, less func(a, b T) bool) {
 	if grain <= 0 {
+		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
 		panic(fmt.Sprintf("workspan: invalid grain %d", grain))
 	}
 	if len(xs) <= grain {
