@@ -1,0 +1,372 @@
+// Command loadgen is a deterministic, seeded load generator for mapd.
+// It has two modes:
+//
+// Steady state (default): generate -requests requests from -seed (a
+// fixed mix of eval, search, and slack calls over a small family of
+// recurrences, with schedule repeats so the eval cache earns hits),
+// drive them closed-loop through -concurrency workers, then scrape
+// /v1/metrics and verify the serving invariants: zero 5xx responses and
+// a nonzero cache hit count. Exit status 1 if either fails, so CI can
+// gate on it.
+//
+// Overload drill (-overload): requires mapd -admission-control. Warm
+// -cached schedules, pause the drain workers via /v1/admission, fire a
+// concurrent burst of cached + uncached requests, wait until the queue
+// holds exactly min(capacity, uncached) jobs and every excess request
+// has been refused, resume, and verify the EXACT per-status counts:
+// cached requests degrade to 200 with degraded=true, precisely
+// min(capacity, uncached) jobs are admitted and finish 200, and the rest
+// are 429 with Retry-After. Two runs with the same flags print identical
+// counts lines — the drill is a determinism test of backpressure itself.
+//
+// The final stdout line of either mode is machine-parseable:
+//
+//	loadgen: requests=200 ok=187 degraded=9 rejected=4 err5xx=0 cache_hits=122
+//	loadgen overload: ok=8 degraded=4 rejected=12
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -requests 200 -seed 1
+//	loadgen -addr http://127.0.0.1:8080 -overload -burst 16 -cached 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "mapd base URL")
+	requests := flag.Int("requests", 200, "steady-state request count")
+	seed := flag.Int64("seed", 1, "request-mix seed; same seed, same request sequence")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	overload := flag.Bool("overload", false, "run the deterministic overload drill instead of steady-state load")
+	burst := flag.Int("burst", 16, "overload drill: uncached requests in the burst")
+	cached := flag.Int("cached", 4, "overload drill: cache-warmed requests in the burst")
+	report := flag.String("report", "", "write the run report as JSON to this path")
+	flag.Parse()
+
+	c := &client{base: *addr, http: &http.Client{Timeout: *timeout}}
+	var (
+		rep *runReport
+		err error
+	)
+	if *overload {
+		rep, err = runOverload(c, *burst, *cached)
+	} else {
+		rep, err = runSteady(c, *requests, *seed, *concurrency)
+	}
+	if rep != nil && *report != "" {
+		if werr := writeReport(*report, rep); werr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write report: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client is a minimal JSON client for the mapd API.
+type client struct {
+	base string
+	http *http.Client
+}
+
+// call posts body to path and decodes the JSON response into out (which
+// may be nil). It returns the HTTP status and the Retry-After header.
+func (c *client) call(method, path, body string, out any) (status int, retryAfter string, err error) {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, "", err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if out != nil && resp.StatusCode == 200 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, "", fmt.Errorf("%s %s: decode: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// evalResponse, searchResponse, healthz mirror the serve wire types
+// (duplicated here so loadgen exercises mapd strictly over the wire, as
+// a real client would).
+type evalResponse struct {
+	GraphFP  string `json:"graph_fp"`
+	Degraded bool   `json:"degraded"`
+}
+
+type healthz struct {
+	Status        string `json:"status"`
+	Mode          string `json:"mode"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+type metricsSnapshot struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// runReport is the JSON report of one loadgen run.
+type runReport struct {
+	Mode      string `json:"mode"`
+	Requests  int    `json:"requests"`
+	OK        int64  `json:"ok"`
+	Degraded  int64  `json:"degraded"`
+	Rejected  int64  `json:"rejected"`
+	Err4xx    int64  `json:"err_4xx"`
+	Err5xx    int64  `json:"err_5xx"`
+	Transport int64  `json:"transport_errors"`
+	CacheHits int64  `json:"cache_hits"`
+}
+
+func writeReport(path string, rep *runReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// genRequest builds the i-th steady-state request from the seeded
+// stream. The mix: mostly evals over a small family of recurrences and
+// schedules (repeats are the point — they become cache hits), a few
+// searches (small, bounded), a few slack profiles.
+func genRequest(rng *rand.Rand) (path, body string) {
+	dims := []int{5 + rng.Intn(3), 5 + rng.Intn(3)} // 9 distinct graphs
+	rec := fmt.Sprintf(`{"dims": [%d, %d], "deps": [[1, 0], [0, 1]]}`, dims[0], dims[1])
+	width := 4
+	switch draw := rng.Intn(10); {
+	case draw < 7: // eval
+		kinds := []string{
+			`{"kind": "serial"}`,
+			`{"kind": "list"}`,
+			`{"kind": "antidiagonal"}`,
+			fmt.Sprintf(`{"kind": "antidiagonal", "stride": %d}`, 20+rng.Intn(4)),
+			fmt.Sprintf(`{"kind": "affine", "a1": 1, "a2": 0, "t1": %d, "t2": 1}`, 1+rng.Intn(3)),
+		}
+		sched := kinds[rng.Intn(len(kinds))]
+		return "/v1/eval", fmt.Sprintf(`{"recurrence": %s, "target": {"width": %d}, "schedules": [%s]}`, rec, width, sched)
+	case draw < 8: // search: small and deterministic
+		return "/v1/search", fmt.Sprintf(
+			`{"recurrence": %s, "target": {"width": %d}, "iters": 100, "chains": 2, "seed": %d}`,
+			rec, width, 1+rng.Intn(3))
+	default: // slack
+		return "/v1/slack", fmt.Sprintf(
+			`{"recurrence": %s, "target": {"width": %d}, "schedule": {"kind": "antidiagonal"}}`, rec, width)
+	}
+}
+
+func runSteady(c *client, requests int, seed int64, concurrency int) (*runReport, error) {
+	// Generate the full request sequence up front: the sequence is a pure
+	// function of the seed, so two runs issue identical request sets
+	// (arrival interleaving differs; response counts by content do not).
+	rng := rand.New(rand.NewSource(seed))
+	type reqSpec struct{ path, body string }
+	specs := make([]reqSpec, requests)
+	for i := range specs {
+		specs[i].path, specs[i].body = genRequest(rng)
+	}
+
+	rep := &runReport{Mode: "steady", Requests: requests}
+	var ok, degraded, rejected, err4xx, err5xx, transport atomic.Int64
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				var ev evalResponse
+				status, _, err := c.call("POST", specs[i].path, specs[i].body, &ev)
+				switch {
+				case err != nil:
+					transport.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: %v\n", i, err)
+				case status == 200 && ev.Degraded:
+					degraded.Add(1)
+				case status == 200:
+					ok.Add(1)
+				case status == 429:
+					rejected.Add(1)
+				case status >= 500:
+					err5xx.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: status %d\n", i, status)
+				default:
+					err4xx.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: request %d: status %d\n", i, status)
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var snap metricsSnapshot
+	if status, _, err := c.call("GET", "/v1/metrics", "", &snap); err != nil || status != 200 {
+		return rep, fmt.Errorf("metrics scrape failed: status %d, %v", status, err)
+	}
+	rep.OK, rep.Degraded, rep.Rejected = ok.Load(), degraded.Load(), rejected.Load()
+	rep.Err4xx, rep.Err5xx, rep.Transport = err4xx.Load(), err5xx.Load(), transport.Load()
+	rep.CacheHits = int64(snap.Gauges["search.evalcache.hits"])
+
+	fmt.Printf("loadgen: requests=%d ok=%d degraded=%d rejected=%d err5xx=%d cache_hits=%d\n",
+		requests, rep.OK, rep.Degraded, rep.Rejected, rep.Err5xx, rep.CacheHits)
+
+	switch {
+	case rep.Err5xx > 0:
+		return rep, fmt.Errorf("%d server errors", rep.Err5xx)
+	case rep.Transport > 0:
+		return rep, fmt.Errorf("%d transport errors", rep.Transport)
+	case rep.Err4xx > 0:
+		return rep, fmt.Errorf("%d client errors — generated requests must all be well-formed", rep.Err4xx)
+	case rep.CacheHits == 0:
+		return rep, fmt.Errorf("zero cache hits: the batching/caching path is not engaging")
+	}
+	return rep, nil
+}
+
+// setMode switches mapd's admission mode (requires -admission-control).
+func setMode(c *client, mode string) error {
+	status, _, err := c.call("POST", "/v1/admission", fmt.Sprintf(`{"mode": %q}`, mode), nil)
+	if err != nil {
+		return err
+	}
+	if status != 200 {
+		return fmt.Errorf("set admission mode %s: status %d (is mapd running with -admission-control?)", mode, status)
+	}
+	return nil
+}
+
+func runOverload(c *client, burst, cachedN int) (*runReport, error) {
+	var hz healthz
+	if status, _, err := c.call("GET", "/healthz", "", &hz); err != nil || status != 200 {
+		return nil, fmt.Errorf("healthz: status %d, %v", status, err)
+	}
+	capacity := hz.QueueCapacity
+
+	// The drill needs a mode round-trip even if it fails later, so leave
+	// the server serving on every exit path.
+	defer func() { _ = setMode(c, "serve") }()
+
+	// Warmup: price the cached strides (and materialize the graph).
+	warm := func(stride int) string {
+		return fmt.Sprintf(`{
+			"recurrence": {"dims": [7, 7], "deps": [[1, 0], [0, 1]]},
+			"target": {"width": 4},
+			"schedules": [{"kind": "antidiagonal", "stride": %d}],
+			"deadline_ms": 60000
+		}`, stride)
+	}
+	for i := 0; i < cachedN; i++ {
+		if status, _, err := c.call("POST", "/v1/eval", warm(100+i), nil); err != nil || status != 200 {
+			return nil, fmt.Errorf("warmup %d: status %d, %v", i, status, err)
+		}
+	}
+	if err := setMode(c, "pause"); err != nil {
+		return nil, err
+	}
+
+	// Burst: cachedN repeats of the warmed strides plus `burst` fresh
+	// strides, all concurrent.
+	n := cachedN + burst
+	var ok, degraded, rejected, other atomic.Int64
+	var immediate atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		stride := 100 + i // i < cachedN warmed, rest fresh
+		wg.Add(1)
+		go func(stride int) {
+			defer wg.Done()
+			var ev evalResponse
+			status, retryAfter, err := c.call("POST", "/v1/eval", warm(stride), &ev)
+			switch {
+			case err != nil || status >= 500 || (status != 200 && status != 429):
+				other.Add(1)
+				fmt.Fprintf(os.Stderr, "loadgen: overload request: status %d, %v\n", status, err)
+			case status == 429:
+				if retryAfter == "" {
+					other.Add(1)
+					fmt.Fprintln(os.Stderr, "loadgen: 429 without Retry-After")
+				} else {
+					rejected.Add(1)
+				}
+				immediate.Add(1)
+			case ev.Degraded:
+				degraded.Add(1)
+				immediate.Add(1)
+			default:
+				ok.Add(1)
+			}
+		}(stride)
+	}
+
+	// Settle: the queue holds exactly min(capacity, burst) jobs and every
+	// request that can answer while paused has answered.
+	wantQueued := capacity
+	if burst < wantQueued {
+		wantQueued = burst
+	}
+	wantImmediate := cachedN + (burst - wantQueued)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if status, _, err := c.call("GET", "/healthz", "", &hz); err != nil || status != 200 {
+			return nil, fmt.Errorf("healthz poll: status %d, %v", status, err)
+		}
+		if hz.QueueDepth == wantQueued && int(immediate.Load()) == wantImmediate {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("drill never settled: queue %d/%d, immediate %d/%d",
+				hz.QueueDepth, wantQueued, immediate.Load(), wantImmediate)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := setMode(c, "serve"); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+
+	rep := &runReport{
+		Mode: "overload", Requests: n,
+		OK: ok.Load(), Degraded: degraded.Load(), Rejected: rejected.Load(),
+	}
+	fmt.Printf("loadgen overload: ok=%d degraded=%d rejected=%d\n", rep.OK, rep.Degraded, rep.Rejected)
+
+	wantOK, wantDegraded, wantRejected := int64(wantQueued), int64(cachedN), int64(burst-wantQueued)
+	if other.Load() != 0 {
+		return rep, fmt.Errorf("%d requests outside the 200/429 contract", other.Load())
+	}
+	if rep.OK != wantOK || rep.Degraded != wantDegraded || rep.Rejected != wantRejected {
+		return rep, fmt.Errorf("counts not exact: got ok=%d degraded=%d rejected=%d, want ok=%d degraded=%d rejected=%d",
+			rep.OK, rep.Degraded, rep.Rejected, wantOK, wantDegraded, wantRejected)
+	}
+	return rep, nil
+}

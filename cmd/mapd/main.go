@@ -1,0 +1,129 @@
+// Command mapd serves the F&M cost model over HTTP: cost evaluation
+// (POST /v1/eval), mapping search (POST /v1/search), slack analysis
+// (GET /v1/slack), metrics (GET /v1/metrics), and health (GET /healthz).
+// See internal/serve for the serving machinery — micro-batching,
+// bounded-queue backpressure, deadline propagation, graceful degradation
+// and shutdown.
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
+// in-flight and queued work is finished (bounded by -drain), running
+// anneals halt at their next exchange barrier (checkpointing when
+// -checkpoint-dir is set), and the final metrics snapshot is written to
+// -obs-out.
+//
+// Usage:
+//
+//	mapd -listen :8080
+//	mapd -listen :8080 -queue 128 -eval-workers 4 -searches 2
+//	mapd -listen :8080 -checkpoint-dir /var/lib/mapd -obs-out final.json
+//	mapd -listen :8080 -admission-control   # enable POST /v1/admission
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to listen on")
+	poolWorkers := flag.Int("pool-workers", 0, "work-stealing pool size shared by batches and searches (0 = one per CPU)")
+	queue := flag.Int("queue", 64, "eval admission queue capacity (full queue answers 429)")
+	evalWorkers := flag.Int("eval-workers", 2, "queue drain workers")
+	batchMax := flag.Int("batch-max", 32, "max eval jobs coalesced per batch")
+	searches := flag.Int("searches", 2, "concurrent search slots")
+	cacheEntries := flag.Int("cache", 1<<16, "eval cache capacity (entries)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline when the client sends none")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe anneal checkpoints (enables resume across restarts)")
+	obsOut := flag.String("obs-out", "", "write the final metrics snapshot as JSON to this path on shutdown")
+	admission := flag.Bool("admission-control", false, "enable POST /v1/admission (runtime serve/shed/pause switching)")
+	flag.Parse()
+
+	if err := run(*listen, serve.Config{
+		PoolWorkers:      *poolWorkers,
+		QueueDepth:       *queue,
+		EvalWorkers:      *evalWorkers,
+		BatchMax:         *batchMax,
+		MaxSearches:      *searches,
+		CacheEntries:     *cacheEntries,
+		DefaultDeadline:  *deadline,
+		CheckpointDir:    *checkpointDir,
+		AdmissionControl: *admission,
+		Obs:              obs.New(),
+	}, *drain, *obsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "mapd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, cfg serve.Config, drainBudget time.Duration, obsOut string) error {
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "mapd: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mapd: %s — draining (budget %s)\n", sig, drainBudget)
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	// Stop the listener and in-flight HTTP exchanges first, then drain
+	// the service's own queues and searches.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mapd: http shutdown: %v\n", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mapd: %v\n", err)
+	}
+	snap := srv.Close()
+	if obsOut != "" {
+		if err := writeSnapshot(obsOut, snap); err != nil {
+			return fmt.Errorf("write obs snapshot: %w", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "mapd: drained")
+	return nil
+}
+
+func writeSnapshot(path string, snap obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -45,6 +45,21 @@ func TestRepolintSinglePackage(t *testing.T) {
 	}
 }
 
+// TestRepolintServePackage runs the full suite over the serving layer —
+// a determinism-critical package (see lint.Determinism's criticalPkgs)
+// whose only wall-clock read must stay isolated behind the annotated
+// Clock seam, with no panics, no fmt printing, and nil-safe obs use.
+func TestRepolintServePackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/serve"}, &out, &errOut); code != 0 {
+		t.Fatalf("repolint ./internal/serve exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("repolint ./internal/serve printed findings on exit 0:\n%s", out.String())
+	}
+}
+
 func TestRepolintBadPattern(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {

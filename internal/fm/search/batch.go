@@ -1,0 +1,82 @@
+package search
+
+import (
+	"context"
+
+	"repro/internal/fm"
+	"repro/internal/workspan"
+)
+
+// evalBatchInlineThreshold is the batch size below which EvalBatch skips
+// the pool: dispatching two or three evaluations costs more in spawn
+// bookkeeping than it saves.
+const evalBatchInlineThreshold = 4
+
+// EvalBatch prices a batch of schedules of one graph on one target,
+// consulting (and filling) cache, with duplicate schedules priced
+// exactly once. It is the serving layer's coalescing entry point: many
+// concurrent requests for the same (graph, target) collapse into one
+// call, which dedups by schedule fingerprint and fans the distinct
+// mappings out over pool (nil pool, or a small batch, evaluates inline).
+// Results are returned in input order, so coalescing never reorders
+// answers.
+//
+// ctx bounds the work: once done, unevaluated schedules are abandoned
+// and EvalBatch returns ctx's error with a nil slice. A nil cache gets a
+// private per-call cache, which still dedups within the batch.
+func EvalBatch(ctx context.Context, pool *workspan.Pool, cache *EvalCache, g *fm.Graph, gfp uint64, scheds []fm.Schedule, tgt fm.Target) ([]fm.Cost, error) {
+	if len(scheds) == 0 {
+		return nil, nil
+	}
+	if cache == nil {
+		cache = NewEvalCache()
+	}
+
+	// Dedup by schedule fingerprint, preserving first-appearance order so
+	// the evaluation set is a deterministic function of the input.
+	type uniq struct {
+		sched fm.Schedule
+	}
+	slot := make([]int, len(scheds))
+	index := make(map[uint64]int, len(scheds))
+	var uniqs []uniq
+	for i, s := range scheds {
+		fp := s.Fingerprint()
+		j, ok := index[fp]
+		if !ok {
+			j = len(uniqs)
+			index[fp] = j
+			uniqs = append(uniqs, uniq{sched: s})
+		}
+		slot[i] = j
+	}
+
+	costs := make([]fm.Cost, len(uniqs))
+	eval := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			costs[i] = cache.Eval(g, gfp, uniqs[i].sched, tgt)
+		}
+	}
+	if pool == nil || len(uniqs) < evalBatchInlineThreshold {
+		for i := range uniqs {
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			eval(i, i+1)
+		}
+	} else {
+		if err := pool.ForWith(workspan.RunOptions{Context: ctx}, 0, len(uniqs), 1, eval); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]fm.Cost, len(scheds))
+	for i, j := range slot {
+		out[i] = costs[j]
+	}
+	return out, nil
+}

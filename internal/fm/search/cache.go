@@ -104,9 +104,45 @@ func (c *EvalCache) Eval(g *fm.Graph, gfp uint64, sched fm.Schedule, tgt fm.Targ
 	return cost
 }
 
+// Lookup probes the cache for an already-priced mapping without
+// evaluating on a miss. gfp and sfp are the graph and schedule
+// fingerprints. A successful probe counts as a hit; a failed one counts
+// nothing (misses stay paired with evaluations), so probe-heavy callers
+// — the serving layer's cache-only degraded mode — do not distort the
+// miss rate. Safe for concurrent use.
+func (c *EvalCache) Lookup(gfp, sfp uint64, tgt fm.Target) (fm.Cost, bool) {
+	k := evalKey{graph: gfp, sched: sfp, tgt: tgt}
+	sh := &c.shards[k.sched%evalCacheShards]
+	sh.mu.Lock()
+	cost, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return cost, ok
+}
+
 // Stats returns the hit and miss counts since creation.
 func (c *EvalCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// CacheStats is a point-in-time copy of an EvalCache's counters, in the
+// shape serving and reporting callers expose: hits, misses, evictions,
+// and resident entries.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// SnapshotStats freezes the cache's counters. The counters are read
+// independently (not under one lock), so a snapshot taken under
+// concurrent traffic is approximate by at most the in-flight requests.
+func (c *EvalCache) SnapshotStats() CacheStats {
+	hits, misses := c.Stats()
+	return CacheStats{Hits: hits, Misses: misses, Evictions: c.Evictions(), Entries: c.Len()}
 }
 
 // Evictions returns the number of entries displaced by the capacity

@@ -26,6 +26,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -154,6 +155,22 @@ type AnnealOptions struct {
 	// same graph, target, and options; the resumed search then produces
 	// bit-identical final output to an uninterrupted run.
 	Resume bool
+	// Context, when non-nil, bounds the search. It is checked at every
+	// exchange barrier (the cancellation granularity is ExchangeEvery
+	// iterations per chain): once done, AnnealResumable stops, emits the
+	// final progress record, and returns the best mapping found so far
+	// TOGETHER WITH the context's error — the caller decides whether a
+	// partial result is useful. The last committed checkpoint (if any)
+	// corresponds to the returned state, so a deadline-bounded search can
+	// be resumed later. Deadline propagation is what lets a serving layer
+	// turn a client timeout into a best-so-far answer instead of wasted
+	// work.
+	Context context.Context
+	// Pool, when non-nil, runs chains on this shared work-stealing pool
+	// instead of creating (and closing) a private one. Sharing a
+	// process-wide pool bounds total goroutines when many searches run
+	// concurrently; results are identical either way.
+	Pool *workspan.Pool
 	// OnProgress, when non-nil, is called with a Progress snapshot at
 	// every exchange barrier and once more (Final=true) after the last
 	// iteration. With a single chain, barriers still occur every
@@ -445,13 +462,33 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 	if workers > opts.Chains {
 		workers = opts.Chains
 	}
-	var pool *workspan.Pool
-	if workers > 1 {
-		pool = workspan.NewPool(workers, workspan.WorkStealing)
-		defer pool.Close()
+	pool := opts.Pool
+	if pool == nil && workers > 1 {
+		owned := workspan.NewPool(workers, workspan.WorkStealing)
+		defer owned.Close()
+		pool = owned
+	}
+	if opts.Chains == 1 && opts.Pool != nil {
+		// A single chain gains nothing from the pool; run it inline so a
+		// shared pool is not occupied by a serial loop.
+		pool = nil
 	}
 
 	for done < opts.Iters {
+		if ctx := opts.Context; ctx != nil {
+			select {
+			case <-ctx.Done():
+				// Deadline or cancellation: the previous barrier committed
+				// a consistent state (and checkpoint, if requested), so
+				// stop here and hand back the best mapping so far with the
+				// context's error. The caller treats it as a partial,
+				// resumable result.
+				emit(done, true)
+				w := bestChain(chains, opts.Objective)
+				return chains[w].best, chains[w].bestCost, ctx.Err()
+			default:
+			}
+		}
 		iters := segment
 		if rest := opts.Iters - done; iters > rest {
 			iters = rest
@@ -555,6 +592,10 @@ type Affine2DOptions struct {
 	// caller shares it across sweeps or with an annealer on the same
 	// graph.
 	Cache *EvalCache
+	// Pool, when non-nil, fans candidates out on this shared pool
+	// instead of creating a private one; Workers is then ignored. The
+	// merge stays index-ordered, so the output is unchanged.
+	Pool *workspan.Pool
 	// Obs, when non-nil, receives sweep totals under "search.sweep.*"
 	// (tuples enumerated, legal candidates, evaluations) when the sweep
 	// finishes. Deterministic: set once from the merged result.
@@ -637,12 +678,19 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 			}
 		}
 	}
+	pool := opts.Pool
 	workers := resolveWorkers(opts.Workers)
-	if workers == 1 || len(tuples) < 2 {
+	if pool != nil {
+		workers = pool.Workers()
+	}
+	if pool == nil && workers > 1 && len(tuples) >= 2 {
+		owned := workspan.NewPool(workers, workspan.WorkStealing)
+		defer owned.Close()
+		pool = owned
+	}
+	if pool == nil || len(tuples) < 2 {
 		eval(0, len(tuples))
 	} else {
-		pool := workspan.NewPool(workers, workspan.WorkStealing)
-		defer pool.Close()
 		grain := len(tuples) / (8 * workers)
 		if grain < 1 {
 			grain = 1
@@ -676,18 +724,32 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 	return out
 }
 
-// Best returns the candidate minimizing the objective. It panics on an
-// empty slice.
-func Best(cands []Candidate, obj Objective) Candidate {
+// BestChecked returns the candidate minimizing the objective, and
+// whether one exists. An empty candidate slice returns (zero, false)
+// instead of silently electing a zero-value winner — callers holding
+// possibly-empty sweeps (a filtered Pareto front, a degraded service
+// response) must use this form.
+func BestChecked(cands []Candidate, obj Objective) (Candidate, bool) {
 	if len(cands) == 0 {
-		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
-		panic("search: Best of no candidates")
+		return Candidate{}, false
 	}
 	best := cands[0]
 	for _, c := range cands[1:] {
 		if obj.Value(c.Cost) < obj.Value(best.Cost) {
 			best = c
 		}
+	}
+	return best, true
+}
+
+// Best is BestChecked for callers that know cands is non-empty (e.g. an
+// Exhaustive2D result, which always contains the serial candidate); it
+// panics on an empty slice.
+func Best(cands []Candidate, obj Objective) Candidate {
+	best, ok := BestChecked(cands, obj)
+	if !ok {
+		//lint:allow panic(documented convenience wrapper; BestChecked reports the empty case)
+		panic("search: Best of no candidates")
 	}
 	return best
 }

@@ -19,6 +19,7 @@ var criticalPkgs = map[string]bool{
 	"repro/internal/fault":     true,
 	"repro/internal/replay":    true,
 	"repro/internal/noc":       true,
+	"repro/internal/serve":     true,
 }
 
 // randConstructors are the math/rand top-level functions that build

@@ -1,0 +1,19 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry's JSON snapshot —
+// the one metrics endpoint mapd and any future daemon share. Each
+// request freezes the registry at that instant; for unchanged metric
+// values the body is byte-identical across requests (maps marshal with
+// sorted keys), so scraping is diff-friendly. A nil registry serves the
+// empty snapshot, keeping the endpoint nil-safe like the rest of the
+// API.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// A write error means the client hung up; there is nothing useful
+		// to do with it here and the library must stay silent.
+		_ = r.Snapshot().WriteJSON(w)
+	})
+}

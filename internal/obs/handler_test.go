@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHandlerMarshalTwiceDeterministic pins the scraping contract: two
+// requests against an unchanged registry serve byte-identical bodies.
+// Map key order must never leak into the payload.
+func TestHandlerMarshalTwiceDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("serve.eval.requests").Add(41)
+	r.Counter("serve.eval.rejected").Add(2)
+	r.Gauge("serve.queue.depth").Set(3)
+	r.Histogram("serve.eval.batch_jobs", []float64{1, 2, 4, 8}).Observe(3)
+	r.Timer("serve.eval.seconds").Observe(1500000) // 1.5ms as time.Duration
+
+	h := r.Handler()
+	body := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q", ct)
+		}
+		return rec.Body.String()
+	}
+	first, second := body(), body()
+	if first != second {
+		t.Fatalf("two snapshots of an unchanged registry differ:\n%s\n---\n%s", first, second)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(first), &snap); err != nil {
+		t.Fatalf("body is not a Snapshot: %v", err)
+	}
+	if snap.Counters["serve.eval.requests"] != 41 {
+		t.Fatalf("counter round-trip: %+v", snap.Counters)
+	}
+}
+
+// TestHandlerNilRegistry keeps the endpoint usable before any metrics
+// exist: a nil registry serves the empty snapshot, not a panic.
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("nil-registry body: %v", err)
+	}
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Timers) != 0 {
+		t.Fatalf("nil registry served instruments: %+v", snap)
+	}
+}

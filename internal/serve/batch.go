@@ -1,0 +1,124 @@
+// The micro-batching drain: workers pull admitted jobs off the bounded
+// queue, coalesce the ones that share a (graph, target) key, and price
+// each coalesced group as one search.EvalBatch call over the shared
+// cache and pool. Batching is opportunistic, not timed — a drain takes
+// whatever has accumulated, so an idle server adds no latency and a busy
+// one coalesces aggressively. No clock participates in grouping, which
+// keeps the coalescing fully determined by arrival order.
+package serve
+
+import (
+	"context"
+
+	"repro/internal/fm"
+	"repro/internal/fm/search"
+)
+
+// batchKey is the coalescing key: jobs agreeing on both graph
+// fingerprint and target price against the same cache entries, so their
+// schedules can be concatenated into one batch.
+type batchKey struct {
+	gfp uint64
+	tgt fm.Target
+}
+
+// evalWorker is one drain loop. It exits when the queue is closed and
+// empty — after delivering every job admitted before the close, which is
+// what "drain, don't drop" means.
+func (s *Server) evalWorker() {
+	defer s.workerWG.Done()
+	for {
+		jobs := s.queue.drainUpTo(s.cfg.BatchMax)
+		if jobs == nil {
+			return
+		}
+		s.mQueueDepth.Set(float64(s.queue.depth()))
+		s.processBatch(jobs)
+	}
+}
+
+// processBatch groups one drain's jobs by batchKey in first-appearance
+// order and prices each group with a single EvalBatch call. Every job
+// receives exactly one evalResult.
+func (s *Server) processBatch(jobs []*evalJob) {
+	start := s.clock.Now()
+	for _, j := range jobs {
+		s.mQueueWait.Observe(start.Sub(j.enqueued))
+	}
+
+	groups := make(map[batchKey][]*evalJob, len(jobs))
+	var order []batchKey
+	for _, j := range jobs {
+		k := batchKey{gfp: j.gfp, tgt: j.tgt}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], j)
+	}
+
+	for _, k := range order {
+		s.priceGroup(groups[k])
+	}
+
+	elapsed := s.clock.Now().Sub(start)
+	s.mBatches.Inc()
+	s.mBatchJobs.Observe(float64(len(jobs)))
+	s.observeBatch(len(jobs), elapsed)
+}
+
+// priceGroup prices one coalesced group. Jobs whose context already
+// expired while queued are answered with their context error without
+// costing any evaluation; the rest share one EvalBatch call bounded by
+// the most patient live member's context, so one impatient client cannot
+// cancel work its batch-mates still want.
+func (s *Server) priceGroup(group []*evalJob) {
+	live := group[:0:0]
+	for _, j := range group {
+		if err := j.ctx.Err(); err != nil {
+			j.result <- evalResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.mCoalesced.Add(int64(len(live) - 1))
+
+	scheds := make([]fm.Schedule, 0, len(live))
+	offsets := make([]int, len(live)+1)
+	for i, j := range live {
+		scheds = append(scheds, j.scheds...)
+		offsets[i+1] = offsets[i] + len(j.scheds)
+	}
+
+	first := live[0]
+	costs, err := search.EvalBatch(patientCtx(live), s.pool, s.cache, first.g, first.gfp, scheds, first.tgt)
+	for i, j := range live {
+		if err != nil {
+			j.result <- evalResult{err: err}
+			continue
+		}
+		j.result <- evalResult{costs: costs[offsets[i]:offsets[i+1]], batch: len(live)}
+	}
+}
+
+// patientCtx picks the context of the group member with the most
+// remaining patience: a member with no deadline wins outright, otherwise
+// the latest deadline does. Members that time out earlier simply receive
+// the batch's answer before they would have needed to give up waiting —
+// their own handler enforces their deadline.
+func patientCtx(live []*evalJob) context.Context {
+	best := live[0].ctx
+	bestDL, bestHas := best.Deadline()
+	for _, j := range live[1:] {
+		dl, has := j.ctx.Deadline()
+		if !bestHas {
+			break
+		}
+		if !has || dl.After(bestDL) {
+			best, bestDL, bestHas = j.ctx, dl, has
+		}
+	}
+	return best
+}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock reads so the service's time-dependent
+// behavior — latency accounting and Retry-After estimation — is
+// deterministic under test. Production servers use SystemClock; the
+// overload test suite drives a FakeClock. Request *results* never depend
+// on the clock: a mapping's cost is a pure function of the request, and
+// time only shapes telemetry and backpressure hints.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// SystemClock reads the real wall clock.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time {
+	// The serving layer's only wall-clock read; everything downstream
+	// receives time through the Clock interface.
+	//lint:allow nondeterminism(wall clock isolated behind the Clock seam; results never depend on it and tests substitute FakeClock)
+	return time.Now()
+}
+
+// FakeClock is a manually advanced Clock for deterministic tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a fake clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,397 @@
+// HTTP handlers. Each one is a thin translation layer: decode and
+// validate on the request goroutine, push real work through the
+// admission machinery (queue, search slots), translate the outcome back
+// to a status code. The admission policy lives here and is deliberately
+// explicit per mode:
+//
+//	serve — enqueue first; a full queue falls back to a cache-only
+//	        answer, and only when the cache cannot answer either does the
+//	        client see 429 + Retry-After.
+//	shed  — cache first (degrade eagerly to shed evaluation load);
+//	        uncached work still queues and drains.
+//	pause — like shed, but the drain workers are parked, so uncached
+//	        admissions fill the queue without being processed: the
+//	        deterministic overload drill.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/fm"
+)
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	// Slack analysis carries a JSON body; both GET (as documented) and
+	// POST (for clients whose HTTP stacks refuse GET bodies) are served.
+	s.mux.HandleFunc("/v1/slack", s.handleSlack)
+	s.mux.HandleFunc("POST /v1/admission", s.handleAdmission)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// rejectEval answers 429 with the server's Retry-After estimate.
+func (s *Server) rejectEval(w http.ResponseWriter) {
+	s.mEvalRejected.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, "eval queue full; retry later")
+}
+
+// resolveGraph materializes the request's graph: inline recurrence, or
+// fingerprint lookup against graphs this server materialized earlier.
+// Inline graphs are registered so the client can switch to
+// fingerprint-only requests. The returned status is the HTTP status to
+// serve when err is non-nil.
+func (s *Server) resolveGraph(rec *RecurrenceSpec, fpHex string) (g *fm.Graph, dom *fm.Domain, gfp uint64, status int, err error) {
+	switch {
+	case rec != nil:
+		g, dom, err = rec.materialize()
+		if err != nil {
+			return nil, nil, 0, http.StatusUnprocessableEntity, err
+		}
+		gfp = g.Fingerprint()
+		s.graphs.register(gfp, &graphEntry{g: g, dom: dom})
+		return g, dom, gfp, 0, nil
+	case fpHex != "":
+		gfp, err = parseGraphFP(fpHex)
+		if err != nil {
+			return nil, nil, 0, http.StatusUnprocessableEntity, err
+		}
+		e, ok := s.graphs.lookup(gfp)
+		if !ok {
+			return nil, nil, 0, http.StatusNotFound,
+				fmt.Errorf("unknown graph fingerprint %s; re-send the recurrence inline", fpHex)
+		}
+		return e.g, e.dom, gfp, 0, nil
+	default:
+		return nil, nil, 0, http.StatusUnprocessableEntity,
+			fmt.Errorf("request needs either recurrence or graph_fp")
+	}
+}
+
+// buildSchedules materializes every requested schedule, all validated
+// before anything is admitted.
+func buildSchedules(specs []ScheduleSpec, g *fm.Graph, dom *fm.Domain, tgt fm.Target) ([]fm.Schedule, error) {
+	out := make([]fm.Schedule, 0, len(specs))
+	for i := range specs {
+		sched, err := specs[i].build(g, dom, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("schedule %d: %w", i, err)
+		}
+		out = append(out, sched)
+	}
+	return out, nil
+}
+
+// cacheOnly attempts a degraded cache-only answer: success only if every
+// requested schedule is already priced in the cache.
+func (s *Server) cacheOnly(gfp uint64, tgt fm.Target, scheds []fm.Schedule) ([]fm.Cost, bool) {
+	costs := make([]fm.Cost, len(scheds))
+	for i, sched := range scheds {
+		c, ok := s.cache.Lookup(gfp, sched.Fingerprint(), tgt)
+		if !ok {
+			return nil, false
+		}
+		costs[i] = c
+	}
+	return costs, true
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.mEvalRequests.Inc()
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req EvalRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Schedules) == 0 || len(req.Schedules) > maxSchedules {
+		writeError(w, http.StatusUnprocessableEntity, "request must carry 1..%d schedules, got %d", maxSchedules, len(req.Schedules))
+		return
+	}
+	g, dom, gfp, status, err := s.resolveGraph(req.Recurrence, req.GraphFP)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	tgt, err := req.Target.target()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	scheds, err := buildSchedules(req.Schedules, g, dom, tgt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	start := s.clock.Now()
+	fpHex := formatGraphFP(gfp)
+	degraded := func(costs []fm.Cost) {
+		s.mEvalDegraded.Inc()
+		writeJSON(w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: costs, Degraded: true})
+	}
+
+	// Admission. Shed and pause degrade first; serve evaluates first and
+	// degrades only under backpressure.
+	if s.Mode() != ModeServe {
+		if costs, ok := s.cacheOnly(gfp, tgt, scheds); ok {
+			degraded(costs)
+			return
+		}
+	}
+	ctx, cancel := s.deadlineFor(r, req.DeadlineMS)
+	defer cancel()
+	job := &evalJob{
+		ctx: ctx, gfp: gfp, tgt: tgt, g: g, scheds: scheds,
+		enqueued: start,
+		result:   make(chan evalResult, 1),
+	}
+	if !s.queue.tryEnqueue(job) {
+		if costs, ok := s.cacheOnly(gfp, tgt, scheds); ok {
+			degraded(costs)
+			return
+		}
+		s.rejectEval(w)
+		return
+	}
+	s.mQueueDepth.Set(float64(s.queue.depth()))
+
+	select {
+	case res := <-job.result:
+		if res.err != nil {
+			if errIsDeadline(res.err) {
+				s.mEvalDeadline.Inc()
+				writeError(w, http.StatusGatewayTimeout, "deadline exceeded during evaluation")
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "%v", res.err)
+			return
+		}
+		s.mEvalOK.Inc()
+		s.mEvalLatency.Observe(s.clock.Now().Sub(start))
+		writeJSON(w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: res.costs, BatchSize: res.batch})
+	case <-ctx.Done():
+		// The job stays queued; the worker that eventually drains it sees
+		// the dead context and skips the evaluation.
+		s.mEvalDeadline.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.mSearchRequests.Inc()
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req SearchRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, ok := objectives[req.Objective]; !ok {
+		writeError(w, http.StatusUnprocessableEntity, "unknown objective %q (want time|energy|edp|footprint)", req.Objective)
+		return
+	}
+	if req.Kind != "" && req.Kind != "anneal" && req.Kind != "exhaustive" {
+		writeError(w, http.StatusUnprocessableEntity, "unknown search kind %q (want anneal|exhaustive)", req.Kind)
+		return
+	}
+	if req.Iters < 0 || req.Iters > maxSearchIters {
+		writeError(w, http.StatusUnprocessableEntity, "iters %d outside 0..%d", req.Iters, maxSearchIters)
+		return
+	}
+	if req.Chains < 0 || req.Chains > maxSearchChains {
+		writeError(w, http.StatusUnprocessableEntity, "chains %d outside 0..%d", req.Chains, maxSearchChains)
+		return
+	}
+	g, dom, gfp, status, err := s.resolveGraph(req.Recurrence, req.GraphFP)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	tgt, err := req.Target.target()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	key := searchKey(gfp, tgt, &req)
+	start := s.clock.Now()
+
+	degradedAnswer := func() bool {
+		resp, ok := s.searches.lookup(key)
+		if !ok {
+			return false
+		}
+		resp.Degraded = true
+		s.mSearchDegraded.Inc()
+		writeJSON(w, http.StatusOK, resp)
+		return true
+	}
+
+	// Shed/pause: replay stored results only, never start new searches.
+	if s.Mode() != ModeServe {
+		if !degradedAnswer() {
+			s.mSearchRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "search admission is shedding; retry later")
+		}
+		return
+	}
+	if !s.searches.acquire() {
+		if !degradedAnswer() {
+			s.mSearchRejected.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, "all %d search slots busy; retry later", s.cfg.MaxSearches)
+		}
+		return
+	}
+	defer s.searches.release()
+
+	ctx, cancel := s.deadlineFor(r, req.DeadlineMS)
+	defer cancel()
+	// Drain cancels baseCtx; propagate that into the running search so
+	// shutdown halts it at its next exchange barrier (checkpointing).
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	var resp SearchResponse
+	if req.Kind == "exhaustive" {
+		resp, err = s.runExhaustive(g, dom, gfp, tgt, &req, key)
+	} else {
+		resp, err = s.runAnneal(ctx, g, gfp, tgt, &req, key)
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if resp.Partial {
+		s.mSearchPartial.Inc()
+	}
+	s.mSearchOK.Inc()
+	s.mSearchLatency.Observe(s.clock.Now().Sub(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
+	s.mSlackRequests.Inc()
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req SlackRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, dom, gfp, status, err := s.resolveGraph(req.Recurrence, req.GraphFP)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	tgt, err := req.Target.target()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	sched, err := req.Schedule.build(g, dom, tgt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	edges, err := fm.SlackAnalysis(g, sched, tgt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := SlackResponse{GraphFP: formatGraphFP(gfp), Summary: fm.SummarizeSlack(edges)}
+	if len(edges) <= maxSlackEdges {
+		resp.Edges = edges
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.cache.PublishObs(s.reg)
+	s.mQueueDepth.Set(float64(s.queue.depth()))
+	s.reg.Handler().ServeHTTP(w, r)
+}
+
+// healthzResponse is the health endpoint's payload; loadgen's overload
+// drill polls QueueDepth to know when the paused queue has absorbed the
+// burst.
+type healthzResponse struct {
+	Status          string `json:"status"`
+	Mode            string `json:"mode"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity"`
+	SearchesRunning int    `json:"searches_running"`
+	Graphs          int    `json:"graphs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthzResponse{
+		Status:          "ok",
+		Mode:            s.Mode().String(),
+		QueueDepth:      s.queue.depth(),
+		QueueCapacity:   s.cfg.QueueDepth,
+		SearchesRunning: s.searches.runningCount(),
+		Graphs:          s.graphs.len(),
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// admissionRequest switches the admission mode at runtime (only when
+// Config.AdmissionControl is set — it is an operator tool, off by
+// default).
+type admissionRequest struct {
+	Mode string `json:"mode"`
+}
+
+func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AdmissionControl {
+		writeError(w, http.StatusForbidden, "admission control endpoint is disabled")
+		return
+	}
+	var req admissionRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.SetMode(m)
+	writeJSON(w, http.StatusOK, map[string]string{"mode": m.String()})
+}

@@ -213,11 +213,19 @@ type Stats struct {
 }
 
 // Pool is a fixed set of worker goroutines executing fork-join programs.
+// A single pool may be shared by many concurrent Run/RunWith callers —
+// the serving layer submits every request's fan-out to one process-wide
+// pool so load never spawns unbounded goroutines. Each run has its own
+// runState, so cancellation and errors never leak across runs.
 type Pool struct {
 	mode    Mode
 	workers []*worker
 	central deque
 	stop    atomic.Bool
+	// next seeds successive root tasks onto different workers
+	// (round-robin) so concurrent runs sharing the pool do not all queue
+	// behind worker 0's deque.
+	next atomic.Uint64
 
 	spawns atomic.Int64
 	steals atomic.Int64
@@ -305,11 +313,13 @@ func (p *Pool) RunWith(opts RunOptions, f func(*Ctx)) error {
 	}
 	r := &runState{ctx: opts.Context, timeout: opts.TaskTimeout}
 	root := &task{fn: f, run: r, done: make(chan struct{})}
-	// Seed through the shared path so any worker can pick it up.
+	// Seed through the shared path so any worker can pick it up. Roots
+	// rotate across workers so concurrent runs on a shared pool start on
+	// different deques instead of contending for worker 0.
 	if p.mode == CentralQueue {
 		p.central.pushBottom(root)
 	} else {
-		p.workers[0].dq.pushBottom(root)
+		p.workers[p.next.Add(1)%uint64(len(p.workers))].dq.pushBottom(root)
 	}
 	<-root.done
 	return r.firstErr()
@@ -327,6 +337,14 @@ func (p *Pool) RunWith(opts RunOptions, f func(*Ctx)) error {
 // only for a nil error.
 func (p *Pool) For(lo, hi, grain int, body func(lo, hi int)) error {
 	return p.Run(func(c *Ctx) { For(c, lo, hi, grain, body) })
+}
+
+// ForWith is For with RunOptions: the parallel loop runs under the given
+// context and per-task deadline, so a caller-side timeout cancels
+// segments that have not started yet. The union-of-segments guarantee of
+// For holds only when ForWith returns nil.
+func (p *Pool) ForWith(opts RunOptions, lo, hi, grain int, body func(lo, hi int)) error {
+	return p.RunWith(opts, func(c *Ctx) { For(c, lo, hi, grain, body) })
 }
 
 // Ctx is a capability to fork work; it identifies the worker currently

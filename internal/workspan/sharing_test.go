@@ -1,0 +1,75 @@
+package workspan
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSharedPoolConcurrentRuns drives many concurrent ForWith calls
+// through one pool — the serving layer's usage pattern — and checks that
+// every run computes its own answer correctly and independently.
+func TestSharedPoolConcurrentRuns(t *testing.T) {
+	pool := NewPool(4, WorkStealing)
+	defer pool.Close()
+
+	const runs = 16
+	const n = 2048
+	sums := make([]int64, runs)
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			part := make([]int64, n)
+			err := pool.ForWith(RunOptions{}, 0, n, 64, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					part[i] = int64(i * (r + 1))
+				}
+			})
+			if err != nil {
+				t.Errorf("run %d: %v", r, err)
+				return
+			}
+			var s int64
+			for _, v := range part {
+				s += v
+			}
+			sums[r] = s
+		}(r)
+	}
+	wg.Wait()
+	base := int64(n * (n - 1) / 2)
+	for r, s := range sums {
+		if want := base * int64(r+1); s != want {
+			t.Errorf("run %d: sum = %d, want %d", r, s, want)
+		}
+	}
+}
+
+// TestSharedPoolCancelledRunDoesNotPoisonOthers cancels one run's
+// context and checks a concurrent run on the same pool still succeeds.
+func TestSharedPoolCancelledRunDoesNotPoisonOthers(t *testing.T) {
+	pool := NewPool(2, WorkStealing)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the run starts
+	if err := pool.ForWith(RunOptions{Context: ctx}, 0, 100, 1, func(lo, hi int) {}); err == nil {
+		t.Fatalf("cancelled ForWith returned nil error")
+	}
+
+	ran := make([]bool, 100)
+	if err := pool.ForWith(RunOptions{}, 0, 100, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ran[i] = true
+		}
+	}); err != nil {
+		t.Fatalf("healthy run after cancelled run: %v", err)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("index %d not visited after cancelled sibling run", i)
+		}
+	}
+}
