@@ -596,6 +596,15 @@ type Affine2DOptions struct {
 	// instead of creating a private one; Workers is then ignored. The
 	// merge stays index-ordered, so the output is unchanged.
 	Pool *workspan.Pool
+	// Context, when non-nil, bounds the sweep: once done, tuples not yet
+	// priced are skipped and Exhaustive2D returns only the candidates it
+	// evaluated so far (the serial candidate is always included, so the
+	// result is never empty). Callers detect a cut-short sweep via
+	// Context.Err(). Which tuples a cut-short sweep managed to price
+	// depends on timing, so a partial result is best-so-far material,
+	// not the sweep's deterministic answer — only a sweep that ran to
+	// completion (Context.Err() == nil) carries the full guarantee.
+	Context context.Context
 	// Obs, when non-nil, receives sweep totals under "search.sweep.*"
 	// (tuples enumerated, legal candidates, evaluations) when the sweep
 	// finishes. Deterministic: set once from the merged result.
@@ -614,7 +623,10 @@ type affineTuple struct {
 // cost, sorted by time then energy. The serial projection (everything at
 // node 0, ASAP times) is always included as the "serial" candidate.
 // Candidates are checked and priced on a work-stealing pool (see
-// Affine2DOptions.Workers); the merge is deterministic.
+// Affine2DOptions.Workers); the merge is deterministic. An expired
+// Affine2DOptions.Context cuts the sweep short — unpriced tuples are
+// skipped and the partial candidate set is returned (see the option's
+// doc for the weakened guarantee).
 func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptions) []Candidate {
 	if len(dom.Dims()) != 2 {
 		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
@@ -689,14 +701,20 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 		pool = owned
 	}
 	if pool == nil || len(tuples) < 2 {
-		eval(0, len(tuples))
+		for i := range tuples {
+			if opts.Context != nil && opts.Context.Err() != nil {
+				break
+			}
+			eval(i, i+1)
+		}
 	} else {
 		grain := len(tuples) / (8 * workers)
 		if grain < 1 {
 			grain = 1
 		}
-		if err := pool.For(0, len(tuples), grain, eval); err != nil {
-			//lint:allow panic(internal-invariant trap: pool.For only fails if eval panicked and that bug should crash loudly)
+		err := pool.ForWith(workspan.RunOptions{Context: opts.Context}, 0, len(tuples), grain, eval)
+		if err != nil && !(opts.Context != nil && opts.Context.Err() != nil) {
+			//lint:allow panic(internal-invariant trap: absent a context cut, ForWith only fails if eval panicked and that bug should crash loudly)
 			panic(fmt.Sprintf("search: exhaustive sweep: %v", err))
 		}
 	}

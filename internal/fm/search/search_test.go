@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -142,6 +143,36 @@ func TestExhaustive2DFindsParallelMapping(t *testing.T) {
 	for i := 1; i < len(cands); i++ {
 		if cands[i].Cost.Cycles < cands[i-1].Cost.Cycles {
 			t.Fatal("candidates not sorted by time")
+		}
+	}
+}
+
+// TestExhaustive2DContextCut: a dead context skips every tuple — the
+// sweep returns just the always-included serial candidate instead of
+// panicking or blocking — and both the pooled and inline dispatch paths
+// honor the cut. A live context changes nothing.
+func TestExhaustive2DContextCut(t *testing.T) {
+	g, dom := smallRec(t, 8)
+	tgt := fm.DefaultTarget(4, 1)
+	tgt.MemWordsPerNode = 1 << 20
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} { // 1 = inline path, 4 = pool path
+		cands := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 12, Workers: workers, Context: dead})
+		if len(cands) != 1 || cands[0].Name != "serial" {
+			t.Fatalf("workers=%d: dead-context sweep returned %d candidates, want only serial", workers, len(cands))
+		}
+	}
+
+	full := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 12})
+	live := Exhaustive2D(g, dom, tgt, Affine2DOptions{P: 4, MaxTau: 12, Context: context.Background()})
+	if len(live) != len(full) {
+		t.Fatalf("live context changed the sweep: %d vs %d candidates", len(live), len(full))
+	}
+	for i := range full {
+		if live[i].Name != full[i].Name || live[i].Cost != full[i].Cost {
+			t.Fatalf("candidate %d differs under a live context: %+v vs %+v", i, live[i], full[i])
 		}
 	}
 }

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/fm"
 	"repro/internal/fm/search"
@@ -68,8 +69,9 @@ func (s *Server) processBatch(jobs []*evalJob) {
 
 // priceGroup prices one coalesced group. Jobs whose context already
 // expired while queued are answered with their context error without
-// costing any evaluation; the rest share one EvalBatch call bounded by
-// the most patient live member's context, so one impatient client cannot
+// costing any evaluation; the rest share one EvalBatch call under a
+// server-owned context bounded by the latest live member deadline, so
+// neither an impatient client nor one that disconnects mid-batch can
 // cancel work its batch-mates still want.
 func (s *Server) priceGroup(group []*evalJob) {
 	live := group[:0:0]
@@ -93,7 +95,9 @@ func (s *Server) priceGroup(group []*evalJob) {
 	}
 
 	first := live[0]
-	costs, err := search.EvalBatch(patientCtx(live), s.pool, s.cache, first.g, first.gfp, scheds, first.tgt)
+	ctx, cancel := batchCtx(live)
+	defer cancel()
+	costs, err := search.EvalBatch(ctx, s.pool, s.cache, first.g, first.gfp, scheds, first.tgt)
 	for i, j := range live {
 		if err != nil {
 			j.result <- evalResult{err: err}
@@ -103,22 +107,23 @@ func (s *Server) priceGroup(group []*evalJob) {
 	}
 }
 
-// patientCtx picks the context of the group member with the most
-// remaining patience: a member with no deadline wins outright, otherwise
-// the latest deadline does. Members that time out earlier simply receive
-// the batch's answer before they would have needed to give up waiting —
-// their own handler enforces their deadline.
-func patientCtx(live []*evalJob) context.Context {
-	best := live[0].ctx
-	bestDL, bestHas := best.Deadline()
-	for _, j := range live[1:] {
-		dl, has := j.ctx.Deadline()
-		if !bestHas {
-			break
+// batchCtx derives the context one coalesced batch evaluates under. It
+// is server-owned — detached from every member's request context, so a
+// client disconnecting mid-batch cannot cancel work its batch-mates
+// still want — and bounded by the latest member deadline (unbounded if
+// any member carries none), so the server stops pricing once no waiter
+// could still use the answer. Members that time out earlier simply stop
+// waiting; their own handler enforces their deadline.
+func batchCtx(live []*evalJob) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, j := range live {
+		dl, ok := j.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
 		}
-		if !has || dl.After(bestDL) {
-			best, bestDL, bestHas = j.ctx, dl, has
+		if dl.After(latest) {
+			latest = dl
 		}
 	}
-	return best
+	return context.WithDeadline(context.Background(), latest)
 }

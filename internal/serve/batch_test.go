@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBatchCtxServerOwned pins the batch-isolation contract: the context
+// a coalesced batch evaluates under is detached from every member's
+// request context (so one client's disconnect cannot cancel its
+// batch-mates' work) and bounded by the latest member deadline.
+func TestBatchCtxServerOwned(t *testing.T) {
+	near := time.Now().Add(time.Minute)
+	far := near.Add(time.Hour)
+	c1, cancel1 := context.WithDeadline(context.Background(), near)
+	defer cancel1()
+	c2, cancel2 := context.WithDeadline(context.Background(), far)
+
+	ctx, cancel := batchCtx([]*evalJob{{ctx: c1}, {ctx: c2}})
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok || !dl.Equal(far) {
+		t.Fatalf("batch deadline = %v (ok=%v), want the latest member deadline %v", dl, ok, far)
+	}
+
+	// The most patient member disconnects mid-batch: the batch context
+	// must survive — its remaining members still want the answer.
+	cancel2()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("member cancellation leaked into the batch context: %v", err)
+	}
+}
+
+// TestBatchCtxUnboundedMember: a member with no deadline makes the batch
+// unbounded (nothing limits how long the answer stays wanted), and still
+// no member cancellation reaches the batch.
+func TestBatchCtxUnboundedMember(t *testing.T) {
+	bounded, cancelBounded := context.WithDeadline(context.Background(), time.Now().Add(time.Minute))
+	defer cancelBounded()
+	free, cancelFree := context.WithCancel(context.Background())
+
+	ctx, cancel := batchCtx([]*evalJob{{ctx: bounded}, {ctx: free}})
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatalf("a deadline-free member must make the batch context deadline-free")
+	}
+	cancelFree()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("member cancellation leaked into the batch context: %v", err)
+	}
+}

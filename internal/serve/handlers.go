@@ -17,6 +17,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -51,6 +52,23 @@ func (s *Server) rejectEval(w http.ResponseWriter) {
 	s.mEvalRejected.Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	writeError(w, http.StatusTooManyRequests, "eval queue full; retry later")
+}
+
+// writeEvalError translates an evaluation failure honestly: an expired
+// deadline is the client's 504; a cancellation (the client disconnected,
+// so the request context — not any deadline — died) is a 503, because
+// "deadline exceeded" would misattribute a failure no deadline caused;
+// anything else is a server error.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error, where string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mEvalDeadline.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded %s", where)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled %s", where)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // resolveGraph materializes the request's graph: inline recurrence, or
@@ -144,6 +162,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel, err := s.deadlineFor(r, req.DeadlineMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+
 	start := s.clock.Now()
 	fpHex := formatGraphFP(gfp)
 	degraded := func(costs []fm.Cost) {
@@ -159,8 +184,6 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx, cancel := s.deadlineFor(r, req.DeadlineMS)
-	defer cancel()
 	job := &evalJob{
 		ctx: ctx, gfp: gfp, tgt: tgt, g: g, scheds: scheds,
 		enqueued: start,
@@ -176,25 +199,30 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mQueueDepth.Set(float64(s.queue.depth()))
 
-	select {
-	case res := <-job.result:
+	deliver := func(res evalResult) {
 		if res.err != nil {
-			if errIsDeadline(res.err) {
-				s.mEvalDeadline.Inc()
-				writeError(w, http.StatusGatewayTimeout, "deadline exceeded during evaluation")
-				return
-			}
-			writeError(w, http.StatusInternalServerError, "%v", res.err)
+			s.writeEvalError(w, res.err, "during evaluation")
 			return
 		}
 		s.mEvalOK.Inc()
 		s.mEvalLatency.Observe(s.clock.Now().Sub(start))
 		writeJSON(w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: res.costs, BatchSize: res.batch})
+	}
+	select {
+	case res := <-job.result:
+		deliver(res)
 	case <-ctx.Done():
-		// The job stays queued; the worker that eventually drains it sees
-		// the dead context and skips the evaluation.
-		s.mEvalDeadline.Inc()
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+		// The worker may have delivered in the race window between the
+		// result landing and this select waking; a result that exists
+		// beats a timeout answer, so take one final non-blocking look.
+		select {
+		case res := <-job.result:
+			deliver(res)
+		default:
+			// The job stays queued; the worker that eventually drains it
+			// sees the dead context and skips the evaluation.
+			s.writeEvalError(w, ctx.Err(), "while queued")
+		}
 	}
 }
 
@@ -237,6 +265,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	key := searchKey(gfp, tgt, &req)
 	start := s.clock.Now()
+	ctx, cancel, err := s.deadlineFor(r, req.DeadlineMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
 
 	degradedAnswer := func() bool {
 		resp, ok := s.searches.lookup(key)
@@ -268,16 +302,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.searches.release()
 
-	ctx, cancel := s.deadlineFor(r, req.DeadlineMS)
-	defer cancel()
 	// Drain cancels baseCtx; propagate that into the running search so
-	// shutdown halts it at its next exchange barrier (checkpointing).
+	// shutdown halts it at its next exchange barrier (checkpointing) or,
+	// for a sweep, at its next unstarted tuple.
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
 	var resp SearchResponse
 	if req.Kind == "exhaustive" {
-		resp, err = s.runExhaustive(g, dom, gfp, tgt, &req, key)
+		resp, err = s.runExhaustive(ctx, g, dom, gfp, tgt, &req, key)
 	} else {
 		resp, err = s.runAnneal(ctx, g, gfp, tgt, &req, key)
 	}

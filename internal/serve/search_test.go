@@ -73,6 +73,10 @@ func TestSearchValidation(t *testing.T) {
 		{"iters over cap", fmt.Sprintf(`{"recurrence": {"dims": [4, 4], "deps": []}, "target": {"width": 2}, "iters": %d}`, maxSearchIters+1), 422},
 		{"chains over cap", fmt.Sprintf(`{"recurrence": {"dims": [4, 4], "deps": []}, "target": {"width": 2}, "chains": %d}`, maxSearchChains+1), 422},
 		{"exhaustive on 1-D", `{"recurrence": {"dims": [8], "deps": [[1]]}, "target": {"width": 2}, "kind": "exhaustive"}`, 422},
+		{"negative p", `{"recurrence": {"dims": [4, 4], "deps": [[1, 0]]}, "target": {"width": 2}, "kind": "exhaustive", "p": -1}`, 422},
+		{"p over grid width", `{"recurrence": {"dims": [4, 4], "deps": [[1, 0]]}, "target": {"width": 2}, "kind": "exhaustive", "p": 3}`, 422},
+		{"negative max_tau", `{"recurrence": {"dims": [4, 4], "deps": [[1, 0]]}, "target": {"width": 2}, "kind": "exhaustive", "max_tau": -1}`, 422},
+		{"max_tau over cap", fmt.Sprintf(`{"recurrence": {"dims": [4, 4], "deps": [[1, 0]]}, "target": {"width": 2}, "kind": "exhaustive", "max_tau": %d}`, maxSweepTau+1), 422},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -155,6 +159,55 @@ func TestSearchPartialOnDeadline(t *testing.T) {
 	stored, ok := s.searches.lookup(key)
 	if !ok || stored.Best != resp.Best {
 		t.Fatalf("partial result not stored for degraded replay")
+	}
+}
+
+// TestSearchExhaustivePartialOnDeadline: a sweep whose context is
+// already dead skips every tuple, still answers (the serial candidate
+// is always priced), and is marked partial — the exhaustive analogue of
+// the annealer's deadline degradation.
+func TestSearchExhaustivePartialOnDeadline(t *testing.T) {
+	s := newTestServer(t, nil)
+	g, dom, err := (&RecurrenceSpec{Dims: []int{5, 5}, Deps: [][]int{{1, 0}, {0, 1}}}).materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := (&TargetSpec{Width: 4}).target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &SearchRequest{Kind: "exhaustive", MaxTau: 16}
+	gfp := g.Fingerprint()
+	key := searchKey(gfp, tgt, req)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already spent
+	resp, err := s.runExhaustive(ctx, g, dom, gfp, tgt, req, key)
+	if err != nil {
+		t.Fatalf("runExhaustive with dead context must degrade, not fail: %v", err)
+	}
+	if !resp.Partial {
+		t.Fatalf("dead-context sweep not marked partial: %+v", resp)
+	}
+	if resp.Best.Cost.Cycles <= 0 {
+		t.Fatalf("partial sweep must still carry a best-so-far mapping: %+v", resp)
+	}
+
+	// A later uncut run of the same request completes and overwrites the
+	// stored partial (never the other way around).
+	full, err := s.runExhaustive(context.Background(), g, dom, gfp, tgt, req, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Partial {
+		t.Fatalf("uncut sweep marked partial: %+v", full)
+	}
+	if full.DoneIters <= resp.DoneIters {
+		t.Fatalf("full sweep priced %d candidates, partial %d — expected strictly more", full.DoneIters, resp.DoneIters)
+	}
+	stored, ok := s.searches.lookup(key)
+	if !ok || stored.Partial {
+		t.Fatalf("complete result must replace the stored partial: %+v (ok=%v)", stored, ok)
 	}
 }
 

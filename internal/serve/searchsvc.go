@@ -154,7 +154,7 @@ func (s *Server) runAnneal(ctx context.Context, g *fm.Graph, gfp uint64, tgt fm.
 	}
 
 	_, cost, err := search.AnnealResumable(g, tgt, opts)
-	if err != nil && !errIsDeadline(err) {
+	if err != nil && !errIsCtx(err) {
 		return SearchResponse{}, err
 	}
 	if done == 0 && err == nil {
@@ -175,27 +175,34 @@ func (s *Server) runAnneal(ctx context.Context, g *fm.Graph, gfp uint64, tgt fm.
 	return resp, nil
 }
 
-// runExhaustive executes one affine sweep. Exhaustive2D has no
-// mid-flight cancellation (the sweep is a bounded enumeration priced on
-// the shared pool), so the deadline bounds only pool task admission.
-func (s *Server) runExhaustive(g *fm.Graph, dom *fm.Domain, gfp uint64, tgt fm.Target, req *SearchRequest, key string) (SearchResponse, error) {
+// runExhaustive executes one affine sweep under the caller's context
+// (request deadline plus the server's drain context). Once the context
+// expires, unpriced tuples are skipped and the response carries the
+// best of what was evaluated before the cut, marked Partial. All sweep
+// parameters are validated here — client input must never reach the
+// argument-contract panics inside search.Exhaustive2D.
+func (s *Server) runExhaustive(ctx context.Context, g *fm.Graph, dom *fm.Domain, gfp uint64, tgt fm.Target, req *SearchRequest, key string) (SearchResponse, error) {
 	if dom == nil || len(dom.Dims()) != 2 {
 		return SearchResponse{}, fmt.Errorf("exhaustive search needs a 2-D recurrence domain")
+	}
+	if req.P < 0 || req.P > tgt.Grid.Width {
+		return SearchResponse{}, fmt.Errorf("p %d outside 1..%d (grid width; 0 selects the width)", req.P, tgt.Grid.Width)
+	}
+	if req.MaxTau < 0 || req.MaxTau > maxSweepTau {
+		return SearchResponse{}, fmt.Errorf("max_tau %d outside 0..%d", req.MaxTau, maxSweepTau)
 	}
 	obj := objectives[req.Objective]
 	p := req.P
 	if p == 0 {
 		p = tgt.Grid.Width
 	}
-	if req.MaxTau > maxSweepTau {
-		return SearchResponse{}, fmt.Errorf("max_tau %d exceeds the sweep limit %d", req.MaxTau, maxSweepTau)
-	}
 	cands := search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{
-		P:      p,
-		MaxTau: req.MaxTau,
-		Cache:  s.cache,
-		Pool:   s.pool,
-		Obs:    s.reg,
+		P:       p,
+		MaxTau:  req.MaxTau,
+		Cache:   s.cache,
+		Pool:    s.pool,
+		Obs:     s.reg,
+		Context: ctx,
 	})
 	best, ok := search.BestChecked(cands, obj)
 	if !ok {
@@ -210,6 +217,9 @@ func (s *Server) runExhaustive(g *fm.Graph, dom *fm.Domain, gfp uint64, tgt fm.T
 		},
 		DoneIters:  len(cands),
 		TotalIters: len(cands),
+		// A cut-short sweep reports the candidates it managed to price;
+		// Partial tells the client the sweep did not run to completion.
+		Partial: ctx.Err() != nil,
 	}
 	s.searches.store(key, resp)
 	return resp, nil

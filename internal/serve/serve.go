@@ -41,6 +41,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -319,18 +320,21 @@ func (s *Server) Close() obs.Snapshot {
 // deadlineFor derives the request's working context: the X-Deadline-Ms
 // header, else the body's deadline_ms, else the server default, all
 // anchored on the request context so a disconnecting client cancels its
-// own work.
-func (s *Server) deadlineFor(r *http.Request, bodyMS int64) (context.Context, context.CancelFunc) {
+// own handler. A malformed or non-positive header is a client error,
+// reported as one — never silently served under the default deadline.
+func (s *Server) deadlineFor(r *http.Request, bodyMS int64) (context.Context, context.CancelFunc, error) {
 	d := s.cfg.DefaultDeadline
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
-		var ms int64
-		if _, err := fmt.Sscanf(h, "%d", &ms); err == nil && ms > 0 {
-			d = time.Duration(ms) * time.Millisecond
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("X-Deadline-Ms %q is not a positive integer of milliseconds", h)
 		}
+		d = time.Duration(ms) * time.Millisecond
 	} else if bodyMS > 0 {
 		d = time.Duration(bodyMS) * time.Millisecond
 	}
-	return context.WithTimeout(r.Context(), d)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 // observeBatch folds one batch's per-job service time into the EWMA.
@@ -374,7 +378,10 @@ func (s *Server) retryAfterSeconds() int {
 	return int(est)
 }
 
-// errIsDeadline reports whether err is a context deadline/cancellation.
-func errIsDeadline(err error) bool {
+// errIsCtx reports whether err is a context deadline or cancellation —
+// the "work was cut short" class that searches degrade into a partial
+// best-so-far answer. HTTP status mapping distinguishes the two cases
+// (504 for a deadline, 503 for a cancellation); see writeEvalError.
+func errIsCtx(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }

@@ -282,6 +282,36 @@ func TestAdmissionEndpoint(t *testing.T) {
 	}
 }
 
+// TestMalformedDeadlineHeader: a garbage X-Deadline-Ms is a client
+// error answered 400 — never silently served under the default deadline
+// (Sscanf-style prefix parsing once accepted "100abc" as 100).
+func TestMalformedDeadlineHeader(t *testing.T) {
+	s := newTestServer(t, nil)
+	for _, path := range []string{"/v1/eval", "/v1/search"} {
+		body := evalBody
+		if path == "/v1/search" {
+			body = searchBody
+		}
+		for _, h := range []string{"abc", "100abc", "-5", "0", " 100", "1e3"} {
+			req := httptest.NewRequest("POST", path, strings.NewReader(body))
+			req.Header.Set("X-Deadline-Ms", h)
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != 400 {
+				t.Errorf("%s with X-Deadline-Ms %q: want 400, got %d %s", path, h, rec.Code, rec.Body.String())
+			}
+		}
+	}
+	// A well-formed header is honored, not rejected.
+	req := httptest.NewRequest("POST", "/v1/eval", strings.NewReader(evalBody))
+	req.Header.Set("X-Deadline-Ms", "30000")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("well-formed X-Deadline-Ms: want 200, got %d %s", rec.Code, rec.Body.String())
+	}
+}
+
 // TestDrainFinishesQueuedWork pins the shutdown contract: jobs admitted
 // before Drain are answered, not dropped — even jobs parked behind a
 // paused queue, because drain outranks pause.
