@@ -4,10 +4,18 @@
 // silently drops an experiment (or emits an empty report) fails the
 // build even when every remaining experiment passes.
 //
+// With -baseline it additionally compares the report's metrics against
+// a committed baseline report (BENCH_panel.json): every gating metric
+// (rel_tol > 0) shared by both runs must not regress past its tolerance
+// in its Better direction. Improvements never fail, so the committed
+// baseline is a performance floor — the CI perf trajectory can only
+// ratchet up.
+//
 // Usage:
 //
 //	panelbench -json report.json && benchcheck report.json
-//	benchcheck -require-pass report.json   # also fail on any FAIL verdict
+//	benchcheck -require-pass report.json     # also fail on any FAIL verdict
+//	benchcheck -baseline BENCH_panel.json report.json
 package main
 
 import (
@@ -20,19 +28,14 @@ import (
 
 func main() {
 	requirePass := flag.Bool("require-pass", false, "fail if any experiment's verdict is FAIL, not just on malformed reports")
+	baseline := flag.String("baseline", "", "compare the report's metrics against this committed baseline report; fail on any gated regression")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-require-pass] report.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-require-pass] [-baseline old.json] report.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(2)
-	}
-	rep, err := experiments.ReadReport(f)
-	f.Close()
+	rep, err := readReport(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(1)
@@ -43,12 +46,51 @@ func main() {
 	}
 	fmt.Printf("benchcheck: %s: schema %s, %d experiments, %d passed, %d failed\n",
 		path, rep.Schema, len(rep.Experiments), rep.Passed, rep.Failed)
+
+	exit := 0
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		if base.Schema != rep.Schema {
+			fmt.Fprintf(os.Stderr, "benchcheck: baseline schema %s, report schema %s\n", base.Schema, rep.Schema)
+			os.Exit(1)
+		}
+		comparisons := rep.CompareToBaseline(base)
+		if len(comparisons) == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: no shared metrics between %s and %s\n", *baseline, path)
+			os.Exit(1)
+		}
+		for _, c := range comparisons {
+			status := "ok"
+			if c.Regressed {
+				status = "REGRESSED"
+				exit = 1
+			} else if c.Metric.RelTol <= 0 {
+				status = "info"
+			}
+			fmt.Printf("benchcheck: %s %s: baseline %g, now %g %s (%s)\n",
+				c.Experiment, c.Metric.Name, c.Baseline, c.Current, c.Metric.Unit, status)
+		}
+	}
 	if *requirePass && rep.Failed > 0 {
 		for _, e := range rep.Experiments {
 			if !e.Pass {
 				fmt.Fprintf(os.Stderr, "benchcheck: %s (%s) failed\n", e.ID, e.Name)
 			}
 		}
-		os.Exit(1)
+		exit = 1
 	}
+	os.Exit(exit)
+}
+
+func readReport(path string) (experiments.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return experiments.Report{}, err
+	}
+	defer f.Close()
+	return experiments.ReadReport(f)
 }

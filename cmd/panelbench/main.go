@@ -66,18 +66,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "panelbench: %v\n", err)
 			os.Exit(2)
 		}
-		entry := experiments.ReportEntry{
-			ID: r.ID, Name: e.Name, Claim: r.Claim, Pass: r.Pass, Notes: r.Notes,
-		}
-		if r.Table != nil {
-			entry.Table = experiments.TableJSON{
-				Title:   r.Table.Title(),
-				Headers: r.Table.Headers(),
-				Rows:    r.Table.RowStrings(),
-				Notes:   r.Table.Notes(),
-			}
-		}
-		report.Experiments = append(report.Experiments, entry)
+		report.Experiments = append(report.Experiments, experiments.EntryFor(r, e.Name))
 		if r.Pass {
 			report.Passed++
 		} else {

@@ -21,6 +21,43 @@ const (
 	traceOverhead = trace.KindOverhead
 )
 
+// Metric is one numeric performance measurement attached to a result.
+// Unlike table rows (formatted strings for humans), metrics are machine
+// citable: cmd/benchcheck compares them across runs against the
+// committed BENCH_panel.json baseline.
+type Metric struct {
+	// Name identifies the metric within its experiment (unique per result).
+	Name string `json:"name"`
+	// Value is the measured number.
+	Value float64 `json:"value"`
+	// Unit labels Value ("moves/sec", "ratio", ...).
+	Unit string `json:"unit"`
+	// Better is "higher" or "lower": the direction of improvement.
+	Better string `json:"better"`
+	// RelTol, when positive, makes the metric a gate: a run whose value
+	// is worse than the baseline's by more than this relative fraction
+	// fails the baseline comparison. Zero means informational only —
+	// recorded and reported, never gating. Wall-clock absolutes should
+	// stay informational (hosts differ); host-normalized ratios gate.
+	RelTol float64 `json:"rel_tol,omitempty"`
+}
+
+// Regressed reports whether candidate regresses from baseline in m's
+// Better direction by more than m.RelTol (false for informational
+// metrics). m supplies the direction and tolerance; improvements of any
+// size never regress.
+func (m Metric) Regressed(baseline, candidate float64) bool {
+	if m.RelTol <= 0 {
+		return false
+	}
+	switch m.Better {
+	case "lower":
+		return candidate > baseline*(1+m.RelTol)
+	default: // "higher"
+		return candidate < baseline*(1-m.RelTol)
+	}
+}
+
 // Result is one experiment's reproduction outcome.
 type Result struct {
 	// ID is the experiment identifier (E1..E12).
@@ -33,6 +70,8 @@ type Result struct {
 	Pass bool
 	// Notes explains substitutions, tolerances, or caveats.
 	Notes []string
+	// Metrics carries machine-comparable measurements (optional).
+	Metrics []Metric
 }
 
 // WriteTo renders the result. It implements io.WriterTo.
@@ -50,6 +89,17 @@ func (r Result) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, note := range r.Notes {
 		n, err = fmt.Fprintf(w, "note: %s\n", note)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, m := range r.Metrics {
+		gate := "informational"
+		if m.RelTol > 0 {
+			gate = fmt.Sprintf("gated at %.0f%%", m.RelTol*100)
+		}
+		n, err = fmt.Fprintf(w, "metric: %s = %g %s (%s is better; %s)\n", m.Name, m.Value, m.Unit, m.Better, gate)
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -94,6 +144,7 @@ func All() []Experiment {
 		{"E17", "2-D systolic matmul array with explicit forwarding", E17},
 		{"E18", "stencil halo exchange: surface vs volume", E18},
 		{"E19", "fault injection: graceful degradation of mappings", E19},
+		{"E20", "delta-evaluation anneal hot path: moves/sec and equivalence", E20},
 	}
 }
 

@@ -35,8 +35,8 @@ func TestAllExperimentsPass(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	es := All()
-	if len(es) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(es))
+	if len(es) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(es))
 	}
 	seen := map[string]bool{}
 	for i, e := range es {
@@ -72,10 +72,12 @@ func TestFailureHelper(t *testing.T) {
 }
 
 func TestExperimentsDeterministic(t *testing.T) {
-	// Every experiment except the wall-clock E8 must render identically
-	// across runs.
+	// Every experiment except the wall-clock ones (E8 times goroutine
+	// pools, E20 times anneal move pricing) must render identically
+	// across runs. E20's search *results* are still deterministic —
+	// TestE20TrajectoriesIdentical pins that — only its rates vary.
 	for _, e := range All() {
-		if e.ID == "E8" {
+		if e.ID == "E8" || e.ID == "E20" {
 			continue
 		}
 		a := render(t, e)

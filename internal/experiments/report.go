@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // ReportSchema identifies the JSON layout of a bench report. Bump the
@@ -22,12 +23,13 @@ type TableJSON struct {
 
 // ReportEntry is one experiment's outcome in a Report.
 type ReportEntry struct {
-	ID    string    `json:"id"`
-	Name  string    `json:"name"`
-	Claim string    `json:"claim"`
-	Pass  bool      `json:"pass"`
-	Table TableJSON `json:"table"`
-	Notes []string  `json:"notes,omitempty"`
+	ID      string    `json:"id"`
+	Name    string    `json:"name"`
+	Claim   string    `json:"claim"`
+	Pass    bool      `json:"pass"`
+	Table   TableJSON `json:"table"`
+	Notes   []string  `json:"notes,omitempty"`
+	Metrics []Metric  `json:"metrics,omitempty"`
 }
 
 // Report is the machine-readable form of a full panelbench run —
@@ -39,23 +41,30 @@ type Report struct {
 	Failed      int           `json:"failed"`
 }
 
+// EntryFor flattens one experiment result into its report form; name is
+// the registry name. BuildReport and cmd/panelbench share it so the two
+// report producers cannot drift.
+func EntryFor(r Result, name string) ReportEntry {
+	entry := ReportEntry{
+		ID: r.ID, Name: name, Claim: r.Claim, Pass: r.Pass, Notes: r.Notes, Metrics: r.Metrics,
+	}
+	if r.Table != nil {
+		entry.Table = TableJSON{
+			Title:   r.Table.Title(),
+			Headers: r.Table.Headers(),
+			Rows:    r.Table.RowStrings(),
+			Notes:   r.Table.Notes(),
+		}
+	}
+	return entry
+}
+
 // BuildReport runs every registered experiment and collects the results.
 func BuildReport() Report {
 	rep := Report{Schema: ReportSchema}
 	for _, e := range All() {
 		r := e.Run()
-		entry := ReportEntry{
-			ID: r.ID, Name: e.Name, Claim: r.Claim, Pass: r.Pass, Notes: r.Notes,
-		}
-		if r.Table != nil {
-			entry.Table = TableJSON{
-				Title:   r.Table.Title(),
-				Headers: r.Table.Headers(),
-				Rows:    r.Table.RowStrings(),
-				Notes:   r.Table.Notes(),
-			}
-		}
-		rep.Experiments = append(rep.Experiments, entry)
+		rep.Experiments = append(rep.Experiments, EntryFor(r, e.Name))
 		if r.Pass {
 			rep.Passed++
 		} else {
@@ -100,6 +109,26 @@ func (r Report) Validate() error {
 		} else {
 			failed++
 		}
+		names := make(map[string]bool, len(e.Metrics))
+		for _, m := range e.Metrics {
+			if m.Name == "" {
+				return fmt.Errorf("experiments: %s has a metric with no name", e.ID)
+			}
+			if names[m.Name] {
+				return fmt.Errorf("experiments: %s has duplicate metric %q", e.ID, m.Name)
+			}
+			names[m.Name] = true
+			if m.Better != "higher" && m.Better != "lower" {
+				return fmt.Errorf("experiments: %s metric %q has direction %q, want higher or lower",
+					e.ID, m.Name, m.Better)
+			}
+			if m.RelTol < 0 {
+				return fmt.Errorf("experiments: %s metric %q has negative tolerance %g", e.ID, m.Name, m.RelTol)
+			}
+			if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+				return fmt.Errorf("experiments: %s metric %q has non-finite value", e.ID, m.Name)
+			}
+		}
 	}
 	for _, e := range All() {
 		if !seen[e.ID] {
@@ -118,6 +147,56 @@ func (r Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// MetricComparison is one metric's baseline-versus-current outcome.
+type MetricComparison struct {
+	Experiment string
+	Metric     Metric  // the current run's definition (direction, tolerance)
+	Baseline   float64 // value in the baseline report
+	Current    float64 // value in the current report
+	Regressed  bool
+}
+
+// CompareToBaseline checks the current report's metrics against a
+// committed baseline: every metric present in both reports for the same
+// experiment is compared, and gating metrics (RelTol > 0 in the current
+// run, whose code defines the contract) regress when they move in the
+// worse direction by more than the tolerance. Metrics only one side has
+// are skipped — new experiments and renamed metrics update the baseline,
+// they do not fail it — and improvements of any size never regress, so
+// the gate is a one-sided tolerance band, a trajectory check rather
+// than a reproducibility check. Returns every shared metric's outcome
+// for reporting; the caller fails on any Regressed entry.
+func (r Report) CompareToBaseline(baseline Report) []MetricComparison {
+	base := make(map[string]map[string]Metric)
+	for _, e := range baseline.Experiments {
+		if len(e.Metrics) == 0 {
+			continue
+		}
+		m := make(map[string]Metric, len(e.Metrics))
+		for _, mt := range e.Metrics {
+			m[mt.Name] = mt
+		}
+		base[e.ID] = m
+	}
+	var out []MetricComparison
+	for _, e := range r.Experiments {
+		for _, mt := range e.Metrics {
+			old, ok := base[e.ID][mt.Name]
+			if !ok {
+				continue
+			}
+			out = append(out, MetricComparison{
+				Experiment: e.ID,
+				Metric:     mt,
+				Baseline:   old.Value,
+				Current:    mt.Value,
+				Regressed:  mt.Regressed(old.Value, mt.Value),
+			})
+		}
+	}
+	return out
 }
 
 // ReadReport parses a report previously written with WriteJSON. It does

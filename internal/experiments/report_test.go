@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,22 @@ func TestValidateRejectsBrokenReports(t *testing.T) {
 			r.Experiments[0].Table.Rows = [][]string{{"1", "2"}}
 		}, "cells"},
 		{"bad totals", func(r *Report) { r.Passed++ }, "totals"},
+		{"nameless metric", func(r *Report) {
+			r.Experiments[0].Metrics = []Metric{{Value: 1, Unit: "x", Better: "higher"}}
+		}, "no name"},
+		{"duplicate metric", func(r *Report) {
+			m := Metric{Name: "m", Value: 1, Unit: "x", Better: "higher"}
+			r.Experiments[0].Metrics = []Metric{m, m}
+		}, "duplicate metric"},
+		{"bad direction", func(r *Report) {
+			r.Experiments[0].Metrics = []Metric{{Name: "m", Value: 1, Unit: "x", Better: "sideways"}}
+		}, "direction"},
+		{"negative tolerance", func(r *Report) {
+			r.Experiments[0].Metrics = []Metric{{Name: "m", Value: 1, Unit: "x", Better: "lower", RelTol: -0.1}}
+		}, "tolerance"},
+		{"non-finite metric", func(r *Report) {
+			r.Experiments[0].Metrics = []Metric{{Name: "m", Value: math.Inf(1), Unit: "x", Better: "higher"}}
+		}, "non-finite"},
 	}
 	for _, c := range cases {
 		r := base()
@@ -80,6 +97,92 @@ func TestValidateRejectsBrokenReports(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMetricRegressed(t *testing.T) {
+	hi := Metric{Name: "m", Better: "higher", RelTol: 0.2}
+	lo := Metric{Name: "m", Better: "lower", RelTol: 0.2}
+	info := Metric{Name: "m", Better: "higher"} // RelTol 0
+	cases := []struct {
+		name      string
+		m         Metric
+		base, cur float64
+		want      bool
+	}{
+		{"higher: within band", hi, 10, 8.5, false},
+		{"higher: at band edge", hi, 10, 8, false},
+		{"higher: past band", hi, 10, 7.9, true},
+		{"higher: improvement", hi, 10, 100, false},
+		{"lower: within band", lo, 10, 11.5, false},
+		{"lower: past band", lo, 10, 12.1, true},
+		{"lower: improvement", lo, 10, 1, false},
+		{"informational never regresses", info, 10, 0.1, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Regressed(c.base, c.cur); got != c.want {
+			t.Errorf("%s: Regressed(%g, %g) = %v, want %v", c.name, c.base, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestCompareToBaseline(t *testing.T) {
+	mk := func(speedup, rate float64) Report {
+		return Report{Schema: ReportSchema, Experiments: []ReportEntry{{
+			ID: "E20",
+			Metrics: []Metric{
+				{Name: "speedup", Value: speedup, Unit: "ratio", Better: "higher", RelTol: 0.35},
+				{Name: "rate", Value: rate, Unit: "moves/sec", Better: "higher"},
+			},
+		}}}
+	}
+	base := mk(12, 60000)
+
+	// Within tolerance and informational drop: nothing regresses.
+	cmps := mk(10, 100).CompareToBaseline(base)
+	if len(cmps) != 2 {
+		t.Fatalf("%d comparisons, want 2", len(cmps))
+	}
+	for _, c := range cmps {
+		if c.Regressed {
+			t.Errorf("%s %s flagged: baseline %g, current %g, tol %g",
+				c.Experiment, c.Metric.Name, c.Baseline, c.Current, c.Metric.RelTol)
+		}
+	}
+
+	// The gated ratio past its band must regress.
+	cmps = mk(5, 60000).CompareToBaseline(base)
+	found := false
+	for _, c := range cmps {
+		if c.Metric.Name == "speedup" && c.Regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("gated speedup 12 -> 5 not flagged as a regression")
+	}
+
+	// Metrics missing from the baseline are skipped, not failed.
+	extra := mk(12, 60000)
+	extra.Experiments[0].Metrics = append(extra.Experiments[0].Metrics,
+		Metric{Name: "brand_new", Value: 1, Unit: "x", Better: "higher", RelTol: 0.5})
+	cmps = extra.CompareToBaseline(base)
+	if len(cmps) != 2 {
+		t.Fatalf("new metric not skipped: %d comparisons, want 2", len(cmps))
+	}
+}
+
+// TestE20TrajectoriesIdentical pins the half of E20's claim that must
+// hold on every host: delta-on and delta-off searches end bit-identical.
+// (The speedup half is wall-clock and asserted by E20 itself.)
+func TestE20TrajectoriesIdentical(t *testing.T) {
+	r := E20()
+	for _, row := range r.Table.RowStrings() {
+		for _, cell := range row {
+			if strings.Contains(cell, "MISMATCH") {
+				t.Fatalf("delta and full trajectories diverged:\n%v", row)
+			}
 		}
 	}
 }

@@ -170,44 +170,62 @@ func Evaluate(g *Graph, sched Schedule, tgt Target, opts EvalOptions) (Cost, err
 		}
 	}
 
-	// Wire energy: one transfer per distinct (producer, destination place).
-	type flow struct {
-		producer NodeID
-		dst      geom.Point
-	}
-	seen := make(map[flow]struct{})
-	for n := 0; n < g.NumNodes(); n++ {
-		id := NodeID(n)
-		if g.IsInput(id) {
+	// Wire energy: one transfer per distinct (producer, destination place),
+	// accumulated producer-major in the canonical order of flows.go — a
+	// per-producer partial summed in consumer first-appearance order, the
+	// partials added in producer-ID order. DeltaEvaluator recomputes only
+	// the partials a move touches and re-adds them in the same order, so
+	// its totals stay bit-identical to this loop.
+	cons, consOff := consumerLists(g)
+	placeOf := func(n NodeID) geom.Point { return sched[n].Place }
+	dsts := make([]geom.Point, 0, maxFanout(consOff))
+	for p := 0; p < g.NumNodes(); p++ {
+		clist := cons[consOff[p]:consOff[p+1]]
+		if len(clist) == 0 {
 			continue
 		}
-		dst := sched[id].Place
-		for _, p := range g.Deps(id) {
-			hops := sched[p].Place.Manhattan(dst)
-			if hops == 0 {
-				continue
-			}
-			f := flow{p, dst}
-			if _, dup := seen[f]; dup {
-				continue
-			}
-			seen[f] = struct{}{}
-			bits := g.Bits(p)
-			e := tgt.WireEnergy(bits, hops)
-			c.WireEnergy += e
-			c.BitHops += int64(bits) * int64(hops)
-			c.Messages++
-			depart := finishTime(g, sched, tgt, p)
-			arrive := depart + tgt.TransitCycles(hops)
-			if arrive > makespan {
+		w, bh, msgs, maxT := producerFlows(g, tgt, NodeID(p), clist, placeOf, dsts[:0])
+		c.WireEnergy += w
+		c.BitHops += bh
+		c.Messages += msgs
+		if maxT > 0 {
+			if arrive := finishTime(g, sched, tgt, NodeID(p)) + maxT; arrive > makespan {
 				makespan = arrive
 			}
-			if opts.Trace.Enabled() {
+		}
+	}
+	if opts.Trace.Enabled() {
+		// Trace events keep the historical (consumer, dependency) emission
+		// order so space-time diagrams render unchanged; the cost totals
+		// above come from the canonical producer-major accumulation.
+		type flow struct {
+			producer NodeID
+			dst      geom.Point
+		}
+		seen := make(map[flow]struct{})
+		for n := 0; n < g.NumNodes(); n++ {
+			id := NodeID(n)
+			if g.IsInput(id) {
+				continue
+			}
+			dst := sched[id].Place
+			for _, p := range g.Deps(id) {
+				hops := sched[p].Place.Manhattan(dst)
+				if hops == 0 {
+					continue
+				}
+				f := flow{p, dst}
+				if _, dup := seen[f]; dup {
+					continue
+				}
+				seen[f] = struct{}{}
+				bits := g.Bits(p)
+				depart := finishTime(g, sched, tgt, p)
 				opts.Trace.Add(trace.Event{
 					Kind:  trace.KindWire,
 					Start: float64(depart) * tgt.CyclePS,
-					End:   float64(arrive) * tgt.CyclePS,
-					Place: sched[p].Place, Dst: dst, Energy: e, Bits: bits,
+					End:   float64(depart+tgt.TransitCycles(hops)) * tgt.CyclePS,
+					Place: sched[p].Place, Dst: dst, Energy: tgt.WireEnergy(bits, hops), Bits: bits,
 				})
 			}
 		}

@@ -1,0 +1,95 @@
+package fm
+
+import "repro/internal/geom"
+
+// Canonical per-producer flow pricing, shared by Evaluate and
+// DeltaEvaluator. Wire cost is charged once per distinct
+// (producer, destination place) pair; the float accumulation order is
+// part of the contract: flows of one producer are summed into a partial
+// in consumer-ID first-appearance order, and partials are added in
+// producer-ID order. Because both evaluators run the SAME loop below,
+// a delta evaluator that recomputes only the partials of producers
+// touched by a move rebuilds a bit-identical total — the property the
+// differential harness in internal/fm/deltacheck pins.
+
+// consumerLists returns the flattened reverse adjacency of g: node p's
+// consumers (the non-input nodes depending on p, in ascending ID order,
+// with multiplicity for repeated dependencies) are cons[off[p]:off[p+1]].
+func consumerLists(g *Graph) (cons []NodeID, off []int32) {
+	n := g.NumNodes()
+	off = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if g.IsInput(id) {
+			continue
+		}
+		for _, p := range g.Deps(id) {
+			off[p+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	cons = make([]NodeID, off[n])
+	fill := make([]int32, n)
+	copy(fill, off[:n])
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if g.IsInput(id) {
+			continue
+		}
+		for _, p := range g.Deps(id) {
+			cons[fill[p]] = id
+			fill[p]++
+		}
+	}
+	return cons, off
+}
+
+// maxFanout returns the largest consumer-list length in off, the scratch
+// capacity producerFlows needs for destination dedup.
+func maxFanout(off []int32) int {
+	m := 0
+	for i := 0; i+1 < len(off); i++ {
+		if f := int(off[i+1] - off[i]); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// producerFlows prices producer p's distinct outgoing transfers under the
+// placement placeOf: the wire-energy partial (summed in consumer-ID
+// first-appearance order), total bit-hops, distinct message count, and
+// the largest transit latency among charged flows (0 when every consumer
+// is co-located). clist is p's consumer list; dsts is caller-owned
+// dedup scratch with length 0 and capacity >= len(clist).
+func producerFlows(g *Graph, tgt Target, p NodeID, clist []NodeID, placeOf func(NodeID) geom.Point, dsts []geom.Point) (wire float64, bitHops, msgs, maxTransit int64) {
+	src := placeOf(p)
+	bits := g.Bits(p)
+	for _, n := range clist {
+		dst := placeOf(n)
+		hops := src.Manhattan(dst)
+		if hops == 0 {
+			continue
+		}
+		dup := false
+		for _, d := range dsts {
+			if d == dst {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		dsts = append(dsts, dst)
+		wire += tgt.WireEnergy(bits, hops)
+		bitHops += int64(bits) * int64(hops)
+		msgs++
+		if t := tgt.TransitCycles(hops); t > maxTransit {
+			maxTransit = t
+		}
+	}
+	return wire, bitHops, msgs, maxTransit
+}

@@ -104,6 +104,31 @@ func (c *EvalCache) Eval(g *fm.Graph, gfp uint64, sched fm.Schedule, tgt fm.Targ
 	return cost
 }
 
+// Put memoizes an externally computed cost for the mapping identified
+// by the graph fingerprint gfp, schedule fingerprint sfp, and target.
+// The cost MUST be bit-identical to what Evaluate would return for that
+// mapping — the delta evaluator's contract — so hits stay
+// indistinguishable from evaluations. The annealer's delta path uses it
+// to publish each new best, giving other chains and sweeps sharing the
+// cache a hit for the mappings most likely to be re-proposed. The same
+// capacity bound as Eval applies.
+func (c *EvalCache) Put(gfp, sfp uint64, tgt fm.Target, cost fm.Cost) {
+	k := evalKey{graph: gfp, sched: sfp, tgt: tgt}
+	sh := &c.shards[k.sched%evalCacheShards]
+	sh.mu.Lock()
+	if c.maxPerShard > 0 && len(sh.m) >= c.maxPerShard {
+		if _, resident := sh.m[k]; !resident {
+			for victim := range sh.m {
+				delete(sh.m, victim)
+				c.evictions.Add(1)
+				break
+			}
+		}
+	}
+	sh.m[k] = cost
+	sh.mu.Unlock()
+}
+
 // Lookup probes the cache for an already-priced mapping without
 // evaluating on a miss. gfp and sfp are the graph and schedule
 // fingerprints. A successful probe counts as a hit; a failed one counts

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"testing"
@@ -93,6 +95,107 @@ func TestAnnealDeterministicAcrossWorkers(t *testing.T) {
 						seed, size, workers)
 				}
 			}
+		}
+	}
+}
+
+func TestAnnealDeltaMatrixBitIdentical(t *testing.T) {
+	// The 4-way equivalence matrix: {Workers 1, 8} x {delta on, off} must
+	// all produce byte-identical schedules and costs. Delta evaluation
+	// prices candidate moves incrementally but bit-equal to the full
+	// evaluator, so the Metropolis decisions — and the whole trajectory —
+	// cannot depend on the toggle; workers never change answers by the
+	// package's standing guarantee. Any drift in the delta evaluator that
+	// escaped the differential harness would surface here as a cost or
+	// schedule mismatch.
+	tgt := fm.DefaultTarget(4, 2)
+	for _, seed := range []int64{1, 7, 42} {
+		for _, size := range []int{30, 60} {
+			g := randomGraph(seed, size)
+			base := AnnealOptions{Iters: 400, Seed: seed, Chains: 4, ExchangeEvery: 100}
+
+			type cell struct {
+				workers int
+				disable bool
+			}
+			cells := []cell{{1, false}, {8, false}, {1, true}, {8, true}}
+			var refSched fm.Schedule
+			var refCost fm.Cost
+			for i, c := range cells {
+				opts := base
+				opts.Workers = c.workers
+				opts.DisableDelta = c.disable
+				sched, cost := Anneal(g, tgt, opts)
+				if i == 0 {
+					refSched, refCost = sched, cost
+					continue
+				}
+				if cost != refCost {
+					t.Fatalf("seed=%d size=%d workers=%d delta=%v: cost %+v, want %+v",
+						seed, size, c.workers, !c.disable, cost, refCost)
+				}
+				if !reflect.DeepEqual(sched, refSched) {
+					t.Fatalf("seed=%d size=%d workers=%d delta=%v: schedules differ at equal cost",
+						seed, size, c.workers, !c.disable)
+				}
+			}
+		}
+	}
+}
+
+func TestAnnealDeltaCrossEngineResume(t *testing.T) {
+	// Checkpoints store schedules and RNG draw counts, not evaluator
+	// state, so a mid-run snapshot taken by one engine must restore into
+	// the other with a bit-identical final answer: run delta-on to a
+	// mid-run barrier, resume delta-off (and vice versa), compare against
+	// the uninterrupted run.
+	tgt := fm.DefaultTarget(4, 1)
+	g := randomGraph(17, 40)
+	base := AnnealOptions{Iters: 300, Seed: 17, Chains: 2, ExchangeEvery: 100, Workers: 1}
+	wantSched, wantCost := Anneal(g, tgt, base)
+
+	for _, firstDelta := range []bool{true, false} {
+		dir := t.TempDir()
+		cpPath := filepath.Join(dir, "anneal.ckpt")
+		midPath := filepath.Join(dir, "mid.ckpt")
+		opts := base
+		opts.CheckpointPath = cpPath
+		opts.DisableDelta = !firstDelta
+
+		captured := false
+		testBarrierHook = func(done int) {
+			if !captured && done > 0 && done < opts.Iters {
+				data, err := os.ReadFile(cpPath)
+				if err != nil {
+					t.Errorf("barrier hook: %v", err)
+					return
+				}
+				if err := os.WriteFile(midPath, data, 0o644); err != nil {
+					t.Errorf("barrier hook: %v", err)
+					return
+				}
+				captured = true
+			}
+		}
+		if _, _, err := AnnealResumable(g, tgt, opts); err != nil {
+			testBarrierHook = nil
+			t.Fatal(err)
+		}
+		testBarrierHook = nil
+		if !captured {
+			t.Fatal("no mid-run checkpoint captured")
+		}
+
+		opts.CheckpointPath = midPath
+		opts.Resume = true
+		opts.DisableDelta = firstDelta // resume on the other engine
+		sched, cost, err := AnnealResumable(g, tgt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != wantCost || !reflect.DeepEqual(sched, wantSched) {
+			t.Fatalf("cross-engine resume (checkpointed with delta=%v) diverged: %+v vs %+v",
+				firstDelta, cost, wantCost)
 		}
 	}
 }

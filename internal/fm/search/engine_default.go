@@ -1,0 +1,14 @@
+//go:build !deltacheck
+
+package search
+
+import "repro/internal/fm"
+
+// newMover returns the incremental move-pricing engine for the anneal
+// hot path: the plain fm.DeltaEvaluator. Building with -tags deltacheck
+// swaps in the differential checker instead, which replays every move
+// against the full evaluator — running any search test under that tag
+// turns it into a delta-vs-full equivalence test.
+func newMover(g *fm.Graph, tgt fm.Target) (mover, error) {
+	return fm.NewDeltaEvaluator(g, tgt)
+}

@@ -1,0 +1,18 @@
+//go:build deltacheck
+
+package search
+
+import (
+	"repro/internal/fm"
+	"repro/internal/fm/deltacheck"
+)
+
+// newMover returns the differential-checking engine: every move priced
+// on the hot path is replayed against ASAPSchedule + fm.Evaluate, and
+// any bit-level divergence panics with a field-by-field diff. This
+// build is for the CI differential job (go test -tags deltacheck),
+// where the whole determinism and property suite doubles as a
+// delta-vs-full equivalence harness; it is far too slow for real runs.
+func newMover(g *fm.Graph, tgt fm.Target) (mover, error) {
+	return deltacheck.New(g, tgt)
+}

@@ -171,7 +171,10 @@ func TestBoundedEvalCacheEvicts(t *testing.T) {
 	tgt := fm.DefaultTarget(4, 1)
 	tgt.MemWordsPerNode = 1 << 20
 	cache := NewBoundedEvalCache(evalCacheShards) // one entry per shard
-	opts := AnnealOptions{Iters: 300, Seed: 23, Chains: 2, ExchangeEvery: 100, Cache: cache}
+	// Full evaluation per move (DisableDelta) is the path that churns the
+	// cache hard enough to force evictions; the delta path touches it only
+	// at init and on new bests.
+	opts := AnnealOptions{Iters: 300, Seed: 23, Chains: 2, ExchangeEvery: 100, Cache: cache, DisableDelta: true}
 	_, bounded := Anneal(g, tgt, opts)
 
 	opts.Cache = NewEvalCache()

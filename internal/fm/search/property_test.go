@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/fm"
+	"repro/internal/geom"
 )
 
 // Search invariants, checked over seeded families of inputs rather than
@@ -44,6 +45,75 @@ func TestAnnealResultLegalAcrossSeedsAndChains(t *testing.T) {
 			if got := mustEval(g, sched, tgt); got != cost {
 				t.Fatalf("seed=%d chains=%d: reported cost %v, re-evaluated %v", seed, chains, got, cost)
 			}
+		}
+	}
+}
+
+func TestEvalCacheDeltaAgreement(t *testing.T) {
+	// The delta evaluator's cache contract: costs it publishes (Put) and
+	// costs the cache computes itself (Eval → full Evaluate) must be
+	// bit-identical for the same (graph, schedule, target) fingerprints,
+	// so a cache populated by either source serves the other and no
+	// caller can tell which path priced an entry. Checked over a random
+	// accepted-move walk: every committed mapping is priced three ways —
+	// delta, cache miss (full eval), cache hit — and all must agree.
+	tgt := fm.DefaultTarget(4, 2)
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 50)
+		gfp := g.Fingerprint()
+		d, err := fm.NewDeltaEvaluator(g, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := fm.ListSchedule(g, tgt)
+		place := make([]geom.Point, g.NumNodes())
+		for n := range place {
+			place[n] = init[n].Place
+		}
+		if _, err := d.Reset(ASAP(g, place, tgt)); err != nil {
+			t.Fatal(err)
+		}
+		evalSide := NewEvalCache() // populated by full evaluation
+		putSide := NewEvalCache()  // populated by delta-derived Put
+		rng := rand.New(rand.NewSource(seed))
+		accepted := 0
+		var sched fm.Schedule
+		for move := 0; move < 120; move++ {
+			n := rng.Intn(g.NumNodes())
+			to := tgt.Grid.At(rng.Intn(tgt.Grid.Nodes()))
+			cand := d.Propose(fm.NodeID(n), to)
+			if rng.Intn(2) == 0 {
+				continue // rejected proposals publish nothing
+			}
+			d.Commit()
+			accepted++
+			sched = d.Snapshot(sched)
+			sfp := sched.Fingerprint()
+
+			// Miss path: the cache prices the mapping through the full
+			// evaluator and must agree with the delta cost bit for bit.
+			if got := evalSide.Eval(g, gfp, sched, tgt); got != cand {
+				t.Fatalf("seed=%d move=%d: cache full eval %+v != delta cost %+v", seed, move, got, cand)
+			}
+			// Hit path: the probe must find that entry and agree.
+			if got, ok := evalSide.Lookup(gfp, sfp, tgt); !ok || got != cand {
+				t.Fatalf("seed=%d move=%d: lookup after eval: hit=%v cost=%+v", seed, move, ok, got)
+			}
+			// Put path: publishing the delta cost must be
+			// indistinguishable from having evaluated — a later Eval of
+			// the same mapping hits and returns the same bits the full
+			// evaluator would.
+			putSide.Put(gfp, sfp, tgt, cand)
+			hitsBefore, _ := putSide.Stats()
+			if got := putSide.Eval(g, gfp, sched, tgt); got != cand {
+				t.Fatalf("seed=%d move=%d: Eval after Put returned %+v, want %+v", seed, move, got, cand)
+			}
+			if hitsAfter, _ := putSide.Stats(); hitsAfter != hitsBefore+1 {
+				t.Fatalf("seed=%d move=%d: Eval after Put re-evaluated instead of hitting", seed, move)
+			}
+		}
+		if accepted == 0 {
+			t.Fatalf("seed=%d: walk accepted no moves", seed)
 		}
 	}
 }

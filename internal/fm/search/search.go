@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/fm"
@@ -184,6 +185,27 @@ type AnnealOptions struct {
 	// temperature) refreshed at every barrier, plus the EvalCache's
 	// "search.evalcache.*" gauges.
 	Obs *obs.Registry
+	// DisableDelta switches move pricing back to the full evaluator
+	// through the EvalCache instead of the incremental fm.DeltaEvaluator.
+	// The zero value — delta evaluation ON — is the fast path; results
+	// are bit-identical either way (the delta evaluator's contract,
+	// pinned by internal/fm/deltacheck and the determinism matrix), so
+	// the toggle exists as an escape hatch and for equivalence tests.
+	DisableDelta bool
+}
+
+// mover is the incremental move-pricing engine an annealing chain drives:
+// Reset prices a schedule in full and makes it current, Propose prices
+// one relocation without committing (rejections need no cleanup), Commit
+// adopts the last proposal, Snapshot copies out the committed schedule.
+// Costs are bit-identical to pricing the re-timed schedule with
+// fm.Evaluate. newMover (build-tag selected) supplies the production
+// fm.DeltaEvaluator or the differential deltacheck.Checker.
+type mover interface {
+	Reset(fm.Schedule) (fm.Cost, error)
+	Propose(fm.NodeID, geom.Point) fm.Cost
+	Commit()
+	Snapshot(fm.Schedule) fm.Schedule
 }
 
 func (o AnnealOptions) withDefaults() AnnealOptions {
@@ -251,6 +273,12 @@ type chain struct {
 	bestCost fm.Cost
 	temp     float64
 	cool     float64
+	// eng, when non-nil, prices moves incrementally (the default); nil
+	// falls back to full evaluation through the cache. curBuf is the
+	// preallocated snapshot buffer cur is materialized into at segment
+	// ends, so the steady-state loop never allocates.
+	eng    mover
+	curBuf fm.Schedule
 	// evals/accepts/rejects are chain-private counters, summed only at
 	// barriers (when no chain is running), so progress reporting adds no
 	// synchronization to the hot loop.
@@ -260,6 +288,17 @@ type chain struct {
 // run advances the chain by iters proposals: relocate one node to a
 // random grid point, repair times by ASAP, accept by the Metropolis rule.
 func (ch *chain) run(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cache *EvalCache, iters int) {
+	if ch.eng != nil {
+		for it := 0; it < iters; it++ {
+			ch.step(g, gfp, tgt, obj, cache)
+		}
+		// Materialize the committed schedule once per segment, into the
+		// chain-owned buffer: barriers (checkpointing, exchange) read
+		// ch.cur, the move loop does not.
+		ch.cur = ch.eng.Snapshot(ch.curBuf)
+		ch.curBuf = ch.cur
+		return
+	}
 	for it := 0; it < iters; it++ {
 		n := ch.rng.Intn(g.NumNodes())
 		old := ch.place[n]
@@ -280,6 +319,38 @@ func (ch *chain) run(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cach
 		}
 		ch.temp *= ch.cool
 	}
+}
+
+// step is one delta-evaluated anneal move: propose a relocation, price
+// it incrementally (bit-identical to the full evaluator, so the
+// Metropolis decisions — and therefore the RNG stream and the whole
+// trajectory — match the classic path exactly), commit on acceptance.
+// The steady-state path allocates nothing; a new global best snapshots
+// into a fresh schedule (improvements are rare and the buffer must
+// outlive cross-chain adoption) and is published to the shared cache so
+// other chains and sweeps get hits for it.
+func (ch *chain) step(g *fm.Graph, gfp uint64, tgt fm.Target, obj Objective, cache *EvalCache) {
+	n := ch.rng.Intn(g.NumNodes())
+	to := tgt.Grid.At(ch.rng.Intn(tgt.Grid.Nodes()))
+	candCost := ch.eng.Propose(fm.NodeID(n), to)
+	ch.evals++
+	delta := obj.Value(candCost) - obj.Value(ch.curCost)
+	if delta <= 0 || ch.rng.Float64() < math.Exp(-delta/math.Max(ch.temp, 1e-12)) {
+		ch.accepts++
+		ch.eng.Commit()
+		ch.place[n] = to
+		ch.curCost = candCost
+		if obj.Value(candCost) < obj.Value(ch.bestCost) {
+			ch.best = ch.eng.Snapshot(make(fm.Schedule, g.NumNodes()))
+			ch.bestCost = candCost
+			if cache != nil {
+				cache.Put(gfp, ch.best.Fingerprint(), tgt, candCost)
+			}
+		}
+	} else {
+		ch.rejects++
+	}
+	ch.temp *= ch.cool
 }
 
 // Anneal searches placements of g on tgt by simulated annealing, starting
@@ -355,9 +426,22 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 			place: place,
 			cool:  math.Pow(1e-3, 1/float64(opts.Iters)), // decay to 0.1% of initial
 		}
+		if !opts.DisableDelta {
+			eng, err := newMover(g, tgt)
+			if err != nil {
+				return nil, fm.Cost{}, err
+			}
+			ch.eng = eng
+			ch.curBuf = make(fm.Schedule, g.NumNodes())
+		}
 		ch.cur = ASAP(g, place, tgt)
 		ch.curCost = cache.Eval(g, gfp, ch.cur, tgt)
 		ch.evals++
+		if ch.eng != nil {
+			if _, err := ch.eng.Reset(ch.cur); err != nil {
+				return nil, fm.Cost{}, err
+			}
+		}
 		ch.best, ch.bestCost = ch.cur, ch.curCost
 		ch.temp = opts.InitTemp * math.Max(opts.Objective.Value(ch.curCost), 1)
 		chains[i] = ch
@@ -380,6 +464,11 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 			ch.curCost = cache.Eval(g, gfp, ch.cur, tgt)
 			ch.bestCost = cache.Eval(g, gfp, ch.best, tgt)
 			ch.evals += 2
+			if ch.eng != nil {
+				if _, err := ch.eng.Reset(ch.cur); err != nil {
+					return nil, fm.Cost{}, err
+				}
+			}
 			// Replay the cooling multiplications rather than computing
 			// cool^done: repeated float multiplication is what the
 			// uninterrupted run performs, and resume must match it bit
@@ -519,6 +608,14 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 					ch.cur, ch.curCost = bs, bc
 					for n := range ch.place {
 						ch.place[n] = bs[n].Place
+					}
+					if ch.eng != nil {
+						// Re-anchor the incremental engine on the adopted
+						// mapping; Reset re-prices bs to exactly bc (the
+						// delta evaluator's bit-exactness contract).
+						if _, err := ch.eng.Reset(bs); err != nil {
+							return nil, fm.Cost{}, err
+						}
 					}
 				}
 			}
@@ -661,6 +758,31 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 	if opts.Cache != nil {
 		gfp = g.Fingerprint()
 	}
+	// The cache-less path prices candidates through pooled incremental
+	// evaluators: Reset prices a full schedule bit-identically to
+	// Evaluate but reuses each evaluator's arenas, so a sweep stops
+	// allocating event maps and scratch per candidate. The pool hands an
+	// evaluator to whichever worker asks; results are unaffected because
+	// Reset is deterministic and evaluator instances are stateless
+	// between Resets.
+	var movers sync.Pool
+	movers.New = func() any {
+		m, err := newMover(g, tgt)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	priceFull := func(sched fm.Schedule) fm.Cost {
+		if m, ok := movers.Get().(mover); ok && m != nil {
+			if c, err := m.Reset(sched); err == nil {
+				movers.Put(m)
+				return c
+			}
+			movers.Put(m)
+		}
+		return mustEval(g, sched, tgt)
+	}
 	// Each tuple owns slot i of results; slots are disjoint, so the fan-
 	// out is race-free, and compacting in index order reproduces the
 	// serial append order exactly.
@@ -681,7 +803,7 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 			if opts.Cache != nil {
 				cost = opts.Cache.Eval(g, gfp, sched, tgt)
 			} else {
-				cost = mustEval(g, sched, tgt)
+				cost = priceFull(sched)
 			}
 			results[i] = &Candidate{
 				Name:  fmt.Sprintf("place=(%d*i+%d*j)%%%d time=%d*i+%d*j", tp.a1, tp.a2, opts.P, tp.t1, tp.t2),
@@ -732,7 +854,7 @@ func Exhaustive2D(g *fm.Graph, dom *fm.Domain, tgt fm.Target, opts Affine2DOptio
 		opts.Cache.PublishObs(r)
 	}
 	serial := fm.SerialSchedule(g, tgt, geom.Pt(0, 0))
-	out = append(out, Candidate{Name: "serial", Sched: serial, Cost: mustEval(g, serial, tgt)})
+	out = append(out, Candidate{Name: "serial", Sched: serial, Cost: priceFull(serial)})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Cost.Cycles != out[j].Cost.Cycles {
 			return out[i].Cost.Cycles < out[j].Cost.Cycles

@@ -74,7 +74,7 @@ func TestFacadePool(t *testing.T) {
 // TestFacadeExperiments lists the reproduction suite.
 func TestFacadeExperiments(t *testing.T) {
 	es := Experiments()
-	if len(es) != 19 {
+	if len(es) != 20 {
 		t.Fatalf("%d experiments", len(es))
 	}
 	r := es[0].Run()
