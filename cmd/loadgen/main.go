@@ -19,15 +19,28 @@
 // are 429 with Retry-After. Two runs with the same flags print identical
 // counts lines — the drill is a determinism test of backpressure itself.
 //
+// Restart drill (-restart): requires -mapd (path to the mapd binary).
+// Loadgen owns the server lifecycle: it starts mapd with -store-dir,
+// prices -requests distinct mappings (phase one: all 200, zero 5xx),
+// kills the process with SIGKILL — no drain, no flush beyond what the
+// store already fsynced — restarts it over the same store directory,
+// and replays the identical request sequence. The drill then asserts
+// EXACT warmth: every phase-two answer is byte-identical to phase one,
+// serve.store.hits equals the request count, and the restarted eval
+// cache recorded zero misses — the store, not re-evaluation, answered
+// everything.
+//
 // The final stdout line of either mode is machine-parseable:
 //
 //	loadgen: requests=200 ok=187 degraded=9 rejected=4 err5xx=0 cache_hits=122
 //	loadgen overload: ok=8 degraded=4 rejected=12
+//	loadgen restart: requests=24 ok=48 err5xx=0 store_hits=24 store_records=24 evalcache_misses=0
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 -requests 200 -seed 1
 //	loadgen -addr http://127.0.0.1:8080 -overload -burst 16 -cached 4
+//	loadgen -restart -mapd ./mapd -store-dir /tmp/atlas -listen 127.0.0.1:18080 -requests 24
 package main
 
 import (
@@ -39,8 +52,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -53,17 +68,28 @@ func main() {
 	overload := flag.Bool("overload", false, "run the deterministic overload drill instead of steady-state load")
 	burst := flag.Int("burst", 16, "overload drill: uncached requests in the burst")
 	cached := flag.Int("cached", 4, "overload drill: cache-warmed requests in the burst")
+	restart := flag.Bool("restart", false, "run the kill-and-restart warmth drill (spawns mapd itself; needs -mapd)")
+	mapdBin := flag.String("mapd", "", "restart drill: path to the mapd binary")
+	storeDir := flag.String("store-dir", "", "restart drill: mapping store directory (empty = a fresh temp dir)")
+	listen := flag.String("listen", "127.0.0.1:18080", "restart drill: address the spawned mapd listens on")
 	report := flag.String("report", "", "write the run report as JSON to this path")
 	flag.Parse()
 
-	c := &client{base: *addr, http: &http.Client{Timeout: *timeout}}
+	base := *addr
+	if *restart {
+		base = "http://" + *listen
+	}
+	c := &client{base: base, http: &http.Client{Timeout: *timeout}}
 	var (
 		rep *runReport
 		err error
 	)
-	if *overload {
+	switch {
+	case *restart:
+		rep, err = runRestart(c, *mapdBin, *storeDir, *listen, *requests, *seed)
+	case *overload:
 		rep, err = runOverload(c, *burst, *cached)
-	} else {
+	default:
 		rep, err = runSteady(c, *requests, *seed, *concurrency)
 	}
 	if rep != nil && *report != "" {
@@ -117,6 +143,9 @@ func (c *client) call(method, path, body string, out any) (status int, retryAfte
 type evalResponse struct {
 	GraphFP  string `json:"graph_fp"`
 	Degraded bool   `json:"degraded"`
+	// Costs is kept raw so the restart drill can compare answers across
+	// server lives byte for byte.
+	Costs json.RawMessage `json:"costs"`
 }
 
 type healthz struct {
@@ -142,6 +171,10 @@ type runReport struct {
 	Err5xx    int64  `json:"err_5xx"`
 	Transport int64  `json:"transport_errors"`
 	CacheHits int64  `json:"cache_hits"`
+	// StoreHits and StoreRecords are filled by the restart drill: store
+	// probes that answered, and records recovered into the second life.
+	StoreHits    int64 `json:"store_hits,omitempty"`
+	StoreRecords int64 `json:"store_records,omitempty"`
 }
 
 func writeReport(path string, rep *runReport) error {
@@ -367,6 +400,163 @@ func runOverload(c *client, burst, cachedN int) (*runReport, error) {
 	if rep.OK != wantOK || rep.Degraded != wantDegraded || rep.Rejected != wantRejected {
 		return rep, fmt.Errorf("counts not exact: got ok=%d degraded=%d rejected=%d, want ok=%d degraded=%d rejected=%d",
 			rep.OK, rep.Degraded, rep.Rejected, wantOK, wantDegraded, wantRejected)
+	}
+	return rep, nil
+}
+
+// genRestartBodies builds n distinct eval requests from the seed: one
+// antidiagonal stride each over a fixed recurrence and target, so every
+// request is exactly one (graph, schedule, target) triple. Distinctness
+// is what makes the drill's counts exact — n requests, n store puts in
+// phase one, n store hits in phase two.
+func genRestartBodies(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(900)
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{
+			"recurrence": {"dims": [7, 7], "deps": [[1, 0], [0, 1]]},
+			"target": {"width": 4},
+			"schedules": [{"kind": "antidiagonal", "stride": %d}],
+			"deadline_ms": 60000
+		}`, 100+perm[i])
+	}
+	return bodies
+}
+
+// spawnMapd starts the mapd binary against storeDir and waits for it to
+// answer /healthz. The caller owns the returned process.
+func spawnMapd(c *client, mapdBin, storeDir, listen string) (*exec.Cmd, error) {
+	cmd := exec.Command(mapdBin, "-listen", listen, "-store-dir", storeDir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", mapdBin, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if status, _, err := c.call("GET", "/healthz", "", nil); err == nil && status == 200 {
+			return cmd, nil
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("mapd on %s never became healthy", listen)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// restartPhase issues each body once, sequentially, requiring a clean
+// 200 for every one, and returns the raw costs arrays in request order.
+func restartPhase(c *client, name string, bodies []string) ([]string, error) {
+	costs := make([]string, len(bodies))
+	for i, body := range bodies {
+		var ev evalResponse
+		status, _, err := c.call("POST", "/v1/eval", body, &ev)
+		switch {
+		case err != nil:
+			return nil, fmt.Errorf("%s request %d: %w", name, i, err)
+		case status != 200:
+			return nil, fmt.Errorf("%s request %d: status %d", name, i, status)
+		case ev.Degraded:
+			return nil, fmt.Errorf("%s request %d: unexpectedly degraded", name, i)
+		case len(ev.Costs) == 0:
+			return nil, fmt.Errorf("%s request %d: no costs in answer", name, i)
+		}
+		costs[i] = string(ev.Costs)
+	}
+	return costs, nil
+}
+
+// runRestart is the kill-and-restart warmth drill. It proves the
+// persistent store makes a SIGKILLed server's pricing survive: the
+// second life must answer the identical request sequence byte for byte
+// from disk — exact store-hit counts, zero eval-cache misses, zero 5xx.
+func runRestart(c *client, mapdBin, storeDir, listen string, requests int, seed int64) (*runReport, error) {
+	if mapdBin == "" {
+		return nil, fmt.Errorf("-restart needs -mapd (path to the mapd binary)")
+	}
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "loadgen-atlas-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	bodies := genRestartBodies(seed, requests)
+	rep := &runReport{Mode: "restart", Requests: requests}
+
+	// Phase one: a fresh server prices everything and persists as it goes.
+	first, err := spawnMapd(c, mapdBin, storeDir, listen)
+	if err != nil {
+		return rep, err
+	}
+	phase1, err := restartPhase(c, "phase 1", bodies)
+	if err != nil {
+		_ = first.Process.Kill()
+		_ = first.Wait()
+		return rep, err
+	}
+	var snap1 metricsSnapshot
+	if status, _, err := c.call("GET", "/v1/metrics", "", &snap1); err != nil || status != 200 {
+		_ = first.Process.Kill()
+		_ = first.Wait()
+		return rep, fmt.Errorf("phase 1 metrics scrape: status %d, %v", status, err)
+	}
+	if puts := snap1.Counters["serve.store.puts"]; puts != int64(requests) {
+		_ = first.Process.Kill()
+		_ = first.Wait()
+		return rep, fmt.Errorf("phase 1 persisted %d mappings, want %d", puts, requests)
+	}
+
+	// The crash: SIGKILL, not a drain. Whatever warmth survives is owed
+	// entirely to the store's per-put fsync.
+	if err := first.Process.Kill(); err != nil {
+		return rep, fmt.Errorf("kill mapd: %w", err)
+	}
+	_ = first.Wait()
+	fmt.Fprintln(os.Stderr, "loadgen: mapd killed (SIGKILL); restarting over the same store")
+
+	// Phase two: the restarted server must answer from the recovered atlas.
+	second, err := spawnMapd(c, mapdBin, storeDir, listen)
+	if err != nil {
+		return rep, err
+	}
+	defer func() {
+		_ = second.Process.Signal(syscall.SIGTERM)
+		_ = second.Wait()
+	}()
+	phase2, err := restartPhase(c, "phase 2", bodies)
+	if err != nil {
+		return rep, err
+	}
+	for i := range phase1 {
+		if phase1[i] != phase2[i] {
+			return rep, fmt.Errorf("answer %d changed across restart:\n  before: %s\n  after:  %s", i, phase1[i], phase2[i])
+		}
+	}
+	var snap2 metricsSnapshot
+	if status, _, err := c.call("GET", "/v1/metrics", "", &snap2); err != nil || status != 200 {
+		return rep, fmt.Errorf("phase 2 metrics scrape: status %d, %v", status, err)
+	}
+	rep.OK = int64(2 * requests)
+	rep.StoreHits = snap2.Counters["serve.store.hits"]
+	rep.StoreRecords = int64(snap2.Gauges["store.records"])
+	misses := snap2.Gauges["search.evalcache.misses"]
+
+	fmt.Printf("loadgen restart: requests=%d ok=%d err5xx=0 store_hits=%d store_records=%d evalcache_misses=%g\n",
+		requests, rep.OK, rep.StoreHits, rep.StoreRecords, misses)
+
+	switch {
+	case rep.StoreHits != int64(requests):
+		return rep, fmt.Errorf("restarted server hit the store %d times, want exactly %d", rep.StoreHits, requests)
+	case rep.StoreRecords != int64(requests):
+		return rep, fmt.Errorf("recovered store holds %d records, want %d", rep.StoreRecords, requests)
+	case misses != 0:
+		return rep, fmt.Errorf("restarted server re-priced %g mappings; the store should have answered all of them", misses)
+	case snap2.Counters["serve.store.puts"] != 0:
+		return rep, fmt.Errorf("restarted server re-persisted %d mappings; dedup should make this 0", snap2.Counters["serve.store.puts"])
 	}
 	return rep, nil
 }

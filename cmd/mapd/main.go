@@ -8,14 +8,22 @@
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight and queued work is finished (bounded by -drain), running
 // anneals halt at their next exchange barrier (checkpointing when
-// -checkpoint-dir is set), and the final metrics snapshot is written to
-// -obs-out.
+// -checkpoint-dir is set), the persistent mapping store (when
+// -store-dir is set) is flushed and closed, and the final metrics
+// snapshot is written to -obs-out.
+//
+// With -store-dir, every mapping the server prices is appended to a
+// crash-safe atlas (internal/store) and recovered on the next start, so
+// a restarted mapd answers previously priced work from disk. Recovery
+// truncates torn tails from a kill -9 and quarantines damaged segments;
+// the outcome is logged at startup and visible as store.* metrics.
 //
 // Usage:
 //
 //	mapd -listen :8080
 //	mapd -listen :8080 -queue 128 -eval-workers 4 -searches 2
 //	mapd -listen :8080 -checkpoint-dir /var/lib/mapd -obs-out final.json
+//	mapd -listen :8080 -store-dir /var/lib/mapd/atlas
 //	mapd -listen :8080 -admission-control   # enable POST /v1/admission
 package main
 
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,11 +55,12 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline when the client sends none")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-safe anneal checkpoints (enables resume across restarts)")
+	storeDir := flag.String("store-dir", "", "directory for the persistent mapping atlas (warm answers across restarts)")
 	obsOut := flag.String("obs-out", "", "write the final metrics snapshot as JSON to this path on shutdown")
 	admission := flag.Bool("admission-control", false, "enable POST /v1/admission (runtime serve/shed/pause switching)")
 	flag.Parse()
 
-	if err := run(*listen, serve.Config{
+	if err := run(*listen, *storeDir, serve.Config{
 		PoolWorkers:      *poolWorkers,
 		QueueDepth:       *queue,
 		EvalWorkers:      *evalWorkers,
@@ -67,14 +77,36 @@ func main() {
 	}
 }
 
-func run(listen string, cfg serve.Config, drainBudget time.Duration, obsOut string) error {
+func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, obsOut string) error {
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			return fmt.Errorf("checkpoint dir: %w", err)
 		}
 	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(store.OS{}, storeDir, store.Options{Obs: cfg.Obs})
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		rep := st.Report()
+		fmt.Fprintf(os.Stderr, "mapd: store recovered %d mappings from %d segments", rep.Records, rep.Segments)
+		if rep.TruncatedBytes > 0 {
+			fmt.Fprintf(os.Stderr, ", truncated %d torn bytes", rep.TruncatedBytes)
+		}
+		if !rep.Healthy() {
+			fmt.Fprintf(os.Stderr, " — UNHEALTHY (quarantined %v, missing %v): serving what survived",
+				rep.Quarantined, rep.Missing)
+		}
+		fmt.Fprintln(os.Stderr)
+		cfg.Store = st
+	}
 	srv, err := serve.NewServer(cfg)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return err
 	}
 
@@ -107,6 +139,13 @@ func run(listen string, cfg serve.Config, drainBudget time.Duration, obsOut stri
 		fmt.Fprintf(os.Stderr, "mapd: %v\n", err)
 	}
 	snap := srv.Close()
+	if st != nil {
+		// The drain finished every queued evaluation, so every pricing
+		// has been appended; flush and seal the atlas.
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mapd: store close: %v\n", err)
+		}
+	}
 	if obsOut != "" {
 		if err := writeSnapshot(obsOut, snap); err != nil {
 			return fmt.Errorf("write obs snapshot: %w", err)

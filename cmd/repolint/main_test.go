@@ -60,6 +60,21 @@ func TestRepolintServePackage(t *testing.T) {
 	}
 }
 
+// TestRepolintStorePackage runs the full suite over the persistent
+// mapping store — determinism-critical because crash-recovery drills
+// replay fault schedules byte-for-byte: no wall clock, no global rand,
+// no map-ordered output may reach the log or the recovery scan.
+func TestRepolintStorePackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/store"}, &out, &errOut); code != 0 {
+		t.Fatalf("repolint ./internal/store exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("repolint ./internal/store printed findings on exit 0:\n%s", out.String())
+	}
+}
+
 func TestRepolintBadPattern(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {

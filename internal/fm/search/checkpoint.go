@@ -77,9 +77,10 @@ func (cp *Checkpoint) matches(gfp uint64, tgtDesc string, opts AnnealOptions) er
 }
 
 // SaveCheckpoint writes cp to path atomically: the JSON goes to a
-// temporary file in the same directory, is synced, and then renamed over
-// path, so a crash at any instant leaves either the previous checkpoint
-// or the new one — never a torn file.
+// temporary file in the same directory, is synced, renamed over path,
+// and the parent directory is synced, so a crash at any instant leaves
+// either the previous checkpoint or the new one — never a torn file,
+// and never a rename the directory itself forgot.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
@@ -104,6 +105,20 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("search: commit checkpoint: %w", err)
+	}
+	// A file fsync does not persist the directory entry pointing at the
+	// file: without syncing the directory, a crash right after the
+	// rename can resurface the old checkpoint — or none at all.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("search: open checkpoint dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("search: sync checkpoint dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("search: close checkpoint dir: %w", err)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ var criticalPkgs = map[string]bool{
 	"repro/internal/replay":    true,
 	"repro/internal/noc":       true,
 	"repro/internal/serve":     true,
+	"repro/internal/store":     true,
 }
 
 // randConstructors are the math/rand top-level functions that build

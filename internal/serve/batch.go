@@ -95,9 +95,15 @@ func (s *Server) priceGroup(group []*evalJob) {
 	}
 
 	first := live[0]
+	// Warm the cache from the persistent atlas so EvalBatch prices only
+	// mappings this process has never seen on disk or in memory.
+	s.warmFromStore(first.gfp, first.tgt, scheds)
 	ctx, cancel := batchCtx(live)
 	defer cancel()
 	costs, err := search.EvalBatch(ctx, s.pool, s.cache, first.g, first.gfp, scheds, first.tgt)
+	if err == nil {
+		s.storePutAll(first.gfp, first.tgt, scheds, costs)
+	}
 	for i, j := range live {
 		if err != nil {
 			j.result <- evalResult{err: err}

@@ -117,12 +117,19 @@ func buildSchedules(specs []ScheduleSpec, g *fm.Graph, dom *fm.Domain, tgt fm.Ta
 	return out, nil
 }
 
-// cacheOnly attempts a degraded cache-only answer: success only if every
-// requested schedule is already priced in the cache.
+// cacheOnly attempts a degraded cache-only answer: success only if
+// every requested schedule is already priced in the cache — or in the
+// persistent atlas, which backs the cache across restarts.
 func (s *Server) cacheOnly(gfp uint64, tgt fm.Target, scheds []fm.Schedule) ([]fm.Cost, bool) {
 	costs := make([]fm.Cost, len(scheds))
 	for i, sched := range scheds {
-		c, ok := s.cache.Lookup(gfp, sched.Fingerprint(), tgt)
+		sfp := sched.Fingerprint()
+		c, ok := s.cache.Lookup(gfp, sfp, tgt)
+		if !ok {
+			if c, ok = s.storeLookup(gfp, sfp, tgt); ok {
+				s.cache.Put(gfp, sfp, tgt, c)
+			}
+		}
 		if !ok {
 			return nil, false
 		}

@@ -259,6 +259,11 @@ type SearchResponse struct {
 	// still-running search because the server had no capacity to run
 	// this one.
 	Degraded bool `json:"degraded"`
+	// FromStore marks a best taken from the persistent mapping atlas
+	// because a previously stored mapping strictly beat what this
+	// search found — typically a completed search from before a
+	// restart outranking a fresh deadline-bounded one.
+	FromStore bool `json:"from_store,omitempty"`
 }
 
 // SearchBest is the cost summary of a search winner.

@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/fm/search"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/workspan"
 )
 
@@ -128,6 +129,12 @@ type Config struct {
 	// Off by default: an open mode switch is an operator tool, not a
 	// public API.
 	AdmissionControl bool
+	// Store, when non-nil, is the persistent mapping atlas
+	// (internal/store): evaluations missing from the in-process cache
+	// are answered from it (warm restarts), every freshly priced
+	// mapping is appended to it, and searches answer with the stored
+	// best when it beats the fresh result. Nil disables persistence.
+	Store *store.Store
 	// Clock supplies time. Default SystemClock.
 	Clock Clock
 	// Obs receives service metrics under "serve.*" plus the eval cache's
@@ -182,6 +189,7 @@ type Server struct {
 	graphs   *graphRegistry
 	queue    *jobQueue
 	searches *searchRegistry
+	store    *store.Store
 
 	mode     atomic.Int32
 	draining atomic.Bool
@@ -203,7 +211,8 @@ type Server struct {
 	mEvalRequests, mEvalOK, mEvalDegraded, mEvalRejected, mEvalDeadline *obs.Counter
 	mSearchRequests, mSearchOK, mSearchDegraded, mSearchRejected        *obs.Counter
 	mSearchPartial, mSlackRequests, mBatches, mCoalesced                *obs.Counter
-	mQueueDepth                                                         *obs.Gauge
+	mStoreHits, mStoreMisses, mStorePuts, mStorePutErrs, mStoreBest     *obs.Counter
+	mQueueDepth, gStoreUnhealthy                                        *obs.Gauge
 	mBatchJobs                                                          *obs.Histogram
 	mQueueWait, mEvalLatency, mSearchLatency                            *obs.Timer
 }
@@ -225,10 +234,16 @@ func NewServer(cfg Config) (*Server, error) {
 		graphs:   newGraphRegistry(cfg.MaxGraphs),
 		queue:    newJobQueue(cfg.QueueDepth),
 		searches: newSearchRegistry(cfg.MaxSearches),
+		store:    cfg.Store,
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.pool.Instrument(s.reg)
 	s.instrument()
+	if s.store != nil && !s.store.Report().Healthy() {
+		// Recovery quarantined or lost data: serve what survived, but
+		// say so — degraded-but-honest, never silently incomplete.
+		s.gStoreUnhealthy.Set(1)
+	}
 	s.routes()
 	for i := 0; i < cfg.EvalWorkers; i++ {
 		s.workerWG.Add(1)
@@ -252,7 +267,13 @@ func (s *Server) instrument() {
 	s.mSlackRequests = r.Counter("serve.slack.requests")
 	s.mBatches = r.Counter("serve.eval.batches")
 	s.mCoalesced = r.Counter("serve.eval.coalesced")
+	s.mStoreHits = r.Counter("serve.store.hits")
+	s.mStoreMisses = r.Counter("serve.store.misses")
+	s.mStorePuts = r.Counter("serve.store.puts")
+	s.mStorePutErrs = r.Counter("serve.store.put_errors")
+	s.mStoreBest = r.Counter("serve.store.best_served")
 	s.mQueueDepth = r.Gauge("serve.queue.depth")
+	s.gStoreUnhealthy = r.Gauge("serve.store.unhealthy")
 	s.mBatchJobs = r.Histogram("serve.eval.batch_jobs", []float64{1, 2, 4, 8, 16, 32, 64})
 	s.mQueueWait = r.Timer("serve.eval.queue_wait_seconds")
 	s.mEvalLatency = r.Timer("serve.eval.latency_seconds")

@@ -1,0 +1,114 @@
+// FuzzStoreRecover hammers the recovery scan with arbitrary segment
+// bytes. Whatever the disk holds, Open must not fail, recovery must be
+// idempotent (recover(recover(S)) == recover(S)), and the recovered
+// store must keep accepting appends that survive the next recovery.
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedSegment builds a clean two-record segment image for the seed
+// corpus, using framing only (no store), so seeds are cheap.
+func fuzzSeedSegment() []byte {
+	data := append([]byte{}, segMagic[:]...)
+	data = appendRecord(data, []byte(`{"graph":1,"target_fp":2,"sched_fp":3}`))
+	data = appendRecord(data, []byte(`not json at all`))
+	return data
+}
+
+func FuzzStoreRecover(f *testing.F) {
+	clean := fuzzSeedSegment()
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a segment"))
+	f.Add(segMagic[:])
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3])                                          // torn tail
+	f.Add(append(clean[:len(clean):len(clean)], 0, 0, 0, 0, 0, 0, 0, 0)) // zero frame
+	flipped := append([]byte{}, clean...)
+	flipped[len(segMagic)+frameHeader+2] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), data, 0o644); err != nil {
+			t.Fatalf("write image: %v", err)
+		}
+		s, err := Open(nosyncFS{}, dir, Options{})
+		if err != nil {
+			t.Fatalf("open on arbitrary bytes: %v", err)
+		}
+		var d1 bytes.Buffer
+		if err := s.DumpLog(&d1); err != nil {
+			t.Fatalf("dump: %v", err)
+		}
+		rep := s.Report()
+		if s.Len() > rep.Records {
+			t.Fatalf("index holds %d entries, report says %d recovered", s.Len(), rep.Records)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		// Recovery is a fixed point: a second recovery changes nothing.
+		s2, err := Open(nosyncFS{}, dir, Options{})
+		if err != nil {
+			t.Fatalf("second open: %v", err)
+		}
+		var d2 bytes.Buffer
+		if err := s2.DumpLog(&d2); err != nil {
+			t.Fatalf("second dump: %v", err)
+		}
+		if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+			t.Fatalf("recovery not idempotent:\nfirst:\n%s\nsecond:\n%s", d1.String(), d2.String())
+		}
+		rep2 := s2.Report()
+		if rep2.Records != rep.Records {
+			t.Fatalf("second recovery found %d records, first found %d", rep2.Records, rep.Records)
+		}
+		if rep2.TruncatedBytes != 0 && rep.TruncatedBytes == 0 {
+			t.Fatal("second recovery truncated a log the first left clean")
+		}
+
+		// The recovered store still accepts a real append, and that
+		// append survives yet another recovery.
+		e := fuzzEntry(t)
+		added, err := s2.Put(e.gfp, e.tgt, e.sched, e.cost)
+		if err != nil {
+			t.Fatalf("put after recovery: %v", err)
+		}
+		if !added {
+			// Only possible if the fuzz data happened to encode this
+			// exact entry — with a validated fingerprint, that means it
+			// IS this entry, which is fine.
+			t.Skip("fuzz data reconstructed the probe entry")
+		}
+		s2.Close()
+		s3, err := Open(nosyncFS{}, dir, Options{})
+		if err != nil {
+			t.Fatalf("third open: %v", err)
+		}
+		defer s3.Close()
+		if _, ok := s3.Lookup(e.gfp, e.sched.Fingerprint(), e.tgt); !ok {
+			t.Fatal("append after recovery lost by next recovery")
+		}
+	})
+}
+
+// fuzzEntry returns one fixed priced mapping, built once.
+var fuzzEntryOnce struct {
+	done bool
+	e    priced
+}
+
+func fuzzEntry(t *testing.T) priced {
+	t.Helper()
+	if !fuzzEntryOnce.done {
+		fuzzEntryOnce.e = testEntries(t, 41, 1)[0]
+		fuzzEntryOnce.done = true
+	}
+	return fuzzEntryOnce.e
+}

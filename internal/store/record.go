@@ -1,0 +1,117 @@
+// On-disk format. A segment file is:
+//
+//	[8-byte segment magic "ATLSSEG1"]
+//	[record]*
+//
+// and each record is CRC-framed and length-prefixed:
+//
+//	[4 bytes LE: payload length N]
+//	[4 bytes LE: CRC32-C (Castagnoli) of the payload]
+//	[N bytes: payload (JSON-encoded Entry)]
+//
+// The frame is the recovery contract: a reader scans records forward,
+// verifying length sanity and checksum, and stops at the first frame
+// that fails either test. Everything before that point is exactly what
+// a crashed writer had durably committed; everything from it on is a
+// torn tail (trailing zeros from a short write, a half-landed record,
+// or bit-rot) and is discarded — never served.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// segMagic opens every segment file; a file without it is not (or no
+// longer) a segment and is quarantined whole.
+var segMagic = [8]byte{'A', 'T', 'L', 'S', 'S', 'E', 'G', '1'}
+
+const (
+	// frameHeader is the per-record framing overhead.
+	frameHeader = 8
+	// maxPayload bounds one record; a length field beyond it is framing
+	// corruption, not a big record. Far above any real Entry (the
+	// largest graphs the service materializes stay under a megabyte of
+	// schedule JSON).
+	maxPayload = 16 << 20
+)
+
+// castagnoli is the CRC32-C table, the polynomial with hardware support
+// on both amd64 and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord frames payload onto buf and returns the extended buffer.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// errCorrupt marks the first broken frame of a scan; the offset where
+// it was detected is the recovered prefix length.
+type errCorrupt struct {
+	off    int64
+	reason string
+}
+
+func (e *errCorrupt) Error() string {
+	return fmt.Sprintf("store: corrupt record at offset %d: %s", e.off, e.reason)
+}
+
+// scanRecords walks the framed records in data (a whole segment file,
+// including magic). It calls apply for each intact payload in order and
+// returns the byte offset of the durable prefix — the position just
+// after the last intact record — together with the corruption that
+// ended the scan (nil for a clean segment). A bad segment magic returns
+// offset 0: nothing in the file is trustworthy.
+func scanRecords(data []byte, apply func(payload []byte) error) (int64, int, error) {
+	if len(data) < len(segMagic) || [8]byte(data[:8]) != segMagic {
+		return 0, 0, &errCorrupt{off: 0, reason: "bad segment magic"}
+	}
+	off := int64(len(segMagic))
+	n := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return off, n, nil
+		}
+		if len(rest) < frameHeader {
+			return off, n, &errCorrupt{off: off, reason: "torn frame header"}
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if plen > maxPayload {
+			return off, n, &errCorrupt{off: off, reason: fmt.Sprintf("implausible record length %d", plen)}
+		}
+		if int64(len(rest)) < frameHeader+int64(plen) {
+			return off, n, &errCorrupt{off: off, reason: "torn record body"}
+		}
+		payload := rest[frameHeader : frameHeader+int(plen)]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return off, n, &errCorrupt{off: off, reason: fmt.Sprintf("checksum %08x, frame says %08x", got, want)}
+		}
+		if err := apply(payload); err != nil {
+			// The frame was intact but the payload is not a valid entry:
+			// same verdict as a checksum failure — stop trusting here.
+			return off, n, &errCorrupt{off: off, reason: err.Error()}
+		}
+		off += frameHeader + int64(plen)
+		n++
+	}
+}
+
+// encodeEntry renders one entry as a framed record payload.
+func encodeEntry(e *Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal entry: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("store: entry payload %d bytes exceeds %d", len(payload), maxPayload)
+	}
+	return payload, nil
+}

@@ -1,0 +1,437 @@
+// Recovery torture tests: every byte boundary of a real log is torn or
+// corrupted, and recovery must serve exactly the durable prefix — never
+// a damaged record — while staying healthy for torn tails (the normal
+// crash shape) and unhealthy only for real damage. The fault-injection
+// tests then prove the same contract end to end: same seed, same fault
+// schedule, byte-identical recovered index.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fm"
+)
+
+// segmentImage writes n entries into a fresh store and returns the raw
+// bytes of its single segment plus the record boundaries (byte offsets
+// just after the magic and after each record).
+func segmentImage(t *testing.T, seed int64, n int) ([]byte, []int64, []priced) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(nosyncFS{}, dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ents := testEntries(t, seed, n)
+	putAll(t, s, ents)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segName(0)))
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	boundaries := []int64{int64(len(segMagic))}
+	off, cnt, corrupt := scanRecords(data, func(payload []byte) error { return nil })
+	if corrupt != nil || cnt != n || off != int64(len(data)) {
+		t.Fatalf("fixture segment not clean: off=%d cnt=%d err=%v", off, cnt, corrupt)
+	}
+	// Re-scan to collect per-record boundaries.
+	pos := int64(len(segMagic))
+	for i := 0; i < n; i++ {
+		plen := int64(data[pos]) | int64(data[pos+1])<<8 | int64(data[pos+2])<<16 | int64(data[pos+3])<<24
+		pos += frameHeader + plen
+		boundaries = append(boundaries, pos)
+	}
+	if pos != int64(len(data)) {
+		t.Fatalf("boundary walk ended at %d, file is %d", pos, len(data))
+	}
+	return data, boundaries, ents
+}
+
+// openImage writes data as the sole segment of a fresh directory and
+// recovers a store from it.
+func openImage(t *testing.T, data []byte) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), data, 0o644); err != nil {
+		t.Fatalf("write image: %v", err)
+	}
+	s, err := Open(nosyncFS{}, dir, Options{})
+	if err != nil {
+		t.Fatalf("open image: %v", err)
+	}
+	return s, dir
+}
+
+// durablePrefix returns how many whole records fit below length l.
+func durablePrefix(boundaries []int64, l int64) int {
+	n := 0
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= l {
+			n = i
+		}
+	}
+	return n
+}
+
+func TestRecoverTruncatedAtEveryByte(t *testing.T) {
+	data, boundaries, ents := segmentImage(t, 11, 4)
+	full, _ := openImage(t, data)
+	fullDump := dump(t, full)
+	fullLines := strings.SplitAfter(fullDump, "\n")
+	full.Close()
+
+	for l := 0; l <= len(data); l++ {
+		s, dir := openImage(t, data[:l])
+		rep := s.Report()
+		want := durablePrefix(boundaries, int64(l))
+		if rep.Records != want {
+			t.Fatalf("truncate at %d: recovered %d records, want %d (report %+v)", l, rep.Records, want, rep)
+		}
+		if !rep.Healthy() {
+			t.Fatalf("truncate at %d: torn tail reported unhealthy: %+v", l, rep)
+		}
+		// The recovered dump must be the exact prefix of the full dump.
+		if got, wantDump := dump(t, s), strings.Join(fullLines[:want], ""); got != wantDump {
+			t.Fatalf("truncate at %d: dump is not the durable prefix\ngot:\n%s\nwant:\n%s", l, got, wantDump)
+		}
+		// Appends keep working after recovery, and a second recovery is
+		// a fixed point: no further truncation, same record count.
+		if want < len(ents) {
+			// The final entry is beyond the durable prefix, so this is a
+			// fresh append, not a dedup.
+			extra := ents[len(ents)-1]
+			if added, err := s.Put(extra.gfp, extra.tgt, extra.sched, extra.cost); err != nil || !added {
+				t.Fatalf("truncate at %d: put after recovery: added=%v err=%v", l, added, err)
+			}
+		}
+		s.Close()
+		s2, err := Open(nosyncFS{}, dir, Options{})
+		if err != nil {
+			t.Fatalf("truncate at %d: second open: %v", l, err)
+		}
+		rep2 := s2.Report()
+		if !rep2.Healthy() || rep2.TruncatedBytes != 0 {
+			t.Fatalf("truncate at %d: recovery not idempotent: %+v", l, rep2)
+		}
+		s2.Close()
+	}
+}
+
+func TestRecoverFlippedByteNeverServesDamage(t *testing.T) {
+	data, boundaries, _ := segmentImage(t, 12, 4)
+	full, _ := openImage(t, data)
+	fullLines := strings.SplitAfter(dump(t, full), "\n")
+	full.Close()
+
+	for i := 0; i < len(data); i++ {
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[i] ^= 0x41
+		s, _ := openImage(t, mut)
+		rep := s.Report()
+		if i < len(segMagic) {
+			// Damaged magic: the whole segment is untrustworthy.
+			if rep.Records != 0 || len(rep.Quarantined) != 1 {
+				t.Fatalf("flip at %d (magic): report %+v, want 0 records + 1 quarantined", i, rep)
+			}
+			if rep.Healthy() {
+				t.Fatalf("flip at %d (magic): reported healthy", i)
+			}
+		} else {
+			// Damage inside record k: records 0..k-1 survive, nothing at
+			// or after the damage is served.
+			want := durablePrefix(boundaries, int64(i))
+			if rep.Records != want {
+				t.Fatalf("flip at %d: recovered %d records, want %d (report %+v)", i, rep.Records, want, rep)
+			}
+			if got, wantDump := dump(t, s), strings.Join(fullLines[:want], ""); got != wantDump {
+				t.Fatalf("flip at %d: recovered dump is not the clean prefix", i)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestRecoverQuarantinesDamagedMiddleSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(OS{}, dir, Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ents := testEntries(t, 13, 16)
+	putAll(t, s, ents)
+	s.Close()
+
+	// Flip one payload byte in the middle of the FIRST segment: damage
+	// in a non-final segment must quarantine it, not truncate it.
+	seg0 := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(seg0, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	s2, err := Open(OS{}, dir, Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	rep := s2.Report()
+	if rep.Healthy() {
+		t.Fatal("damaged middle segment reported healthy")
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != segName(0) {
+		t.Fatalf("quarantined %v, want [%s]", rep.Quarantined, segName(0))
+	}
+	if _, err := os.Stat(seg0 + quarantineExt); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(seg0); !os.IsNotExist(err) {
+		t.Fatalf("damaged segment still live: %v", err)
+	}
+	if rep.Records == 0 || rep.Records >= len(ents) {
+		t.Fatalf("recovered %d records, want a strict non-empty subset of %d", rep.Records, len(ents))
+	}
+	// None of the quarantined segment's records are served — even the
+	// ones before the damage point. Every record still served must
+	// price exactly.
+	served := 0
+	for _, e := range ents {
+		if cost, ok := s2.Lookup(e.gfp, e.sched.Fingerprint(), e.tgt); ok {
+			served++
+			if cost != e.cost {
+				t.Fatal("recovered record priced wrong")
+			}
+		}
+	}
+	if served != rep.Records {
+		t.Fatalf("served %d records, report says %d", served, rep.Records)
+	}
+}
+
+func TestRecoverRejectsLyingFingerprints(t *testing.T) {
+	// A record that decodes cleanly but whose stored fingerprints do not
+	// match its own payload is corruption, not data.
+	dir := t.TempDir()
+	s, err := Open(OS{}, dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ents := testEntries(t, 14, 2)
+	putAll(t, s, ents)
+	s.Close()
+
+	// Rewrite the segment with record 1's sched_fp field altered but a
+	// recomputed (valid) checksum: the frame is intact, the payload lies.
+	seg := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	_, boundaries, _ := segmentImage(t, 14, 2)
+	start := boundaries[1] + frameHeader
+	payload := data[start:boundaries[2]]
+	fixed := strings.Replace(string(payload), `"sched_fp":`, `"sched_fp":1`, 1)
+	rebuilt := append([]byte{}, data[:boundaries[1]]...)
+	rebuilt = appendRecord(rebuilt, []byte(fixed))
+	if err := os.WriteFile(seg, rebuilt, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("remove manifest: %v", err)
+	}
+
+	s2, err := Open(OS{}, dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if rep := s2.Report(); rep.Records != 1 {
+		t.Fatalf("recovered %d records, want 1 (the honest one): %+v", rep.Records, rep)
+	}
+}
+
+// TestFaultedWritesRecoverDeterministically is the deterministic
+// recovery proof: a store written through a seeded fault FS — short
+// writes and fsync errors firing mid-stream — must (a) never lose an
+// acknowledged Put, and (b) recover to a byte-identical index across
+// two runs with the same seed.
+func TestFaultedWritesRecoverDeterministically(t *testing.T) {
+	run := func(seed int64) (recovered string, acked []int, ok bool) {
+		t.Helper()
+		dir := t.TempDir()
+		ffs, err := NewFaultFS(OS{}, FaultConfig{
+			Seed:           seed,
+			ShortWriteRate: 0.15,
+			SyncErrRate:    0.1,
+		})
+		if err != nil {
+			t.Fatalf("fault fs: %v", err)
+		}
+		s, err := Open(ffs, dir, Options{})
+		if err != nil {
+			// The fault schedule killed Open itself (segment creation
+			// faulted): legitimate for some seeds, useless for this
+			// proof — the caller scans for a seed that survives.
+			if !IsInjected(err) {
+				t.Fatalf("open under faults: non-injected error: %v", err)
+			}
+			return "", nil, false
+		}
+		ents := testEntries(t, 21, 24)
+		for i, e := range ents {
+			added, err := s.Put(e.gfp, e.tgt, e.sched, e.cost)
+			if err != nil {
+				if !IsInjected(errors.Unwrap(err)) && !IsInjected(err) {
+					t.Fatalf("put %d failed with non-injected error: %v", i, err)
+				}
+				continue
+			}
+			if added {
+				acked = append(acked, i)
+			}
+		}
+		s.Close()
+
+		// Recover on a clean FS — the process is new, the faults were
+		// the old process's disk.
+		s2, err := Open(OS{}, dir, Options{})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		defer s2.Close()
+		for _, i := range acked {
+			e := ents[i]
+			cost, ok := s2.Lookup(e.gfp, e.sched.Fingerprint(), e.tgt)
+			if !ok {
+				t.Fatalf("acknowledged put %d lost after recovery", i)
+			}
+			if cost != e.cost {
+				t.Fatalf("acknowledged put %d recovered with wrong cost", i)
+			}
+		}
+		return dump(t, s2), acked, true
+	}
+
+	// Scan for a seed whose schedule lets Open survive and acks at
+	// least one put; the determinism proof then replays that seed.
+	var seed int64
+	var d1 string
+	var acked1 []int
+	for seed = 1; seed < 64; seed++ {
+		d, a, ok := run(seed)
+		if ok && len(a) > 0 {
+			d1, acked1 = d, a
+			break
+		}
+	}
+	if seed == 64 {
+		t.Fatal("no seed in [1, 64) survived Open and acked a put; rates too hot")
+	}
+	d2, acked2, ok := run(seed)
+	if !ok {
+		t.Fatalf("seed %d survived once and not twice: fault schedule not deterministic", seed)
+	}
+	if d1 != d2 {
+		t.Fatalf("same-seed fault runs recovered different indexes:\n%s\nvs:\n%s", d1, d2)
+	}
+	if len(acked1) != len(acked2) {
+		t.Fatalf("same-seed fault runs acked %d vs %d puts", len(acked1), len(acked2))
+	}
+}
+
+// TestCrashAtEveryOpRecovers kills the FS at each of the first N
+// mutating operations and proves recovery: acknowledged puts survive,
+// the torn tail is cut, and the same crash point recovers identically
+// across runs.
+func TestCrashAtEveryOpRecovers(t *testing.T) {
+	ents := testEntries(t, 22, 8)
+	run := func(crashAt int64) (string, int) {
+		t.Helper()
+		dir := t.TempDir()
+		ffs, err := NewFaultFS(OS{}, FaultConfig{Seed: 42, CrashAtOp: crashAt})
+		if err != nil {
+			t.Fatalf("fault fs: %v", err)
+		}
+		acked := 0
+		s, err := Open(ffs, dir, Options{})
+		if err == nil {
+			for _, e := range ents {
+				added, perr := s.Put(e.gfp, e.tgt, e.sched, e.cost)
+				if perr != nil {
+					break
+				}
+				if added {
+					acked++
+				}
+			}
+			// No Close: the process is "dead". Recovery sees whatever
+			// the torn disk holds.
+		}
+		s2, err := Open(OS{}, dir, Options{})
+		if err != nil {
+			t.Fatalf("crash at %d: recovery failed: %v", crashAt, err)
+		}
+		defer s2.Close()
+		rep := s2.Report()
+		if rep.Records < acked {
+			t.Fatalf("crash at %d: acked %d puts, recovered only %d", crashAt, acked, rep.Records)
+		}
+		for _, q := range rep.Quarantined {
+			t.Fatalf("crash at %d: clean crash quarantined %s", crashAt, q)
+		}
+		for i := 0; i < acked; i++ {
+			e := ents[i]
+			if cost, ok := s2.Lookup(e.gfp, e.sched.Fingerprint(), e.tgt); !ok || cost != e.cost {
+				t.Fatalf("crash at %d: acked put %d not recovered exactly", crashAt, i)
+			}
+		}
+		return dump(t, s2), acked
+	}
+
+	sawAck := false
+	for crashAt := int64(1); crashAt <= 24; crashAt++ {
+		d1, a1 := run(crashAt)
+		d2, a2 := run(crashAt)
+		if d1 != d2 || a1 != a2 {
+			t.Fatalf("crash at %d: two same-seed runs recovered differently", crashAt)
+		}
+		if a1 > 0 {
+			sawAck = true
+		}
+	}
+	if !sawAck {
+		t.Fatal("no crash point acked any put; drill proves nothing")
+	}
+}
+
+// TestTargetFPStableAcrossJSONRoundTrip guards the index-key contract:
+// a target decoded from a stored record must hash identically to the
+// in-memory target it came from.
+func TestTargetFPStableAcrossJSONRoundTrip(t *testing.T) {
+	tgt := fm.DefaultTarget(4, 4)
+	tgt.Grid.PitchMM = 0.123456789123456789 // not exactly representable
+	fp := targetFP(tgt)
+	e := Entry{Target: tgt}
+	payload, err := encodeEntry(&e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Entry
+	if err := json.Unmarshal(payload, &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got := targetFP(back.Target); got != fp {
+		t.Fatalf("target fingerprint changed across JSON round-trip: %016x vs %016x", got, fp)
+	}
+}
