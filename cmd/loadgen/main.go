@@ -30,17 +30,29 @@
 // cache recorded zero misses — the store, not re-evaluation, answered
 // everything.
 //
+// Trace assertion (-trace-assert, with the steady mode): after the
+// steady run, force one degraded answer through a shed-mode round trip
+// (requires mapd -admission-control), fetch /debug/traces twice, and
+// assert the flight-recorder contracts over the wire: the two fetches
+// are byte-identical (deterministic marshaling), every trace's stage
+// durations sum exactly to its request span, and every degraded or
+// rejected trace carries an admission stage plus a refusal reason
+// annotation. -trace-json saves the fetched document so CI can diff two
+// same-seed drills byte for byte.
+//
 // The final stdout line of either mode is machine-parseable:
 //
 //	loadgen: requests=200 ok=187 degraded=9 rejected=4 err5xx=0 cache_hits=122
 //	loadgen overload: ok=8 degraded=4 rejected=12
 //	loadgen restart: requests=24 ok=48 err5xx=0 store_hits=24 store_records=24 evalcache_misses=0
+//	loadgen trace: traces=207 sums_ok=207 degraded_with_reason=1 export_stable=true
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 -requests 200 -seed 1
 //	loadgen -addr http://127.0.0.1:8080 -overload -burst 16 -cached 4
 //	loadgen -restart -mapd ./mapd -store-dir /tmp/atlas -listen 127.0.0.1:18080 -requests 24
+//	loadgen -addr http://127.0.0.1:8080 -requests 60 -concurrency 1 -trace-assert -trace-json traces.json
 package main
 
 import (
@@ -73,6 +85,8 @@ func main() {
 	storeDir := flag.String("store-dir", "", "restart drill: mapping store directory (empty = a fresh temp dir)")
 	listen := flag.String("listen", "127.0.0.1:18080", "restart drill: address the spawned mapd listens on")
 	report := flag.String("report", "", "write the run report as JSON to this path")
+	traceAssert := flag.Bool("trace-assert", false, "after the steady run, assert the /debug/traces contracts (needs mapd -admission-control)")
+	traceJSON := flag.String("trace-json", "", "trace-assert: write the fetched /debug/traces document to this path")
 	flag.Parse()
 
 	base := *addr
@@ -91,6 +105,9 @@ func main() {
 		rep, err = runOverload(c, *burst, *cached)
 	default:
 		rep, err = runSteady(c, *requests, *seed, *concurrency)
+		if err == nil && *traceAssert {
+			err = runTraceAssert(c, *traceJSON)
+		}
 	}
 	if rep != nil && *report != "" {
 		if werr := writeReport(*report, rep); werr != nil {
@@ -284,6 +301,148 @@ func runSteady(c *client, requests int, seed int64, concurrency int) (*runReport
 		return rep, fmt.Errorf("zero cache hits: the batching/caching path is not engaging")
 	}
 	return rep, nil
+}
+
+// rawGet fetches path and returns the exact response body — the
+// trace-assert mode compares bodies byte for byte, so no decode/encode
+// round trip is allowed to launder them.
+func (c *client) rawGet(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return data, nil
+}
+
+// traceExport mirrors the /debug/traces document (the subset the
+// assertions need), duplicated like the other wire types so the
+// contracts are checked strictly over the wire.
+type traceExport struct {
+	Completed uint64        `json:"completed"`
+	Traces    []traceRecord `json:"traces"`
+}
+
+type traceRecord struct {
+	TraceID     string            `json:"trace_id"`
+	Route       string            `json:"route"`
+	DurationNS  int64             `json:"duration_ns"`
+	Outcome     string            `json:"outcome"`
+	Annotations map[string]string `json:"annotations"`
+	Stages      []traceStage      `json:"stages"`
+}
+
+type traceStage struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// runTraceAssert checks the flight-recorder contracts over the wire
+// after a steady run: export stability (two scrapes, byte-identical),
+// exact stage sums on every retained trace, and a refusal reason on
+// every degraded/rejected trace — including one this function forces by
+// replaying a cached eval under shed mode.
+func runTraceAssert(c *client, traceJSONPath string) error {
+	// Force a degraded answer with a provenance trail: price one mapping
+	// while serving, then replay it under shed — the cache answers, the
+	// trace must say why it was allowed to.
+	probe := `{
+		"recurrence": {"dims": [6, 6], "deps": [[1, 0], [0, 1]]},
+		"target": {"width": 4},
+		"schedules": [{"kind": "antidiagonal", "stride": 150}],
+		"deadline_ms": 60000
+	}`
+	if status, _, err := c.call("POST", "/v1/eval", probe, nil); err != nil || status != 200 {
+		return fmt.Errorf("trace probe warmup: status %d, %v", status, err)
+	}
+	defer func() { _ = setMode(c, "serve") }()
+	if err := setMode(c, "shed"); err != nil {
+		return err
+	}
+	var ev evalResponse
+	if status, _, err := c.call("POST", "/v1/eval", probe, &ev); err != nil || status != 200 || !ev.Degraded {
+		return fmt.Errorf("trace probe under shed: status %d, degraded=%v, %v", status, ev.Degraded, err)
+	}
+	if err := setMode(c, "serve"); err != nil {
+		return err
+	}
+
+	// Export stability: with no traffic between them, two scrapes must be
+	// byte-identical — deterministic marshaling, not a snapshot accident.
+	body1, err := c.rawGet("/debug/traces")
+	if err != nil {
+		return err
+	}
+	body2, err := c.rawGet("/debug/traces")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(body1, body2) {
+		return fmt.Errorf("/debug/traces export is not stable across back-to-back scrapes")
+	}
+	if traceJSONPath != "" {
+		if err := os.WriteFile(traceJSONPath, body1, 0o644); err != nil {
+			return fmt.Errorf("write trace json: %w", err)
+		}
+	}
+
+	var export traceExport
+	if err := json.Unmarshal(body1, &export); err != nil {
+		return fmt.Errorf("decode /debug/traces: %w", err)
+	}
+	if len(export.Traces) == 0 {
+		return fmt.Errorf("no traces retained (is mapd running with -trace-buf > 0?)")
+	}
+
+	sumsOK := 0
+	degradedWithReason := 0
+	for i, tr := range export.Traces {
+		if len(tr.TraceID) != 16 {
+			return fmt.Errorf("trace %d: malformed trace_id %q", i, tr.TraceID)
+		}
+		if len(tr.Stages) == 0 {
+			return fmt.Errorf("trace %d (%s): no stages", i, tr.Route)
+		}
+		var sum int64
+		for _, st := range tr.Stages {
+			sum += st.DurationNS
+		}
+		if sum != tr.DurationNS {
+			return fmt.Errorf("trace %d (%s %s): stage durations sum to %d ns, span is %d ns — attribution must be exact",
+				i, tr.Route, tr.TraceID, sum, tr.DurationNS)
+		}
+		sumsOK++
+		if tr.Outcome == "degraded" || tr.Outcome == "rejected" {
+			hasAdmission := false
+			for _, st := range tr.Stages {
+				if st.Name == "admission" {
+					hasAdmission = true
+				}
+			}
+			if !hasAdmission {
+				return fmt.Errorf("trace %d (%s %s): %s outcome without an admission stage", i, tr.Route, tr.TraceID, tr.Outcome)
+			}
+			if tr.Annotations["admission.reason"] == "" {
+				return fmt.Errorf("trace %d (%s %s): %s outcome without an admission.reason annotation", i, tr.Route, tr.TraceID, tr.Outcome)
+			}
+			if tr.Outcome == "degraded" {
+				degradedWithReason++
+			}
+		}
+	}
+	if degradedWithReason == 0 {
+		return fmt.Errorf("no degraded trace retained — the shed probe should have produced one")
+	}
+	fmt.Printf("loadgen trace: traces=%d sums_ok=%d degraded_with_reason=%d export_stable=true\n",
+		len(export.Traces), sumsOK, degradedWithReason)
+	return nil
 }
 
 // setMode switches mapd's admission mode (requires -admission-control).

@@ -1,22 +1,29 @@
 // Command mapd serves the F&M cost model over HTTP: cost evaluation
 // (POST /v1/eval), mapping search (POST /v1/search), slack analysis
-// (GET /v1/slack), metrics (GET /v1/metrics), and health (GET /healthz).
-// See internal/serve for the serving machinery — micro-batching,
-// bounded-queue backpressure, deadline propagation, graceful degradation
-// and shutdown.
+// (GET /v1/slack), metrics (GET /v1/metrics), request traces
+// (GET /debug/traces), and health (GET /healthz). See internal/serve
+// for the serving machinery — micro-batching, bounded-queue
+// backpressure, deadline propagation, graceful degradation and
+// shutdown.
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight and queued work is finished (bounded by -drain), running
 // anneals halt at their next exchange barrier (checkpointing when
 // -checkpoint-dir is set), the persistent mapping store (when
-// -store-dir is set) is flushed and closed, and the final metrics
-// snapshot is written to -obs-out.
+// -store-dir is set) is flushed and closed, the final metrics snapshot
+// is written to -obs-out, and the retained traces are flushed to
+// -trace-out in Chrome trace-event form.
 //
-// With -store-dir, every mapping the server prices is appended to a
-// crash-safe atlas (internal/store) and recovered on the next start, so
-// a restarted mapd answers previously priced work from disk. Recovery
-// truncates torn tails from a kill -9 and quarantines damaged segments;
-// the outcome is logged at startup and visible as store.* metrics.
+// Every request carries a flight-recorder trace (internal/obs/tracing):
+// deterministic IDs from -trace-seed plus the admission sequence
+// number, stages that sum exactly to the request span, the K slowest
+// traces per route pinned in the ring buffer. With -frozen-clock the
+// server reads a clock frozen at the epoch, so two same-seed drills
+// export byte-identical traces — the CI trace drill diffs them.
+//
+// Log output is JSONL (internal/obs.Logger), one object per line; lines
+// about a specific request carry its trace_id, which joins to the
+// /debug/traces export.
 //
 // Usage:
 //
@@ -25,6 +32,7 @@
 //	mapd -listen :8080 -checkpoint-dir /var/lib/mapd -obs-out final.json
 //	mapd -listen :8080 -store-dir /var/lib/mapd/atlas
 //	mapd -listen :8080 -admission-control   # enable POST /v1/admission
+//	mapd -listen :8080 -trace-buf 1024 -trace-out traces.json
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -58,7 +67,34 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for the persistent mapping atlas (warm answers across restarts)")
 	obsOut := flag.String("obs-out", "", "write the final metrics snapshot as JSON to this path on shutdown")
 	admission := flag.Bool("admission-control", false, "enable POST /v1/admission (runtime serve/shed/pause switching)")
+	traceBuf := flag.Int("trace-buf", 256, "completed-trace ring buffer capacity (0 disables tracing)")
+	traceExemplars := flag.Int("trace-exemplars", 4, "slowest traces pinned per route against ring eviction")
+	traceSeed := flag.Uint64("trace-seed", 1, "seed trace/span IDs derive from (with the admission sequence number)")
+	traceOut := flag.String("trace-out", "", "write retained traces as Chrome trace-event JSON to this path on shutdown")
+	frozenClock := flag.Bool("frozen-clock", false, "freeze the serve clock at the epoch (deterministic trace drills; latency metrics read zero)")
 	flag.Parse()
+
+	log := obs.NewLogger(os.Stderr, obs.LevelInfo)
+	var clock serve.Clock = serve.SystemClock{}
+	if *frozenClock {
+		clock = serve.NewFakeClock(time.Unix(0, 0))
+	} else {
+		log.WithNow(time.Now)
+	}
+	var tracer *tracing.Tracer
+	if *traceBuf > 0 {
+		tracer = tracing.New(tracing.Options{
+			Seed:      *traceSeed,
+			Capacity:  *traceBuf,
+			ExemplarK: *traceExemplars,
+			Clock:     clock,
+			OnExemplar: func(rec tracing.Record) {
+				log.Info("slow-request exemplar retained",
+					"trace_id", rec.TraceID, "route", rec.Route,
+					"outcome", rec.Outcome, "duration_ns", rec.DurationNS)
+			},
+		})
+	}
 
 	if err := run(*listen, *storeDir, serve.Config{
 		PoolWorkers:      *poolWorkers,
@@ -70,14 +106,16 @@ func main() {
 		DefaultDeadline:  *deadline,
 		CheckpointDir:    *checkpointDir,
 		AdmissionControl: *admission,
+		Clock:            clock,
 		Obs:              obs.New(),
-	}, *drain, *obsOut); err != nil {
-		fmt.Fprintf(os.Stderr, "mapd: %v\n", err)
+		Tracer:           tracer,
+	}, *drain, *obsOut, *traceOut, log); err != nil {
+		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, obsOut string) error {
+func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, obsOut, traceOut string, log *obs.Logger) error {
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			return fmt.Errorf("checkpoint dir: %w", err)
@@ -91,15 +129,16 @@ func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, o
 			return fmt.Errorf("store: %w", err)
 		}
 		rep := st.Report()
-		fmt.Fprintf(os.Stderr, "mapd: store recovered %d mappings from %d segments", rep.Records, rep.Segments)
-		if rep.TruncatedBytes > 0 {
-			fmt.Fprintf(os.Stderr, ", truncated %d torn bytes", rep.TruncatedBytes)
+		kv := []any{
+			"records", rep.Records, "segments", rep.Segments,
+			"truncated_bytes", rep.TruncatedBytes, "healthy", rep.Healthy(),
 		}
 		if !rep.Healthy() {
-			fmt.Fprintf(os.Stderr, " — UNHEALTHY (quarantined %v, missing %v): serving what survived",
-				rep.Quarantined, rep.Missing)
+			kv = append(kv, "quarantined", len(rep.Quarantined), "missing", len(rep.Missing))
+			log.Warn("store recovered UNHEALTHY: serving what survived", kv...)
+		} else {
+			log.Info("store recovered", kv...)
 		}
-		fmt.Fprintln(os.Stderr)
 		cfg.Store = st
 	}
 	srv, err := serve.NewServer(cfg)
@@ -117,13 +156,13 @@ func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, o
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "mapd: listening on %s\n", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "mapd: %s — draining (budget %s)\n", sig, drainBudget)
+		log.Info("draining", "signal", sig.String(), "budget", drainBudget)
 	case err := <-errc:
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -133,17 +172,17 @@ func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, o
 	// Stop the listener and in-flight HTTP exchanges first, then drain
 	// the service's own queues and searches.
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "mapd: http shutdown: %v\n", err)
+		log.Warn("http shutdown", "err", err)
 	}
 	if err := srv.Drain(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "mapd: %v\n", err)
+		log.Error("drain", "err", err)
 	}
 	snap := srv.Close()
 	if st != nil {
 		// The drain finished every queued evaluation, so every pricing
 		// has been appended; flush and seal the atlas.
 		if err := st.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "mapd: store close: %v\n", err)
+			log.Error("store close", "err", err)
 		}
 	}
 	if obsOut != "" {
@@ -151,7 +190,12 @@ func run(listen, storeDir string, cfg serve.Config, drainBudget time.Duration, o
 			return fmt.Errorf("write obs snapshot: %w", err)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "mapd: drained")
+	if traceOut != "" {
+		if err := writeTraces(traceOut, cfg.Tracer); err != nil {
+			return fmt.Errorf("write traces: %w", err)
+		}
+	}
+	log.Info("drained")
 	return nil
 }
 
@@ -161,6 +205,21 @@ func writeSnapshot(path string, snap obs.Snapshot) error {
 		return err
 	}
 	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraces flushes the drained server's retained traces in Chrome
+// trace-event form — every request admitted before the drain has
+// finished by now, so the export is complete, not a sample mid-flight.
+func writeTraces(path string, tracer *tracing.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChrome(f); err != nil {
 		f.Close()
 		return err
 	}

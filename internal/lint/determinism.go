@@ -14,13 +14,14 @@ import (
 // classic ways that property dies: wall-clock reads, the process-global
 // math/rand stream, and map iteration feeding ordered output.
 var criticalPkgs = map[string]bool{
-	"repro/internal/fm/search": true,
-	"repro/internal/workspan":  true,
-	"repro/internal/fault":     true,
-	"repro/internal/replay":    true,
-	"repro/internal/noc":       true,
-	"repro/internal/serve":     true,
-	"repro/internal/store":     true,
+	"repro/internal/fm/search":   true,
+	"repro/internal/workspan":    true,
+	"repro/internal/fault":       true,
+	"repro/internal/replay":      true,
+	"repro/internal/noc":         true,
+	"repro/internal/serve":       true,
+	"repro/internal/store":       true,
+	"repro/internal/obs/tracing": true,
 }
 
 // randConstructors are the math/rand top-level functions that build

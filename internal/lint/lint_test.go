@@ -29,8 +29,9 @@ func TestAnalyzers(t *testing.T) {
 		{"determinism/noncritical", lint.Determinism, []string{"a/notcritical"}},
 		{"nopanic/external", lint.NoPanic, []string{"a/notcritical"}},
 		{"printban/external", lint.PrintBan, []string{"a/notcritical"}},
-		// The obs package itself may touch its own internals.
+		// The protected packages themselves may touch their own internals.
 		{"obsnoop/self", lint.ObsNoop, []string{"repro/internal/obs"}},
+		{"obsnoop/tracing-self", lint.ObsNoop, []string{"repro/internal/obs/tracing"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,35 +7,50 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// obsPath is the observability package whose nil-no-op contract ObsNoop
-// protects.
-const obsPath = "repro/internal/obs"
-
-// obsProtected is the set of obs types that must only travel as
-// pointers obtained from a Registry: their nil receiver IS the disabled
-// path, and their guts (mutexes, atomics) must never be copied.
-var obsProtected = map[string]bool{
-	"Registry": true, "Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
+// obsProtected maps each observability package path to the set of its
+// types that must only travel as pointers obtained from the package's
+// own constructors: their nil receiver IS the disabled path, and their
+// guts (mutexes, atomics) must never be copied. The map value's alias
+// is the package's natural import name, used in diagnostics.
+var obsProtected = map[string]protectedPkg{
+	"repro/internal/obs": {
+		alias: "obs",
+		types: map[string]bool{
+			"Registry": true, "Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
+		},
+	},
+	"repro/internal/obs/tracing": {
+		alias: "tracing",
+		types: map[string]bool{
+			"Tracer": true, "Request": true,
+		},
+	},
 }
 
-// ObsNoop enforces the "nil registry is a zero-overhead no-op"
-// contract: obs.Registry and its instruments are used only through
-// their nil-safe pointer API. Constructing one with a composite
-// literal or new() bypasses New and yields an unusable zero value;
-// declaring or copying one as a value splits its atomics and breaks
-// the shared-instrument semantics. The runtime backstop is the
-// obs_test.go nil-registry suites; this check catches the misuse
-// before anything runs.
+type protectedPkg struct {
+	alias string
+	types map[string]bool
+}
+
+// ObsNoop enforces the "nil handle is a zero-overhead no-op" contract
+// shared by obs and obs/tracing: registries, instruments, tracers and
+// request traces are used only through their nil-safe pointer API.
+// Constructing one with a composite literal or new() bypasses the
+// package constructor and yields an unusable zero value; declaring or
+// copying one as a value splits its atomics and breaks the
+// shared-handle semantics. The runtime backstop is the nil-path test
+// suites (including the zero-allocation gates); this check catches the
+// misuse before anything runs.
 var ObsNoop = &analysis.Analyzer{
 	Name: "obsnoop",
-	Doc: "obs.Registry and instruments must be used via their nil-safe pointer API: " +
+	Doc: "obs and obs/tracing handles must be used via their nil-safe pointer API: " +
 		"no composite literals, no new(), no value declarations or copies " +
 		"(escape hatch: //lint:allow obs(reason))",
 	Run: runObsNoop,
 }
 
 func runObsNoop(pass *analysis.Pass) (interface{}, error) {
-	if pass.Pkg.Path() == obsPath {
+	if _, self := obsProtected[pass.Pkg.Path()]; self {
 		return nil, nil // the package owns its own internals
 	}
 	for _, file := range pass.Files {
@@ -63,7 +78,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 				if name := protectedObsType(t); name != "" {
 					if !allowed(pass, file, e.Pos(), "obs") {
 						pass.Reportf(e.Pos(),
-							"composite literal of obs.%s bypasses obs.New; the zero value is not usable", name)
+							"composite literal of %s bypasses the constructor; the zero value is not usable", name)
 					}
 				}
 			case *ast.CallExpr:
@@ -78,7 +93,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 					if name := protectedObsType(tv.Type); name != "" {
 						if !allowed(pass, file, e.Pos(), "obs") {
 							pass.Reportf(e.Pos(),
-								"new(obs.%s) bypasses obs.New; the zero value is not usable", name)
+								"new(%s) bypasses the constructor; the zero value is not usable", name)
 						}
 					}
 				}
@@ -92,7 +107,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 				if name := protectedObsType(tv.Type); name != "" {
 					if !allowed(pass, file, e.Pos(), "obs") {
 						pass.Reportf(e.Pos(),
-							"dereference copies obs.%s; pass the *obs.%s pointer instead", name, name)
+							"dereference copies %s; pass the *%s pointer instead", name, name)
 					}
 				}
 			}
@@ -103,7 +118,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 }
 
 // checkObsValueType flags a declaration (var, struct field, parameter,
-// or result) whose type is a protected obs type by value.
+// or result) whose type is a protected observability type by value.
 func checkObsValueType(pass *analysis.Pass, file *ast.File, typeExpr ast.Expr, declName string) {
 	tv, ok := pass.TypesInfo.Types[typeExpr]
 	if !ok || !tv.IsType() {
@@ -118,7 +133,7 @@ func checkObsValueType(pass *analysis.Pass, file *ast.File, typeExpr ast.Expr, d
 		what = declName
 	}
 	pass.Reportf(typeExpr.Pos(),
-		"%s declared as obs.%s value; use *obs.%s (copying breaks the nil no-op contract)",
+		"%s declared as %s value; use *%s (copying breaks the nil no-op contract)",
 		what, name, name)
 }
 
@@ -129,19 +144,21 @@ func fieldName(f *ast.Field) string {
 	return ""
 }
 
-// protectedObsType returns the obs type name if t is one of the
-// protected obs named struct types, or "".
+// protectedObsType returns the package-qualified type name (e.g.
+// "obs.Counter", "tracing.Tracer") if t is one of the protected
+// observability struct types, or "".
 func protectedObsType(t types.Type) string {
 	named, ok := t.(*types.Named)
 	if !ok {
 		return ""
 	}
 	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+	if obj.Pkg() == nil {
 		return ""
 	}
-	if obsProtected[obj.Name()] {
-		return obj.Name()
+	pkg, ok := obsProtected[obj.Pkg().Path()]
+	if !ok || !pkg.types[obj.Name()] {
+		return ""
 	}
-	return ""
+	return pkg.alias + "." + obj.Name()
 }

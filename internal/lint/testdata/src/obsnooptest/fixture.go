@@ -12,7 +12,7 @@ func Good() {
 }
 
 func BadLiteral() *obs.Registry {
-	return &obs.Registry{} // want "composite literal of obs.Registry bypasses obs.New"
+	return &obs.Registry{} // want "composite literal of obs.Registry bypasses the constructor"
 }
 
 func BadInstrumentLiteral() obs.Counter { // want "declaration declared as obs.Counter value"
@@ -20,7 +20,7 @@ func BadInstrumentLiteral() obs.Counter { // want "declaration declared as obs.C
 }
 
 func BadNew() *obs.Registry {
-	return new(obs.Registry) // want "new\(obs.Registry\) bypasses obs.New"
+	return new(obs.Registry) // want "new\(obs.Registry\) bypasses the constructor"
 }
 
 var BadValue obs.Gauge // want "BadValue declared as obs.Gauge value"

@@ -1,0 +1,40 @@
+// Tracing half of the obsnoop fixture: Tracer and Request carry the
+// same nil-no-op pointer contract as the obs instruments.
+package obsnooptest
+
+import "repro/internal/obs/tracing"
+
+func GoodTracing() {
+	t := tracing.New()
+	rt := t.StartDetached("batch", "coalesce")
+	rt.Stage("eval")
+	rt.Finish()
+	var off *tracing.Tracer // nil pointer is tracing disabled: fine
+	off.StartDetached("x", "y").Finish()
+}
+
+func BadTracerLiteral() *tracing.Tracer {
+	return &tracing.Tracer{} // want "composite literal of tracing.Tracer bypasses the constructor"
+}
+
+func BadRequestNew() *tracing.Request {
+	return new(tracing.Request) // want "new\(tracing.Request\) bypasses the constructor"
+}
+
+var BadTracerValue tracing.Tracer // want "BadTracerValue declared as tracing.Tracer value"
+
+type traceHolder struct {
+	rt tracing.Request  // want "rt declared as tracing.Request value"
+	p  *tracing.Request // fine: pointer field
+}
+
+func BadRequestCopy(rt *tracing.Request) {
+	v := *rt // want "dereference copies tracing.Request"
+	_ = v
+}
+
+func AllowedTracing() {
+	//lint:allow obs(fixture demonstrates the escape hatch)
+	v := tracing.Request{}
+	_ = v
+}

@@ -1,0 +1,17 @@
+// Fake tracing package for the obsnoop fixture: same import path and
+// type names as the real repro/internal/obs/tracing, minimal bodies.
+// The analyzer matches on (package path, type name), so this stand-in
+// exercises it without dragging the real package's dependencies into
+// the fixture.
+package tracing
+
+type Tracer struct{ seed uint64 }
+
+func New() *Tracer { return &Tracer{} }
+
+func (t *Tracer) StartDetached(route, first string) *Request { return &Request{} }
+
+type Request struct{ n int }
+
+func (r *Request) Stage(name string) {}
+func (r *Request) Finish()           {}

@@ -1,0 +1,131 @@
+// A minimal leveled JSONL logger — the structured replacement for the
+// ad-hoc fmt.Fprintln(os.Stderr, ...) lines cmd/mapd grew. One line per
+// event, keys sorted by the JSON marshaler, so log output is grep- and
+// join-friendly: events about a request carry its trace_id, which is
+// exactly the ID /debug/traces exports, making "slow request in the
+// log" and "slow trace in the recorder" the same object. Like the rest
+// of obs, a nil *Logger is the disabled logger and every method is a
+// free no-op.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	// LevelDebug is development noise, off by default.
+	LevelDebug Level = iota
+	// LevelInfo is normal operational events.
+	LevelInfo
+	// LevelWarn is degraded-but-continuing conditions.
+	LevelWarn
+	// LevelError is failures.
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("Level(%d)", int32(l))
+	}
+}
+
+// Logger writes one JSON object per line: {"level":..., "msg":...,
+// plus caller key/value pairs, plus "ts" when a time source is set}.
+// Safe for concurrent use; a nil *Logger drops everything.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing JSONL to w, dropping events below
+// min. Timestamps are off until WithNow supplies a time source — a
+// deliberate inversion: the logger never reads the wall clock on its
+// own, so log output in deterministic drills stays deterministic.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// WithNow sets the timestamp source (typically time.Now in production,
+// nothing in deterministic drills) and returns the logger.
+func (l *Logger) WithNow(now func() time.Time) *Logger {
+	if l == nil {
+		return nil
+	}
+	l.now = now
+	return l
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < l.min {
+		return
+	}
+	m := make(map[string]any, len(kv)/2+3)
+	m["level"] = level.String()
+	m["msg"] = msg
+	if l.now != nil {
+		m["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[fmt.Sprint(kv[i])] = normalize(kv[i+1])
+	}
+	if len(kv)%2 != 0 {
+		m[fmt.Sprint(kv[len(kv)-1])] = "(MISSING)"
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		// A value the marshaler rejects must not silence the event; fall
+		// back to the guaranteed-marshalable core.
+		data, _ = json.Marshal(map[string]any{
+			"level": level.String(), "msg": msg, "log_error": err.Error(),
+		})
+	}
+	l.mu.Lock()
+	_, _ = l.w.Write(append(data, '\n'))
+	l.mu.Unlock()
+}
+
+// normalize renders values the JSON marshaler would reject or mangle
+// (errors, Stringers, durations) as strings.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return v
+	}
+}

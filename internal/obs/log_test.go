@@ -1,0 +1,110 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// decodeLines parses a JSONL buffer into one map per line.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	log := obs.NewLogger(&buf, obs.LevelInfo)
+	log.Info("listening", "addr", "127.0.0.1:8080", "n", 3)
+	log.Warn("store recovered UNHEALTHY", "err", errors.New("segment torn"), "budget", 30*time.Second)
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %s", len(lines), buf.String())
+	}
+	first := lines[0]
+	if first["level"] != "info" || first["msg"] != "listening" || first["addr"] != "127.0.0.1:8080" || first["n"] != float64(3) {
+		t.Fatalf("first line: %v", first)
+	}
+	if _, hasTS := first["ts"]; hasTS {
+		t.Fatalf("timestamp present without WithNow: %v", first)
+	}
+	second := lines[1]
+	// Errors and durations normalize to strings so the line always
+	// marshals and greps predictably.
+	if second["err"] != "segment torn" || second["budget"] != "30s" || second["level"] != "warn" {
+		t.Fatalf("second line: %v", second)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	log := obs.NewLogger(&buf, obs.LevelWarn)
+	log.Debug("d")
+	log.Info("i")
+	log.Warn("w")
+	log.Error("e")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 || lines[0]["msg"] != "w" || lines[1]["msg"] != "e" {
+		t.Fatalf("min=warn kept %v", lines)
+	}
+}
+
+func TestLoggerTimestampSource(t *testing.T) {
+	var buf bytes.Buffer
+	fixed := time.Date(2026, 8, 7, 1, 2, 3, 4, time.UTC)
+	log := obs.NewLogger(&buf, obs.LevelInfo).WithNow(func() time.Time { return fixed })
+	log.Info("x")
+	lines := decodeLines(t, &buf)
+	if lines[0]["ts"] != fixed.Format(time.RFC3339Nano) {
+		t.Fatalf("ts %v, want %s", lines[0]["ts"], fixed.Format(time.RFC3339Nano))
+	}
+}
+
+func TestLoggerOddKeyValue(t *testing.T) {
+	var buf bytes.Buffer
+	log := obs.NewLogger(&buf, obs.LevelInfo)
+	log.Info("x", "dangling")
+	lines := decodeLines(t, &buf)
+	if lines[0]["dangling"] != "(MISSING)" {
+		t.Fatalf("odd trailing key: %v", lines[0])
+	}
+}
+
+func TestLoggerUnmarshalableValueFallsBack(t *testing.T) {
+	var buf bytes.Buffer
+	log := obs.NewLogger(&buf, obs.LevelInfo)
+	log.Info("x", "ch", make(chan int))
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["msg"] != "x" || lines[0]["log_error"] == nil {
+		t.Fatalf("marshal failure must fall back to the core line: %v", lines)
+	}
+}
+
+func TestNilLoggerNoops(t *testing.T) {
+	var log *obs.Logger
+	if log.WithNow(time.Now) != nil {
+		t.Fatalf("nil WithNow must return nil")
+	}
+	// Must not panic.
+	log.Debug("d")
+	log.Info("i", "k", "v")
+	log.Warn("w")
+	log.Error("e", "err", errors.New("x"))
+}

@@ -1,0 +1,134 @@
+// Exports: the /debug/traces JSON document and the Chrome trace-event
+// rendering. Both are deterministic functions of the retained records —
+// maps marshal with sorted keys, records appear in completion order —
+// so marshaling twice (or exporting from two same-seed drills under a
+// frozen clock) yields byte-identical output.
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// Export is the /debug/traces document.
+type Export struct {
+	Seed      uint64   `json:"seed"`
+	Capacity  int      `json:"capacity"`
+	ExemplarK int      `json:"exemplar_k"`
+	Completed uint64   `json:"completed"`
+	Evicted   uint64   `json:"evicted"`
+	Traces    []Record `json:"traces"`
+}
+
+// Export freezes the tracer's retained traces. A nil tracer exports the
+// empty document (Traces non-nil, so the JSON is "traces": [] rather
+// than null).
+func (t *Tracer) Export() Export {
+	e := Export{Traces: []Record{}}
+	if t == nil {
+		return e
+	}
+	e.Seed = t.seed
+	e.Capacity = t.buf.capacity
+	e.ExemplarK = t.buf.k
+	e.Completed, e.Evicted = t.buf.stats()
+	e.Traces = t.buf.snapshot()
+	return e
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// Handler serves the JSON export — GET /debug/traces. Nil-safe like
+// obs.Registry.Handler: a disabled tracer serves the empty document.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// A write error means the client hung up; nothing useful to do.
+		_ = t.Export().WriteJSON(w)
+	})
+}
+
+// chromeEvent mirrors internal/trace's Chrome trace-event record
+// ("Trace Event Format", catapult JSON array form): complete events
+// (ph "X") for the request and its stages, instant events (ph "i") for
+// marks. Request traces render on pid 0 with one thread per admission
+// sequence number, so a request timeline loads into the same
+// chrome://tracing view as the machine space-time diagram it triggered
+// (which internal/trace renders on the grid-node pids).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the retained traces as a Chrome trace-event JSON
+// array. Timestamps are microseconds relative to the earliest retained
+// trace start, so the export is position-independent: two same-seed
+// drills at different wall epochs (or a frozen clock) render
+// identically.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	var recs []Record
+	if t != nil {
+		recs = t.buf.snapshot()
+	}
+	base := int64(0)
+	for i, r := range recs {
+		if i == 0 || r.StartUnixNS < base {
+			base = r.StartUnixNS
+		}
+	}
+	events := make([]chromeEvent, 0, len(recs)*4)
+	for _, r := range recs {
+		tid := int(r.Seq)
+		args := map[string]any{"trace_id": r.TraceID, "outcome": r.Outcome}
+		if len(r.Annotations) > 0 {
+			args["annotations"] = r.Annotations
+		}
+		events = append(events, chromeEvent{
+			Name:  r.Route,
+			Cat:   "request",
+			Phase: "X",
+			TS:    float64(r.StartUnixNS-base) / 1e3,
+			Dur:   float64(r.DurationNS) / 1e3,
+			PID:   0,
+			TID:   tid,
+			Args:  args,
+		})
+		for _, st := range r.Stages {
+			events = append(events, chromeEvent{
+				Name:  st.Name,
+				Cat:   "stage",
+				Phase: "X",
+				TS:    float64(r.StartUnixNS-base+st.OffsetNS) / 1e3,
+				Dur:   float64(st.DurationNS) / 1e3,
+				PID:   0,
+				TID:   tid,
+				Args:  map[string]any{"span_id": st.SpanID, "trace_id": r.TraceID},
+			})
+		}
+		for _, m := range r.Marks {
+			events = append(events, chromeEvent{
+				Name:  m.Name,
+				Cat:   "mark",
+				Phase: "i",
+				TS:    float64(r.StartUnixNS-base+m.OffsetNS) / 1e3,
+				PID:   0,
+				TID:   tid,
+				Scope: "t",
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(events)
+}

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"context"
+	"strconv"
 	"time"
 
 	"repro/internal/fm"
@@ -73,6 +74,13 @@ func (s *Server) processBatch(jobs []*evalJob) {
 // server-owned context bounded by the latest live member deadline, so
 // neither an impatient client nor one that disconnects mid-batch can
 // cancel work its batch-mates still want.
+//
+// The group gets its own detached trace (route "batch"): the batch is
+// server-owned work with no single parent request, so batch-mates link
+// to it by annotation — each member trace carries the batch trace's ID
+// — rather than by nesting. The batch trace is finished before any
+// result is delivered, so traces land in the ring in a deterministic
+// order: batch first, then its members as their handlers respond.
 func (s *Server) priceGroup(group []*evalJob) {
 	live := group[:0:0]
 	for _, j := range group {
@@ -94,16 +102,31 @@ func (s *Server) priceGroup(group []*evalJob) {
 		offsets[i+1] = offsets[i] + len(j.scheds)
 	}
 
+	bt := s.tracer.StartDetached("batch", "coalesce")
+	bt.Annotate("jobs", strconv.Itoa(len(live)))
+	bt.Annotate("schedules", strconv.Itoa(len(scheds)))
+	for _, j := range live {
+		j.rt.Stage("batch")
+		j.rt.Annotate("batch_id", bt.TraceID())
+		j.rt.Annotate("batch_jobs", strconv.Itoa(len(live)))
+	}
+
 	first := live[0]
 	// Warm the cache from the persistent atlas so EvalBatch prices only
 	// mappings this process has never seen on disk or in memory.
+	bt.Stage("store_warm")
 	s.warmFromStore(first.gfp, first.tgt, scheds)
 	ctx, cancel := batchCtx(live)
 	defer cancel()
+	bt.Stage("eval")
 	costs, err := search.EvalBatch(ctx, s.pool, s.cache, first.g, first.gfp, scheds, first.tgt)
+	bt.Stage("store_persist")
 	if err == nil {
 		s.storePutAll(first.gfp, first.tgt, scheds, costs)
+	} else {
+		bt.SetOutcome("error")
 	}
+	bt.Finish()
 	for i, j := range live {
 		if err != nil {
 			j.result <- evalResult{err: err}

@@ -23,12 +23,14 @@ import (
 	"strconv"
 
 	"repro/internal/fm"
+	"repro/internal/obs/tracing"
 )
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	// Slack analysis carries a JSON body; both GET (as documented) and
@@ -47,11 +49,34 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// respond seals the request trace, then writes the response. Finishing
+// BEFORE the body goes out means the trace is committed to the ring
+// before the client can observe the answer, so a sequential driver sees
+// completed traces in exact request order — the property that makes two
+// same-seed drills export byte-identical /debug/traces documents. The
+// deferred Finish in each handler stays as an idempotent backstop for
+// paths that bypass these helpers.
+func respond(rt *tracing.Request, w http.ResponseWriter, status int, v any) {
+	rt.Stage("respond")
+	rt.Finish()
+	writeJSON(w, status, v)
+}
+
+// respondErr is respond for failures: it stamps the outcome (rejected,
+// deadline, canceled, error, ...) before sealing the trace.
+func respondErr(rt *tracing.Request, outcome string, w http.ResponseWriter, status int, format string, args ...any) {
+	rt.SetOutcome(outcome)
+	rt.Stage("respond")
+	rt.Finish()
+	writeError(w, status, format, args...)
+}
+
 // rejectEval answers 429 with the server's Retry-After estimate.
-func (s *Server) rejectEval(w http.ResponseWriter) {
+func (s *Server) rejectEval(rt *tracing.Request, w http.ResponseWriter) {
 	s.mEvalRejected.Inc()
+	rt.Annotate("admission.reason", "queue full")
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-	writeError(w, http.StatusTooManyRequests, "eval queue full; retry later")
+	respondErr(rt, "rejected", w, http.StatusTooManyRequests, "eval queue full; retry later")
 }
 
 // writeEvalError translates an evaluation failure honestly: an expired
@@ -59,15 +84,15 @@ func (s *Server) rejectEval(w http.ResponseWriter) {
 // so the request context — not any deadline — died) is a 503, because
 // "deadline exceeded" would misattribute a failure no deadline caused;
 // anything else is a server error.
-func (s *Server) writeEvalError(w http.ResponseWriter, err error, where string) {
+func (s *Server) writeEvalError(rt *tracing.Request, w http.ResponseWriter, err error, where string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.mEvalDeadline.Inc()
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded %s", where)
+		respondErr(rt, "deadline", w, http.StatusGatewayTimeout, "deadline exceeded %s", where)
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "request canceled %s", where)
+		respondErr(rt, "canceled", w, http.StatusServiceUnavailable, "request canceled %s", where)
 	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		respondErr(rt, "error", w, http.StatusInternalServerError, "%v", err)
 	}
 }
 
@@ -140,80 +165,88 @@ func (s *Server) cacheOnly(gfp uint64, tgt fm.Target, scheds []fm.Schedule) ([]f
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.mEvalRequests.Inc()
+	rctx, rt := s.tracer.StartRequest(r.Context(), "/v1/eval", "decode")
+	defer rt.Finish()
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		rt.Annotate("admission.reason", "draining")
+		respondErr(rt, "rejected", w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req EvalRequest
 	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondErr(rt, "error", w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(req.Schedules) == 0 || len(req.Schedules) > maxSchedules {
-		writeError(w, http.StatusUnprocessableEntity, "request must carry 1..%d schedules, got %d", maxSchedules, len(req.Schedules))
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "request must carry 1..%d schedules, got %d", maxSchedules, len(req.Schedules))
 		return
 	}
 	g, dom, gfp, status, err := s.resolveGraph(req.Recurrence, req.GraphFP)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		respondErr(rt, "error", w, status, "%v", err)
 		return
 	}
 	tgt, err := req.Target.target()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	scheds, err := buildSchedules(req.Schedules, g, dom, tgt)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 
-	ctx, cancel, err := s.deadlineFor(r, req.DeadlineMS)
+	ctx, cancel, err := s.deadlineFor(rctx, r, req.DeadlineMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondErr(rt, "error", w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
 
+	rt.Stage("admission")
 	start := s.clock.Now()
 	fpHex := formatGraphFP(gfp)
-	degraded := func(costs []fm.Cost) {
+	degraded := func(costs []fm.Cost, reason string) {
 		s.mEvalDegraded.Inc()
-		writeJSON(w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: costs, Degraded: true})
+		rt.Annotate("admission.reason", reason)
+		rt.SetOutcome("degraded")
+		respond(rt, w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: costs, Degraded: true})
 	}
 
 	// Admission. Shed and pause degrade first; serve evaluates first and
 	// degrades only under backpressure.
 	if s.Mode() != ModeServe {
 		if costs, ok := s.cacheOnly(gfp, tgt, scheds); ok {
-			degraded(costs)
+			degraded(costs, "shed: cache-only")
 			return
 		}
 	}
 	job := &evalJob{
 		ctx: ctx, gfp: gfp, tgt: tgt, g: g, scheds: scheds,
 		enqueued: start,
+		rt:       rt,
 		result:   make(chan evalResult, 1),
 	}
 	if !s.queue.tryEnqueue(job) {
 		if costs, ok := s.cacheOnly(gfp, tgt, scheds); ok {
-			degraded(costs)
+			degraded(costs, "queue full: cache-only")
 			return
 		}
-		s.rejectEval(w)
+		s.rejectEval(rt, w)
 		return
 	}
 	s.mQueueDepth.Set(float64(s.queue.depth()))
+	rt.Stage("queue_wait")
 
 	deliver := func(res evalResult) {
 		if res.err != nil {
-			s.writeEvalError(w, res.err, "during evaluation")
+			s.writeEvalError(rt, w, res.err, "during evaluation")
 			return
 		}
 		s.mEvalOK.Inc()
 		s.mEvalLatency.Observe(s.clock.Now().Sub(start))
-		writeJSON(w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: res.costs, BatchSize: res.batch})
+		respond(rt, w, http.StatusOK, EvalResponse{GraphFP: fpHex, Costs: res.costs, BatchSize: res.batch})
 	}
 	select {
 	case res := <-job.result:
@@ -228,82 +261,90 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		default:
 			// The job stays queued; the worker that eventually drains it
 			// sees the dead context and skips the evaluation.
-			s.writeEvalError(w, ctx.Err(), "while queued")
+			s.writeEvalError(rt, w, ctx.Err(), "while queued")
 		}
 	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.mSearchRequests.Inc()
+	rctx, rt := s.tracer.StartRequest(r.Context(), "/v1/search", "decode")
+	defer rt.Finish()
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		rt.Annotate("admission.reason", "draining")
+		respondErr(rt, "rejected", w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req SearchRequest
 	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondErr(rt, "error", w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if _, ok := objectives[req.Objective]; !ok {
-		writeError(w, http.StatusUnprocessableEntity, "unknown objective %q (want time|energy|edp|footprint)", req.Objective)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "unknown objective %q (want time|energy|edp|footprint)", req.Objective)
 		return
 	}
 	if req.Kind != "" && req.Kind != "anneal" && req.Kind != "exhaustive" {
-		writeError(w, http.StatusUnprocessableEntity, "unknown search kind %q (want anneal|exhaustive)", req.Kind)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "unknown search kind %q (want anneal|exhaustive)", req.Kind)
 		return
 	}
 	if req.Iters < 0 || req.Iters > maxSearchIters {
-		writeError(w, http.StatusUnprocessableEntity, "iters %d outside 0..%d", req.Iters, maxSearchIters)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "iters %d outside 0..%d", req.Iters, maxSearchIters)
 		return
 	}
 	if req.Chains < 0 || req.Chains > maxSearchChains {
-		writeError(w, http.StatusUnprocessableEntity, "chains %d outside 0..%d", req.Chains, maxSearchChains)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "chains %d outside 0..%d", req.Chains, maxSearchChains)
 		return
 	}
 	g, dom, gfp, status, err := s.resolveGraph(req.Recurrence, req.GraphFP)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		respondErr(rt, "error", w, status, "%v", err)
 		return
 	}
 	tgt, err := req.Target.target()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	key := searchKey(gfp, tgt, &req)
 	start := s.clock.Now()
-	ctx, cancel, err := s.deadlineFor(r, req.DeadlineMS)
+	ctx, cancel, err := s.deadlineFor(rctx, r, req.DeadlineMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondErr(rt, "error", w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
 
-	degradedAnswer := func() bool {
+	rt.Stage("admission")
+	degradedAnswer := func(reason string) bool {
 		resp, ok := s.searches.lookup(key)
 		if !ok {
 			return false
 		}
 		resp.Degraded = true
 		s.mSearchDegraded.Inc()
-		writeJSON(w, http.StatusOK, resp)
+		rt.Annotate("admission.reason", reason)
+		rt.SetOutcome("degraded")
+		respond(rt, w, http.StatusOK, resp)
 		return true
 	}
 
 	// Shed/pause: replay stored results only, never start new searches.
 	if s.Mode() != ModeServe {
-		if !degradedAnswer() {
+		if !degradedAnswer("shed: stored best-so-far") {
 			s.mSearchRejected.Inc()
+			rt.Annotate("admission.reason", "shedding, no stored result")
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "search admission is shedding; retry later")
+			respondErr(rt, "rejected", w, http.StatusTooManyRequests, "search admission is shedding; retry later")
 		}
 		return
 	}
 	if !s.searches.acquire() {
-		if !degradedAnswer() {
+		if !degradedAnswer("slots busy: stored best-so-far") {
 			s.mSearchRejected.Inc()
+			rt.Annotate("admission.reason", "slots busy, no stored result")
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, "all %d search slots busy; retry later", s.cfg.MaxSearches)
+			respondErr(rt, "rejected", w, http.StatusTooManyRequests, "all %d search slots busy; retry later", s.cfg.MaxSearches)
 		}
 		return
 	}
@@ -322,15 +363,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp, err = s.runAnneal(ctx, g, gfp, tgt, &req, key)
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	if resp.Partial {
 		s.mSearchPartial.Inc()
+		rt.Annotate("partial", "true")
 	}
 	s.mSearchOK.Inc()
 	s.mSearchLatency.Observe(s.clock.Now().Sub(start))
-	writeJSON(w, http.StatusOK, resp)
+	respond(rt, w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
@@ -339,46 +381,63 @@ func (s *Server) handleSlack(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
+	_, rt := s.tracer.StartRequest(r.Context(), "/v1/slack", "decode")
+	defer rt.Finish()
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		rt.Annotate("admission.reason", "draining")
+		respondErr(rt, "rejected", w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req SlackRequest
 	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondErr(rt, "error", w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	g, dom, gfp, status, err := s.resolveGraph(req.Recurrence, req.GraphFP)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		respondErr(rt, "error", w, status, "%v", err)
 		return
 	}
 	tgt, err := req.Target.target()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	sched, err := req.Schedule.build(g, dom, tgt)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	rt.Stage("analyze")
 	edges, err := fm.SlackAnalysis(g, sched, tgt)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		respondErr(rt, "error", w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	resp := SlackResponse{GraphFP: formatGraphFP(gfp), Summary: fm.SummarizeSlack(edges)}
 	if len(edges) <= maxSlackEdges {
 		resp.Edges = edges
 	}
-	writeJSON(w, http.StatusOK, resp)
+	respond(rt, w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.cache.PublishObs(s.reg)
 	s.mQueueDepth.Set(float64(s.queue.depth()))
 	s.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleTraces serves the flight recorder: the JSON export by default,
+// the Chrome trace-event rendering with ?format=chrome. Untraced itself
+// (scraping must not perturb what it scrapes), and nil-safe — a server
+// without a tracer serves the empty document.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.tracer.WriteChrome(w)
+		return
+	}
+	s.tracer.Handler().ServeHTTP(w, r)
 }
 
 // healthzResponse is the health endpoint's payload; loadgen's overload

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fm"
+	"repro/internal/obs/tracing"
 )
 
 // evalJob is one admitted eval request waiting to be priced. Jobs are
@@ -26,6 +27,11 @@ type evalJob struct {
 	// enqueued is the admission instant (server clock), for queue-wait
 	// accounting.
 	enqueued time.Time
+	// rt is the request's flight-recorder trace (nil when tracing is
+	// off). The drain worker advances its stage at batch pickup and
+	// links it to the batch trace; every method is safe if the handler
+	// has already finished the trace (a deadline raced the worker).
+	rt *tracing.Request
 	// result receives exactly one evalResult; buffered so a worker never
 	// blocks on a departed waiter.
 	result chan evalResult

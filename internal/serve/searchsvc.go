@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fm"
 	"repro/internal/fm/search"
+	"repro/internal/obs/tracing"
 )
 
 // maxSearchResults bounds the best-so-far registry; eviction only
@@ -144,15 +145,27 @@ func (s *Server) runAnneal(ctx context.Context, g *fm.Graph, gfp uint64, tgt fm.
 		Context:   ctx,
 		Obs:       s.reg,
 	}
+	rt := tracing.FromContext(ctx)
+	rt.Stage("checkpoint")
 	var done int
-	opts.OnProgress = func(p search.Progress) { done = p.Done }
+	// Each OnProgress call is one exchange barrier: the anneal's chains
+	// have synchronized, checkpointed (when configured), and checked the
+	// context. Marking them puts the search's internal cadence on the
+	// request timeline.
+	opts.OnProgress = func(p search.Progress) {
+		done = p.Done
+		rt.Mark("anneal.barrier")
+	}
+	rt.Annotate("resume", "false")
 	if path := s.checkpointPath(key); path != "" {
 		opts.CheckpointPath = path
 		if _, err := os.Stat(path); err == nil {
 			opts.Resume = true
+			rt.Annotate("resume", "true")
 		}
 	}
 
+	rt.Stage("anneal")
 	sched, cost, err := search.AnnealResumable(g, tgt, opts)
 	if err != nil && !errIsCtx(err) {
 		return SearchResponse{}, err
@@ -163,6 +176,7 @@ func (s *Server) runAnneal(ctx context.Context, g *fm.Graph, gfp uint64, tgt fm.
 	// Persist the winner (its cost is the deterministic evaluator's
 	// price, partial or not), then answer with the better of the fresh
 	// result and the atlas's best-known mapping for this objective.
+	rt.Stage("store")
 	s.storePut(gfp, tgt, sched, cost)
 	resp := SearchResponse{
 		GraphFP: formatGraphFP(gfp),
@@ -223,6 +237,8 @@ func (s *Server) runExhaustive(ctx context.Context, g *fm.Graph, dom *fm.Domain,
 	if p == 0 {
 		p = tgt.Grid.Width
 	}
+	rt := tracing.FromContext(ctx)
+	rt.Stage("sweep")
 	cands := search.Exhaustive2D(g, dom, tgt, search.Affine2DOptions{
 		P:       p,
 		MaxTau:  req.MaxTau,
@@ -235,6 +251,7 @@ func (s *Server) runExhaustive(ctx context.Context, g *fm.Graph, dom *fm.Domain,
 	if !ok {
 		return SearchResponse{}, fmt.Errorf("affine sweep produced no legal candidate")
 	}
+	rt.Stage("store")
 	s.storePut(gfp, tgt, best.Sched, best.Cost)
 	resp := SearchResponse{
 		GraphFP: formatGraphFP(gfp),

@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/fm/search"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/store"
 	"repro/internal/workspan"
 )
@@ -141,6 +142,13 @@ type Config struct {
 	// "search.evalcache.*" gauges. Nil disables instrumentation at zero
 	// cost.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records a per-request flight-recorder trace
+	// for every eval/search/slack request (and every coalesced batch),
+	// exposed at GET /debug/traces. The tracer must share this server's
+	// Clock — it is the caller's job to construct it that way — so
+	// request spans and latency metrics read the same time. Nil disables
+	// tracing at zero cost.
+	Tracer *tracing.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -180,9 +188,10 @@ func (c Config) withDefaults() Config {
 // Server is the mapping-evaluation service. Create with NewServer, mount
 // Handler on any http.Server, and stop with Drain then Close.
 type Server struct {
-	cfg   Config
-	clock Clock
-	reg   *obs.Registry
+	cfg    Config
+	clock  Clock
+	reg    *obs.Registry
+	tracer *tracing.Tracer
 
 	pool     *workspan.Pool
 	cache    *search.EvalCache
@@ -229,6 +238,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		clock:    cfg.Clock,
 		reg:      cfg.Obs,
+		tracer:   cfg.Tracer,
 		pool:     workspan.NewPool(cfg.PoolWorkers, workspan.WorkStealing),
 		cache:    search.NewBoundedEvalCache(cfg.CacheEntries),
 		graphs:   newGraphRegistry(cfg.MaxGraphs),
@@ -340,10 +350,12 @@ func (s *Server) Close() obs.Snapshot {
 
 // deadlineFor derives the request's working context: the X-Deadline-Ms
 // header, else the body's deadline_ms, else the server default, all
-// anchored on the request context so a disconnecting client cancels its
-// own handler. A malformed or non-positive header is a client error,
-// reported as one — never silently served under the default deadline.
-func (s *Server) deadlineFor(r *http.Request, bodyMS int64) (context.Context, context.CancelFunc, error) {
+// anchored on parent (the request context, with the request trace
+// already bound in) so a disconnecting client cancels its own handler
+// and deeper layers can still recover the trace. A malformed or
+// non-positive header is a client error, reported as one — never
+// silently served under the default deadline.
+func (s *Server) deadlineFor(parent context.Context, r *http.Request, bodyMS int64) (context.Context, context.CancelFunc, error) {
 	d := s.cfg.DefaultDeadline
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
 		ms, err := strconv.ParseInt(h, 10, 64)
@@ -354,7 +366,7 @@ func (s *Server) deadlineFor(r *http.Request, bodyMS int64) (context.Context, co
 	} else if bodyMS > 0 {
 		d = time.Duration(bodyMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), d)
+	ctx, cancel := context.WithTimeout(parent, d)
 	return ctx, cancel, nil
 }
 
