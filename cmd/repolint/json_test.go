@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module named "repro" (the name
+// the analyzers' internal-package scoping keys on) and chdirs into it,
+// so run() behaves exactly as it does on the real repository.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module repro\n\ngo 1.22\n"
+	for name, content := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRepolintJSONDeterministic is the -json contract test: two
+// independent runs over the same findings-bearing tree must emit
+// byte-identical output, and re-marshaling the decoded findings must
+// reproduce those bytes — no map-ordered fields, no run-dependent
+// content. CI archives the artifact and diffs it across retries, so
+// any nondeterminism here would show up as phantom churn.
+func TestRepolintJSONDeterministic(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/bad/bad.go": `package bad
+
+import "fmt"
+
+func Boom(v int) {
+	fmt.Println("v =", v)
+	if v < 0 {
+		panic("negative")
+	}
+}
+`,
+	})
+
+	runOnce := func() string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+			t.Fatalf("repolint -json exited %d, want 1 (findings)\nstdout:\n%s\nstderr:\n%s",
+				code, out.String(), errOut.String())
+		}
+		return out.String()
+	}
+
+	first := runOnce()
+	second := runOnce()
+	if first != second {
+		t.Fatalf("two -json runs differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	var findings []struct {
+		Pkg      string `json:"pkg"`
+		Pos      string `json:"pos"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(first), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, first)
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings for the planted violations, got none")
+	}
+	analyzers := map[string]bool{}
+	for _, f := range findings {
+		if f.Pkg != "repro/internal/bad" {
+			t.Errorf("finding pkg = %q, want repro/internal/bad", f.Pkg)
+		}
+		if !strings.Contains(f.Pos, "bad.go:") {
+			t.Errorf("finding pos %q does not point into bad.go", f.Pos)
+		}
+		if f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty analyzer or message: %+v", f)
+		}
+		analyzers[f.Analyzer] = true
+	}
+	for _, want := range []string{"printban", "nopanic"} {
+		if !analyzers[want] {
+			t.Errorf("no %s finding for the planted violation; got analyzers %v", want, analyzers)
+		}
+	}
+
+	// Marshal-twice: decode and re-encode with the driver's own
+	// settings; the bytes must round-trip.
+	var decoded []finding
+	if err := json.Unmarshal([]byte(first), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.MarshalIndent(decoded, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again)+"\n" != first {
+		t.Fatalf("re-marshaling decoded findings does not round-trip:\n--- emitted ---\n%s\n--- re-marshaled ---\n%s", first, again)
+	}
+}
+
+// TestRepolintJSONEmpty pins the clean-tree shape: an empty JSON array,
+// not null, so downstream jq/actions consumers can always index it.
+func TestRepolintJSONEmpty(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/ok/ok.go": "package ok\n\nfunc Fine() int { return 1 }\n",
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("clean module exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestRepolintLintsTaggedVariants is the regression test for the
+// build-tag loader gap: a violation in a file behind //go:build
+// deltacheck must still be reported. Before the loader grew BuildTags
+// support, the default file selection silently skipped such files and
+// the differential CI job compiled code the linters had never seen.
+func TestRepolintLintsTaggedVariants(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/tag/base.go": "package tag\n\nfunc Base() int { return 1 }\n",
+		"internal/tag/delta.go": `//go:build deltacheck
+
+package tag
+
+import "fmt"
+
+func Delta() {
+	fmt.Println("only built under the deltacheck tag")
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("repolint exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "delta.go") || !strings.Contains(out.String(), "printban") {
+		t.Fatalf("tagged-file violation not reported:\n%s", out.String())
+	}
+	// The same violation must not be double-reported by the two passes.
+	if n := strings.Count(out.String(), "delta.go"); n != 1 {
+		t.Fatalf("tagged-file finding reported %d times, want exactly once:\n%s", n, out.String())
+	}
+}

@@ -1,6 +1,7 @@
 // Command repolint runs the repo's custom static analyzers
-// (internal/lint) over the module: determinism, nopanic, obsnoop, and
-// printban — the compile-time half of the invariants the runtime test
+// (internal/lint) over the module: determinism, nopanic, obsnoop,
+// printban, and the v2 interprocedural passes hotalloc, ctxflow, and
+// lockcheck — the compile-time half of the invariants the runtime test
 // suites pin dynamically. CI runs it alongside stock vet/staticcheck;
 // a non-zero exit means an invariant regressed.
 //
@@ -8,14 +9,22 @@
 //
 //	go run ./cmd/repolint ./...          # whole module (from anywhere inside it)
 //	go run ./cmd/repolint ./internal/fm  # one package
+//	go run ./cmd/repolint -json ./...    # machine-readable findings
 //	go run ./cmd/repolint -list          # describe the analyzers
 //
 // repolint is a multichecker over internal/lint/analysis, the repo's
 // vendored-minimal mirror of golang.org/x/tools/go/analysis; see that
 // package for why x/tools itself is not imported.
+//
+// Packages are analyzed twice when they contain build-tag variants the
+// default file selection would skip: once plainly and once with the
+// deltacheck tag, so the code the differential CI job compiles is
+// linted too. Findings are deduplicated by position, analyzer, and
+// message across the two passes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,14 +39,29 @@ import (
 	"repro/internal/lint/loader"
 )
 
+// extraTagSets are the build-tag combinations linted in addition to the
+// default selection. Each entry triggers a second pass over only the
+// packages that actually have files behind those tags.
+var extraTagSets = [][]string{{"deltacheck"}}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is one diagnostic in the driver's output order. The field
+// order and names are the machine-readable contract of -json.
+type finding struct {
+	Pkg      string `json:"pkg"`
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,59 +84,159 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	l := loader.New(loader.Config{ModulePath: modPath, ModuleDir: modDir})
-	type diag struct {
-		pos      string
-		analyzer string
-		msg      string
+	var diags []finding
+	seen := make(map[finding]bool)
+	collect := func(tags []string, pkgPaths []string) int {
+		l := loader.New(loader.Config{ModulePath: modPath, ModuleDir: modDir, BuildTags: tags})
+		for _, pkgPath := range pkgPaths {
+			pkg, err := l.Load(pkgPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "repolint:", err)
+				return 2
+			}
+			for _, a := range analyzers {
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Syntax,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.TypesInfo,
+				}
+				pass.Dep = func(path string) *analysis.DepInfo {
+					dep, err := l.Load(path)
+					if err != nil || len(dep.Syntax) == 0 {
+						return nil
+					}
+					return &analysis.DepInfo{
+						PkgPath:   dep.PkgPath,
+						Files:     dep.Syntax,
+						Pkg:       dep.Types,
+						TypesInfo: dep.TypesInfo,
+					}
+				}
+				pass.Report = func(d analysis.Diagnostic) {
+					dg := finding{
+						Pkg:      pkgPath,
+						Pos:      pkg.Fset.Position(d.Pos).String(),
+						Analyzer: a.Name,
+						Message:  d.Message,
+					}
+					if !seen[dg] {
+						seen[dg] = true
+						diags = append(diags, dg)
+					}
+				}
+				if _, err := a.Run(pass); err != nil {
+					fmt.Fprintf(stderr, "repolint: %s on %s: %v\n", a.Name, pkgPath, err)
+					return 2
+				}
+			}
+		}
+		return 0
 	}
-	var diags []diag
-	seen := make(map[diag]bool)
-	for _, pkgPath := range pkgs {
-		pkg, err := l.Load(pkgPath)
+
+	if rc := collect(nil, pkgs); rc != 0 {
+		return rc
+	}
+	for _, tags := range extraTagSets {
+		tagged, err := taggedPackages(pkgs, modPath, modDir, tags)
 		if err != nil {
 			fmt.Fprintln(stderr, "repolint:", err)
 			return 2
 		}
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d analysis.Diagnostic) {
-				dg := diag{
-					pos:      pkg.Fset.Position(d.Pos).String(),
-					analyzer: a.Name,
-					msg:      d.Message,
-				}
-				if !seen[dg] {
-					seen[dg] = true
-					diags = append(diags, dg)
-				}
-			}
-			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(stderr, "repolint: %s on %s: %v\n", a.Name, pkgPath, err)
-				return 2
-			}
+		if len(tagged) == 0 {
+			continue
+		}
+		if rc := collect(tags, tagged); rc != 0 {
+			return rc
 		}
 	}
+
 	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].pos != diags[j].pos {
-			return diags[i].pos < diags[j].pos
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
 		}
-		return diags[i].analyzer < diags[j].analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s: %s (%s)\n", d.pos, d.msg, d.analyzer)
+	if *asJSON {
+		if diags == nil {
+			diags = []finding{} // emit [], not null
+		}
+		data, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stdout, "repolint: %d finding(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stdout, "repolint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// taggedPackages filters pkgs down to those containing at least one
+// .go file constrained on any of the given build tags — the packages
+// whose default-selection lint run left code unseen.
+func taggedPackages(pkgs []string, modPath, modDir string, tags []string) ([]string, error) {
+	var out []string
+	for _, p := range pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(p, modPath), "/")
+		dir := filepath.Join(modDir, filepath.FromSlash(rel))
+		has, err := dirHasTaggedFile(dir, tags)
+		if err != nil {
+			return nil, err
+		}
+		if has {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func dirHasTaggedFile(dir string, tags []string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return false, err
+		}
+		// Only the pre-package header can hold constraints; scanning the
+		// first KB avoids parsing.
+		head := string(data)
+		if len(head) > 1024 {
+			head = head[:1024]
+		}
+		for _, line := range strings.Split(head, "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "//go:build ") {
+				continue
+			}
+			for _, tag := range tags {
+				if strings.Contains(line, tag) {
+					return true, nil
+				}
+			}
+		}
+	}
+	return false, nil
 }
 
 // expandPatterns turns command-line package patterns into module import

@@ -30,7 +30,7 @@ func TestRepolintList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("repolint -list exited %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism:", "nopanic:", "obsnoop:", "printban:"} {
+	for _, name := range []string{"ctxflow:", "determinism:", "hotalloc:", "lockcheck:", "nopanic:", "obsnoop:", "printban:"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}

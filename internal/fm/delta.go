@@ -336,6 +336,12 @@ func (d *DeltaEvaluator) placeAt(n NodeID) geom.Point { return d.place[n] }
 // touched — a rejected move needs no cleanup; call Commit to adopt the
 // proposal. The returned Cost is bitwise identical to evaluating that
 // re-timed schedule in full.
+//
+// This is the anneal inner loop's costliest call; TestAnnealMoveZeroAlloc
+// pins one run at zero allocations and hotalloc pins every reachable
+// call site statically.
+//
+//lint:hotpath
 func (d *DeltaEvaluator) Propose(n NodeID, to geom.Point) Cost {
 	g, numN := d.g, d.g.NumNodes()
 	if !d.attached {
@@ -344,10 +350,12 @@ func (d *DeltaEvaluator) Propose(n NodeID, to geom.Point) Cost {
 	}
 	if int(n) < 0 || int(n) >= numN {
 		//lint:allow panic(argument-contract guard, like stdlib slice bounds: node out of range is a caller bug)
+		//lint:allow alloc(unreachable in a correct run: the Sprintf only feeds a caller-bug panic)
 		panic(fmt.Sprintf("fm: DeltaEvaluator.Propose of node %d in a %d-node graph", n, numN))
 	}
 	if !d.tgt.Grid.Contains(to) {
 		//lint:allow panic(argument-contract guard, like stdlib slice bounds: off-grid move is a caller bug)
+		//lint:allow alloc(unreachable in a correct run: the Sprintf only feeds a caller-bug panic)
 		panic(fmt.Sprintf("fm: DeltaEvaluator.Propose moves node %d off-grid to %v", n, to))
 	}
 	d.bumpEpoch()
@@ -368,6 +376,7 @@ func (d *DeltaEvaluator) Propose(n NodeID, to geom.Point) Cost {
 		for k, p := range d.affList {
 			clist := d.cons[d.consOff[p]:d.consOff[p+1]]
 			d.affWire[k], d.affBH[k], d.affMsg[k], d.affMaxT[k] =
+				//lint:allow alloc(the closure never escapes producerFlows, so escape analysis keeps it on the stack; TestAnnealMoveZeroAlloc pins this at runtime)
 				producerFlows(g, d.tgt, p, clist, func(x NodeID) geom.Point {
 					if x == n {
 						return to
@@ -599,6 +608,7 @@ func (d *DeltaEvaluator) bumpEpoch() {
 	}
 }
 
+//lint:allow alloc(affList is Reset-preallocated to capacity numNodes, so the append never grows)
 func (d *DeltaEvaluator) markAffected(p NodeID) {
 	if d.affStamp[p] == d.epoch {
 		return
@@ -608,6 +618,7 @@ func (d *DeltaEvaluator) markAffected(p NodeID) {
 	d.affList = append(d.affList, p)
 }
 
+//lint:allow alloc(dirtyList is Reset-preallocated to capacity numPlaces, so the append never grows)
 func (d *DeltaEvaluator) markDirty(gid int32) {
 	if d.dirtyStamp[gid] == d.epoch {
 		return
@@ -661,6 +672,8 @@ func (d *DeltaEvaluator) candPeak(q int32, moved bool) int {
 // pending lists heapified later. Free-time semantics mirror
 // storageEvents: outputs live to the schedule end; an unconsumed value
 // still occupies its production cycle; the -w event lands at free+1.
+//
+//lint:allow alloc(all four slices are Reset-preallocated scratch with capacity numNodes+1, so the appends never grow)
 func (d *DeltaEvaluator) pushInterval(bT, bW, fT, fW []int64, i int) ([]int64, []int64, []int64, []int64) {
 	free := d.nLastUse[i]
 	if d.isOut[i] {

@@ -26,7 +26,7 @@ type evalKey struct {
 
 type evalShard struct {
 	mu sync.Mutex
-	m  map[evalKey]fm.Cost
+	m  map[evalKey]fm.Cost // guarded by mu
 }
 
 // EvalCache memoizes fm.Evaluate results so a candidate mapping proposed

@@ -141,6 +141,7 @@ func (g Grid) Contains(p Point) bool { return p.In(g.Bounds()) }
 func (g Grid) ID(p Point) int {
 	if !g.Contains(p) {
 		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
+		//lint:allow alloc(unreachable in a correct run: the Sprintf only feeds a caller-bug panic)
 		panic(fmt.Sprintf("geom: point %v outside grid %dx%d", p, g.Width, g.Height))
 	}
 	return p.Y*g.Width + p.X
@@ -150,6 +151,7 @@ func (g Grid) ID(p Point) int {
 func (g Grid) At(id int) Point {
 	if id < 0 || id >= g.Nodes() {
 		//lint:allow panic(argument-contract guard, like stdlib slice bounds: malformed experiment setup is a caller bug)
+		//lint:allow alloc(unreachable in a correct run: the Sprintf only feeds a caller-bug panic)
 		panic(fmt.Sprintf("geom: node id %d outside grid %dx%d", id, g.Width, g.Height))
 	}
 	return Pt(id%g.Width, id/g.Width)

@@ -1,0 +1,199 @@
+// Package leaktest is a stdlib-only goroutine-leak harness: the
+// dynamic complement of the static lock and context analyzers in
+// internal/lint. A test package wires it in one line —
+//
+//	func TestMain(m *testing.M) { leaktest.Main(m) }
+//
+// — and every `go test` run of that package fails if goroutines
+// outlive the tests. Individual tests can also scope the check with
+// Check(t), which snapshots at registration and verifies at cleanup.
+//
+// Detection parses runtime.Stack(all=true), filters the runtime's and
+// the testing framework's own goroutines, and retries until a deadline
+// so goroutines that are mid-exit (a worker between its last send and
+// its return, say) are not reported. What remains after the deadline is
+// a real leak: something started a goroutine and lost track of it.
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retryDeadline bounds how long verification waits for in-flight
+// goroutines to finish before declaring a leak. Generous relative to
+// any legitimate shutdown in this repo (Close paths are synchronous),
+// tight enough to not stall CI on a real leak.
+const retryDeadline = 5 * time.Second
+
+// Goroutine is one parsed stack from a runtime.Stack snapshot.
+type Goroutine struct {
+	ID    int
+	State string // the bracketed state: "running", "chan receive", ...
+	Stack string // the full text block, header included
+}
+
+var headerRE = regexp.MustCompile(`^goroutine (\d+) \[([^\]]*)\]`)
+
+// Snapshot parses the current full goroutine dump. The calling
+// goroutine is included (callers filter it by stack content, not ID, so
+// snapshots taken on different goroutines compare cleanly).
+func Snapshot() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var gs []Goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		m := headerRE.FindStringSubmatch(block)
+		if m == nil {
+			continue
+		}
+		id, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		gs = append(gs, Goroutine{ID: id, State: m[2], Stack: block})
+	}
+	return gs
+}
+
+// ignoreSubstrings marks goroutines owned by the runtime, the testing
+// framework, or this package itself. A stack containing any of these is
+// never a leak the tested code is responsible for.
+var ignoreSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"runtime.goexit0(",
+	"runtime.gcBgMarkWorker(",
+	"runtime.bgsweep(",
+	"runtime.bgscavenge(",
+	"runtime.forcegchelper(",
+	"runtime.runfinq(",
+	"runtime.ReadTrace(",
+	"runtime/trace.Start",
+	"signal.signal_recv(",
+	"signal.loop(",
+	"runtime.ensureSigM(",
+	"leaktest.Snapshot(",
+	"leaktest.interesting(",
+}
+
+// interesting filters a snapshot down to goroutines the tested code
+// must answer for.
+func interesting(gs []Goroutine) []Goroutine {
+	var out []Goroutine
+	for _, g := range gs {
+		if ignored(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func ignored(g Goroutine) bool {
+	for _, s := range ignoreSubstrings {
+		if strings.Contains(g.Stack, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// retryUntilNone polls snapshots until no interesting goroutine
+// remains or the deadline passes, returning the survivors. Polling
+// (rather than a single sample) keeps goroutines that are mid-return
+// from producing flaky reports.
+func retryUntilNone(deadline time.Duration) []Goroutine {
+	//lint:allow nondeterminism(wall-clock deadline for leak detection: the retry loop only decides when to stop sampling, never what a test computes)
+	stop := time.Now().Add(deadline)
+	for {
+		leaked := interesting(Snapshot())
+		if len(leaked) == 0 {
+			return nil
+		}
+		//lint:allow nondeterminism(wall-clock deadline for leak detection: the retry loop only decides when to stop sampling, never what a test computes)
+		if time.Now().After(stop) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func report(leaked []Goroutine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leaktest: %d goroutine(s) leaked:\n", len(leaked))
+	for _, g := range leaked {
+		fmt.Fprintf(&b, "\n%s\n", g.Stack)
+	}
+	return b.String()
+}
+
+// Main wraps testing.M.Run with a whole-package leak check: after the
+// tests pass, any goroutine they left behind fails the run. Wire it as
+// the package's TestMain. A failing test run reports its own exit code
+// untouched — the leak check only adds a failure mode to green runs, so
+// it never masks the original error.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := retryUntilNone(retryDeadline); len(leaked) > 0 {
+			fmt.Fprint(os.Stderr, report(leaked))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check registers a leak verification for the current test: every
+// goroutine visible at t's cleanup that was not visible now (and is not
+// runtime- or framework-owned) fails t. Use it in tests that start
+// servers or pools, where a leak should be pinned to the test that
+// caused it rather than to the package run.
+func Check(t testing.TB) {
+	t.Helper()
+	before := make(map[int]bool)
+	for _, g := range Snapshot() {
+		before[g.ID] = true
+	}
+	t.Cleanup(func() {
+		//lint:allow nondeterminism(wall-clock deadline for leak detection: the retry loop only decides when to stop sampling, never what a test computes)
+		stop := time.Now().Add(retryDeadline)
+		for {
+			var leaked []Goroutine
+			for _, g := range interesting(Snapshot()) {
+				if !before[g.ID] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			//lint:allow nondeterminism(wall-clock deadline for leak detection: the retry loop only decides when to stop sampling, never what a test computes)
+			if time.Now().After(stop) {
+				t.Error(report(leaked))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

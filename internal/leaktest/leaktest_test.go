@@ -1,0 +1,107 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotSeesSelf proves the parser handles a real dump: the
+// snapshot must contain at least the current goroutine, with a positive
+// ID and a non-empty stack mentioning this test.
+func TestSnapshotSeesSelf(t *testing.T) {
+	gs := Snapshot()
+	if len(gs) == 0 {
+		t.Fatal("Snapshot returned no goroutines")
+	}
+	found := false
+	for _, g := range gs {
+		if g.ID <= 0 {
+			t.Errorf("goroutine with non-positive ID %d", g.ID)
+		}
+		if strings.Contains(g.Stack, "TestSnapshotSeesSelf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no goroutine stack mentions TestSnapshotSeesSelf")
+	}
+}
+
+// TestInterestingFiltersFramework: on an idle test process, everything
+// alive is runtime- or testing-owned except the test goroutine itself,
+// and that one is filtered by the tRunner frame. So interesting() over
+// a live snapshot must be empty — this is exactly the whole-package
+// invariant Main enforces.
+func TestInterestingFiltersFramework(t *testing.T) {
+	if leaked := retryUntilNone(retryDeadline); len(leaked) > 0 {
+		t.Errorf("idle process reports leaks:\n%s", report(leaked))
+	}
+}
+
+// TestDetectsDeliberateLeak starts a goroutine parked on a channel and
+// verifies interesting() reports it, then releases it and verifies the
+// report drains. This is the positive case: the harness must actually
+// see leaks, not just stay quiet.
+func TestDetectsDeliberateLeak(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-release
+		close(done)
+	}()
+
+	deadline := time.Now().Add(retryDeadline)
+	for {
+		leaked := interesting(Snapshot())
+		if containsFunc(leaked, "TestDetectsDeliberateLeak") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deliberately leaked goroutine never reported")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release)
+	<-done
+	if leaked := retryUntilNone(retryDeadline); containsFunc(leaked, "TestDetectsDeliberateLeak") {
+		t.Errorf("released goroutine still reported:\n%s", report(leaked))
+	}
+}
+
+// TestCheckScopesToTest exercises the Check API the way a serve test
+// would: goroutines alive before registration are grandfathered, new
+// ones must exit by cleanup. The inner subtest starts and stops a
+// worker; if Check misfired the subtest itself would fail.
+func TestCheckScopesToTest(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		Check(t)
+		done := make(chan struct{})
+		go func() { close(done) }()
+		<-done
+	})
+}
+
+// TestReportFormat pins the report header so CI log greps stay stable.
+func TestReportFormat(t *testing.T) {
+	g := Goroutine{ID: 7, State: "chan receive", Stack: "goroutine 7 [chan receive]:\nexample.worker()"}
+	got := report([]Goroutine{g})
+	if !strings.HasPrefix(got, "leaktest: 1 goroutine(s) leaked:") {
+		t.Errorf("report header = %q", strings.SplitN(got, "\n", 2)[0])
+	}
+	if !strings.Contains(got, "example.worker()") {
+		t.Errorf("report omits the leaked stack:\n%s", got)
+	}
+}
+
+func containsFunc(gs []Goroutine, fn string) bool {
+	for _, g := range gs {
+		if strings.Contains(g.Stack, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMain(m *testing.M) { Main(m) }

@@ -7,9 +7,11 @@
 // dependency is available.
 //
 // Only the pieces repolint needs exist: Analyzer metadata, a Pass
-// carrying one type-checked package, and Diagnostic reporting. There is
-// no Fact machinery, no Requires graph, and no SuggestedFixes — the
-// repolint analyzers are all single-package and report-only.
+// carrying one type-checked package, Diagnostic reporting, and — in
+// place of x/tools' Fact machinery — a Dep hook giving interprocedural
+// analyzers (hotalloc) read access to the syntax of other analyzed
+// packages. There is no Requires graph and no SuggestedFixes — the
+// repolint analyzers are report-only.
 package analysis
 
 import (
@@ -41,6 +43,22 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// Dep, when set by the driver, resolves an import path to the
+	// syntax and type info of another analyzed package sharing Fset —
+	// the minimal stand-in for x/tools Facts that lets hotalloc walk
+	// call graphs across package boundaries. Returns nil for packages
+	// the driver did not retain syntax for (stdlib) or cannot load.
+	Dep func(path string) *DepInfo
+}
+
+// DepInfo is the interprocedural view of one dependency package. Its
+// Files share the pass's FileSet, so positions from either package can
+// be resolved and reported uniformly.
+type DepInfo struct {
+	PkgPath   string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
 }
 
 // Diagnostic is one finding at a position.

@@ -15,12 +15,16 @@
 //	keys = append(keys, k) // want "append to keys inside map iteration"
 //
 // Diagnostics with no matching want, and wants with no matching
-// diagnostic, both fail the test.
+// diagnostic, both fail the test. Interprocedural analyzers (hotalloc)
+// get the same Dep hook the repolint driver wires, so fixtures may
+// import sibling fixture packages and carry want comments in them;
+// wants are matched by file and line, whichever package they sit in.
 package analysistest
 
 import (
 	"regexp"
 	"sort"
+	"strconv"
 	"testing"
 
 	"repro/internal/lint/analysis"
@@ -40,6 +44,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 }
 
 type finding struct {
+	file string
 	line int
 	msg  string
 }
@@ -59,61 +64,100 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 	}
+	pass.Dep = func(path string) *analysis.DepInfo {
+		dep, err := l.Load(path)
+		if err != nil || len(dep.Syntax) == 0 {
+			return nil
+		}
+		return &analysis.DepInfo{
+			PkgPath:   dep.PkgPath,
+			Files:     dep.Syntax,
+			Pkg:       dep.Types,
+			TypesInfo: dep.TypesInfo,
+		}
+	}
 	pass.Report = func(d analysis.Diagnostic) {
-		got = append(got, finding{line: pkg.Fset.Position(d.Pos).Line, msg: d.Message})
+		pos := pkg.Fset.Position(d.Pos)
+		got = append(got, finding{file: pos.Filename, line: pos.Line, msg: d.Message})
 	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %s failed: %v", pkgpath, a.Name, err)
 	}
 	sort.Slice(got, func(i, j int) bool {
+		if got[i].file != got[j].file {
+			return got[i].file < got[j].file
+		}
 		if got[i].line != got[j].line {
 			return got[i].line < got[j].line
 		}
 		return got[i].msg < got[j].msg
 	})
 
-	// Collect wants per line.
+	// Collect wants from the package under test and every fixture
+	// package reachable through its imports (one level is enough for
+	// fixtures), so interprocedural diagnostics reported into a dep
+	// package are matched against wants written next to the code they
+	// fire on — even when the walk never reaches them.
 	type want struct {
+		file string
 		line int
 		re   *regexp.Regexp
 		used bool
 	}
 	var wants []*want
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
-					re, err := regexp.Compile(q[1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pkgpath, line, q[1], err)
+	scanned := map[string]bool{pkgpath: true}
+	scanPkg := func(p *loader.Package) {
+		for _, f := range p.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					wants = append(wants, &want{line: line, re: re})
+					pos := p.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
 				}
 			}
+		}
+	}
+	scanPkg(pkg)
+	for _, f := range pkg.Syntax {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || scanned[path] {
+				continue
+			}
+			scanned[path] = true
+			dep, err := l.Load(path)
+			if err != nil || len(dep.Syntax) == 0 {
+				continue // stdlib or unloadable: no fixture wants there
+			}
+			scanPkg(dep)
 		}
 	}
 
 	for _, g := range got {
 		matched := false
 		for _, w := range wants {
-			if !w.used && w.line == g.line && w.re.MatchString(g.msg) {
+			if !w.used && w.file == g.file && w.line == g.line && w.re.MatchString(g.msg) {
 				w.used = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pkgpath, g.line, a.Name, g.msg)
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", g.file, g.line, a.Name, g.msg)
 		}
 	}
 	for _, w := range wants {
 		if !w.used {
-			t.Errorf("%s:%d: no %s diagnostic matched want %q", pkgpath, w.line, a.Name, w.re)
+			t.Errorf("%s:%d: no %s diagnostic matched want %q", w.file, w.line, a.Name, w.re)
 		}
 	}
 }

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ctxflowPkgs are the package subtrees where every operation sits on a
+// request path: the HTTP server, the persistent store it journals to,
+// and the search engine its jobs drive. Inside them a context must flow
+// from the request — minting a fresh root context or dropping a ctx
+// parameter on the floor severs the deadline/cancellation chain that
+// the batchCtx drill (DESIGN.md) proves end to end at runtime.
+var ctxflowPkgs = []string{
+	"repro/internal/serve",
+	"repro/internal/store",
+	"repro/internal/fm/search",
+}
+
+// Ctxflow enforces context hygiene on request paths: no
+// context.Background()/TODO() (a handler that mints its own root
+// context escapes the server's deadline), no nil contexts at call
+// sites, and no context parameters that a function accepts but never
+// threads onward. Server-owned contexts that must outlive requests
+// (batch lifecycles, drains) carry //lint:allow ctx(reason); a
+// deliberately unused parameter is named _.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "request-path packages must thread request-derived contexts: no context.Background/TODO, " +
+		"no nil contexts, no dropped ctx parameters (escape hatch: //lint:allow ctx(reason))",
+	Run: runCtxflow,
+}
+
+func ctxflowScope(path string) bool {
+	for _, p := range ctxflowPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxflow(pass *analysis.Pass) (interface{}, error) {
+	if !ctxflowScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncDecl:
+				checkDroppedCtx(pass, file, e)
+			case *ast.CallExpr:
+				checkCtxCall(pass, file, e)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCtxCall flags context.Background()/TODO() calls and nil passed
+// where a context.Context parameter is expected.
+func checkCtxCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) {
+	if fn := contextRootFunc(pass.TypesInfo, call); fn != "" {
+		if !allowed(pass.Fset, file, call.Pos(), "ctx") {
+			pass.Reportf(call.Pos(), "context.%s() on a request path severs deadline propagation; derive from the request context", fn)
+		}
+	}
+	// nil arguments in context.Context positions.
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isContextType(pt) {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !atv.IsNil() {
+			continue
+		}
+		if !allowed(pass.Fset, file, arg.Pos(), "ctx") {
+			pass.Reportf(arg.Pos(), "nil context passed on a request path; pass the caller's ctx")
+		}
+	}
+}
+
+// contextRootFunc returns "Background" or "TODO" when call invokes the
+// corresponding context constructor, else "".
+func contextRootFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// checkDroppedCtx flags functions that accept a context.Context but
+// never use it: the caller's deadline dies in this frame. A parameter
+// kept only to satisfy an interface is named _.
+func checkDroppedCtx(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || !isContextType(obj.Type()) {
+				continue
+			}
+			if usedIn(pass.TypesInfo, fn.Body, obj) {
+				continue
+			}
+			if !allowed(pass.Fset, file, name.Pos(), "ctx") &&
+				!allowed(pass.Fset, file, fn.Body.Pos(), "ctx") {
+				pass.Reportf(name.Pos(), "context parameter %s is dropped; thread it to callees or name it _", name.Name)
+			}
+		}
+	}
+}
+
+func usedIn(info *types.Info, body *ast.BlockStmt, obj *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -102,14 +102,14 @@ func checkClockAndRand(pass *analysis.Pass, file *ast.File) {
 		switch fn.Pkg().Path() {
 		case "time":
 			if fn.Name() == "Now" || fn.Name() == "Since" {
-				if !allowed(pass, file, call.Pos(), "nondeterminism") {
+				if !allowed(pass.Fset, file, call.Pos(), "nondeterminism") {
 					pass.Reportf(call.Pos(),
 						"time.%s in determinism-critical package; results must not depend on the wall clock", fn.Name())
 				}
 			}
 		case "math/rand", "math/rand/v2":
 			if !randConstructors[fn.Name()] {
-				if !allowed(pass, file, call.Pos(), "nondeterminism") {
+				if !allowed(pass.Fset, file, call.Pos(), "nondeterminism") {
 					pass.Reportf(call.Pos(),
 						"global rand.%s in determinism-critical package; draw from a seeded *rand.Rand", fn.Name())
 				}
@@ -192,7 +192,7 @@ func checkMapRangeBody(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, 
 				if sortedAfter(sorts, rng.End(), obj) {
 					continue // collect-then-sort idiom
 				}
-				if !allowed(pass, file, e.Pos(), "nondeterminism") {
+				if !allowed(pass.Fset, file, e.Pos(), "nondeterminism") {
 					pass.Reportf(e.Pos(),
 						"append to %s inside map iteration without a later sort; map order is random",
 						target.Name)
@@ -203,7 +203,7 @@ func checkMapRangeBody(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, 
 			if !ok || !emitNames[sel.Sel.Name] {
 				return true
 			}
-			if !allowed(pass, file, e.Pos(), "nondeterminism") {
+			if !allowed(pass.Fset, file, e.Pos(), "nondeterminism") {
 				pass.Reportf(e.Pos(),
 					"%s call inside map iteration emits in random order; sort keys first",
 					sel.Sel.Name)

@@ -5,8 +5,6 @@ import (
 	"go/token"
 	"regexp"
 	"strings"
-
-	"repro/internal/lint/analysis"
 )
 
 // The escape hatch. A finding is suppressed by a comment of the form
@@ -14,15 +12,18 @@ import (
 //	//lint:allow <kind>(<reason>)
 //
 // where <kind> names the suppressed check (panic, nondeterminism, obs,
-// print) and <reason> is a non-empty justification — the annotation is
-// the audit trail, so a bare allow with no reason does not count. The
-// directive applies to the line it sits on, to the following line when
-// it stands alone, or to a whole function when it appears in the
-// function's doc comment.
+// print, alloc, ctx, lock) and <reason> is a non-empty justification —
+// the annotation is the audit trail, so a bare allow with no reason
+// does not count. The directive applies to the line it sits on, to the
+// following statement line when it stands alone (a stack of directives
+// of different kinds chains down to the first non-directive line), or
+// to a whole function when it appears in the function's doc comment.
 var allowRE = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\(([^)]*)\)\s*$`)
 
-// directiveIndex is the per-file view of every allow directive,
-// built once per (pass, file) and cached on the pass via allowCache.
+// directiveIndex is the per-file view of every allow directive, built
+// once per file and cached. The cache is keyed by *ast.File (not by
+// pass) so interprocedural analyzers can consult directives in
+// dependency packages' files, which belong to no pass of their own.
 type directiveIndex struct {
 	// lines maps a source line to the set of kinds allowed there.
 	lines map[int]map[string]bool
@@ -36,22 +37,17 @@ type allowRange struct {
 	start, end token.Pos
 }
 
-var allowCache = map[*analysis.Pass]map[*ast.File]*directiveIndex{}
+var allowCache = map[*ast.File]*directiveIndex{}
 
 // allowed reports whether a diagnostic of the given kind at pos is
-// suppressed by an allow directive.
-func allowed(pass *analysis.Pass, file *ast.File, pos token.Pos, kind string) bool {
-	byFile := allowCache[pass]
-	if byFile == nil {
-		byFile = make(map[*ast.File]*directiveIndex)
-		allowCache[pass] = byFile
-	}
-	idx := byFile[file]
+// suppressed by an allow directive in file.
+func allowed(fset *token.FileSet, file *ast.File, pos token.Pos, kind string) bool {
+	idx := allowCache[file]
 	if idx == nil {
-		idx = buildIndex(pass, file)
-		byFile[file] = idx
+		idx = buildIndex(fset, file)
+		allowCache[file] = idx
 	}
-	line := pass.Fset.Position(pos).Line
+	line := fset.Position(pos).Line
 	if idx.lines[line][kind] {
 		return true
 	}
@@ -63,8 +59,30 @@ func allowed(pass *analysis.Pass, file *ast.File, pos token.Pos, kind string) bo
 	return false
 }
 
-func buildIndex(pass *analysis.Pass, file *ast.File) *directiveIndex {
+// fileFor returns the file in files containing pos, or nil. Used by
+// interprocedural analyzers to resolve allow directives at positions in
+// dependency packages.
+func fileFor(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func buildIndex(fset *token.FileSet, file *ast.File) *directiveIndex {
 	idx := &directiveIndex{lines: make(map[int]map[string]bool)}
+	// First pass: find every directive line, so stacked directives can
+	// chain past each other below.
+	directiveLines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if m := allowRE.FindStringSubmatch(c.Text); m != nil && strings.TrimSpace(m[2]) != "" {
+				directiveLines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			m := allowRE.FindStringSubmatch(c.Text)
@@ -72,7 +90,7 @@ func buildIndex(pass *analysis.Pass, file *ast.File) *directiveIndex {
 				continue
 			}
 			kind := m[1]
-			p := pass.Fset.Position(c.Pos())
+			p := fset.Position(c.Pos())
 			add := func(line int) {
 				if idx.lines[line] == nil {
 					idx.lines[line] = make(map[string]bool)
@@ -80,9 +98,16 @@ func buildIndex(pass *analysis.Pass, file *ast.File) *directiveIndex {
 				idx.lines[line][kind] = true
 			}
 			// A directive covers its own line (trailing form) and the
-			// next (standalone form above the flagged statement).
+			// next statement line (standalone form). Consecutive
+			// standalone directives chain: a stack of allows of
+			// different kinds above one statement all apply to it.
 			add(p.Line)
-			add(p.Line + 1)
+			next := p.Line + 1
+			for directiveLines[next] {
+				add(next)
+				next++
+			}
+			add(next)
 		}
 	}
 	// Directives in a function's doc comment cover the whole body.

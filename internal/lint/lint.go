@@ -4,11 +4,15 @@
 //
 // The paper's F&M argument is that cost becomes predictable only when
 // the rules are explicit and checkable. The repo applies the same
-// stance to itself. Four contracts hold everything together —
-// bit-exact determinism across worker counts, error-returning library
-// APIs, a nil-registry observability no-op, and no stray printing from
-// library code — and each is enforced here as a compile-time check
-// backed by (not replaced by) the runtime tests listed in DESIGN.md.
+// stance to itself. Seven contracts hold everything together: four
+// intra-file ones — bit-exact determinism across worker counts,
+// error-returning library APIs, a nil-registry observability no-op,
+// and no stray printing from library code — and three interprocedural
+// ones — allocation-free //lint:hotpath call graphs (hotalloc),
+// context plumbing through the request paths (ctxflow), and
+// "guarded by mu" field discipline with no copied locks (lockcheck).
+// Each is enforced here as a compile-time check backed by (not
+// replaced by) the runtime tests listed in DESIGN.md.
 //
 // Analyzers are written against internal/lint/analysis, an
 // API-compatible subset of golang.org/x/tools/go/analysis (see that
@@ -24,7 +28,7 @@ import (
 
 // All returns every repolint analyzer in deterministic order.
 func All() []*analysis.Analyzer {
-	as := []*analysis.Analyzer{Determinism, NoPanic, ObsNoop, PrintBan}
+	as := []*analysis.Analyzer{Determinism, NoPanic, ObsNoop, PrintBan, Hotalloc, Ctxflow, Lockcheck}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
 }

@@ -24,11 +24,20 @@ func TestAnalyzers(t *testing.T) {
 		{"nopanic/internal", lint.NoPanic, []string{"repro/internal/nopanictest"}},
 		{"obsnoop", lint.ObsNoop, []string{"obsnooptest"}},
 		{"printban/internal", lint.PrintBan, []string{"repro/internal/printtest"}},
+		// v2 analyzers: hotalloc follows calls into the dep fixture
+		// package (wants live in both), ctxflow and lockcheck cover
+		// method values, embedded mutexes, and the allow escape.
+		{"hotalloc", lint.Hotalloc, []string{"hotalloctest"}},
+		{"ctxflow/request-path", lint.Ctxflow, []string{"repro/internal/serve/ctxtest"}},
+		{"lockcheck", lint.Lockcheck, []string{"repro/internal/locktest"}},
 		// Negatives: the same shapes at out-of-scope paths must be silent
 		// (the fixture has no want comments, so any diagnostic fails).
 		{"determinism/noncritical", lint.Determinism, []string{"a/notcritical"}},
 		{"nopanic/external", lint.NoPanic, []string{"a/notcritical"}},
 		{"printban/external", lint.PrintBan, []string{"a/notcritical"}},
+		{"ctxflow/out-of-scope", lint.Ctxflow, []string{"ctxouttest"}},
+		{"hotalloc/unannotated", lint.Hotalloc, []string{"a/notcritical"}},
+		{"lockcheck/out-of-scope", lint.Lockcheck, []string{"ctxouttest"}},
 		// The protected packages themselves may touch their own internals.
 		{"obsnoop/self", lint.ObsNoop, []string{"repro/internal/obs"}},
 		{"obsnoop/tracing-self", lint.ObsNoop, []string{"repro/internal/obs/tracing"}},
@@ -44,8 +53,8 @@ func TestAnalyzers(t *testing.T) {
 // Doc names its escape hatch so a finding is always actionable.
 func TestAll(t *testing.T) {
 	all := lint.All()
-	if len(all) != 4 {
-		t.Fatalf("got %d analyzers, want 4", len(all))
+	if len(all) != 7 {
+		t.Fatalf("got %d analyzers, want 7", len(all))
 	}
 	for i, a := range all {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {

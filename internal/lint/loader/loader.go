@@ -61,6 +61,12 @@ type Config struct {
 	// searched before the module and GOROOT, letting test fixtures
 	// shadow any import path, including module-internal ones.
 	ExtraRoots []string
+	// BuildTags are extra build constraints satisfied during file
+	// selection, mirroring `go build -tags`. Without them the loader
+	// silently skips files behind tags like deltacheck, so the code the
+	// differential CI job actually compiles would never be linted; the
+	// repolint driver runs a second pass with the tags that matter.
+	BuildTags []string
 }
 
 // Loader loads and memoizes packages. Not safe for concurrent use.
@@ -79,6 +85,7 @@ func New(cfg Config) *Loader {
 	// Prefer pure-Go variants everywhere: cgo files cannot be
 	// type-checked from source, and nothing in this repo needs them.
 	ctxt.CgoEnabled = false
+	ctxt.BuildTags = append(ctxt.BuildTags, cfg.BuildTags...)
 	return &Loader{
 		cfg:      cfg,
 		ctxt:     ctxt,
@@ -193,8 +200,8 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	var firstErr error
 	conf := types.Config{
-		Importer:  importerFunc(func(p string) (*types.Package, error) { return l.importFor(p) }),
-		Sizes:     l.sizes,
+		Importer:    importerFunc(func(p string) (*types.Package, error) { return l.importFor(p) }),
+		Sizes:       l.sizes,
 		FakeImportC: true,
 		// Collect the first error but keep checking: stdlib packages
 		// occasionally contain constructs go/types is stricter about

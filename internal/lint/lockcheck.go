@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// The lock-discipline annotation. A struct field whose doc or trailing
+// comment contains
+//
+//	// guarded by <mu>
+//
+// may only be read or written while <mu> is held. The check is
+// flow-insensitive and function-granular — the static complement of the
+// -race suite, which only sees schedules the test run happened to
+// produce.
+var guardRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// Lockcheck verifies "guarded by" field annotations at every access
+// site and reports copied locks. An access is accepted when the
+// enclosing function locks the guard (mu.Lock or mu.RLock on the same
+// base expression), when the function's name ends in "Locked" (the
+// repo's convention for caller-holds-lock helpers), when the base value
+// was constructed locally and has not escaped, or when an
+// //lint:allow lock(reason) vouches for it. Separately, any value
+// receiver or dereferencing copy of a mutex-containing type is
+// reported: a copied lock guards nothing.
+var Lockcheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated \"guarded by <mu>\" must be accessed with the guard held " +
+		"(or from *Locked helpers / local constructors); mutex-containing values must " +
+		"not be copied (escape hatch: //lint:allow lock(reason))",
+	Run: runLockcheck,
+}
+
+func runLockcheck(pass *analysis.Pass) (interface{}, error) {
+	if !internalPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	guarded := collectGuarded(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCopiedReceiver(pass, file, fn)
+			checkFuncAccesses(pass, file, fn, guarded)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuarded maps each annotated field object to the name of its
+// guard.
+func collectGuarded(pass *analysis.Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// checkFuncAccesses verifies every guarded-field selection in fn.
+func checkFuncAccesses(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, guarded map[*types.Var]string) {
+	if len(guarded) == 0 {
+		return
+	}
+	heldLocked := len(fn.Name.Name) > 6 && fn.Name.Name[len(fn.Name.Name)-6:] == "Locked"
+	var locks map[string]bool      // rendered lock-call targets in fn
+	var locals map[*types.Var]bool // locally constructed values
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		obj, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		if heldLocked || allowed(pass.Fset, file, sel.Pos(), "lock") {
+			return true
+		}
+		if locks == nil {
+			locks = collectLockCalls(fn)
+		}
+		base := exprString(sel.X)
+		if base != "?" && (locks[base+"."+mu] || locks[base]) {
+			return true
+		}
+		if locals == nil {
+			locals = collectLocalConstructions(pass, fn)
+		}
+		if id := rootIdent(sel.X); id != nil {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && locals[v] {
+				return true
+			}
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, which %s does not hold (lock it, rename the helper *Locked, or //lint:allow lock(reason))",
+			base, obj.Name(), mu, fn.Name.Name)
+		return true
+	})
+}
+
+// collectLockCalls gathers the rendered receivers of every Lock/RLock
+// call in fn: "q.mu" for q.mu.Lock(), "q" for an embedded mutex's
+// q.Lock().
+func collectLockCalls(fn *ast.FuncDecl) map[string]bool {
+	locks := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if t := exprString(sel.X); t != "?" {
+			locks[t] = true
+		}
+		return true
+	})
+	return locks
+}
+
+// collectLocalConstructions gathers variables fn builds from scratch —
+// composite literals, &composite, new(T), or zero-value var decls. A
+// value under construction is unshared, so its guarded fields may be
+// initialized without the lock; this is the constructor exemption that
+// keeps newJobQueue and Open honest without annotations.
+func collectLocalConstructions(pass *analysis.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	locals := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			if e.Tok != token.DEFINE || len(e.Lhs) != len(e.Rhs) {
+				return true
+			}
+			for i, lhs := range e.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok || !isConstruction(e.Rhs[i]) {
+					continue
+				}
+				locals[obj] = true
+			}
+		case *ast.ValueSpec:
+			zero := len(e.Values) == 0
+			for i, id := range e.Names {
+				obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				if zero || (i < len(e.Values) && isConstruction(e.Values[i])) {
+					locals[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// isConstruction reports whether e builds a fresh value: T{...},
+// &T{...}, or new(T).
+func isConstruction(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// checkCopiedReceiver reports methods whose value receiver copies a
+// mutex-containing type, and statements that copy such a value by
+// dereference.
+func checkCopiedReceiver(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		recv := fn.Recv.List[0]
+		if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+			if tv, ok := pass.TypesInfo.Types[recv.Type]; ok && containsMutex(tv.Type, nil) {
+				if !allowed(pass.Fset, file, recv.Pos(), "lock") {
+					pass.Reportf(recv.Pos(), "value receiver copies %s, which contains a mutex; use a pointer receiver", tv.Type.String())
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range assign.Rhs {
+			star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[rhs]
+			if !ok || tv.Type == nil || !containsMutex(tv.Type, nil) {
+				continue
+			}
+			if !allowed(pass.Fset, file, star.Pos(), "lock") {
+				pass.Reportf(star.Pos(), "dereference copies %s, which contains a mutex; the copy's lock guards nothing", tv.Type.String())
+			}
+		}
+		return true
+	})
+}
+
+// containsMutex reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value.
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}
+
+// rootIdent unwraps selector/index/deref chains to the leftmost
+// identifier: fields of a locally constructed value ("c.shards[i]" for
+// a fresh c) inherit its exemption.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders simple expressions ("q", "s.idx", "c.shards[i]")
+// for comparing lock targets with access bases. Anything it cannot
+// render becomes "?", which matches nothing — conservative toward
+// reporting.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		x := exprString(e.X)
+		if x == "?" {
+			return "?"
+		}
+		return x + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		x := exprString(e.X)
+		idx := exprString(e.Index)
+		if x == "?" || idx == "?" {
+			return "?"
+		}
+		return x + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "?"
+}

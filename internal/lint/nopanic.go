@@ -45,7 +45,7 @@ func runNoPanic(pass *analysis.Pass) (interface{}, error) {
 				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
 					return true
 				}
-				if allowed(pass, file, call.Pos(), "panic") {
+				if allowed(pass.Fset, file, call.Pos(), "panic") {
 					return true
 				}
 				pass.Reportf(call.Pos(),

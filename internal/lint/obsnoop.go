@@ -76,7 +76,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 					t = p.Elem()
 				}
 				if name := protectedObsType(t); name != "" {
-					if !allowed(pass, file, e.Pos(), "obs") {
+					if !allowed(pass.Fset, file, e.Pos(), "obs") {
 						pass.Reportf(e.Pos(),
 							"composite literal of %s bypasses the constructor; the zero value is not usable", name)
 					}
@@ -91,7 +91,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 				}
 				if tv, ok := pass.TypesInfo.Types[e.Args[0]]; ok {
 					if name := protectedObsType(tv.Type); name != "" {
-						if !allowed(pass, file, e.Pos(), "obs") {
+						if !allowed(pass.Fset, file, e.Pos(), "obs") {
 							pass.Reportf(e.Pos(),
 								"new(%s) bypasses the constructor; the zero value is not usable", name)
 						}
@@ -105,7 +105,7 @@ func runObsNoop(pass *analysis.Pass) (interface{}, error) {
 					return true
 				}
 				if name := protectedObsType(tv.Type); name != "" {
-					if !allowed(pass, file, e.Pos(), "obs") {
+					if !allowed(pass.Fset, file, e.Pos(), "obs") {
 						pass.Reportf(e.Pos(),
 							"dereference copies %s; pass the *%s pointer instead", name, name)
 					}
@@ -125,7 +125,7 @@ func checkObsValueType(pass *analysis.Pass, file *ast.File, typeExpr ast.Expr, d
 		return
 	}
 	name := protectedObsType(tv.Type)
-	if name == "" || allowed(pass, file, typeExpr.Pos(), "obs") {
+	if name == "" || allowed(pass.Fset, file, typeExpr.Pos(), "obs") {
 		return
 	}
 	what := "declaration"

@@ -40,7 +40,7 @@ func runPrintBan(pass *analysis.Pass) (interface{}, error) {
 				if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok {
 					return true
 				}
-				if !allowed(pass, file, call.Pos(), "print") {
+				if !allowed(pass.Fset, file, call.Pos(), "print") {
 					pass.Reportf(call.Pos(), "builtin %s in internal package; route output through the cmd layer", fun.Name)
 				}
 			case *ast.SelectorExpr:
@@ -50,7 +50,7 @@ func runPrintBan(pass *analysis.Pass) (interface{}, error) {
 				}
 				switch obj.Name() {
 				case "Print", "Printf", "Println":
-					if !allowed(pass, file, call.Pos(), "print") {
+					if !allowed(pass.Fset, file, call.Pos(), "print") {
 						pass.Reportf(call.Pos(), "fmt.%s in internal package; route output through the cmd layer", obj.Name())
 					}
 				}

@@ -1,0 +1,22 @@
+// Package ctxouttest holds the same shapes as the ctxflow fixture at an
+// import path outside the request-path subtrees: every one must be
+// silent.
+package ctxouttest
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background()
+}
+
+func dropped(ctx context.Context) int {
+	return 1
+}
+
+type h struct{}
+
+func (h h) run(ctx context.Context) error { return nil }
+
+func nilCtx(v h) error {
+	return v.run(nil)
+}

@@ -1,0 +1,20 @@
+// Package dep is reached from the hotalloctest roots across the
+// package boundary; the want comment here proves interprocedural
+// reporting and cross-file want matching.
+package dep
+
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	if t < 0 {
+		t = pad(t)
+	}
+	return t
+}
+
+func pad(v int) int {
+	buf := make([]int, 8) // want "hotpath hot: make allocates"
+	return v + len(buf)
+}

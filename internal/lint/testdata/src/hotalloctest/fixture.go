@@ -1,0 +1,65 @@
+package hotalloctest
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"hotalloctest/dep"
+)
+
+type stringer interface{ String() string }
+
+type ring struct {
+	mu  sync.Mutex
+	buf [8]int
+	n   int
+}
+
+func spin() {}
+
+func grow(xs []int) []int {
+	return append(xs, 1) // want "hotpath hot: append may grow its backing array"
+}
+
+func label(a, b string) string {
+	return a + b // want "hotpath hot: string concatenation allocates"
+}
+
+func cold(n int) {
+	_ = fmt.Sprintln("overflow", n) //lint:allow alloc(cold error path, never taken steady-state)
+}
+
+func scratch() []int {
+	out := make([]int, 0, 8)
+	return append(out, 1)
+}
+
+// hot is the annotated root; everything below is reached from it.
+//
+//lint:hotpath
+func hot(r *ring, xs []int, s stringer) int {
+	r.mu.Lock()
+	r.buf[r.n&7]++
+	r.mu.Unlock()
+	_ = math.Abs(float64(r.n))
+	xs = grow(xs)
+	_ = label("a", "b")
+	n := dep.Sum(xs)
+	cold(n)
+	_ = scratch() //lint:allow alloc(pool-backed scratch, audited by bench gate)
+	r.n++
+	m := make([]int, 4)        // want "hotpath hot: make allocates"
+	_ = fmt.Sprintf("%d", r.n) // want "hotpath hot: fmt.Sprintf allocates"
+	_ = s.String()             // want "hotpath hot: interface method call to s.String dispatches dynamically"
+	_ = strconv.Itoa(n)        // want "hotpath hot: call to strconv.Itoa is outside the analyzed module"
+	go spin()                  // want "hotpath hot: go statement allocates a goroutine"
+	f := func() int { return n } // want "hotpath hot: func literal captures n and allocates a closure"
+	_ = f
+	return m[0] + n
+}
+
+func plain() []int {
+	return make([]int, 64) // not annotated: no findings
+}

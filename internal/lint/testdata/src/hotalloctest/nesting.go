@@ -1,0 +1,40 @@
+package hotalloctest
+
+// Annotation-nesting fixtures: a hotpath root whose doc-level allow
+// blankets the body, one with a single allowed line, and the remaining
+// allocation kinds.
+
+//lint:hotpath
+//lint:allow alloc(prototype root: gated by the runtime bench instead)
+func nestedAllow() {
+	_ = make([]int, 8)
+}
+
+//lint:hotpath
+func partial() {
+	a := make([]int, 1) // want "hotpath partial: make allocates"
+	b := make([]int, 1) //lint:allow alloc(reused scratch, zeroed in place)
+	_, _ = a, b
+}
+
+func sink(v interface{}) { _ = v }
+
+//lint:hotpath
+func boxy(n int, r *ring) {
+	sink(n) // want "hotpath boxy: argument boxes int into an interface parameter and allocates"
+	sink(r)
+}
+
+//lint:hotpath
+func lits(r *ring) {
+	p := &ring{} // want "hotpath lits: &composite literal allocates"
+	_ = p
+	xs := []int{1, 2} // want "hotpath lits: slice literal allocates"
+	_ = xs
+	_ = r
+}
+
+//lint:hotpath
+func conv(bs []byte) string {
+	return string(bs) // want "hotpath conv: string conversion allocates"
+}

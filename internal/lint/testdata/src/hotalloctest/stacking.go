@@ -1,0 +1,30 @@
+package hotalloctest
+
+import "fmt"
+
+// Stacked directives: a panic allow and an alloc allow above one
+// statement must BOTH reach it — the chain rule in directive.go. This
+// is the real-tree idiom for contract-guard panics on hot paths, where
+// the panic call and its Sprintf argument need different kinds.
+//
+//lint:hotpath
+func stacked(v int) int {
+	if v < 0 {
+		//lint:allow panic(fixture: contract guard)
+		//lint:allow alloc(fixture: unreachable Sprintf feeding the guard)
+		panic(fmt.Sprintf("negative %d", v))
+	}
+	return v * 2
+}
+
+// A lone panic allow must NOT bleed into the alloc kind: the Sprintf
+// still reports.
+//
+//lint:hotpath
+func halfStacked(v int) int {
+	if v < 0 {
+		//lint:allow panic(fixture: contract guard)
+		panic(fmt.Sprintf("negative %d", v)) // want "hotpath halfStacked: fmt.Sprintf allocates"
+	}
+	return v * 3
+}

@@ -1,0 +1,46 @@
+package locktest
+
+import "sync"
+
+// embedded exercises the embedded-mutex form: the guard's "name" is the
+// embedded field (Mutex) and the lock call is e.Lock() on the base
+// value itself.
+type embedded struct {
+	sync.Mutex
+	n int // guarded by Mutex
+}
+
+func (e *embedded) inc() {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}
+
+func (e *embedded) badInc() {
+	e.n++ // want "e.n is guarded by Mutex, which badInc does not hold"
+}
+
+type stats struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func newStats() *stats {
+	return &stats{m: map[string]int{}}
+}
+
+func (s *stats) get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+func (s *stats) set(k string, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+func (s *stats) badGet(k string) int {
+	return s.m[k] // want "s.m is guarded by mu, which badGet does not hold"
+}

@@ -1,0 +1,55 @@
+package locktest
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	jobs []int // guarded by mu
+	done bool  // guarded by mu
+}
+
+func newQueue() *queue {
+	q := &queue{jobs: nil}
+	q.done = false // local construction: the value has not escaped yet
+	return q
+}
+
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.jobs = append(q.jobs, v)
+}
+
+func (q *queue) peek() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return 0
+	}
+	return q.jobs[0]
+}
+
+func (q *queue) badSet() {
+	q.done = true // want "q.done is guarded by mu, which badSet does not hold"
+}
+
+func (q *queue) badPush(v int) {
+	q.jobs = append(q.jobs, v) // want "q.jobs is guarded by mu" "q.jobs is guarded by mu"
+}
+
+func (q *queue) sizeLocked() int {
+	return len(q.jobs)
+}
+
+func snapshot(q *queue) []int {
+	return q.jobs //lint:allow lock(caller synchronizes via the drain barrier)
+}
+
+func copyBad(q *queue) {
+	dup := *q // want "dereference copies repro/internal/locktest.queue, which contains a mutex"
+	_ = dup
+}
+
+func (q queue) valueRecv() int { // want "value receiver copies repro/internal/locktest.queue, which contains a mutex"
+	return 0
+}

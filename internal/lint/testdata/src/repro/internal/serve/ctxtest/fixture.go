@@ -1,0 +1,55 @@
+package ctxtest
+
+import "context"
+
+type handler struct{}
+
+func (h handler) process(ctx context.Context) error {
+	return sleepUnder(ctx)
+}
+
+func sleepUnder(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func fresh() {
+	ctx := context.Background() // want "context.Background\(\) on a request path severs deadline propagation"
+	_ = ctx
+	ctx2 := context.TODO() // want "context.TODO\(\) on a request path severs deadline propagation"
+	_ = ctx2
+}
+
+func dropped(ctx context.Context, n int) int { // want "context parameter ctx is dropped"
+	return n + 1
+}
+
+func deliberate(_ context.Context, n int) int {
+	return n
+}
+
+func allowedBase() context.Context {
+	return context.Background() //lint:allow ctx(server-owned lifecycle root, documented in DESIGN)
+}
+
+// methodValue exercises flow through a method value: the minted root
+// context is flagged at the call site regardless of how the callee is
+// invoked, and the nil-context check sees the method value's signature.
+func methodValue(h handler) error {
+	f := h.process
+	return f(context.Background()) // want "context.Background\(\) on a request path severs deadline propagation"
+}
+
+func nilViaMethodValue(h handler) error {
+	f := h.process
+	return f(nil) // want "nil context passed on a request path"
+}
+
+func nilCtx(h handler) error {
+	return h.process(nil) // want "nil context passed on a request path"
+}
+
+//lint:allow ctx(interface conformance shim: engine ignores cancellation)
+func shimmed(ctx context.Context) int {
+	return 0
+}

@@ -44,11 +44,11 @@ type buffer struct {
 	mu        sync.Mutex
 	capacity  int
 	k         int
-	ring      []*Record
-	exemplars map[string][]*Record // route -> current K worst, unordered
-	pinned    map[*Record]bool
-	completed uint64
-	evicted   uint64
+	ring      []*Record            // guarded by mu
+	exemplars map[string][]*Record // guarded by mu — route -> current K worst, unordered
+	pinned    map[*Record]bool     // guarded by mu
+	completed uint64               // guarded by mu
+	evicted   uint64               // guarded by mu
 }
 
 func newBuffer(capacity, k int) *buffer {

@@ -179,12 +179,19 @@ type Request struct {
 // Stage closes the current stage and opens name at the same clock
 // reading. The boundaries partition the request span: no gaps, no
 // overlap, exact sums.
+//
+// Stage sits on the serving hot path and is called with a nil receiver
+// whenever tracing is disabled, so the nil fast path must stay
+// allocation-free; hotalloc checks that statically.
+//
+//lint:hotpath
 func (r *Request) Stage(name string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	if !r.done && len(r.stages) < maxStages {
+		//lint:allow alloc(enabled-tracing slow path: the append is bounded by maxStages and the clock is an injected interface; the nil fast path above allocates nothing)
 		r.stages = append(r.stages, stageMark{name: name, start: r.t.clock.Now()})
 	}
 	r.mu.Unlock()
@@ -207,15 +214,20 @@ func (r *Request) Annotate(key, value string) {
 }
 
 // Mark records an instantaneous event (an anneal exchange barrier, say)
-// at the current clock reading, without opening a stage.
+// at the current clock reading, without opening a stage. Like Stage it
+// is hot-path: the nil fast path must stay allocation-free.
+//
+//lint:hotpath
 func (r *Request) Mark(name string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	if !r.done && len(r.marks) < maxMarks {
+		//lint:allow alloc(enabled-tracing slow path: the append is bounded by maxMarks and the clock is an injected interface; the nil fast path above allocates nothing)
 		r.marks = append(r.marks, MarkRecord{
-			Name:     name,
+			Name: name,
+			//lint:allow alloc(the clock is an injected interface; both implementations read time without allocating)
 			OffsetNS: r.t.clock.Now().Sub(r.start).Nanoseconds(),
 		})
 	}

@@ -97,34 +97,55 @@ func Run(g *fm.Graph, sched fm.Schedule, tgt fm.Target, m *machine.Machine) (mac
 		return order[i] < order[j]
 	})
 
-	// A value consumed by several ops at one place travels there once.
-	type flow struct {
-		producer fm.NodeID
-		dst      geom.Point
-	}
 	arrivals := make(map[flow]float64)
 
 	for _, id := range order {
-		dst := sched[id].Place
-		for _, p := range g.Deps(id) {
-			var ready float64
-			if sched[p].Place == dst {
-				ready = avail[p]
-			} else {
-				f := flow{p, dst}
-				arr, sent := arrivals[f]
-				if !sent {
-					m.WaitUntil(sched[p].Place, avail[p])
-					arr = m.Send(sched[p].Place, dst, tgt.Words(g.Bits(p)), g.Label(p))
-					arrivals[f] = arr
-				}
-				ready = arr
-			}
-			m.WaitUntil(dst, ready)
-		}
-		// Anchor to the schedule: never start before the mapped cycle.
-		m.WaitUntil(dst, float64(sched[id].Time)*tgt.CyclePS)
-		avail[id] = m.Compute(dst, g.Op(id), g.Bits(id), g.Label(id))
+		replayNode(g, sched, tgt, m, id, avail, arrivals)
 	}
 	return m.Metrics(), nil
+}
+
+// flow identifies one deduplicated transfer: a value consumed by
+// several ops at one place travels there once.
+type flow struct {
+	producer fm.NodeID
+	dst      geom.Point
+}
+
+// replayNode executes one scheduled operation: it waits for every
+// dependency (sending each distinct (producer, destination) flow
+// exactly once), anchors to the mapped cycle, and computes, recording
+// the value's actual availability time in avail. This is the replay
+// inner loop — once per non-input node per replay, millions of times
+// across a degradation sweep — so hotalloc pins its allocation budget
+// to the arrivals map alone; the machine calls mutate preallocated
+// simulator state.
+//
+//lint:hotpath
+func replayNode(g *fm.Graph, sched fm.Schedule, tgt fm.Target, m *machine.Machine, id fm.NodeID, avail []float64, arrivals map[flow]float64) {
+	dst := sched[id].Place
+	for _, p := range g.Deps(id) {
+		var ready float64
+		if sched[p].Place == dst {
+			ready = avail[p]
+		} else {
+			f := flow{p, dst}
+			arr, sent := arrivals[f]
+			if !sent {
+				//lint:allow alloc(simulator boundary: the machine owns its event bookkeeping and may allocate; replayNode itself must not)
+				m.WaitUntil(sched[p].Place, avail[p])
+				//lint:allow alloc(simulator boundary: Send drives the NoC model, whose contention state may allocate by design)
+				arr = m.Send(sched[p].Place, dst, tgt.Words(g.Bits(p)), g.Label(p))
+				arrivals[f] = arr
+			}
+			ready = arr
+		}
+		//lint:allow alloc(simulator boundary: the machine owns its event bookkeeping and may allocate; replayNode itself must not)
+		m.WaitUntil(dst, ready)
+	}
+	// Anchor to the schedule: never start before the mapped cycle.
+	//lint:allow alloc(simulator boundary: the machine owns its event bookkeeping and may allocate; replayNode itself must not)
+	m.WaitUntil(dst, float64(sched[id].Time)*tgt.CyclePS)
+	//lint:allow alloc(simulator boundary: Compute advances the node clock and trace, which may allocate by design)
+	avail[id] = m.Compute(dst, g.Op(id), g.Bits(id), g.Label(id))
 }

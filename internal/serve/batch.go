@@ -148,11 +148,11 @@ func batchCtx(live []*evalJob) (context.Context, context.CancelFunc) {
 	for _, j := range live {
 		dl, ok := j.ctx.Deadline()
 		if !ok {
-			return context.Background(), func() {}
+			return context.Background(), func() {} //lint:allow ctx(server-owned batch root: detachment from member contexts is the documented contract above)
 		}
 		if dl.After(latest) {
 			latest = dl
 		}
 	}
-	return context.WithDeadline(context.Background(), latest)
+	return context.WithDeadline(context.Background(), latest) //lint:allow ctx(server-owned batch root, deadline-bounded by the latest member)
 }

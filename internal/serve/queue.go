@@ -56,10 +56,10 @@ type evalResult struct {
 type jobQueue struct {
 	mu       sync.Mutex
 	nonEmpty sync.Cond
-	jobs     []*evalJob
+	jobs     []*evalJob // guarded by mu
 	capacity int
-	paused   bool
-	closed   bool
+	paused   bool // guarded by mu
+	closed   bool // guarded by mu
 }
 
 func newJobQueue(capacity int) *jobQueue {
@@ -156,7 +156,7 @@ type graphEntry struct {
 type graphRegistry struct {
 	mu  sync.Mutex
 	max int
-	m   map[uint64]*graphEntry
+	m   map[uint64]*graphEntry // guarded by mu
 }
 
 func newGraphRegistry(max int) *graphRegistry {

@@ -246,7 +246,7 @@ func NewServer(cfg Config) (*Server, error) {
 		searches: newSearchRegistry(cfg.MaxSearches),
 		store:    cfg.Store,
 	}
-	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background()) //lint:allow ctx(process lifetime root: baseCtx outlives every request by design)
 	s.pool.Instrument(s.reg)
 	s.instrument()
 	if s.store != nil && !s.store.Report().Healthy() {
@@ -338,7 +338,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // undrained server drains it first with a short deadline.
 func (s *Server) Close() obs.Snapshot {
 	if !s.draining.Load() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second) //lint:allow ctx(shutdown path: no request context exists during Close)
 		_ = s.Drain(ctx)
 		cancel()
 	}

@@ -213,18 +213,18 @@ type Store struct {
 	opts Options
 
 	mu         sync.Mutex
-	active     File
-	activeName string
-	activeSize int64 // bytes of the active segment known durable/good
-	nextSeq    int
-	segments   []string // live segment names, oldest first (incl. active)
-	broken     error    // non-nil once the append path is unrepairable
+	active     File     // guarded by mu
+	activeName string   // guarded by mu
+	activeSize int64    // guarded by mu — bytes of the active segment known durable/good
+	nextSeq    int      // guarded by mu
+	segments   []string // guarded by mu — live segment names, oldest first (incl. active)
+	broken     error    // guarded by mu — non-nil once the append path is unrepairable
 
-	evals map[evalIdxKey]fm.Cost
-	bests map[bestKey]bestSlot
-	rows  []dumpRow
+	evals map[evalIdxKey]fm.Cost // guarded by mu
+	bests map[bestKey]bestSlot   // guarded by mu
+	rows  []dumpRow              // guarded by mu
 
-	report RecoveryReport
+	report RecoveryReport // guarded by mu
 
 	mAppends, mAppendErrs, mDedup, mRotations, mManifestErrs *obs.Counter
 	mRecovered, mQuarantined                                 *obs.Counter
@@ -252,7 +252,7 @@ func Open(fsys FS, dir string, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	s.publishGauges()
+	s.publishGaugesLocked()
 	s.mRecovered.Add(int64(s.report.Records))
 	s.mQuarantined.Add(int64(len(s.report.Quarantined)))
 	return s, nil
@@ -271,9 +271,9 @@ func (s *Store) instrument(r *obs.Registry) {
 	s.gUnhealthy = r.Gauge("store.unhealthy")
 }
 
-// publishGauges refreshes the occupancy and health gauges. Callers hold
+// publishGaugesLocked refreshes the occupancy and health gauges. Callers hold
 // s.mu (or are single-threaded during Open).
-func (s *Store) publishGauges() {
+func (s *Store) publishGaugesLocked() {
 	s.gRecords.Set(float64(len(s.evals)))
 	s.gSegments.Set(float64(len(s.segments)))
 	if s.report.Healthy() {
@@ -331,9 +331,9 @@ func (s *Store) loadManifest() *manifest {
 	return &m
 }
 
-// writeManifest commits the live segment list atomically: tmp file,
+// writeManifestLocked commits the live segment list atomically: tmp file,
 // fsync, rename, directory fsync.
-func (s *Store) writeManifest() error {
+func (s *Store) writeManifestLocked() error {
 	m := manifest{Version: manifestVersion, Segments: s.segments, NextSeq: s.nextSeq}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -366,6 +366,8 @@ func (s *Store) writeManifest() error {
 
 // recover scans the log and rebuilds the index. See the package comment
 // for the contract it enforces.
+//
+//lint:allow lock(single-threaded during Open: the store has not escaped to any other goroutine yet)
 func (s *Store) recover() error {
 	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
@@ -468,7 +470,7 @@ func (s *Store) recover() error {
 		}
 		if keep {
 			for _, e := range pending {
-				s.applyEntry(e)
+				s.applyEntryLocked(e)
 				s.report.Records++
 			}
 			kept = append(kept, name)
@@ -495,11 +497,11 @@ func (s *Store) recover() error {
 		}
 	}
 	if s.active == nil {
-		if err := s.newSegment(); err != nil {
+		if err := s.newSegmentLocked(); err != nil {
 			return err
 		}
 	}
-	if err := s.writeManifest(); err != nil {
+	if err := s.writeManifestLocked(); err != nil {
 		// The scan, not the manifest, is authoritative; a failed commit
 		// costs nothing but a fallback scan next open.
 		s.mManifestErrs.Inc()
@@ -512,9 +514,9 @@ func (s *Store) quarantine(name string) error {
 	return s.fs.Rename(filepath.Join(s.dir, name), filepath.Join(s.dir, name+quarantineExt))
 }
 
-// newSegment creates and syncs the next segment file and makes it
+// newSegmentLocked creates and syncs the next segment file and makes it
 // active. Callers hold s.mu (or are single-threaded during Open).
-func (s *Store) newSegment() error {
+func (s *Store) newSegmentLocked() error {
 	name := segName(s.nextSeq)
 	f, err := s.fs.Create(filepath.Join(s.dir, name))
 	if err != nil {
@@ -538,9 +540,9 @@ func (s *Store) newSegment() error {
 	return nil
 }
 
-// applyEntry indexes one intact entry. Callers hold s.mu (or are
+// applyEntryLocked indexes one intact entry. Callers hold s.mu (or are
 // single-threaded during Open).
-func (s *Store) applyEntry(e *Entry) {
+func (s *Store) applyEntryLocked(e *Entry) {
 	s.evals[evalIdxKey{e.Graph, e.SchedFP, e.TargetFP}] = e.Cost
 	for _, obj := range objectives {
 		bk := bestKey{e.Graph, e.TargetFP, obj}
@@ -592,7 +594,7 @@ func (s *Store) Put(gfp uint64, tgt fm.Target, sched fm.Schedule, cost fm.Cost) 
 	}
 	if _, err := s.active.Write(frame); err != nil {
 		s.mAppendErrs.Inc()
-		s.repair()
+		s.repairLocked()
 		return false, fmt.Errorf("store: append: %w", err)
 	}
 	if !s.opts.NoSyncOnPut {
@@ -601,27 +603,27 @@ func (s *Store) Put(gfp uint64, tgt fm.Target, sched fm.Schedule, cost fm.Cost) 
 			// (the page cache may or may not have landed); the only
 			// honest move is to fall back to the last known-good offset.
 			s.mAppendErrs.Inc()
-			s.repair()
+			s.repairLocked()
 			return false, fmt.Errorf("store: sync append: %w", err)
 		}
 	}
 	s.activeSize += int64(len(frame))
-	s.applyEntry(e)
+	s.applyEntryLocked(e)
 	s.mAppends.Inc()
 	if s.activeSize >= s.opts.SegmentBytes {
-		s.rotate()
+		s.rotateLocked()
 	}
-	s.publishGauges()
+	s.publishGaugesLocked()
 	return true, nil
 }
 
-// repair restores the append invariant after a failed write or sync:
+// repairLocked restores the append invariant after a failed write or sync:
 // cut the active segment back to its last known-good offset and reopen
 // it. If the segment cannot be restored, seal it (its good prefix
 // remains valid) and rotate to a fresh one. If even that fails, the
 // append path is broken: subsequent Puts fail fast, reads keep working.
 // Callers hold s.mu.
-func (s *Store) repair() {
+func (s *Store) repairLocked() {
 	s.active.Close()
 	path := filepath.Join(s.dir, s.activeName)
 	if err := s.fs.Truncate(path, s.activeSize); err == nil {
@@ -632,23 +634,23 @@ func (s *Store) repair() {
 	}
 	// Truncate or reopen failed; abandon the tail to recovery (the next
 	// Open will cut it) and try a fresh segment.
-	if err := s.newSegment(); err != nil {
+	if err := s.newSegmentLocked(); err != nil {
 		s.broken = err
 		s.gUnhealthy.Set(1)
 		return
 	}
-	if err := s.writeManifest(); err != nil {
+	if err := s.writeManifestLocked(); err != nil {
 		s.mManifestErrs.Inc()
 	}
 }
 
-// rotate seals the active segment and opens the next one. Rotation
+// rotateLocked seals the active segment and opens the next one. Rotation
 // failures leave the current segment active (appends stay durable;
 // rotation retries on the next Put). Callers hold s.mu.
-func (s *Store) rotate() {
+func (s *Store) rotateLocked() {
 	prev := s.active
-	if err := s.newSegment(); err != nil {
-		// Couldn't open the next segment (newSegment mutates no state
+	if err := s.newSegmentLocked(); err != nil {
+		// Couldn't open the next segment (newSegmentLocked mutates no state
 		// on failure): keep appending to the old one and retry on the
 		// next Put that crosses the threshold.
 		s.mManifestErrs.Inc()
@@ -656,7 +658,7 @@ func (s *Store) rotate() {
 	}
 	prev.Close()
 	s.mRotations.Inc()
-	if err := s.writeManifest(); err != nil {
+	if err := s.writeManifestLocked(); err != nil {
 		s.mManifestErrs.Inc()
 	}
 }

@@ -1,0 +1,15 @@
+package workspan
+
+import (
+	"testing"
+
+	"repro/internal/leaktest"
+)
+
+// TestMain fails the package run if any test leaks a goroutine: the
+// dynamic half of the concurrency gate (lockcheck and ctxflow are the
+// static half). Every worker, drain loop, and batch goroutine these
+// tests start must be joined by the time the run ends.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}
