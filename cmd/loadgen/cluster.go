@@ -1,0 +1,487 @@
+// Cluster drills: loadgen owns a whole fleet — maprouter plus N mapd
+// shards — the way the restart drill owns a single server, and asserts
+// the cluster tier's contracts over the wire:
+//
+// Steady (-cluster): spawn the fleet, drive -requests distinct evals
+// through the router, and require all 200s, zero failovers, and the
+// work actually spread across shards (content routing, not a hot
+// single shard).
+//
+// Kill drill (-cluster -cluster-kill): three phases over the same
+// request sequence. Phase A warms the fleet and records each request's
+// primary shard from the X-Cluster-Primary header. Then one shard —
+// the primary of the first request — dies by SIGKILL, no drain. Phase
+// B replays the sequence: every answer must still be 200 with costs
+// byte-identical to phase A (failover is invisible to clients), and
+// the router's failover counter must equal EXACTLY the number of
+// phase-B requests whose primary was the dead shard. Phase C restarts
+// the shard over its store directory, forces a probe so the router
+// marks it up, replays again: the counter must not move, the rejoined
+// shard must serve its keys again, and it must answer them warm from
+// the store — serve.store.hits on the restarted shard equals the
+// number of phase-C requests it served.
+//
+// Search drill (-cluster -cluster-search): spawn a frozen-clock fleet,
+// run ONE scatter-gather anneal through the router, write the raw
+// response bytes to -search-out, and shut the router down gracefully
+// so it exports its trace buffer to -cluster-trace-out. CI runs the
+// drill twice and diffs both files byte for byte.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// genClusterBodies builds n distinct eval requests that also spread
+// across shards: the routing key is fm.Fingerprint(graph, target), so
+// unlike the restart drill's bodies (one graph, many schedules — one
+// key) these vary the recurrence dims too. Distinct strides keep every
+// (graph, schedule, target) triple unique, which is what makes the
+// kill drill's store-hit count exact.
+func genClusterBodies(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(900)
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{
+			"recurrence": {"dims": [%d, %d], "deps": [[1, 0], [0, 1]]},
+			"target": {"width": 4},
+			"schedules": [{"kind": "antidiagonal", "stride": %d}],
+			"deadline_ms": 60000
+		}`, 5+rng.Intn(6), 5+rng.Intn(6), 100+perm[i])
+	}
+	return bodies
+}
+
+// clusterMetrics is the router's aggregated /v1/metrics document.
+type clusterMetrics struct {
+	Cluster metricsSnapshot   `json:"cluster"`
+	Shards  []json.RawMessage `json:"shards"`
+}
+
+// callHdr is client.call plus the response headers and raw body — the
+// cluster drills read the X-Cluster-* attribution headers and compare
+// answers byte for byte.
+func (c *client) callHdr(method, path, body string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest(method, c.base+path, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// fleet is the spawned cluster: one router process, N shard processes,
+// and the addressing to reach each of them directly.
+type fleet struct {
+	router    *exec.Cmd
+	routerURL string
+	shards    []*exec.Cmd
+	shardURLs []string
+	storeDirs []string
+}
+
+// killAll tears the fleet down hard; used on every error path.
+func (f *fleet) killAll() {
+	if f.router != nil {
+		_ = f.router.Process.Kill()
+		_ = f.router.Wait()
+		f.router = nil
+	}
+	for i, sh := range f.shards {
+		if sh != nil {
+			_ = sh.Process.Kill()
+			_ = sh.Wait()
+			f.shards[i] = nil
+		}
+	}
+}
+
+// waitHealthy polls url's /healthz until it answers 200.
+func waitHealthy(hc *http.Client, url, what string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := hc.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s on %s never became healthy", what, url)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// spawnShard starts one mapd shard over storeDir.
+func spawnShard(hc *http.Client, mapdBin, listen, storeDir string, frozen bool) (*exec.Cmd, error) {
+	args := []string{"-listen", listen, "-store-dir", storeDir}
+	if frozen {
+		args = append(args, "-frozen-clock")
+	}
+	cmd := exec.Command(mapdBin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", mapdBin, err)
+	}
+	if err := waitHealthy(hc, "http://"+listen, "mapd shard"); err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// spawnFleet brings up N shards then the router over them. Hedging is
+// disabled and probing is on-demand only (POST /v1/probe), so every
+// count the drills assert is a pure function of the request sequence.
+func spawnFleet(hc *http.Client, mapdBin, routerBin string, shardsN, basePort int, storeBase string, frozen bool, traceOut string) (*fleet, error) {
+	f := &fleet{}
+	for i := 0; i < shardsN; i++ {
+		listen := fmt.Sprintf("127.0.0.1:%d", basePort+1+i)
+		dir := filepath.Join(storeBase, fmt.Sprintf("shard%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			f.killAll()
+			return nil, err
+		}
+		sh, err := spawnShard(hc, mapdBin, listen, dir, frozen)
+		if err != nil {
+			f.killAll()
+			return nil, err
+		}
+		f.shards = append(f.shards, sh)
+		f.shardURLs = append(f.shardURLs, "http://"+listen)
+		f.storeDirs = append(f.storeDirs, dir)
+	}
+	routerListen := fmt.Sprintf("127.0.0.1:%d", basePort)
+	args := []string{
+		"-listen", routerListen,
+		"-shards", strings.Join(f.shardURLs, ","),
+		"-replicas", "2",
+		"-hedge-delay", "-1ms",
+		"-probe-every", "0",
+	}
+	if frozen {
+		args = append(args, "-frozen-clock")
+	}
+	if traceOut != "" {
+		args = append(args, "-trace-out", traceOut)
+	}
+	cmd := exec.Command(routerBin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		f.killAll()
+		return nil, fmt.Errorf("start %s: %w", routerBin, err)
+	}
+	f.router = cmd
+	f.routerURL = "http://" + routerListen
+	if err := waitHealthy(hc, f.routerURL, "maprouter"); err != nil {
+		f.killAll()
+		return nil, err
+	}
+	return f, nil
+}
+
+// routerCounters scrapes the router's own cluster.* counters.
+func routerCounters(c *client) (map[string]int64, error) {
+	var agg clusterMetrics
+	if status, _, err := c.call("GET", "/v1/metrics", "", &agg); err != nil || status != 200 {
+		return nil, fmt.Errorf("router metrics scrape: status %d, %v", status, err)
+	}
+	return agg.Cluster.Counters, nil
+}
+
+// clusterPhase replays the bodies sequentially through the router,
+// requiring a clean 200 for every one, and returns per-request costs,
+// serving shard, and primary shard (both from the attribution headers).
+func clusterPhase(c *client, name string, bodies []string) (costs []string, served, primary []int, err error) {
+	costs = make([]string, len(bodies))
+	served = make([]int, len(bodies))
+	primary = make([]int, len(bodies))
+	for i, body := range bodies {
+		status, hdr, data, err := c.callHdr("POST", "/v1/eval", body)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s request %d: %w", name, i, err)
+		}
+		if status != 200 {
+			return nil, nil, nil, fmt.Errorf("%s request %d: status %d: %s", name, i, status, data)
+		}
+		var ev evalResponse
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s request %d: decode: %w", name, i, err)
+		}
+		if ev.Degraded || len(ev.Costs) == 0 {
+			return nil, nil, nil, fmt.Errorf("%s request %d: degraded=%v, %d cost bytes", name, i, ev.Degraded, len(ev.Costs))
+		}
+		costs[i] = string(ev.Costs)
+		if _, err := fmt.Sscanf(hdr.Get("X-Cluster-Shard"), "%d", &served[i]); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s request %d: bad X-Cluster-Shard %q", name, i, hdr.Get("X-Cluster-Shard"))
+		}
+		if _, err := fmt.Sscanf(hdr.Get("X-Cluster-Primary"), "%d", &primary[i]); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s request %d: bad X-Cluster-Primary %q", name, i, hdr.Get("X-Cluster-Primary"))
+		}
+	}
+	return costs, served, primary, nil
+}
+
+// runCluster dispatches the three cluster drills.
+func runCluster(mapdBin, routerBin, storeDir string, shardsN, basePort, requests int, seed int64, kill, search bool, searchOut, traceOut string, timeout time.Duration) (*runReport, error) {
+	if mapdBin == "" || routerBin == "" {
+		return nil, fmt.Errorf("-cluster needs -mapd and -router (paths to the binaries)")
+	}
+	if shardsN < 2 {
+		return nil, fmt.Errorf("-cluster-shards must be at least 2 (failover needs a replica)")
+	}
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "loadgen-cluster-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	hc := &http.Client{Timeout: timeout}
+	f, err := spawnFleet(hc, mapdBin, routerBin, shardsN, basePort, storeDir, search, traceOut)
+	if err != nil {
+		return nil, err
+	}
+	defer f.killAll()
+	c := &client{base: f.routerURL, http: hc}
+	switch {
+	case search:
+		return runClusterSearch(c, f, seed, searchOut)
+	case kill:
+		return runClusterKill(c, f, hc, mapdBin, requests, seed)
+	default:
+		return runClusterSteady(c, requests, seed, shardsN)
+	}
+}
+
+func runClusterSteady(c *client, requests int, seed int64, shardsN int) (*runReport, error) {
+	bodies := genClusterBodies(seed, requests)
+	rep := &runReport{Mode: "cluster", Requests: requests}
+	_, served, _, err := clusterPhase(c, "steady", bodies)
+	if err != nil {
+		return rep, err
+	}
+	counters, err := routerCounters(c)
+	if err != nil {
+		return rep, err
+	}
+	rep.OK = int64(requests)
+	usedShards := map[int]bool{}
+	for _, s := range served {
+		usedShards[s] = true
+	}
+	var routed int64
+	for i := 0; i < shardsN; i++ {
+		routed += counters[fmt.Sprintf("cluster.routes.shard%d", i)]
+	}
+	fmt.Printf("loadgen cluster: requests=%d ok=%d err5xx=0 failovers=%d shards_used=%d\n",
+		requests, rep.OK, counters["cluster.failovers"], len(usedShards))
+	switch {
+	case counters["cluster.failovers"] != 0:
+		return rep, fmt.Errorf("%d failovers on a healthy fleet, want 0", counters["cluster.failovers"])
+	case counters["cluster.no_replica"] != 0:
+		return rep, fmt.Errorf("%d no-replica refusals on a healthy fleet", counters["cluster.no_replica"])
+	case routed != int64(requests):
+		return rep, fmt.Errorf("per-shard route counts sum to %d, want %d", routed, requests)
+	case len(usedShards) < 2:
+		return rep, fmt.Errorf("all work landed on one shard — content routing is not spreading")
+	}
+	return rep, nil
+}
+
+func runClusterKill(c *client, f *fleet, hc *http.Client, mapdBin string, requests int, seed int64) (*runReport, error) {
+	bodies := genClusterBodies(seed, requests)
+	rep := &runReport{Mode: "cluster-kill", Requests: requests}
+
+	// Phase A: warm fleet; learn each key's primary from the router.
+	costsA, _, primaries, err := clusterPhase(c, "phase A", bodies)
+	if err != nil {
+		return rep, err
+	}
+	counters, err := routerCounters(c)
+	if err != nil {
+		return rep, err
+	}
+	if counters["cluster.failovers"] != 0 {
+		return rep, fmt.Errorf("phase A saw %d failovers on a healthy fleet", counters["cluster.failovers"])
+	}
+
+	// The victim: the primary of the first request — guaranteed to own
+	// at least one key, so the failover counter must move in phase B.
+	victim := primaries[0]
+	victimKeys := 0
+	for _, p := range primaries {
+		if p == victim {
+			victimKeys++
+		}
+	}
+	if err := f.shards[victim].Process.Kill(); err != nil {
+		return rep, fmt.Errorf("kill shard %d: %w", victim, err)
+	}
+	_ = f.shards[victim].Wait()
+	f.shards[victim] = nil
+	fmt.Fprintf(os.Stderr, "loadgen: shard %d killed (SIGKILL); %d of %d keys owned it\n", victim, victimKeys, requests)
+
+	// Phase B: replay. Clients must see zero errors and identical
+	// answers; the router must count exactly one failover per request
+	// whose primary died.
+	costsB, servedB, _, err := clusterPhase(c, "phase B", bodies)
+	if err != nil {
+		return rep, err
+	}
+	for i := range costsA {
+		if costsA[i] != costsB[i] {
+			return rep, fmt.Errorf("answer %d changed across the kill:\n  before: %s\n  after:  %s", i, costsA[i], costsB[i])
+		}
+	}
+	for i, s := range servedB {
+		if s == victim {
+			return rep, fmt.Errorf("phase B request %d reportedly served by the dead shard %d", i, victim)
+		}
+	}
+	counters, err = routerCounters(c)
+	if err != nil {
+		return rep, err
+	}
+	failovers := counters["cluster.failovers"]
+	if failovers != int64(victimKeys) {
+		return rep, fmt.Errorf("phase B failovers = %d, want exactly %d (one per request whose primary died)", failovers, victimKeys)
+	}
+
+	// Phase C: the shard rejoins over its own store directory; a forced
+	// probe tells the router, and its keys come home warm.
+	listen := strings.TrimPrefix(f.shardURLs[victim], "http://")
+	sh, err := spawnShard(hc, mapdBin, listen, f.storeDirs[victim], false)
+	if err != nil {
+		return rep, fmt.Errorf("restart shard %d: %w", victim, err)
+	}
+	f.shards[victim] = sh
+	if status, _, err := c.call("POST", "/v1/probe", "", nil); err != nil || status != 200 {
+		return rep, fmt.Errorf("probe after rejoin: status %d, %v", status, err)
+	}
+	costsC, servedC, _, err := clusterPhase(c, "phase C", bodies)
+	if err != nil {
+		return rep, err
+	}
+	for i := range costsA {
+		if costsA[i] != costsC[i] {
+			return rep, fmt.Errorf("answer %d changed after the rejoin:\n  before: %s\n  after:  %s", i, costsA[i], costsC[i])
+		}
+	}
+	rejoinedServed := 0
+	for _, s := range servedC {
+		if s == victim {
+			rejoinedServed++
+		}
+	}
+	if rejoinedServed != victimKeys {
+		return rep, fmt.Errorf("rejoined shard served %d requests in phase C, want its %d keys back", rejoinedServed, victimKeys)
+	}
+	counters, err = routerCounters(c)
+	if err != nil {
+		return rep, err
+	}
+	if counters["cluster.failovers"] != failovers {
+		return rep, fmt.Errorf("failovers moved from %d to %d in phase C — the rejoined shard should serve cleanly", failovers, counters["cluster.failovers"])
+	}
+
+	// Warmth: the rejoined shard lost its in-process cache with the
+	// SIGKILL, so every phase-C answer it served must have come from the
+	// recovered store — exactly one hit per request.
+	shardClient := &client{base: f.shardURLs[victim], http: hc}
+	var snap metricsSnapshot
+	if status, _, err := shardClient.call("GET", "/v1/metrics", "", &snap); err != nil || status != 200 {
+		return rep, fmt.Errorf("rejoined shard metrics scrape: status %d, %v", status, err)
+	}
+	storeHits := snap.Counters["serve.store.hits"]
+	if storeHits != int64(rejoinedServed) {
+		return rep, fmt.Errorf("rejoined shard answered %d from the store, want all %d of its phase-C keys", storeHits, rejoinedServed)
+	}
+
+	rep.OK = int64(3 * requests)
+	rep.StoreHits = storeHits
+	rep.Failovers = failovers
+	fmt.Printf("loadgen cluster-kill: requests=%d ok=%d err5xx=0 failovers=%d expected_failovers=%d store_hits=%d rejoined_served=%d\n",
+		requests, rep.OK, failovers, victimKeys, storeHits, rejoinedServed)
+	return rep, nil
+}
+
+// clusterSearchBody builds the drill's one scatter-gather anneal.
+func clusterSearchBody(seed int64) string {
+	return fmt.Sprintf(`{
+	"recurrence": {"dims": [6, 6], "deps": [[1, 0], [0, 1]]},
+	"target": {"width": 4, "height": 4},
+	"iters": 400, "chains": 2, "seed": %d
+}`, seed)
+}
+
+func runClusterSearch(c *client, f *fleet, seed int64, searchOut string) (*runReport, error) {
+	rep := &runReport{Mode: "cluster-search", Requests: 1}
+	status, _, data, err := c.callHdr("POST", "/v1/search", clusterSearchBody(seed))
+	if err != nil {
+		return rep, fmt.Errorf("scatter-gather search: %w", err)
+	}
+	if status != 200 {
+		return rep, fmt.Errorf("scatter-gather search: status %d: %s", status, data)
+	}
+	var resp struct {
+		Cluster struct {
+			Rounds      int   `json:"rounds"`
+			Replicas    []int `json:"replicas"`
+			WinnerShard int   `json:"winner_shard"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return rep, fmt.Errorf("decode search response: %w", err)
+	}
+	if resp.Cluster.Rounds == 0 || len(resp.Cluster.Replicas) == 0 {
+		return rep, fmt.Errorf("response carries no cluster addendum: %s", data)
+	}
+	if searchOut != "" {
+		if err := os.WriteFile(searchOut, data, 0o644); err != nil {
+			return rep, fmt.Errorf("write search response: %w", err)
+		}
+	}
+
+	// Graceful router shutdown so the trace buffer is exported (the
+	// -trace-out flag was passed at spawn); shards can die hard.
+	if err := f.router.Process.Signal(syscall.SIGTERM); err != nil {
+		return rep, fmt.Errorf("stop router: %w", err)
+	}
+	if err := f.router.Wait(); err != nil {
+		return rep, fmt.Errorf("router exit: %w", err)
+	}
+	f.router = nil
+
+	rep.OK = 1
+	fmt.Printf("loadgen cluster-search: status=200 rounds=%d replicas=%d winner_shard=%d bytes=%d\n",
+		resp.Cluster.Rounds, len(resp.Cluster.Replicas), resp.Cluster.WinnerShard, len(data))
+	return rep, nil
+}

@@ -30,6 +30,12 @@
 // cache recorded zero misses — the store, not re-evaluation, answered
 // everything.
 //
+// Cluster drills (-cluster, plus -cluster-kill / -cluster-search):
+// loadgen spawns a maprouter over N mapd shards and asserts the cluster
+// tier's contracts — zero client-visible errors with exact failover
+// counts across a SIGKILLed shard, store-warm rejoin, byte-identical
+// same-seed scatter-gather searches. See cluster.go.
+//
 // Trace assertion (-trace-assert, with the steady mode): after the
 // steady run, force one degraded answer through a shed-mode round trip
 // (requires mapd -admission-control), fetch /debug/traces twice, and
@@ -45,6 +51,9 @@
 //	loadgen: requests=200 ok=187 degraded=9 rejected=4 err5xx=0 cache_hits=122
 //	loadgen overload: ok=8 degraded=4 rejected=12
 //	loadgen restart: requests=24 ok=48 err5xx=0 store_hits=24 store_records=24 evalcache_misses=0
+//	loadgen cluster: requests=24 ok=24 err5xx=0 failovers=0 shards_used=3
+//	loadgen cluster-kill: requests=24 ok=72 err5xx=0 failovers=9 expected_failovers=9 store_hits=9 rejoined_served=9
+//	loadgen cluster-search: status=200 rounds=3 replicas=2 winner_shard=1 bytes=412
 //	loadgen trace: traces=207 sums_ok=207 degraded_with_reason=1 export_stable=true
 //
 // Usage:
@@ -81,9 +90,17 @@ func main() {
 	burst := flag.Int("burst", 16, "overload drill: uncached requests in the burst")
 	cached := flag.Int("cached", 4, "overload drill: cache-warmed requests in the burst")
 	restart := flag.Bool("restart", false, "run the kill-and-restart warmth drill (spawns mapd itself; needs -mapd)")
-	mapdBin := flag.String("mapd", "", "restart drill: path to the mapd binary")
-	storeDir := flag.String("store-dir", "", "restart drill: mapping store directory (empty = a fresh temp dir)")
+	mapdBin := flag.String("mapd", "", "restart/cluster drills: path to the mapd binary")
+	storeDir := flag.String("store-dir", "", "restart/cluster drills: mapping store directory (empty = a fresh temp dir)")
 	listen := flag.String("listen", "127.0.0.1:18080", "restart drill: address the spawned mapd listens on")
+	clusterMode := flag.Bool("cluster", false, "run the cluster drill (spawns maprouter + shards; needs -mapd and -router)")
+	routerBin := flag.String("router", "", "cluster drills: path to the maprouter binary")
+	clusterShards := flag.Int("cluster-shards", 3, "cluster drills: shard count")
+	clusterKill := flag.Bool("cluster-kill", false, "cluster drill: SIGKILL one shard mid-run and assert exact failover accounting")
+	clusterSearch := flag.Bool("cluster-search", false, "cluster drill: one frozen-clock scatter-gather search, raw response saved for diffing")
+	searchOut := flag.String("search-out", "", "cluster-search: write the raw search response bytes to this path")
+	clusterTraceOut := flag.String("cluster-trace-out", "", "cluster-search: router writes its trace export to this path on shutdown")
+	basePort := flag.Int("cluster-base-port", 18090, "cluster drills: router port (shards take the following ports)")
 	report := flag.String("report", "", "write the run report as JSON to this path")
 	traceAssert := flag.Bool("trace-assert", false, "after the steady run, assert the /debug/traces contracts (needs mapd -admission-control)")
 	traceJSON := flag.String("trace-json", "", "trace-assert: write the fetched /debug/traces document to this path")
@@ -99,6 +116,9 @@ func main() {
 		err error
 	)
 	switch {
+	case *clusterMode:
+		rep, err = runCluster(*mapdBin, *routerBin, *storeDir, *clusterShards, *basePort, *requests, *seed,
+			*clusterKill, *clusterSearch, *searchOut, *clusterTraceOut, *timeout)
 	case *restart:
 		rep, err = runRestart(c, *mapdBin, *storeDir, *listen, *requests, *seed)
 	case *overload:
@@ -192,6 +212,9 @@ type runReport struct {
 	// probes that answered, and records recovered into the second life.
 	StoreHits    int64 `json:"store_hits,omitempty"`
 	StoreRecords int64 `json:"store_records,omitempty"`
+	// Failovers is filled by the cluster kill drill: requests the router
+	// served from a replica because the primary was dead.
+	Failovers int64 `json:"failovers,omitempty"`
 }
 
 func writeReport(path string, rep *runReport) error {

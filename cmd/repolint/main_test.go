@@ -75,6 +75,23 @@ func TestRepolintStorePackage(t *testing.T) {
 	}
 }
 
+// TestRepolintClusterPackage runs the full suite over the cluster
+// tier — determinism-critical (routing plans, winner elections, and
+// exchange seeds must be pure functions of the request) and on the
+// request path (ctxflow: every forward and probe threads a
+// request-derived context). The router's single wall-clock read lives
+// behind the annotated Clock seam, like serve's.
+func TestRepolintClusterPackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/cluster"}, &out, &errOut); code != 0 {
+		t.Fatalf("repolint ./internal/cluster exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("repolint ./internal/cluster printed findings on exit 0:\n%s", out.String())
+	}
+}
+
 func TestRepolintBadPattern(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {

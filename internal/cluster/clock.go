@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the router's time seam. It extends the serving layer's
+// Now-only seam with one-shot timers because hedging is the first
+// feature in the repo whose *behavior* (not just telemetry) is
+// time-triggered: the hedge fires when a timer does. Keeping the timer
+// behind the seam means a FakeClock test can prove the hedge fires at
+// exactly the configured delay — and that a frozen clock (the
+// byte-reproducibility drills) never hedges at all.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Timer returns a channel that delivers one tick after d, and a stop
+	// function releasing the timer early. Stop is idempotent and safe
+	// after the tick.
+	Timer(d time.Duration) (<-chan time.Time, func())
+}
+
+// SystemClock reads the real wall clock and arms real timers.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time {
+	// The cluster tier's only wall-clock read; everything downstream
+	// receives time through the Clock interface.
+	//lint:allow nondeterminism(wall clock isolated behind the Clock seam; routing decisions and shard answers never depend on it)
+	return time.Now()
+}
+
+// Timer implements Clock.
+func (SystemClock) Timer(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
+
+// FakeClock is a manually advanced Clock for deterministic tests: Now is
+// frozen until Advance, and timers fire exactly when Advance carries the
+// clock past their deadline — never earlier, never on a real-time race.
+type FakeClock struct {
+	mu      sync.Mutex
+	t       time.Time    // guarded by mu
+	waiters []*fakeTimer // guarded by mu
+}
+
+type fakeTimer struct {
+	at      time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+// NewFakeClock returns a fake clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Timer implements Clock. A non-positive delay fires immediately.
+func (c *FakeClock) Timer(d time.Duration) (<-chan time.Time, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ft := &fakeTimer{at: c.t.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		ft.ch <- c.t
+		ft.stopped = true
+		return ft.ch, func() {}
+	}
+	c.waiters = append(c.waiters, ft)
+	return ft.ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ft.stopped = true
+	}
+}
+
+// Advance moves the clock forward by d and fires every timer whose
+// deadline the move reached.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	kept := c.waiters[:0]
+	for _, ft := range c.waiters {
+		switch {
+		case ft.stopped:
+		case !ft.at.After(c.t):
+			ft.ch <- c.t
+		default:
+			kept = append(kept, ft)
+		}
+	}
+	c.waiters = kept
+}
+
+// Waiters reports the number of armed (unfired, unstopped) timers —
+// test support for sequencing an Advance after a timer is known to be
+// registered.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ft := range c.waiters {
+		if !ft.stopped {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,253 @@
+// Scatter-gather search: the in-process annealer's exchange barrier,
+// generalized across processes. The router fans one /v1/search anneal
+// over the key's replica set as a sequence of rounds; in each round
+// every participating shard runs an independent slice of the iteration
+// budget (seeded by its global shard index and the round number, so no
+// two slices share an RNG stream), and between rounds the router is the
+// barrier: it elects the global best — LOWEST OBJECTIVE VALUE, ties
+// broken by LOWEST SHARD INDEX — and hands the winning schedule to
+// every shard as the next round's starting point.
+//
+// Determinism argument, by induction over rounds: round 0's slices are
+// pure functions of (request, shard index); the winner rule is a pure
+// function of the slice answers; round r+1's slices are pure functions
+// of (request, shard index, round-r winner). A slice's best never
+// regresses below its starting point (the annealer's best starts at the
+// init), so the final round's winner is the global best. Therefore two
+// same-seed runs against same-shaped fleets answer byte-identically —
+// as long as the participant set is stable. A shard dying mid-search
+// changes the participant set (the router drops it and finishes the
+// search on the survivors — availability over reproducibility); the
+// kill drills exercise eval traffic for exactness and keep search
+// drills on healthy fleets.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs/tracing"
+	"repro/internal/serve"
+)
+
+// defaultSearchIters mirrors the shard's anneal default: the router
+// must pin the total before slicing it into rounds.
+const defaultSearchIters = 2000
+
+// searchClusterInfo is the cluster-level addendum to a search response.
+type searchClusterInfo struct {
+	// Rounds is the number of exchange barriers the search ran.
+	Rounds int `json:"rounds"`
+	// Replicas is the participant set (global shard indices, rank order).
+	Replicas []int `json:"replicas"`
+	// WinnerShard is the shard whose slice produced the final best.
+	WinnerShard int `json:"winner_shard"`
+}
+
+// clusterSearchResponse is a shard SearchResponse plus attribution.
+type clusterSearchResponse struct {
+	serve.SearchResponse
+	Cluster searchClusterInfo `json:"cluster"`
+}
+
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	rt.mSearchRequests.Inc()
+	rctx, tr := rt.tracer.StartRequest(r.Context(), "cluster/v1/search", "decode")
+	defer tr.Finish()
+	if rt.Draining() {
+		rt.mRefused.Inc()
+		seal(tr, "rejected")
+		writeJSONError(w, http.StatusServiceUnavailable, "router is draining")
+		return
+	}
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		seal(tr, "error")
+		writeJSONError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	// Strict decode, mirroring the shard's contract: a typo'd field must
+	// fail loudly here, not be silently dropped by the re-marshaling the
+	// exchange protocol performs.
+	var req serve.SearchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		seal(tr, "error")
+		writeJSONError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	tr.Stage("route")
+	key, err := serve.RouteKey(body)
+	if err != nil {
+		seal(tr, "error")
+		writeJSONError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	cands, primary := rt.plan(key)
+	tr.Annotate("route.key", strconv.FormatUint(key, 16))
+	tr.Annotate("route.primary", strconv.Itoa(primary))
+
+	// An exhaustive sweep is already deterministic on any single shard;
+	// forward it whole (failover and hedging included) instead of
+	// pretending it has rounds to exchange.
+	if req.Kind == "exhaustive" {
+		tr.Stage("forward")
+		res, ok := rt.forward(rctx, "/v1/search", body, forwardOptions{
+			cands:    cands,
+			traceID:  tr.TraceID(),
+			hedge:    true,
+			deadline: r.Header.Get("X-Deadline-Ms"),
+		})
+		if !ok {
+			rt.mNoReplica.Inc()
+			seal(tr, "error")
+			writeJSONError(w, http.StatusBadGateway, "no replica could serve the search (%d tried)", len(cands))
+			return
+		}
+		rt.accountServed(tr, res, primary)
+		copyShardResponse(w, res, primary)
+		return
+	}
+	if req.Iters < 0 {
+		seal(tr, "error")
+		writeJSONError(w, http.StatusUnprocessableEntity, "iters %d must be non-negative", req.Iters)
+		return
+	}
+	rt.scatterGather(rctx, tr, w, &req, cands, primary)
+}
+
+// sliceOutcome is one shard's answer to one round.
+type sliceOutcome struct {
+	raw  attemptResult
+	resp serve.ExchangeResponse
+	ok   bool
+}
+
+func (rt *Router) scatterGather(ctx context.Context, tr *tracing.Request, w http.ResponseWriter, req *serve.SearchRequest, cands []int, primary int) {
+	// Participants: the healthy replica set in rank order; if the prober
+	// has everything down-marked, try the full set rather than refusing.
+	parts := cands[:0:0]
+	for _, s := range cands {
+		if rt.health.healthy(s) {
+			parts = append(parts, s)
+		}
+	}
+	if len(parts) == 0 {
+		parts = cands
+	}
+	roster := append([]int(nil), parts...)
+
+	total := req.Iters
+	if total == 0 {
+		total = defaultSearchIters
+	}
+	rounds := rt.cfg.ExchangeRounds
+	if rounds > total {
+		rounds = total
+	}
+	base, rem := total/rounds, total%rounds
+
+	tr.Stage("exchange")
+	var best *serve.ExchangeResponse
+	winnerShard := -1
+	for round := 0; round < rounds; round++ {
+		rt.mExchangeRounds.Inc()
+		tr.Mark("exchange.round")
+		sliceIters := base
+		if round < rem {
+			sliceIters++
+		}
+		outs := rt.runRound(ctx, tr, req, parts, round, rounds, sliceIters, best)
+
+		// Process in roster order so health marks, drops, and the winner
+		// election are deterministic functions of the round's answers.
+		alive := parts[:0:0]
+		for i, shard := range parts {
+			out := outs[i]
+			if out.raw.err != nil || out.raw.status >= 500 {
+				rt.health.markDown(shard, failureReason(out.raw))
+				tr.Annotate("exchange.dropped", strconv.Itoa(shard))
+				continue
+			}
+			if out.raw.status != http.StatusOK {
+				// A 4xx slice verdict is about the REQUEST, identical on
+				// every shard; relay the first one and stop the search.
+				seal(tr, "error")
+				copyShardResponse(w, out.raw, primary)
+				return
+			}
+			if !out.ok {
+				rt.health.markDown(shard, "bad exchange response")
+				continue
+			}
+			alive = append(alive, shard)
+			if best == nil || out.resp.Best.Objective < best.Best.Objective ||
+				(out.resp.Best.Objective == best.Best.Objective && shard < winnerShard) {
+				r := out.resp
+				best, winnerShard = &r, shard
+			}
+		}
+		if len(alive) == 0 {
+			rt.mNoReplica.Inc()
+			seal(tr, "error")
+			writeJSONError(w, http.StatusBadGateway, "search round %d: no replica answered", round)
+			return
+		}
+		parts = alive
+	}
+
+	rt.mRoutes[winnerShard].Inc()
+	tr.Annotate("served_by", strconv.Itoa(winnerShard))
+	tr.Annotate("exchange.rounds", strconv.Itoa(rounds))
+	seal(tr, "")
+	w.Header().Set("X-Cluster-Shard", strconv.Itoa(winnerShard))
+	w.Header().Set("X-Cluster-Primary", strconv.Itoa(primary))
+	writeJSON(w, http.StatusOK, clusterSearchResponse{
+		SearchResponse: serve.SearchResponse{
+			GraphFP:    best.GraphFP,
+			Best:       best.Best,
+			DoneIters:  total,
+			TotalIters: total,
+		},
+		Cluster: searchClusterInfo{Rounds: rounds, Replicas: roster, WinnerShard: winnerShard},
+	})
+}
+
+// runRound fans one round's slices out concurrently and collects the
+// outcomes index-aligned with parts. The barrier is the WaitGroup: the
+// round is not judged until every slice has answered or failed.
+func (rt *Router) runRound(ctx context.Context, tr *tracing.Request, req *serve.SearchRequest, parts []int, round, rounds, sliceIters int, best *serve.ExchangeResponse) []sliceOutcome {
+	outs := make([]sliceOutcome, len(parts))
+	var wg sync.WaitGroup
+	for i, shard := range parts {
+		slice := *req
+		slice.Iters = sliceIters
+		ereq := serve.ExchangeRequest{Search: slice, Shard: shard, Round: round, Rounds: rounds}
+		if best != nil {
+			ereq.Init = best.Schedule
+		}
+		ebody, err := json.Marshal(ereq)
+		if err != nil {
+			outs[i] = sliceOutcome{raw: attemptResult{shard: shard, err: err}}
+			continue
+		}
+		wg.Add(1)
+		go func(i, shard int, ebody []byte) {
+			defer wg.Done()
+			ch := make(chan attemptResult, 1)
+			rt.attempt(ctx, shard, "/v1/exchange", ebody, forwardOptions{traceID: tr.TraceID()}, false, ch)
+			out := sliceOutcome{raw: <-ch}
+			if out.raw.err == nil && out.raw.status == http.StatusOK {
+				out.ok = json.Unmarshal(out.raw.body, &out.resp) == nil
+			}
+			outs[i] = out
+		}(i, shard, ebody)
+	}
+	wg.Wait()
+	return outs
+}

@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/leaktest"
+)
+
+// Every test in this package runs under the goroutine-leak harness:
+// hedged losers, abandoned attempts, and probe loops must all be
+// reaped by the time the package's tests finish.
+func TestMain(m *testing.M) { leaktest.Main(m) }

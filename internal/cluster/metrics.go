@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// aggregatedMetrics is the router's /v1/metrics body: the router's own
+// counters plus every shard's raw snapshot, index-aligned with the
+// shard list (null for a shard that could not be reached). Shards are
+// fetched sequentially in index order so the aggregate is deterministic
+// under a sequential driver.
+type aggregatedMetrics struct {
+	Cluster obs.Snapshot      `json:"cluster"`
+	Shards  []json.RawMessage `json:"shards"`
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := aggregatedMetrics{
+		Cluster: rt.reg.Snapshot(),
+		Shards:  make([]json.RawMessage, len(rt.cfg.Shards)),
+	}
+	for i := range rt.cfg.Shards {
+		out.Shards[i] = rt.fetchShardMetrics(r.Context(), i)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// fetchShardMetrics pulls one shard's /v1/metrics; nil (rendered as
+// JSON null) when the shard is unreachable or answers non-200 —
+// aggregation must not fail just because one shard is mid-restart.
+func (rt *Router) fetchShardMetrics(ctx context.Context, i int) json.RawMessage {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rt.cfg.Shards[i]+"/v1/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+	if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		return nil
+	}
+	return json.RawMessage(body)
+}

@@ -186,6 +186,16 @@ type AnnealOptions struct {
 	// temperature) refreshed at every barrier, plus the EvalCache's
 	// "search.evalcache.*" gauges.
 	Obs *obs.Registry
+	// InitSchedule, when non-nil, seeds every chain from this schedule's
+	// placements instead of the default mapper's list schedule. Times are
+	// re-derived by ASAP (like every annealer candidate), so any legal
+	// placement vector is a valid start. This is how a distributed search
+	// adopts a best-so-far mapping found elsewhere: the cluster's exchange
+	// barrier hands each shard the global best and the next round anneals
+	// outward from it. The schedule must cover exactly the graph's nodes.
+	// On Resume the checkpoint's restored state wins, as it must for
+	// bit-identical continuation.
+	InitSchedule fm.Schedule
 	// DisableDelta switches move pricing back to the full evaluator
 	// through the EvalCache instead of the incremental fm.DeltaEvaluator.
 	// The zero value — delta evaluation ON — is the fast path; results
@@ -417,7 +427,16 @@ func AnnealResumable(g *fm.Graph, tgt fm.Target, opts AnnealOptions) (fm.Schedul
 		resume = cp
 	}
 
-	init := fm.ListSchedule(g, tgt)
+	var init fm.Schedule
+	if opts.InitSchedule != nil {
+		if len(opts.InitSchedule) != g.NumNodes() {
+			return nil, fm.Cost{}, fmt.Errorf("search: InitSchedule covers %d nodes, graph has %d",
+				len(opts.InitSchedule), g.NumNodes())
+		}
+		init = opts.InitSchedule
+	} else {
+		init = fm.ListSchedule(g, tgt)
+	}
 	done := 0
 	chains := make([]*chain, opts.Chains)
 	for i := range chains {

@@ -18,6 +18,7 @@ var ctxflowPkgs = []string{
 	"repro/internal/serve",
 	"repro/internal/store",
 	"repro/internal/fm/search",
+	"repro/internal/cluster",
 }
 
 // Ctxflow enforces context hygiene on request paths: no

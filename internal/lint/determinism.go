@@ -22,6 +22,7 @@ var criticalPkgs = map[string]bool{
 	"repro/internal/serve":       true,
 	"repro/internal/store":       true,
 	"repro/internal/obs/tracing": true,
+	"repro/internal/cluster":     true,
 }
 
 // randConstructors are the math/rand top-level functions that build

@@ -33,6 +33,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/exchange", s.handleExchange)
 	// Slack analysis carries a JSON body; both GET (as documented) and
 	// POST (for clients whose HTTP stacks refuse GET bodies) are served.
 	s.mux.HandleFunc("/v1/slack", s.handleSlack)
@@ -69,6 +70,17 @@ func respondErr(rt *tracing.Request, outcome string, w http.ResponseWriter, stat
 	rt.Stage("respond")
 	rt.Finish()
 	writeError(w, status, format, args...)
+}
+
+// bindClusterTrace links this request's trace to the cluster router's:
+// when a maprouter forwarded the request it stamps its own trace ID in
+// X-Cluster-Trace-Id, and annotating it here lets an operator walk from
+// a router span to the shard trace that served it (and back — the
+// router annotates the shard's address on its side).
+func bindClusterTrace(rt *tracing.Request, r *http.Request) {
+	if id := r.Header.Get("X-Cluster-Trace-Id"); id != "" {
+		rt.Annotate("cluster.trace_id", id)
+	}
 }
 
 // rejectEval answers 429 with the server's Retry-After estimate.
@@ -442,28 +454,43 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 // healthzResponse is the health endpoint's payload; loadgen's overload
 // drill polls QueueDepth to know when the paused queue has absorbed the
-// burst.
+// burst, and the cluster router's prober reads State to stop routing to
+// a shard before its refusals ever reach a client.
 type healthzResponse struct {
-	Status          string `json:"status"`
+	Status string `json:"status"`
+	// State is the readiness verdict a load balancer should act on:
+	// "ready" (route here) or "draining" (stop — in-flight work finishes
+	// but new requests will be refused). Liveness (Status) and readiness
+	// (State) are deliberately separate fields: a draining process is
+	// alive and must not be restarted, only unrouted.
+	State           string `json:"state"`
 	Mode            string `json:"mode"`
 	QueueDepth      int    `json:"queue_depth"`
 	QueueCapacity   int    `json:"queue_capacity"`
 	SearchesRunning int    `json:"searches_running"`
 	Graphs          int    `json:"graphs"`
+	// StoreUnhealthy surfaces a quarantined mapping atlas (recovery found
+	// corruption or data loss at startup). The shard still serves — the
+	// store is an accelerator, not a dependency — but a router may prefer
+	// replicas whose warmth is intact.
+	StoreUnhealthy bool `json:"store_unhealthy"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := healthzResponse{
 		Status:          "ok",
+		State:           "ready",
 		Mode:            s.Mode().String(),
 		QueueDepth:      s.queue.depth(),
 		QueueCapacity:   s.cfg.QueueDepth,
 		SearchesRunning: s.searches.runningCount(),
 		Graphs:          s.graphs.len(),
+		StoreUnhealthy:  s.storeUnhealthy,
 	}
 	status := http.StatusOK
 	if s.Draining() {
 		resp.Status = "draining"
+		resp.State = "draining"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)

@@ -273,6 +273,55 @@ type SearchBest struct {
 	PlacesUsed int     `json:"places_used"`
 }
 
+// maxExchangeRounds bounds the barrier count of one scatter-gather
+// search; maxExchangeShards bounds the shard rank a round may claim.
+const (
+	maxExchangeRounds = 64
+	maxExchangeShards = 1024
+)
+
+// AssignmentSpec is the wire form of one fm.Assignment: where a node
+// runs and when it starts. It is how schedules cross process boundaries
+// in the cluster's exchange protocol — small (drill-scale graphs are a
+// few hundred nodes) and exact (integers only).
+type AssignmentSpec struct {
+	X int   `json:"x"`
+	Y int   `json:"y"`
+	T int64 `json:"t"`
+}
+
+// ExchangeRequest is one shard's slice of one round of a scatter-gather
+// search: run Search.Iters annealing proposals, starting every chain
+// from Init (the global best so far; nil on round zero, where each shard
+// starts from its own default mapping), seeded by (Search.Seed, Shard,
+// Round) so no two shards or rounds ever share an RNG stream. The
+// router is the barrier: it collects every shard's answer, elects the
+// global best (lowest objective, ties to the lowest shard index), and
+// hands it back as the next round's Init.
+type ExchangeRequest struct {
+	Search SearchRequest `json:"search"`
+	// Shard is this shard's index in the replica set (its rank in the
+	// cluster's seed space, not its network address).
+	Shard int `json:"shard"`
+	// Round / Rounds position this slice in the barrier sequence.
+	Round  int `json:"round"`
+	Rounds int `json:"rounds"`
+	// Init is the adopted starting mapping; times are re-derived by ASAP,
+	// so only the placements bind.
+	Init []AssignmentSpec `json:"init,omitempty"`
+}
+
+// ExchangeResponse reports one shard's round result, schedule included —
+// the router needs the full mapping to seed the next round, not just the
+// cost summary a SearchResponse carries.
+type ExchangeResponse struct {
+	GraphFP   string           `json:"graph_fp"`
+	Best      SearchBest       `json:"best"`
+	Schedule  []AssignmentSpec `json:"schedule"`
+	DoneIters int              `json:"done_iters"`
+	Round     int              `json:"round"`
+}
+
 // SlackRequest profiles per-edge slack of one schedule. The shape is an
 // EvalRequest with exactly one schedule.
 type SlackRequest struct {

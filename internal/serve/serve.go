@@ -202,6 +202,10 @@ type Server struct {
 
 	mode     atomic.Int32
 	draining atomic.Bool
+	// storeUnhealthy records (immutably, at construction) that store
+	// recovery quarantined or lost data; healthz surfaces it so a router
+	// can prefer replicas with intact warmth.
+	storeUnhealthy bool
 
 	// baseCtx is cancelled by Drain; every search derives from it so
 	// draining halts them at their next exchange barrier.
@@ -220,6 +224,7 @@ type Server struct {
 	mEvalRequests, mEvalOK, mEvalDegraded, mEvalRejected, mEvalDeadline *obs.Counter
 	mSearchRequests, mSearchOK, mSearchDegraded, mSearchRejected        *obs.Counter
 	mSearchPartial, mSlackRequests, mBatches, mCoalesced                *obs.Counter
+	mExchangeRequests, mExchangeOK, mExchangeRejected                   *obs.Counter
 	mStoreHits, mStoreMisses, mStorePuts, mStorePutErrs, mStoreBest     *obs.Counter
 	mQueueDepth, gStoreUnhealthy                                        *obs.Gauge
 	mBatchJobs                                                          *obs.Histogram
@@ -253,6 +258,7 @@ func NewServer(cfg Config) (*Server, error) {
 		// Recovery quarantined or lost data: serve what survived, but
 		// say so — degraded-but-honest, never silently incomplete.
 		s.gStoreUnhealthy.Set(1)
+		s.storeUnhealthy = true
 	}
 	s.routes()
 	for i := 0; i < cfg.EvalWorkers; i++ {
@@ -275,6 +281,9 @@ func (s *Server) instrument() {
 	s.mSearchRejected = r.Counter("serve.search.rejected")
 	s.mSearchPartial = r.Counter("serve.search.partial")
 	s.mSlackRequests = r.Counter("serve.slack.requests")
+	s.mExchangeRequests = r.Counter("serve.exchange.requests")
+	s.mExchangeOK = r.Counter("serve.exchange.ok")
+	s.mExchangeRejected = r.Counter("serve.exchange.rejected")
 	s.mBatches = r.Counter("serve.eval.batches")
 	s.mCoalesced = r.Counter("serve.eval.coalesced")
 	s.mStoreHits = r.Counter("serve.store.hits")
